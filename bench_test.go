@@ -1,0 +1,480 @@
+// Package acobe's benchmark harness regenerates every figure of the
+// paper's evaluation (the paper reports no numbered tables; Figures 4-7
+// carry all results). Each BenchmarkFigN* target rebuilds its figure from
+// a freshly trained model at a reduced "bench" scale so that
+// `go test -bench=. -benchmem` terminates in minutes; `cmd/repro -preset
+// fast` regenerates the same figures at the scale EXPERIMENTS.md reports.
+//
+// Micro-benchmarks at the bottom cover the substrates (neural network,
+// deviation field, synthesizers, log pipeline, DGA).
+package acobe
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"acobe/internal/autoencoder"
+	"acobe/internal/cert"
+	"acobe/internal/core"
+	"acobe/internal/deviation"
+	"acobe/internal/dga"
+	"acobe/internal/experiment"
+	"acobe/internal/logstore"
+	"acobe/internal/mathx"
+	"acobe/internal/metrics"
+	"acobe/internal/nn"
+)
+
+// benchPreset is the reduced scale used by the figure benchmarks.
+func benchPreset() experiment.Preset {
+	p := experiment.TinyPreset()
+	p.Name = "bench"
+	p.UsersPerDept = 8
+	p.AEConfig = func(dim int) autoencoder.Config {
+		cfg := autoencoder.FastConfig(dim)
+		cfg.Hidden = []int{48, 24}
+		cfg.Epochs = 15
+		cfg.EarlyStopDelta = 0.002
+		cfg.Patience = 3
+		return cfg
+	}
+	p.TrainStride = 4
+	return p
+}
+
+var (
+	benchDataOnce sync.Once
+	benchDataVal  *experiment.CERTData
+	benchDataErr  error
+)
+
+// benchData synthesizes the shared CERT dataset once per process.
+func benchData(b *testing.B) *experiment.CERTData {
+	b.Helper()
+	benchDataOnce.Do(func() {
+		benchDataVal, benchDataErr = experiment.BuildCERTData(benchPreset())
+	})
+	if benchDataErr != nil {
+		b.Fatalf("build bench dataset: %v", benchDataErr)
+	}
+	return benchDataVal
+}
+
+// BenchmarkFig4DeviationMatrix regenerates Figure 4: the insider's
+// compound behavioral deviation heatmaps (device + HTTP aspects × two
+// time-frames).
+func BenchmarkFig4DeviationMatrix(b *testing.B) {
+	data := benchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		heatmaps, err := experiment.BuildFig4(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, h := range heatmaps {
+				peak := 0.0
+				for _, row := range h.Values {
+					if m := mathx.Max(row); m > peak {
+						peak = m
+					}
+				}
+				b.Logf("%s: %d features × %d days, peak σ=%.2f", h.Title, len(h.Rows), len(h.Cols), peak)
+			}
+		}
+	}
+}
+
+// benchFig5 trains one model variant on the r6.1-s2 split and regenerates
+// its Figure 5 score-trend waveform.
+func benchFig5(b *testing.B, kind experiment.ModelKind) {
+	data := benchData(b)
+	sc := data.ScenarioByName("r6.1-s2")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run, err := experiment.RunScenario(data, kind, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w, err := experiment.BuildFig5Waveform(data, run, experiment.Fig5AspectFor(kind))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			pos := insiderPosition(run)
+			b.Logf("Fig5 %v (%s aspect): score mean=%.5f std=%.5f; insider list position %d/%d",
+				kind, w.Aspect, w.Mean, w.Std, pos, len(run.Items))
+		}
+	}
+}
+
+func insiderPosition(run *experiment.ScenarioRun) int {
+	for i, it := range metrics.OrderWorstCase(run.Items) {
+		if it.Positive {
+			return i + 1
+		}
+	}
+	return -1
+}
+
+// BenchmarkFig5ACOBE regenerates Figure 5(a)/(b): ACOBE's waveforms.
+func BenchmarkFig5ACOBE(b *testing.B) { benchFig5(b, experiment.ModelACOBE) }
+
+// BenchmarkFig5OneDay regenerates Figure 5(c): single-day reconstruction.
+func BenchmarkFig5OneDay(b *testing.B) { benchFig5(b, experiment.ModelOneDay) }
+
+// BenchmarkFig5NoGroup regenerates Figure 5(d): no group deviations.
+func BenchmarkFig5NoGroup(b *testing.B) { benchFig5(b, experiment.ModelNoGroup) }
+
+// BenchmarkFig5AllInOne regenerates Figure 5(e): one autoencoder for all
+// features.
+func BenchmarkFig5AllInOne(b *testing.B) { benchFig5(b, experiment.ModelAllInOne) }
+
+// BenchmarkFig5Baseline regenerates Figure 5(f): the Liu et al. baseline.
+func BenchmarkFig5Baseline(b *testing.B) { benchFig5(b, experiment.ModelBaseline) }
+
+var (
+	fig6Once sync.Once
+	fig6Runs map[experiment.ModelKind][]*experiment.ScenarioRun
+	fig6Err  error
+)
+
+// fig6AllRuns trains every model variant on all four scenarios (the heavy
+// part of Figure 6) once per process; the ROC / PR / N-sweep benchmarks
+// evaluate different views of the same runs, as the paper's sub-figures
+// do.
+func fig6AllRuns(b *testing.B) map[experiment.ModelKind][]*experiment.ScenarioRun {
+	b.Helper()
+	data := benchData(b)
+	fig6Once.Do(func() {
+		fig6Runs = make(map[experiment.ModelKind][]*experiment.ScenarioRun)
+		for _, kind := range experiment.AllModelKinds() {
+			for _, sc := range data.Scenarios {
+				run, err := experiment.RunScenario(data, kind, sc)
+				if err != nil {
+					fig6Err = fmt.Errorf("%v on %s: %w", kind, sc.Name(), err)
+					return
+				}
+				fig6Runs[kind] = append(fig6Runs[kind], run)
+			}
+		}
+	})
+	if fig6Err != nil {
+		b.Fatal(fig6Err)
+	}
+	return fig6Runs
+}
+
+// BenchmarkFig6ROC regenerates Figure 6(a): pooled ROC curves and AUC for
+// all six model variants. The first iteration includes model training.
+func BenchmarkFig6ROC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs := fig6AllRuns(b)
+		res, err := experiment.BuildFig6(runs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("Fig6(a):\n%s", res.Summary.String())
+		}
+	}
+}
+
+// BenchmarkFig6PR regenerates Figure 6(b): the pooled precision-recall
+// curves over the same runs.
+func BenchmarkFig6PR(b *testing.B) {
+	runs := fig6AllRuns(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.BuildFig6(runs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for name, c := range res.Curves {
+				b.Logf("Fig6(b) %s: AP=%.4f", name, c.AP)
+			}
+		}
+	}
+}
+
+// BenchmarkFig6NSweep regenerates Figure 6(c): ACOBE re-ranked with
+// critic N = 1, 2, 3 (no retraining — only the critic changes).
+func BenchmarkFig6NSweep(b *testing.B) {
+	runs := fig6AllRuns(b)
+	data := benchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runsByN := make(map[int][]*experiment.ScenarioRun)
+		for n := 1; n <= 3; n++ {
+			rr, err := experiment.ReRankRuns(data, runs[experiment.ModelACOBE], n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runsByN[n] = rr
+		}
+		res, err := experiment.BuildFig6N(runsByN)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("Fig6(c):\n%s", res.Summary.String())
+		}
+	}
+}
+
+// benchFig7 runs one enterprise case study end to end (simulation, log
+// pipeline, training, scoring, daily ranking).
+func benchFig7(b *testing.B, kind experiment.AttackKind) {
+	p := experiment.EnterpriseTinyPreset()
+	for i := 0; i < b.N; i++ {
+		run, err := experiment.RunEnterprise(p, kind)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			attackIdx := int(run.AttackDay - run.ScoreFrom)
+			held := 0
+			for _, r := range run.VictimDailyRank[attackIdx:] {
+				if r != 1 {
+					break
+				}
+				held++
+			}
+			b.Logf("Fig7 %s: victim=%s, rank-1 streak after attack = %d days, ranks=%v",
+				kind, run.Victim, held, run.VictimDailyRank[attackIdx:])
+		}
+	}
+}
+
+// BenchmarkFig7Ransomware regenerates Figure 7(a).
+func BenchmarkFig7Ransomware(b *testing.B) { benchFig7(b, experiment.AttackRansomware) }
+
+// BenchmarkFig7Zeus regenerates Figure 7(b).
+func BenchmarkFig7Zeus(b *testing.B) { benchFig7(b, experiment.AttackZeus) }
+
+// ---------------------------------------------------------------------
+// Substrate micro-benchmarks.
+// ---------------------------------------------------------------------
+
+// BenchmarkNNMatMul measures the dense matrix multiply at an
+// autoencoder-typical shape (batch 64 × 392 by 392 × 128).
+func BenchmarkNNMatMul(b *testing.B) {
+	rng := mathx.NewRNG(1)
+	a := nn.NewMatrix(64, 392)
+	w := nn.NewMatrix(392, 128)
+	for i := range a.Data {
+		a.Data[i] = rng.Float64()
+	}
+	for i := range w.Data {
+		w.Data[i] = rng.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = nn.MatMul(a, w)
+	}
+}
+
+// BenchmarkAutoencoderEpoch measures one training epoch of the fast
+// architecture on 1024 samples of width 392.
+func BenchmarkAutoencoderEpoch(b *testing.B) {
+	rng := mathx.NewRNG(2)
+	rows := make([][]float64, 1024)
+	for i := range rows {
+		rows[i] = make([]float64, 392)
+		for j := range rows[i] {
+			rows[i][j] = rng.Float64()
+		}
+	}
+	samples := nn.FromRows(rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := autoencoder.FastConfig(392)
+		cfg.Epochs = 1
+		ae, err := autoencoder.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ae.Fit(samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeviationField measures the sliding-window deviation
+// computation over a 40-user × 27-feature × 2-frame × 515-day table.
+func BenchmarkDeviationField(b *testing.B) {
+	data := benchData(b)
+	cfg := deviation.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := deviation.ComputeField(data.Table, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCERTGeneratorDay measures synthesizing one day of events for
+// the bench organization (streamed; b.N caps the number of days).
+func BenchmarkCERTGeneratorDay(b *testing.B) {
+	cfg := cert.SmallConfig(8)
+	gen, err := cert.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	days := 0
+	b.ResetTimer()
+	err = gen.Stream(func(_ cert.Day, events []cert.Event) error {
+		days++
+		if days >= b.N {
+			return errStop
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, errStop) {
+		b.Fatal(err)
+	}
+}
+
+var errStop = errors.New("bench: enough days")
+
+// BenchmarkLogstoreIngest measures the concurrent log pipeline at the
+// enterprise record shape.
+func BenchmarkLogstoreIngest(b *testing.B) {
+	rec := logstore.Record{
+		Time: time.Date(2011, 2, 2, 10, 0, 0, 0, time.UTC), User: "emp001",
+		Host: "WS-001", Channel: logstore.ChannelSysmon, EventID: 11,
+		Action: "FileWrite", Object: `C:\f.docx`, Status: "success",
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	store := logstore.NewStore()
+	pipe := logstore.NewPipeline(store, 4, 256)
+	for i := 0; i < b.N; i++ {
+		if err := pipe.Submit(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	pipe.Close()
+	if got := store.Ingested(); got != int64(b.N) {
+		b.Fatalf("ingested %d, want %d", got, b.N)
+	}
+}
+
+// BenchmarkDGA measures daily domain-list generation.
+func BenchmarkDGA(b *testing.B) {
+	g := dga.New(0x60df)
+	date := time.Date(2011, 2, 2, 0, 0, 0, 0, time.UTC)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.DomainsForDate(date, 100)
+	}
+}
+
+// BenchmarkCritic measures Algorithm 1 at paper scale (929 users, 3
+// aspects).
+func BenchmarkCritic(b *testing.B) {
+	rng := mathx.NewRNG(3)
+	users := make([]string, 929)
+	scores := make([][]float64, 3)
+	for a := range scores {
+		scores[a] = make([]float64, len(users))
+	}
+	for i := range users {
+		users[i] = fmt.Sprintf("u%04d", i)
+		for a := range scores {
+			scores[a][i] = rng.Float64()
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		criticSink = core.Critic(users, scores, 3)
+	}
+}
+
+// criticSink keeps the compiler from eliding the critic call.
+var criticSink []core.Ranked
+
+// ---------------------------------------------------------------------
+// Ablation benchmarks: the design choices DESIGN.md calls out.
+// ---------------------------------------------------------------------
+
+// BenchmarkAblationWindow sweeps the history window ω on the r6.1-s2
+// scenario (paper: ω=30).
+func BenchmarkAblationWindow(b *testing.B) {
+	data := benchData(b)
+	sc := data.ScenarioByName("r6.1-s2")
+	for i := 0; i < b.N; i++ {
+		results, err := experiment.SweepWindow(data, sc, []int{14, 30})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range results {
+				b.Logf("window %s: AUC=%.4f insider-pos=%d", r.Name, r.AUC, r.Insider)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationWeighting compares the TF-style feature weights
+// against unweighted deviations.
+func BenchmarkAblationWeighting(b *testing.B) {
+	data := benchData(b)
+	sc := data.ScenarioByName("r6.1-s2")
+	for i := 0; i < b.N; i++ {
+		results, err := experiment.SweepWeighting(data, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range results {
+				b.Logf("%s: AUC=%.4f insider-pos=%d", r.Name, r.AUC, r.Insider)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationAggregation compares window-pooling aggregators on an
+// already-trained ACOBE run (no retraining).
+func BenchmarkAblationAggregation(b *testing.B) {
+	runs := fig6AllRuns(b)
+	data := benchData(b)
+	run := runs[experiment.ModelACOBE][1] // r6.1-s2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := experiment.SweepAggregation(data, run)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range results {
+				b.Logf("%s: AUC=%.4f insider-pos=%d", r.Name, r.AUC, r.Insider)
+			}
+		}
+	}
+}
+
+// BenchmarkAdvancedCritic measures the §VII-B waveform critic over an
+// ACOBE run's score series.
+func BenchmarkAdvancedCritic(b *testing.B) {
+	runs := fig6AllRuns(b)
+	run := runs[experiment.ModelACOBE][1]
+	data := benchData(b)
+	cfg := core.DefaultWaveformConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		list := core.AdvancedCritic(data.UserIDs, run.Series, 3, cfg)
+		if i == 0 {
+			top := list[0]
+			b.Logf("advanced critic top: %s (suspicion %d/%d, classes %v)",
+				top.User, top.Suspicion, len(run.Series), top.Classes)
+		}
+	}
+}

@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRunRejectsUnknownSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthesizes a dataset")
+	}
+	if err := run([]string{"-users", "3", "-sweep", "nonsense"}); err == nil {
+		t.Error("no error for unknown sweep")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-users", "x"}); err == nil {
+		t.Error("no error for malformed flag")
+	}
+}

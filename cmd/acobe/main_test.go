@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRunUnknownScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthesizes a dataset")
+	}
+	if err := run([]string{"-users", "3", "-scenario", "nope"}); err == nil {
+		t.Error("no error for unknown scenario")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-users", "x"}); err == nil {
+		t.Error("no error for malformed flag")
+	}
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunWritesDataset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("writes a full-span dataset")
+	}
+	dir := filepath.Join(t.TempDir(), "cert")
+	if err := run([]string{"-out", dir, "-users", "2", "-seed", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"logon.csv", "device.csv", "file.csv", "http.csv", "email.csv", "ldap.csv", "labels.csv"} {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s missing: %v", name, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-users", "abc"}); err == nil {
+		t.Error("no error for malformed flag")
+	}
+}

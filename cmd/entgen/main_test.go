@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRunSimulates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates seven months")
+	}
+	if err := run([]string{"-employees", "3", "-attack", "zeus"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsUnknownAttack(t *testing.T) {
+	if err := run([]string{"-employees", "3", "-attack", "wormnado"}); err == nil {
+		t.Error("no error for unknown attack")
+	}
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunRejectsBadPreset(t *testing.T) {
+	if err := run([]string{"-preset", "nope"}); err == nil {
+		t.Error("no error for unknown preset")
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	if err := run([]string{"-fig"}); err == nil {
+		t.Error("no error for malformed flags")
+	}
+}

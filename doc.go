@@ -1,0 +1,15 @@
+// Package acobe is a from-scratch Go reproduction of "Time-Window Based
+// Group-Behavior Supported Method for Accurate Detection of Anomalous
+// Users" (Yuan, Choo, Yu, Khalil, Zhu — DSN 2021): ACOBE, an anomaly
+// detection method that builds compound behavioral deviation matrices
+// (multi-day, multi-time-frame, individual + group deviations) and scores
+// them with an ensemble of deep fully-connected autoencoders, producing an
+// ordered investigation list of the most anomalous users.
+//
+// The implementation lives under internal/: see internal/core for the
+// detector, internal/deviation for the behavioral representation,
+// internal/experiment for the reproduction harness, and README.md for the
+// full map. Runnable entry points are in cmd/ and examples/. The
+// bench_test.go file in this directory regenerates every figure of the
+// paper's evaluation via `go test -bench=.`.
+package acobe

@@ -1,0 +1,3 @@
+module acobe
+
+go 1.22

@@ -1,0 +1,164 @@
+// Package attack implements the two controlled attacks of the paper's
+// case study (Section VI-A): a Zeus botnet infection (downloader, registry
+// modification, C&C beacons, and newGOZ domain-generation NXDOMAIN bursts)
+// and a WannaCry-style ransomware detonation (registry modification and
+// mass file encryption). Both produce only their audit-log footprint —
+// which is all the detector ever sees of real malware.
+package attack
+
+import (
+	"fmt"
+	"time"
+
+	"acobe/internal/cert"
+	"acobe/internal/dga"
+	"acobe/internal/enterprise"
+	"acobe/internal/logstore"
+	"acobe/internal/mathx"
+)
+
+// at returns a timestamp on day d at the given hour.
+func at(d cert.Day, hour int, rng *mathx.RNG) time.Time {
+	return d.Date().Add(time.Duration(hour)*time.Hour +
+		time.Duration(rng.Intn(3600))*time.Second)
+}
+
+// Zeus is the botnet attack: triggered on Day0, it downloads the bot,
+// deletes the downloader, modifies registry values, and from then on
+// beacons to its C&C while querying non-existing newGOZ domains.
+type Zeus struct {
+	VictimID string
+	Start    cert.Day
+	// QueriesPerDay is the newGOZ DGA burst size (the real bot walks up
+	// to 1000 candidates; a capped burst keeps volumes plausible for a
+	// proxy/DNS log).
+	QueriesPerDay int
+	DGA           *dga.Generator
+}
+
+// NewZeus returns the attack with the paper's Feb-2 trigger day.
+func NewZeus(victim string, day0 cert.Day) *Zeus {
+	return &Zeus{VictimID: victim, Start: day0, QueriesPerDay: 120, DGA: dga.New(0x60df)}
+}
+
+// Name implements enterprise.Attack.
+func (z *Zeus) Name() string { return "zeus" }
+
+// Victim implements enterprise.Attack.
+func (z *Zeus) Victim() string { return z.VictimID }
+
+// Day0 implements enterprise.Attack.
+func (z *Zeus) Day0() cert.Day { return z.Start }
+
+// Inject implements enterprise.Attack.
+func (z *Zeus) Inject(victim enterprise.Employee, d cert.Day, rng *mathx.RNG) []logstore.Record {
+	if d < z.Start {
+		return nil
+	}
+	var recs []logstore.Record
+	rec := func(hour int, channel string, eventID int, action, object, status string) {
+		recs = append(recs, logstore.Record{
+			Time: at(d, hour, rng), User: victim.ID, Host: victim.Host,
+			Channel: channel, EventID: eventID, Action: action, Object: object, Status: status,
+		})
+	}
+
+	if d == z.Start {
+		// Infection: download Zeus from the downloader app, run it,
+		// delete the downloader, and modify registry values.
+		rec(10, logstore.ChannelProxy, 0, "HTTPRequest", "cdn.freewarehub.example", "success")
+		rec(10, logstore.ChannelSysmon, 11, "FileCreate", `C:\Users\victim\AppData\downloader.exe`, "success")
+		rec(10, logstore.ChannelSysmon, 1, "ProcessCreate", `C:\Users\victim\AppData\downloader.exe`, "success")
+		rec(10, logstore.ChannelSysmon, 11, "FileCreate", `C:\Users\victim\AppData\zeus.exe`, "success")
+		rec(10, logstore.ChannelSysmon, 1, "ProcessCreate", `C:\Users\victim\AppData\zeus.exe`, "success")
+		rec(11, logstore.ChannelSysmon, 11, "FileDelete", `C:\Users\victim\AppData\downloader.exe`, "success")
+		for i := 0; i < 4; i++ {
+			rec(11, logstore.ChannelSysmon, 13, "RegistrySet",
+				fmt.Sprintf(`HKCU\Software\Microsoft\Windows\CurrentVersion\Run\zbot%d`, i), "success")
+		}
+		return recs
+	}
+
+	// Post-infection: the bot restarts with the machine, beacons to the
+	// C&C, and walks the day's newGOZ candidate list, producing failure
+	// queries to never-before-seen domains.
+	rec(7, logstore.ChannelSysmon, 1, "ProcessCreate", `C:\Users\victim\AppData\zeus.exe`, "success")
+	for i := 0; i < 3+rng.Intn(3); i++ {
+		rec(8+rng.Intn(12), logstore.ChannelProxy, 0, "HTTPRequest", "cc.bulletproof.example", "success")
+	}
+	n := z.QueriesPerDay/2 + rng.Intn(z.QueriesPerDay/2+1)
+	domains := z.DGA.DomainsForDate(d.Date(), n)
+	for _, dom := range domains {
+		rec(rng.Intn(24), logstore.ChannelDNS, 0, "DNSQuery", dom, "failure")
+	}
+	return recs
+}
+
+// Ransomware is the WannaCry-style attack: on Day0 it modifies registry
+// values and encrypts files en masse (reads, writes, deletes of many new
+// file objects), spilling onto file shares the next days.
+type Ransomware struct {
+	VictimID string
+	Start    cert.Day
+	// FilesEncrypted is the size of the detonation-day encryption sweep.
+	FilesEncrypted int
+	// SpreadDays is how many days share-encryption activity continues.
+	SpreadDays int
+}
+
+// NewRansomware returns the attack with the paper's Feb-2 trigger day.
+func NewRansomware(victim string, day0 cert.Day) *Ransomware {
+	return &Ransomware{VictimID: victim, Start: day0, FilesEncrypted: 400, SpreadDays: 3}
+}
+
+// Name implements enterprise.Attack.
+func (r *Ransomware) Name() string { return "ransomware" }
+
+// Victim implements enterprise.Attack.
+func (r *Ransomware) Victim() string { return r.VictimID }
+
+// Day0 implements enterprise.Attack.
+func (r *Ransomware) Day0() cert.Day { return r.Start }
+
+// Inject implements enterprise.Attack.
+func (r *Ransomware) Inject(victim enterprise.Employee, d cert.Day, rng *mathx.RNG) []logstore.Record {
+	if d < r.Start || d > r.Start+cert.Day(r.SpreadDays) {
+		return nil
+	}
+	var recs []logstore.Record
+	rec := func(hour int, channel string, eventID int, action, object, status string) {
+		recs = append(recs, logstore.Record{
+			Time: at(d, hour, rng), User: victim.ID, Host: victim.Host,
+			Channel: channel, EventID: eventID, Action: action, Object: object, Status: status,
+		})
+	}
+
+	if d == r.Start {
+		rec(13, logstore.ChannelSysmon, 11, "FileCreate", `C:\Users\victim\AppData\wcry.exe`, "success")
+		rec(13, logstore.ChannelSysmon, 1, "ProcessCreate", `C:\Users\victim\AppData\wcry.exe`, "success")
+		for i := 0; i < 5; i++ {
+			rec(13, logstore.ChannelSysmon, 13, "RegistrySet",
+				fmt.Sprintf(`HKLM\Software\WanaCrypt0r\wd%d`, i), "success")
+		}
+		rec(13, logstore.ChannelSecurity, 4698, "ScheduledTask", "tasksche.exe", "success")
+		// Detonation-day local sweep.
+		for i := 0; i < r.FilesEncrypted; i++ {
+			hour := 13 + rng.Intn(6)
+			obj := fmt.Sprintf(`C:\Users\victim\Documents\file%04d.docx.WNCRY`, i)
+			rec(hour, logstore.ChannelSysmon, 11, "FileWrite", obj, "success")
+		}
+		return recs
+	}
+
+	// Following days: encryption of reachable shares continues.
+	rec(9, logstore.ChannelSysmon, 1, "ProcessCreate", `C:\Users\victim\AppData\wcry.exe`, "success")
+	n := r.FilesEncrypted / 4
+	for i := 0; i < n; i++ {
+		obj := fmt.Sprintf(`\\fs01\public\share%04d.xlsx.WNCRY`, int(d-r.Start)*1000+i)
+		rec(8+rng.Intn(10), logstore.ChannelSysmon, 11, "FileWrite", obj, "success")
+		if i%10 == 0 {
+			rec(8+rng.Intn(10), logstore.ChannelSecurity, 5145, "ShareAccess", `\\fs01\public`, "success")
+		}
+	}
+	return recs
+}

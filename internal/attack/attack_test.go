@@ -1,0 +1,145 @@
+package attack
+
+import (
+	"strings"
+	"testing"
+
+	"acobe/internal/cert"
+	"acobe/internal/enterprise"
+	"acobe/internal/logstore"
+	"acobe/internal/mathx"
+)
+
+var victim = enterprise.Employee{ID: "emp001", Host: "WS-001.corp.example"}
+
+func TestZeusQuietBeforeDay0(t *testing.T) {
+	z := NewZeus(victim.ID, 100)
+	if recs := z.Inject(victim, 99, mathx.NewRNG(1)); len(recs) != 0 {
+		t.Errorf("%d records before the trigger day", len(recs))
+	}
+}
+
+func TestZeusInfectionDayFootprint(t *testing.T) {
+	z := NewZeus(victim.ID, 100)
+	recs := z.Inject(victim, 100, mathx.NewRNG(1))
+	var regMods, procCreates, fileDeletes, downloads int
+	for _, r := range recs {
+		switch {
+		case r.Action == "RegistrySet":
+			regMods++
+		case r.Action == "ProcessCreate":
+			procCreates++
+		case r.Action == "FileDelete":
+			fileDeletes++
+		case r.Channel == logstore.ChannelProxy:
+			downloads++
+		}
+		if r.User != victim.ID {
+			t.Errorf("record for wrong user %s", r.User)
+		}
+	}
+	if regMods < 3 {
+		t.Errorf("%d registry modifications on day 0", regMods)
+	}
+	if procCreates < 2 {
+		t.Errorf("%d process creations on day 0 (downloader + bot)", procCreates)
+	}
+	if fileDeletes != 1 {
+		t.Errorf("%d file deletes (the downloader)", fileDeletes)
+	}
+	if downloads == 0 {
+		t.Error("no download traffic on infection day")
+	}
+	// Critically: no DGA noise on the infection day itself (the paper's
+	// Zeus communicates with the C&C "after a few days").
+	for _, r := range recs {
+		if r.Channel == logstore.ChannelDNS {
+			t.Error("DNS queries on infection day")
+		}
+	}
+}
+
+func TestZeusDGABursts(t *testing.T) {
+	z := NewZeus(victim.ID, 100)
+	recs := z.Inject(victim, 105, mathx.NewRNG(2))
+	dns, beacons := 0, 0
+	domains := map[string]bool{}
+	for _, r := range recs {
+		switch {
+		case r.Channel == logstore.ChannelDNS:
+			dns++
+			if r.Status != "failure" {
+				t.Error("DGA query did not fail")
+			}
+			domains[r.Object] = true
+		case r.Object == "cc.bulletproof.example":
+			beacons++
+		}
+	}
+	if dns < z.QueriesPerDay/2 {
+		t.Errorf("%d DGA queries, want ≥ %d", dns, z.QueriesPerDay/2)
+	}
+	if len(domains) != dns {
+		t.Errorf("DGA domains repeat within a day: %d unique of %d", len(domains), dns)
+	}
+	if beacons == 0 {
+		t.Error("no C&C beacons")
+	}
+
+	// Next day's DGA domains must differ (the "new domain" signal).
+	recs2 := z.Inject(victim, 106, mathx.NewRNG(3))
+	for _, r := range recs2 {
+		if r.Channel == logstore.ChannelDNS && domains[r.Object] {
+			t.Errorf("domain %s reused across days", r.Object)
+		}
+	}
+}
+
+func TestRansomwareDetonation(t *testing.T) {
+	rw := NewRansomware(victim.ID, 200)
+	if recs := rw.Inject(victim, 199, mathx.NewRNG(1)); len(recs) != 0 {
+		t.Error("activity before detonation")
+	}
+	recs := rw.Inject(victim, 200, mathx.NewRNG(1))
+	writes, regs := 0, 0
+	for _, r := range recs {
+		switch r.Action {
+		case "FileWrite":
+			writes++
+			if !strings.HasSuffix(r.Object, ".WNCRY") {
+				t.Errorf("encrypted file %q missing marker extension", r.Object)
+			}
+		case "RegistrySet":
+			regs++
+		}
+	}
+	if writes != rw.FilesEncrypted {
+		t.Errorf("%d file writes, want %d", writes, rw.FilesEncrypted)
+	}
+	if regs < 3 {
+		t.Errorf("%d registry mods", regs)
+	}
+}
+
+func TestRansomwareSpreadWindow(t *testing.T) {
+	rw := NewRansomware(victim.ID, 200)
+	if recs := rw.Inject(victim, 202, mathx.NewRNG(1)); len(recs) == 0 {
+		t.Error("no share-encryption activity during spread days")
+	}
+	if recs := rw.Inject(victim, 200+cert.Day(rw.SpreadDays)+1, mathx.NewRNG(1)); len(recs) != 0 {
+		t.Error("activity after the spread window")
+	}
+}
+
+func TestAttacksImplementInterface(t *testing.T) {
+	var _ enterprise.Attack = NewZeus("v", 0)
+	var _ enterprise.Attack = NewRansomware("v", 0)
+	z := NewZeus("v", 5)
+	if z.Name() != "zeus" || z.Victim() != "v" || z.Day0() != 5 {
+		t.Error("zeus metadata wrong")
+	}
+	r := NewRansomware("v", 6)
+	if r.Name() != "ransomware" || r.Day0() != 6 {
+		t.Error("ransomware metadata wrong")
+	}
+}

@@ -1,0 +1,182 @@
+// Package autoencoder builds the deep fully-connected autoencoders the
+// paper uses: a mirrored encoder/decoder stack of Dense+ReLU layers with
+// BatchNorm between layers, trained by Adadelta against MSE loss. The
+// anomaly score of a sample is its reconstruction error.
+package autoencoder
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"acobe/internal/mathx"
+	"acobe/internal/nn"
+)
+
+// Config describes an autoencoder architecture and training setup.
+type Config struct {
+	// InputDim is the flattened width of a compound behavioral deviation
+	// matrix.
+	InputDim int
+	// Hidden lists encoder layer widths, outermost first. The paper uses
+	// [512, 256, 128, 64]; the decoder mirrors it automatically.
+	Hidden []int
+	// BatchNorm inserts batch normalization between layers (paper: on).
+	BatchNorm bool
+	// Epochs, BatchSize drive training.
+	Epochs    int
+	BatchSize int
+	// Seed makes weight initialization and shuffling deterministic.
+	Seed uint64
+	// Optimizer defaults to Adadelta when nil.
+	Optimizer nn.Optimizer
+	// FinalSigmoid appends a sigmoid output layer, matching inputs
+	// transformed into [0,1] (the paper maps deviations from [-Δ,Δ] to
+	// [0,1] before feeding the model).
+	FinalSigmoid bool
+	// EarlyStopDelta/Patience forward to the nn trainer. Zero disables.
+	EarlyStopDelta float64
+	Patience       int
+	// Verbose receives per-epoch loss lines when non-nil.
+	Verbose func(epoch int, loss float64)
+}
+
+// PaperConfig returns the architecture used in the paper's evaluation:
+// encoder 512-256-128-64 with batch norm, Adadelta, sigmoid output.
+func PaperConfig(inputDim int) Config {
+	return Config{
+		InputDim:     inputDim,
+		Hidden:       []int{512, 256, 128, 64},
+		BatchNorm:    true,
+		Epochs:       30,
+		BatchSize:    64,
+		Seed:         1,
+		FinalSigmoid: true,
+	}
+}
+
+// FastConfig returns a reduced architecture that preserves the paper's
+// shape (4 mirrored layers, batch norm, Adadelta) at a fraction of the
+// cost; used by tests and benchmarks.
+func FastConfig(inputDim int) Config {
+	return Config{
+		InputDim:     inputDim,
+		Hidden:       []int{128, 64, 32, 16},
+		BatchNorm:    true,
+		Epochs:       15,
+		BatchSize:    64,
+		Seed:         1,
+		FinalSigmoid: true,
+	}
+}
+
+// Autoencoder is a trained (or trainable) reconstruction model.
+type Autoencoder struct {
+	cfg Config
+	net *nn.Network
+}
+
+// New builds an untrained autoencoder from cfg.
+func New(cfg Config) (*Autoencoder, error) {
+	if cfg.InputDim <= 0 {
+		return nil, fmt.Errorf("autoencoder: input dim must be positive, got %d", cfg.InputDim)
+	}
+	if len(cfg.Hidden) == 0 {
+		return nil, errors.New("autoencoder: at least one hidden layer required")
+	}
+	rng := mathx.NewRNG(cfg.Seed)
+	var layers []nn.Layer
+
+	dims := append([]int{cfg.InputDim}, cfg.Hidden...)
+	// Encoder.
+	for i := 0; i < len(cfg.Hidden); i++ {
+		layers = append(layers, nn.NewDense(dims[i], dims[i+1], rng))
+		if cfg.BatchNorm {
+			layers = append(layers, nn.NewBatchNorm(dims[i+1]))
+		}
+		layers = append(layers, nn.NewActivation(nn.ActReLU))
+	}
+	// Decoder mirrors the encoder.
+	for i := len(cfg.Hidden) - 1; i >= 1; i-- {
+		layers = append(layers, nn.NewDense(dims[i+1], dims[i], rng))
+		if cfg.BatchNorm {
+			layers = append(layers, nn.NewBatchNorm(dims[i]))
+		}
+		layers = append(layers, nn.NewActivation(nn.ActReLU))
+	}
+	// Output layer back to the input width.
+	layers = append(layers, nn.NewDense(dims[1], cfg.InputDim, rng))
+	if cfg.FinalSigmoid {
+		layers = append(layers, nn.NewActivation(nn.ActSigmoid))
+	}
+	return &Autoencoder{cfg: cfg, net: nn.NewNetwork(layers...)}, nil
+}
+
+// Fit trains the autoencoder to reconstruct the given samples (rows).
+// It returns the final epoch's mean MSE loss.
+func (a *Autoencoder) Fit(samples *nn.Matrix) (float64, error) {
+	if samples.Cols != a.cfg.InputDim {
+		return 0, fmt.Errorf("autoencoder: samples have %d features, model expects %d", samples.Cols, a.cfg.InputDim)
+	}
+	opt := a.cfg.Optimizer
+	if opt == nil {
+		opt = nn.NewAdadelta()
+	}
+	return a.net.Fit(samples, samples, nn.TrainConfig{
+		Epochs:         a.cfg.Epochs,
+		BatchSize:      a.cfg.BatchSize,
+		Optimizer:      opt,
+		Shuffle:        true,
+		RNG:            mathx.NewRNG(a.cfg.Seed + 0x5eed),
+		Verbose:        a.cfg.Verbose,
+		EarlyStopDelta: a.cfg.EarlyStopDelta,
+		Patience:       a.cfg.Patience,
+	})
+}
+
+// Scores returns the per-sample reconstruction errors (anomaly scores).
+func (a *Autoencoder) Scores(samples *nn.Matrix) ([]float64, error) {
+	if samples.Cols != a.cfg.InputDim {
+		return nil, fmt.Errorf("autoencoder: samples have %d features, model expects %d", samples.Cols, a.cfg.InputDim)
+	}
+	return a.net.ReconstructionErrors(samples), nil
+}
+
+// Score returns the reconstruction error of a single flattened sample.
+func (a *Autoencoder) Score(sample []float64) (float64, error) {
+	m := &nn.Matrix{Rows: 1, Cols: len(sample), Data: sample}
+	scores, err := a.Scores(m)
+	if err != nil {
+		return 0, err
+	}
+	return scores[0], nil
+}
+
+// Reconstruct returns the model's reconstruction of the given samples.
+func (a *Autoencoder) Reconstruct(samples *nn.Matrix) *nn.Matrix {
+	return a.net.Predict(samples)
+}
+
+// InputDim returns the model's expected flattened input width.
+func (a *Autoencoder) InputDim() int { return a.cfg.InputDim }
+
+// Describe returns a one-line architecture summary.
+func (a *Autoencoder) Describe() string { return a.net.Describe() }
+
+// Save writes the trained model to w.
+func (a *Autoencoder) Save(w io.Writer) error {
+	if err := a.net.Save(w); err != nil {
+		return fmt.Errorf("autoencoder: %w", err)
+	}
+	return nil
+}
+
+// Load reads a model previously written by Save. cfg must carry the same
+// InputDim as the saved model.
+func Load(r io.Reader, cfg Config) (*Autoencoder, error) {
+	net, err := nn.Load(r)
+	if err != nil {
+		return nil, fmt.Errorf("autoencoder: %w", err)
+	}
+	return &Autoencoder{cfg: cfg, net: net}, nil
+}

@@ -1,0 +1,198 @@
+package autoencoder
+
+import (
+	"bytes"
+	"testing"
+
+	"acobe/internal/mathx"
+	"acobe/internal/nn"
+)
+
+// manifoldSamples draws points from a 2-D manifold embedded in dim
+// dimensions, scaled into [0, 1] to match the sigmoid output.
+func manifoldSamples(rng *mathx.RNG, n, dim int) *nn.Matrix {
+	rows := make([][]float64, n)
+	for i := range rows {
+		a, b := rng.Float64(), rng.Float64()
+		row := make([]float64, dim)
+		for j := range row {
+			switch j % 3 {
+			case 0:
+				row[j] = a
+			case 1:
+				row[j] = b
+			default:
+				row[j] = (a + b) / 2
+			}
+		}
+		rows[i] = row
+	}
+	return nn.FromRows(rows)
+}
+
+func testConfig(dim int) Config {
+	cfg := FastConfig(dim)
+	cfg.Hidden = []int{16, 8}
+	cfg.Epochs = 30
+	return cfg
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{InputDim: 0, Hidden: []int{4}}); err == nil {
+		t.Error("no error for zero input dim")
+	}
+	if _, err := New(Config{InputDim: 4}); err == nil {
+		t.Error("no error for missing hidden layers")
+	}
+}
+
+func TestArchitectureMirrors(t *testing.T) {
+	ae, err := New(Config{InputDim: 10, Hidden: []int{8, 4}, BatchNorm: true, FinalSigmoid: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "Dense(10→8) → BatchNorm(8) → relu → Dense(8→4) → BatchNorm(4) → relu → " +
+		"Dense(4→8) → BatchNorm(8) → relu → Dense(8→10) → sigmoid"
+	if got := ae.Describe(); got != want {
+		t.Errorf("architecture %q\nwant %q", got, want)
+	}
+	if ae.InputDim() != 10 {
+		t.Errorf("InputDim = %d", ae.InputDim())
+	}
+}
+
+func TestAnomalyScoresSeparate(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	const dim = 12
+	train := manifoldSamples(rng, 512, dim)
+
+	ae, err := New(testConfig(dim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ae.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+
+	normal := manifoldSamples(mathx.NewRNG(2), 64, dim)
+	normalScores, err := ae.Scores(normal)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Anomalies: break the manifold constraint (random independent dims).
+	anomRows := make([][]float64, 64)
+	arng := mathx.NewRNG(3)
+	for i := range anomRows {
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = arng.Float64()
+		}
+		anomRows[i] = row
+	}
+	anomScores, err := ae.Scores(nn.FromRows(anomRows))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	normalP95 := mathx.Percentile(normalScores, 95)
+	anomMedian := mathx.Percentile(anomScores, 50)
+	if anomMedian <= normalP95 {
+		t.Errorf("anomaly median %.5f not above normal p95 %.5f", anomMedian, normalP95)
+	}
+}
+
+func TestScoresDimensionMismatch(t *testing.T) {
+	ae, err := New(testConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ae.Scores(nn.NewMatrix(2, 5)); err == nil {
+		t.Error("no error for wrong sample width")
+	}
+	if _, err := ae.Fit(nn.NewMatrix(2, 5)); err == nil {
+		t.Error("no error for wrong training width")
+	}
+}
+
+func TestScoreSingle(t *testing.T) {
+	rng := mathx.NewRNG(4)
+	ae, err := New(testConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := manifoldSamples(rng, 128, 6)
+	if _, err := ae.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ae.Score(train.Row(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 0 {
+		t.Errorf("negative score %g", s)
+	}
+}
+
+func TestSaveLoadPreservesScores(t *testing.T) {
+	rng := mathx.NewRNG(5)
+	cfg := testConfig(8)
+	ae, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := manifoldSamples(rng, 128, 8)
+	if _, err := ae.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := ae.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := manifoldSamples(mathx.NewRNG(6), 16, 8)
+	a, err := ae.Scores(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Scores(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("score %d differs after reload: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	build := func() float64 {
+		ae, err := New(testConfig(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		loss, err := ae.Fit(manifoldSamples(mathx.NewRNG(7), 128, 6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return loss
+	}
+	if a, b := build(), build(); a != b {
+		t.Errorf("training not deterministic: %g vs %g", a, b)
+	}
+}
+
+func TestPaperConfigShape(t *testing.T) {
+	cfg := PaperConfig(392)
+	if len(cfg.Hidden) != 4 || cfg.Hidden[0] != 512 || cfg.Hidden[3] != 64 {
+		t.Errorf("paper hidden sizes %v", cfg.Hidden)
+	}
+	if !cfg.BatchNorm || !cfg.FinalSigmoid {
+		t.Error("paper config must enable batch norm and sigmoid output")
+	}
+}

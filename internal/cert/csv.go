@@ -1,0 +1,314 @@
+package cert
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// CSV file names written by WriteCSV, mirroring the CERT release layout.
+const (
+	FileLogon  = "logon.csv"
+	FileDevice = "device.csv"
+	FileFile   = "file.csv"
+	FileHTTP   = "http.csv"
+	FileEmail  = "email.csv"
+	FileLDAP   = "ldap.csv"
+	FileLabels = "labels.csv"
+)
+
+const csvTimeLayout = "01/02/2006 15:04:05"
+
+// WriteCSV streams the generator's full span to CERT-style CSV files in
+// dir, creating it if needed. It returns the number of events written.
+func WriteCSV(g *Generator, dir string) (int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, fmt.Errorf("cert: create output dir: %w", err)
+	}
+	writers := make(map[EventType]*csv.Writer)
+	files := make([]*os.File, 0, 5)
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	open := func(t EventType, name string, header []string) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("cert: create %s: %w", name, err)
+		}
+		files = append(files, f)
+		w := csv.NewWriter(f)
+		if err := w.Write(header); err != nil {
+			return fmt.Errorf("cert: write %s header: %w", name, err)
+		}
+		writers[t] = w
+		return nil
+	}
+	if err := open(EventLogon, FileLogon, []string{"id", "date", "user", "pc", "activity"}); err != nil {
+		return 0, err
+	}
+	if err := open(EventDevice, FileDevice, []string{"id", "date", "user", "pc", "activity"}); err != nil {
+		return 0, err
+	}
+	if err := open(EventFile, FileFile, []string{"id", "date", "user", "pc", "filename", "activity", "direction"}); err != nil {
+		return 0, err
+	}
+	if err := open(EventHTTP, FileHTTP, []string{"id", "date", "user", "pc", "domain", "activity", "filetype"}); err != nil {
+		return 0, err
+	}
+	if err := open(EventEmail, FileEmail, []string{"id", "date", "user", "pc", "to", "activity"}); err != nil {
+		return 0, err
+	}
+
+	var n int
+	err := g.Stream(func(_ Day, events []Event) error {
+		for _, e := range events {
+			n++
+			id := fmt.Sprintf("{E%09d}", n)
+			date := e.Time.Format(csvTimeLayout)
+			var rec []string
+			switch e.Type {
+			case EventLogon, EventDevice:
+				rec = []string{id, date, e.User, e.PC, e.Activity}
+			case EventFile:
+				rec = []string{id, date, e.User, e.PC, e.FileID, e.Activity, e.Direction}
+			case EventHTTP:
+				rec = []string{id, date, e.User, e.PC, e.Domain, e.Activity, e.FileType}
+			case EventEmail:
+				rec = []string{id, date, e.User, e.PC, e.Recipient, e.Activity}
+			default:
+				return fmt.Errorf("unknown event type %v", e.Type)
+			}
+			if err := writers[e.Type].Write(rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return n, err
+	}
+	for _, w := range writers {
+		w.Flush()
+		if err := w.Error(); err != nil {
+			return n, fmt.Errorf("cert: flush csv: %w", err)
+		}
+	}
+
+	if err := writeLDAP(g.Users(), filepath.Join(dir, FileLDAP)); err != nil {
+		return n, err
+	}
+	if err := writeLabels(g.Labels(), filepath.Join(dir, FileLabels)); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+func writeLDAP(users []User, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("cert: create ldap csv: %w", err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"user_id", "name", "email", "role", "department", "pc"}); err != nil {
+		return fmt.Errorf("cert: write ldap header: %w", err)
+	}
+	for _, u := range users {
+		if err := w.Write([]string{u.ID, u.Name, u.Email, u.Role, u.Department, u.PC}); err != nil {
+			return fmt.Errorf("cert: write ldap row: %w", err)
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func writeLabels(labels []Label, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("cert: create labels csv: %w", err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"user", "day", "scenario"}); err != nil {
+		return fmt.Errorf("cert: write labels header: %w", err)
+	}
+	for _, l := range labels {
+		if err := w.Write([]string{l.User, l.Day.String(), l.Scenario}); err != nil {
+			return fmt.Errorf("cert: write labels row: %w", err)
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// StoredDataset holds a dataset read back from CSV, with events bucketed
+// by day for sequential replay.
+type StoredDataset struct {
+	Users  []User
+	Labels []Label
+	byDay  map[Day][]Event
+	days   []Day
+}
+
+// Days returns the sorted list of days with at least one event.
+func (s *StoredDataset) Days() []Day { return s.days }
+
+// EventsOn returns the events of day d.
+func (s *StoredDataset) EventsOn(d Day) []Event { return s.byDay[d] }
+
+// Replay hands each day's events to fn in chronological day order.
+func (s *StoredDataset) Replay(fn func(Day, []Event) error) error {
+	for _, d := range s.days {
+		if err := fn(d, s.byDay[d]); err != nil {
+			return fmt.Errorf("cert: replay day %v: %w", d, err)
+		}
+	}
+	return nil
+}
+
+// ReadCSV loads a dataset previously written by WriteCSV.
+func ReadCSV(dir string) (*StoredDataset, error) {
+	ds := &StoredDataset{byDay: make(map[Day][]Event)}
+
+	users, err := readLDAP(filepath.Join(dir, FileLDAP))
+	if err != nil {
+		return nil, err
+	}
+	ds.Users = users
+
+	labels, err := readLabels(filepath.Join(dir, FileLabels))
+	if err != nil {
+		return nil, err
+	}
+	ds.Labels = labels
+
+	type spec struct {
+		name  string
+		typ   EventType
+		parse func([]string) (Event, error)
+	}
+	specs := []spec{
+		{FileLogon, EventLogon, func(rec []string) (Event, error) {
+			return Event{Type: EventLogon, User: rec[2], PC: rec[3], Activity: rec[4]}, nil
+		}},
+		{FileDevice, EventDevice, func(rec []string) (Event, error) {
+			return Event{Type: EventDevice, User: rec[2], PC: rec[3], Activity: rec[4]}, nil
+		}},
+		{FileFile, EventFile, func(rec []string) (Event, error) {
+			return Event{Type: EventFile, User: rec[2], PC: rec[3], FileID: rec[4], Activity: rec[5], Direction: rec[6]}, nil
+		}},
+		{FileHTTP, EventHTTP, func(rec []string) (Event, error) {
+			return Event{Type: EventHTTP, User: rec[2], PC: rec[3], Domain: rec[4], Activity: rec[5], FileType: rec[6]}, nil
+		}},
+		{FileEmail, EventEmail, func(rec []string) (Event, error) {
+			return Event{Type: EventEmail, User: rec[2], PC: rec[3], Recipient: rec[4], Activity: rec[5]}, nil
+		}},
+	}
+	for _, sp := range specs {
+		if err := readEvents(filepath.Join(dir, sp.name), sp.parse, ds); err != nil {
+			return nil, err
+		}
+	}
+
+	ds.days = make([]Day, 0, len(ds.byDay))
+	for d := range ds.byDay {
+		ds.days = append(ds.days, d)
+	}
+	sort.Slice(ds.days, func(i, j int) bool { return ds.days[i] < ds.days[j] })
+	return ds, nil
+}
+
+func readEvents(path string, parse func([]string) (Event, error), ds *StoredDataset) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("cert: open %s: %w", path, err)
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.FieldsPerRecord = -1
+	first := true
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("cert: read %s: %w", path, err)
+		}
+		if first {
+			first = false
+			continue // header
+		}
+		if len(rec) < 5 {
+			return fmt.Errorf("cert: short record in %s: %q", path, rec)
+		}
+		e, err := parse(rec)
+		if err != nil {
+			return fmt.Errorf("cert: parse %s: %w", path, err)
+		}
+		t, err := time.Parse(csvTimeLayout, rec[1])
+		if err != nil {
+			return fmt.Errorf("cert: parse time in %s: %w", path, err)
+		}
+		e.Time = t
+		d := e.Day()
+		ds.byDay[d] = append(ds.byDay[d], e)
+	}
+}
+
+func readLDAP(path string) ([]User, error) {
+	rows, err := readAll(path)
+	if err != nil {
+		return nil, err
+	}
+	users := make([]User, 0, len(rows))
+	for _, rec := range rows {
+		if len(rec) != 6 {
+			return nil, fmt.Errorf("cert: bad ldap record %q", rec)
+		}
+		users = append(users, User{ID: rec[0], Name: rec[1], Email: rec[2], Role: rec[3], Department: rec[4], PC: rec[5]})
+	}
+	return users, nil
+}
+
+func readLabels(path string) ([]Label, error) {
+	rows, err := readAll(path)
+	if err != nil {
+		return nil, err
+	}
+	labels := make([]Label, 0, len(rows))
+	for _, rec := range rows {
+		if len(rec) != 3 {
+			return nil, fmt.Errorf("cert: bad label record %q", rec)
+		}
+		d, err := ParseDay(rec[1])
+		if err != nil {
+			return nil, err
+		}
+		labels = append(labels, Label{User: rec[0], Day: d, Scenario: rec[2]})
+	}
+	return labels, nil
+}
+
+// readAll reads a headered CSV fully, returning the data rows.
+func readAll(path string) ([][]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("cert: open %s: %w", path, err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("cert: read %s: %w", path, err)
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	return rows[1:], nil
+}

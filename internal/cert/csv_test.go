@@ -1,0 +1,123 @@
+package cert
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cfg := tinyConfig()
+	cfg.End = 40 // keep the file small
+	cfg.Scenarios = nil
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := WriteCSV(g, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no events written")
+	}
+	for _, name := range []string{FileLogon, FileDevice, FileFile, FileHTTP, FileEmail, FileLDAP, FileLabels} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing %s: %v", name, err)
+		}
+	}
+
+	ds, err := ReadCSV(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Users) != len(g.Users()) {
+		t.Errorf("read %d users, wrote %d", len(ds.Users), len(g.Users()))
+	}
+
+	var total int
+	for _, d := range ds.Days() {
+		total += len(ds.EventsOn(d))
+	}
+	if total != n {
+		t.Errorf("read %d events, wrote %d", total, n)
+	}
+
+	// Regenerate and compare per-day counts with the replayed dataset.
+	g2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[Day]int)
+	g2.Stream(func(d Day, events []Event) error {
+		want[d] = len(events)
+		return nil
+	})
+	for _, d := range ds.Days() {
+		if len(ds.EventsOn(d)) != want[d] {
+			t.Errorf("day %v: replayed %d events, generated %d", d, len(ds.EventsOn(d)), want[d])
+		}
+	}
+}
+
+func TestCSVRoundTripLabels(t *testing.T) {
+	dir := t.TempDir()
+	cfg := tinyConfig()
+	cfg.End = 90
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteCSV(g, dir); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := ReadCSV(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.Labels()
+	if len(ds.Labels) != len(want) {
+		t.Fatalf("read %d labels, wrote %d", len(ds.Labels), len(want))
+	}
+	for i := range want {
+		if ds.Labels[i] != want[i] {
+			t.Errorf("label %d: %+v vs %+v", i, ds.Labels[i], want[i])
+		}
+	}
+}
+
+func TestReadCSVMissingDir(t *testing.T) {
+	if _, err := ReadCSV(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("no error for missing directory")
+	}
+}
+
+func TestReplayOrder(t *testing.T) {
+	dir := t.TempDir()
+	cfg := tinyConfig()
+	cfg.End = 20
+	cfg.Scenarios = nil
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteCSV(g, dir); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := ReadCSV(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := Day(-1)
+	err = ds.Replay(func(d Day, _ []Event) error {
+		if d <= last {
+			t.Fatalf("replay out of order: %v after %v", d, last)
+		}
+		last = d
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+// Package cert synthesizes a CERT-Insider-Threat-style organizational log
+// dataset. The real CERT r6.1/r6.2 release is a multi-gigabyte synthetic
+// corpus that cannot be redistributed here, so this package reproduces the
+// statistical structure the detector consumes: per-user habitual activity
+// across logon, removable-device, file, HTTP and email channels, with
+// weekday/weekend and working-hour/off-hour modulation, organization-wide
+// environmental changes, and the paper's two insider-threat scenarios
+// injected into labeled users.
+package cert
+
+import (
+	"fmt"
+	"time"
+)
+
+// Day is a calendar day counted from the dataset epoch (2010-01-02, the
+// first collection day of CERT r6.1/r6.2).
+type Day int
+
+// Epoch is the first collection day of the dataset.
+var Epoch = time.Date(2010, 1, 2, 0, 0, 0, 0, time.UTC)
+
+// DatasetEnd is the last collection day (2011-05-31), matching the CERT
+// release span.
+var DatasetEnd = time.Date(2011, 5, 31, 0, 0, 0, 0, time.UTC)
+
+// DayOf converts a time to its Day index.
+func DayOf(t time.Time) Day {
+	return Day(int(t.Sub(Epoch).Hours() / 24))
+}
+
+// Date converts a Day index back to a UTC midnight time.
+func (d Day) Date() time.Time {
+	return Epoch.AddDate(0, 0, int(d))
+}
+
+// String formats the day as YYYY-MM-DD.
+func (d Day) String() string { return d.Date().Format("2006-01-02") }
+
+// Weekday returns the day of week.
+func (d Day) Weekday() time.Weekday { return d.Date().Weekday() }
+
+// IsWeekend reports whether the day falls on Saturday or Sunday.
+func (d Day) IsWeekend() bool {
+	wd := d.Weekday()
+	return wd == time.Saturday || wd == time.Sunday
+}
+
+// ParseDay parses a YYYY-MM-DD string into a Day.
+func ParseDay(s string) (Day, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return 0, fmt.Errorf("cert: parse day %q: %w", s, err)
+	}
+	return DayOf(t), nil
+}
+
+// MustDay parses a YYYY-MM-DD string, panicking on error. For use with
+// compile-time-known literals in configuration and tests.
+func MustDay(s string) Day {
+	d, err := ParseDay(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Timeframe splits each day into the paper's two frames: working hours
+// (06:00-18:00) and off hours (18:00-06:00).
+type Timeframe int
+
+// The two time-frames used by ACOBE.
+const (
+	Work Timeframe = iota
+	Off
+)
+
+// NumTimeframes is the number of time-frames per day.
+const NumTimeframes = 2
+
+// String implements fmt.Stringer.
+func (tf Timeframe) String() string {
+	if tf == Work {
+		return "work"
+	}
+	return "off"
+}
+
+// TimeframeOfHour maps an hour of day to its frame.
+func TimeframeOfHour(hour int) Timeframe {
+	if hour >= 6 && hour < 18 {
+		return Work
+	}
+	return Off
+}
+
+// HolidayCalendar lists US-style office holidays inside the dataset span.
+// Days after long weekends exhibit the paper's "busy Monday / make-up day"
+// bursts.
+var HolidayCalendar = map[Day]bool{
+	MustDay("2010-01-18"): true, // MLK day
+	MustDay("2010-02-15"): true, // Presidents day
+	MustDay("2010-05-31"): true, // Memorial day
+	MustDay("2010-07-05"): true, // Independence day (observed)
+	MustDay("2010-09-06"): true, // Labor day
+	MustDay("2010-11-25"): true, // Thanksgiving
+	MustDay("2010-11-26"): true,
+	MustDay("2010-12-24"): true, // Christmas (observed)
+	MustDay("2010-12-31"): true, // New Year (observed)
+	MustDay("2011-01-17"): true, // MLK day
+	MustDay("2011-02-21"): true, // Presidents day
+	MustDay("2011-05-30"): true, // Memorial day
+}
+
+// IsHoliday reports whether d is an office holiday.
+func IsHoliday(d Day) bool { return HolidayCalendar[d] }
+
+// IsBusyday reports whether d is a working day immediately following a
+// holiday or a weekend-extended holiday, when activity bursts occur.
+func IsBusyday(d Day) bool {
+	if d.IsWeekend() || IsHoliday(d) {
+		return false
+	}
+	// Look back over any contiguous run of weekend/holiday days.
+	prev := d - 1
+	run := 0
+	for prev >= 0 && (prev.IsWeekend() || IsHoliday(prev)) {
+		if IsHoliday(prev) {
+			run++
+		}
+		prev--
+	}
+	return run > 0
+}

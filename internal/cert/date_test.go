@@ -1,0 +1,111 @@
+package cert
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDayRoundTrip(t *testing.T) {
+	if err := quick.Check(func(n uint16) bool {
+		d := Day(n % 520)
+		parsed, err := ParseDay(d.String())
+		return err == nil && parsed == d
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEpochIsDayZero(t *testing.T) {
+	if DayOf(Epoch) != 0 {
+		t.Errorf("epoch maps to day %d", DayOf(Epoch))
+	}
+	if Day(0).String() != "2010-01-02" {
+		t.Errorf("day 0 = %s", Day(0))
+	}
+}
+
+func TestDatasetEndInSpan(t *testing.T) {
+	d := DayOf(DatasetEnd)
+	if d.String() != "2011-05-31" {
+		t.Errorf("dataset end = %s", d)
+	}
+}
+
+func TestParseDayErrors(t *testing.T) {
+	for _, s := range []string{"", "garbage", "2010-13-40", "01/02/2010"} {
+		if _, err := ParseDay(s); err == nil {
+			t.Errorf("ParseDay(%q) succeeded", s)
+		}
+	}
+}
+
+func TestMustDayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustDay did not panic on bad input")
+		}
+	}()
+	MustDay("nope")
+}
+
+func TestWeekendDetection(t *testing.T) {
+	// 2010-01-02 is a Saturday.
+	if !Day(0).IsWeekend() {
+		t.Error("2010-01-02 should be a weekend")
+	}
+	if Day(0).Weekday() != time.Saturday {
+		t.Errorf("weekday = %v", Day(0).Weekday())
+	}
+	if MustDay("2010-01-04").IsWeekend() {
+		t.Error("2010-01-04 (Monday) flagged as weekend")
+	}
+}
+
+func TestTimeframeOfHour(t *testing.T) {
+	tests := []struct {
+		hour int
+		want Timeframe
+	}{
+		{0, Off}, {5, Off}, {6, Work}, {12, Work}, {17, Work}, {18, Off}, {23, Off},
+	}
+	for _, tt := range tests {
+		if got := TimeframeOfHour(tt.hour); got != tt.want {
+			t.Errorf("hour %d → %v, want %v", tt.hour, got, tt.want)
+		}
+	}
+}
+
+func TestTimeframeString(t *testing.T) {
+	if Work.String() != "work" || Off.String() != "off" {
+		t.Error("timeframe names wrong")
+	}
+}
+
+func TestBusyday(t *testing.T) {
+	// 2010-01-18 is MLK day (Monday holiday) → Tuesday the 19th is busy.
+	if IsBusyday(MustDay("2010-01-18")) {
+		t.Error("holiday itself flagged busy")
+	}
+	if !IsBusyday(MustDay("2010-01-19")) {
+		t.Error("day after MLK Monday not busy")
+	}
+	// A Monday after a plain weekend is not a busy day under this model.
+	if IsBusyday(MustDay("2010-01-11")) {
+		t.Error("ordinary Monday flagged busy")
+	}
+	// Day after Thanksgiving Thu+Fri holidays: Monday 2010-11-29.
+	if !IsBusyday(MustDay("2010-11-29")) {
+		t.Error("Monday after Thanksgiving break not busy")
+	}
+}
+
+func TestEventDayAndTimeframe(t *testing.T) {
+	e := Event{Time: Epoch.Add(30*24*time.Hour + 7*time.Hour)}
+	if e.Day() != 30 {
+		t.Errorf("event day %d", e.Day())
+	}
+	if e.Timeframe() != Work {
+		t.Errorf("event timeframe %v", e.Timeframe())
+	}
+}

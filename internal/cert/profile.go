@@ -1,0 +1,180 @@
+package cert
+
+import (
+	"fmt"
+
+	"acobe/internal/mathx"
+)
+
+// profile holds one user's habitual behavioral parameters. All activity
+// counts are Poisson-distributed around these rates, modulated by
+// weekday/weekend, busy-day, and time-frame factors, so every user has a
+// stable, learnable pattern with natural noise.
+type profile struct {
+	user User
+
+	// Working-hour base rates (events per working day).
+	logonRate        float64
+	fileOpenRate     float64
+	fileWriteRate    float64
+	fileCopyRate     float64
+	httpVisitRate    float64
+	httpDownloadRate float64
+	httpUploadRate   float64
+	emailRate        float64
+
+	// deviceRate is the working-hour thumb-drive connect rate; most users
+	// never use removable media (rate 0), matching the paper's scenarios
+	// where "did not previously use removable drives" is meaningful.
+	deviceRate float64
+
+	// offFactor scales rates during off hours (habitual late workers have
+	// higher values).
+	offFactor float64
+	// weekendFactor scales rates on weekends.
+	weekendFactor float64
+	// workStart/workEnd bound the hours when working-hour activity peaks.
+	workStart, workEnd int
+
+	// uploadTypeWeights biases which file types the user uploads.
+	uploadTypeWeights []float64
+
+	// Personal entity pools. Drawing mostly from pools keeps "new-op"
+	// features low for normal behaviour; occasional pool growth produces
+	// the natural trickle of first-seen operations.
+	filePool   []string
+	domainPool []string
+	recipients []string
+
+	// newEntityProb is the chance that any one draw mints a brand-new
+	// file/domain instead of reusing the pool.
+	newEntityProb float64
+
+	// vacationDays marks days with no activity at all.
+	vacationDays map[Day]bool
+}
+
+// globalDomains are org-wide destinations shared by every user, so that
+// group-level traffic has common structure.
+var globalDomains = []string{
+	"mail.dtaa.com", "portal.dtaa.com", "wiki.dtaa.com", "hr.dtaa.com",
+	"search.example.com", "news.example.com", "weather.example.com",
+	"docs.example.com", "cloud.example.com", "code.example.com",
+}
+
+// newProfile derives a deterministic habitual profile for the user.
+func newProfile(u User, rng *mathx.RNG) *profile {
+	p := &profile{
+		user:             u,
+		logonRate:        1.5 + rng.Float64(),
+		fileOpenRate:     8 + 10*rng.Float64(),
+		fileWriteRate:    3 + 5*rng.Float64(),
+		fileCopyRate:     0.1 + 0.3*rng.Float64(),
+		httpVisitRate:    15 + 25*rng.Float64(),
+		httpDownloadRate: 0.5 + 2*rng.Float64(),
+		httpUploadRate:   0.05 + 0.35*rng.Float64(),
+		emailRate:        4 + 8*rng.Float64(),
+		offFactor:        0.05 + 0.15*rng.Float64(),
+		weekendFactor:    0.02 + 0.08*rng.Float64(),
+		workStart:        7 + rng.Intn(3),
+		newEntityProb:    0.01 + 0.02*rng.Float64(),
+		vacationDays:     make(map[Day]bool),
+	}
+	p.workEnd = p.workStart + 8 + rng.Intn(3)
+	if p.workEnd > 18 {
+		p.workEnd = 18
+	}
+
+	// Roughly one user in five habitually uses removable media.
+	if rng.Bool(0.2) {
+		p.deviceRate = 0.2 + 0.8*rng.Float64()
+	}
+
+	// Upload type preference: weight a couple of types heavily.
+	p.uploadTypeWeights = make([]float64, len(FileTypes))
+	for i := range p.uploadTypeWeights {
+		p.uploadTypeWeights[i] = 0.2 + rng.Float64()
+	}
+	p.uploadTypeWeights[rng.Intn(len(FileTypes))] += 2
+
+	// Personal pools.
+	nfiles := 80 + rng.Intn(120)
+	p.filePool = make([]string, 0, nfiles)
+	for i := 0; i < nfiles; i++ {
+		p.filePool = append(p.filePool, fmt.Sprintf("%s-F%04d", u.ID, i))
+	}
+	ndomains := 15 + rng.Intn(30)
+	p.domainPool = make([]string, 0, ndomains+len(globalDomains))
+	p.domainPool = append(p.domainPool, globalDomains...)
+	for i := 0; i < ndomains; i++ {
+		p.domainPool = append(p.domainPool, fmt.Sprintf("site%03d-%s.example.org", rng.Intn(500), string(u.ID[0]+32)))
+	}
+	nrecip := 5 + rng.Intn(15)
+	p.recipients = make([]string, 0, nrecip)
+	for i := 0; i < nrecip; i++ {
+		p.recipients = append(p.recipients, fmt.Sprintf("peer%03d@dtaa.com", rng.Intn(900)))
+	}
+
+	// A couple of one-week vacations per year.
+	for v := 0; v < 2; v++ {
+		start := Day(rng.Intn(480))
+		for i := Day(0); i < 7; i++ {
+			p.vacationDays[start+i] = true
+		}
+	}
+	return p
+}
+
+// dayFactor returns the activity multiplier for day d: zero on vacation,
+// reduced on weekends/holidays, boosted on post-holiday busy days.
+func (p *profile) dayFactor(d Day) float64 {
+	if p.vacationDays[d] {
+		return 0
+	}
+	if d.IsWeekend() || IsHoliday(d) {
+		return p.weekendFactor
+	}
+	if IsBusyday(d) {
+		return 1.6
+	}
+	return 1
+}
+
+// pickFile returns a file ID, occasionally minting a new one into the pool.
+func (p *profile) pickFile(rng *mathx.RNG) string {
+	if rng.Bool(p.newEntityProb) {
+		id := fmt.Sprintf("%s-F%04d", p.user.ID, len(p.filePool))
+		p.filePool = append(p.filePool, id)
+		return id
+	}
+	return mathx.Pick(rng, p.filePool)
+}
+
+// pickDomain returns a domain, occasionally minting a new one.
+func (p *profile) pickDomain(rng *mathx.RNG) string {
+	if rng.Bool(p.newEntityProb) {
+		d := fmt.Sprintf("site%03d-%s.example.org", rng.Intn(100000), string(p.user.ID[0]+32))
+		p.domainPool = append(p.domainPool, d)
+		return d
+	}
+	return mathx.Pick(rng, p.domainPool)
+}
+
+// pickUploadType draws a file type according to the user's preferences.
+func (p *profile) pickUploadType(rng *mathx.RNG) string {
+	return FileTypes[rng.WeightedIndex(p.uploadTypeWeights)]
+}
+
+// workHour draws an hour inside the user's working window.
+func (p *profile) workHour(rng *mathx.RNG) int {
+	return p.workStart + rng.Intn(p.workEnd-p.workStart)
+}
+
+// offHour draws an hour outside 06-18.
+func (p *profile) offHour(rng *mathx.RNG) int {
+	h := 18 + rng.Intn(12) // 18..29
+	if h >= 24 {
+		h -= 24 // 0..5
+	}
+	return h
+}

@@ -1,0 +1,115 @@
+package cert
+
+import (
+	"strings"
+	"testing"
+)
+
+// s2Config injects a scenario-2 instance into the tiny organization.
+func s2Config() Config {
+	cfg := tinyConfig()
+	cfg.Scenarios = []Scenario{
+		NewScenario2("s2", makeUser(1, "Engineering", 2).ID, 50, 110),
+	}
+	return cfg
+}
+
+func TestScenario2JobHuntingPhase(t *testing.T) {
+	g, err := New(s2Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	insider := g.Scenarios()[0].UserID()
+	jobUploads, jobVisits := 0, 0
+	earlyDevice, lateDevice := 0, 0
+	err = g.Stream(func(d Day, events []Event) error {
+		for _, e := range events {
+			if e.User != insider {
+				continue
+			}
+			inWindow := d >= 50 && d <= 110
+			if e.Type == EventHTTP && inWindow {
+				if strings.Contains(e.Domain, "competitor") || strings.Contains(e.Domain, "recruit") ||
+					strings.Contains(e.Domain, "jobs") || strings.Contains(e.Domain, "hire") ||
+					strings.Contains(e.Domain, "apply") || strings.Contains(e.Domain, "talent") ||
+					strings.Contains(e.Domain, "openings") || strings.Contains(e.Domain, "linkedup") {
+					if e.Activity == ActUpload {
+						jobUploads++
+					} else if e.Activity == ActVisit {
+						jobVisits++
+					}
+				}
+			}
+			if e.Type == EventDevice && e.Activity == ActConnect {
+				switch {
+				case d >= 50 && d <= 110-theftPhaseDays:
+					earlyDevice++
+				case d > 110-theftPhaseDays && d <= 110:
+					lateDevice++
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobUploads == 0 {
+		t.Error("no resume uploads to job domains")
+	}
+	if jobVisits == 0 {
+		t.Error("no job-site visits")
+	}
+	// "Thumb drive at markedly higher rates": the final weeks must carry
+	// far more connects per day than the job-hunting phase.
+	earlyDays := float64(110 - theftPhaseDays - 50 + 1)
+	lateDays := float64(theftPhaseDays)
+	if float64(lateDevice)/lateDays < 4*(float64(earlyDevice)/earlyDays+0.01) {
+		t.Errorf("late device rate not markedly higher: early %d/%.0fd late %d/%.0fd",
+			earlyDevice, earlyDays, lateDevice, lateDays)
+	}
+}
+
+func TestScenario2StaysEmployed(t *testing.T) {
+	g, err := New(s2Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	insider := g.Scenarios()[0].UserID()
+	after := 0
+	g.Stream(func(d Day, events []Event) error {
+		if d <= 112 {
+			return nil
+		}
+		for _, e := range events {
+			if e.User == insider {
+				after++
+			}
+		}
+		return nil
+	})
+	if after == 0 {
+		t.Error("scenario-2 user vanished after the window (only scenario 1 leaves)")
+	}
+}
+
+func TestScenarioInterfaceMetadata(t *testing.T) {
+	s2 := NewScenario2("x", "U", 10, 20)
+	if s2.Name() != "x" || s2.UserID() != "U" {
+		t.Error("metadata wrong")
+	}
+	ws, we := s2.Window()
+	if ws != 10 || we != 20 {
+		t.Error("window wrong")
+	}
+	if s2.Suppress(25) {
+		t.Error("scenario 2 must never suppress")
+	}
+	s1 := NewScenario1("y", "U", 10, 20)
+	if !s1.Suppress(20 + 15) {
+		t.Error("scenario 1 user should leave after the window")
+	}
+	if s1.Suppress(20 + 14) {
+		t.Error("scenario 1 user leaves only after two weeks")
+	}
+}

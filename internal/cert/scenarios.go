@@ -1,0 +1,342 @@
+package cert
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"acobe/internal/mathx"
+)
+
+// Scenario is one injected insider-threat instance. Prepare may adjust the
+// victim's habitual profile before generation starts (e.g. scenario 1
+// requires a user who never used removable drives); Inject adds the
+// scenario's malicious events on each day; Suppress silences the user's
+// normal activity (scenario 1's user leaves the organization).
+type Scenario interface {
+	// Name identifies the instance, e.g. "r6.1-s2".
+	Name() string
+	// UserID is the victim/insider account.
+	UserID() string
+	// Window returns the first and last labeled anomalous day.
+	Window() (Day, Day)
+	// Labels returns ground-truth abnormal (user, day) pairs.
+	Labels() []Label
+	// Prepare adjusts the user's habitual profile.
+	Prepare(p *profile)
+	// Inject returns the scenario's malicious events for day d.
+	Inject(p *profile, d Day, rng *mathx.RNG) []Event
+	// Suppress reports whether the user's normal activity should be
+	// silenced on day d.
+	Suppress(d Day) bool
+}
+
+// DefaultScenarios installs the paper's four instances: scenario 1 and
+// scenario 2, once in each half of the (simulated) r6.1/r6.2 datasets, each
+// in its own department. usersPerDept bounds the victim indices so small
+// test organizations still host all four instances.
+func DefaultScenarios(departments []string, usersPerDept int) []Scenario {
+	if usersPerDept < 1 {
+		usersPerDept = 1
+	}
+	var out []Scenario
+	if len(departments) > 0 {
+		out = append(out, NewScenario1("r6.1-s1", makeUser(0, departments[0], 7%usersPerDept).ID,
+			MustDay("2010-08-16"), MustDay("2010-09-03")))
+	}
+	if len(departments) > 1 {
+		// The paper's running example: JPH1910, anomalies
+		// 2011-01-07 .. 2011-03-07.
+		out = append(out, NewScenario2("r6.1-s2", makeUser(1, departments[1], 0).ID,
+			MustDay("2011-01-07"), MustDay("2011-03-07")))
+	}
+	if len(departments) > 2 {
+		out = append(out, NewScenario1("r6.2-s1", makeUser(2, departments[2], 11%usersPerDept).ID,
+			MustDay("2010-10-11"), MustDay("2010-10-29")))
+	}
+	if len(departments) > 3 {
+		out = append(out, NewScenario2("r6.2-s2", makeUser(3, departments[3], 4%usersPerDept).ID,
+			MustDay("2010-07-06"), MustDay("2010-09-03")))
+	}
+	return out
+}
+
+// weekdayLabels returns one label per non-weekend day in [start, end].
+func weekdayLabels(user, scenario string, start, end Day) []Label {
+	var out []Label
+	for d := start; d <= end; d++ {
+		if d.IsWeekend() {
+			continue
+		}
+		out = append(out, Label{User: user, Day: d, Scenario: scenario})
+	}
+	return out
+}
+
+// Scenario1 models the CERT dataset's first threat: a user who never used
+// removable drives or worked off hours begins logging in after hours,
+// using a thumb drive, and uploading data to wikileaks.org, then leaves
+// the organization shortly thereafter.
+type Scenario1 struct {
+	name       string
+	user       string
+	start, end Day
+}
+
+// NewScenario1 builds a scenario-1 instance over [start, end].
+func NewScenario1(name, user string, start, end Day) *Scenario1 {
+	return &Scenario1{name: name, user: user, start: start, end: end}
+}
+
+// Name implements Scenario.
+func (s *Scenario1) Name() string { return s.name }
+
+// UserID implements Scenario.
+func (s *Scenario1) UserID() string { return s.user }
+
+// Window implements Scenario.
+func (s *Scenario1) Window() (Day, Day) { return s.start, s.end }
+
+// Labels implements Scenario.
+func (s *Scenario1) Labels() []Label { return weekdayLabels(s.user, s.name, s.start, s.end) }
+
+// Prepare implements Scenario: the user never used removable media and
+// rarely worked off hours before the scenario.
+func (s *Scenario1) Prepare(p *profile) {
+	p.deviceRate = 0
+	p.offFactor = 0.02
+}
+
+// Suppress implements Scenario: the user leaves the organization two weeks
+// after the scenario ends.
+func (s *Scenario1) Suppress(d Day) bool { return d > s.end+14 }
+
+// Inject implements Scenario. The malicious footprint is deliberately
+// low-signal per day but persistent: a handful of off-hour logons, thumb
+// drive connections, staged file copies, and uploads to wikileaks.org.
+func (s *Scenario1) Inject(p *profile, d Day, rng *mathx.RNG) []Event {
+	if d < s.start || d > s.end || d.IsWeekend() {
+		return nil
+	}
+	u := p.user
+	var events []Event
+	offEvent := func(build func(t time.Time) Event) {
+		events = append(events, build(eventTime(d, p.offHour(rng), rng)))
+	}
+	// Off-hours session.
+	for i := 0; i < 1+rng.Poisson(1); i++ {
+		offEvent(func(t time.Time) Event {
+			return Event{Type: EventLogon, Time: t, User: u.ID, PC: u.PC, Activity: ActLogon}
+		})
+	}
+	// Thumb-drive usage by a user with no device history.
+	for i := 0; i < 1+rng.Poisson(1.5); i++ {
+		offEvent(func(t time.Time) Event {
+			return Event{Type: EventDevice, Time: t, User: u.ID, PC: u.PC, Activity: ActConnect}
+		})
+		offEvent(func(t time.Time) Event {
+			return Event{Type: EventDevice, Time: t, User: u.ID, PC: u.PC, Activity: ActDisconnect}
+		})
+	}
+	// Staging: copy sensitive files to the removable drive.
+	for i := 0; i < rng.Poisson(4); i++ {
+		offEvent(func(t time.Time) Event {
+			return Event{Type: EventFile, Time: t, User: u.ID, PC: u.PC, Activity: ActFileCopy,
+				FileID: p.pickFile(rng), Direction: DirLocalToRemote}
+		})
+	}
+	// Exfiltration: uploads to wikileaks.org.
+	for i := 0; i < 1+rng.Poisson(2); i++ {
+		ft := "doc"
+		if rng.Bool(0.4) {
+			ft = "zip"
+		}
+		offEvent(func(t time.Time) Event {
+			return Event{Type: EventHTTP, Time: t, User: u.ID, PC: u.PC, Activity: ActUpload,
+				Domain: "wikileaks.org", FileType: ft}
+		})
+	}
+	return events
+}
+
+// Scenario2 models the CERT dataset's second threat: a user surfs job
+// websites and solicits employment from a competitor, then uses a thumb
+// drive at markedly higher rates than their previous activity to steal
+// data before leaving.
+type Scenario2 struct {
+	name       string
+	user       string
+	start, end Day
+}
+
+// NewScenario2 builds a scenario-2 instance over [start, end].
+func NewScenario2(name, user string, start, end Day) *Scenario2 {
+	return &Scenario2{name: name, user: user, start: start, end: end}
+}
+
+// jobDomains are the competitor / job-hunting sites the scenario-2 user
+// uploads a resume to. Several distinct domains produce the paper's
+// "upload-doc + http-new-op" deviation pattern (Figure 4).
+var jobDomains = []string{
+	"careers.competitor.com", "jobs.searchsite.com", "apply.bigcorp.com",
+	"linkedup.example.com", "hire.startups.io", "recruiting.rival.net",
+	"talent.agency.org", "openings.techfirm.com",
+}
+
+// Name implements Scenario.
+func (s *Scenario2) Name() string { return s.name }
+
+// UserID implements Scenario.
+func (s *Scenario2) UserID() string { return s.user }
+
+// Window implements Scenario.
+func (s *Scenario2) Window() (Day, Day) { return s.start, s.end }
+
+// Labels implements Scenario.
+func (s *Scenario2) Labels() []Label { return weekdayLabels(s.user, s.name, s.start, s.end) }
+
+// Prepare implements Scenario: the user has modest prior thumb-drive usage
+// so the late-phase rate increase is "markedly higher" but not unprecedented.
+func (s *Scenario2) Prepare(p *profile) {
+	if p.deviceRate == 0 || p.deviceRate > 0.3 {
+		p.deviceRate = 0.15
+	}
+}
+
+// Suppress implements Scenario: scenario 2's user stays through the window.
+func (s *Scenario2) Suppress(Day) bool { return false }
+
+// theftPhaseDays is how many final days of the window carry the
+// thumb-drive data-theft phase.
+const theftPhaseDays = 21
+
+// Inject implements Scenario.
+func (s *Scenario2) Inject(p *profile, d Day, rng *mathx.RNG) []Event {
+	if d < s.start || d > s.end || d.IsWeekend() {
+		return nil
+	}
+	u := p.user
+	var events []Event
+	workEvent := func(build func(t time.Time) Event) {
+		events = append(events, build(eventTime(d, p.workHour(rng), rng)))
+	}
+
+	// Phase A (whole window): job hunting. Visits plus resume uploads to
+	// several job domains the user never touched before.
+	for i := 0; i < 2+rng.Poisson(4); i++ {
+		workEvent(func(t time.Time) Event {
+			return Event{Type: EventHTTP, Time: t, User: u.ID, PC: u.PC, Activity: ActVisit,
+				Domain: mathx.Pick(rng, jobDomains)}
+		})
+	}
+	for i := 0; i < 1+rng.Poisson(1.5); i++ {
+		workEvent(func(t time.Time) Event {
+			return Event{Type: EventHTTP, Time: t, User: u.ID, PC: u.PC, Activity: ActUpload,
+				Domain: mathx.Pick(rng, jobDomains), FileType: "doc"}
+		})
+	}
+
+	// Phase B (final weeks): thumb-drive usage at markedly higher rates
+	// plus staged copies of data to the removable drive.
+	if d > s.end-theftPhaseDays {
+		for i := 0; i < 2+rng.Poisson(2); i++ {
+			workEvent(func(t time.Time) Event {
+				return Event{Type: EventDevice, Time: t, User: u.ID, PC: u.PC, Activity: ActConnect}
+			})
+			workEvent(func(t time.Time) Event {
+				return Event{Type: EventDevice, Time: t, User: u.ID, PC: u.PC, Activity: ActDisconnect}
+			})
+		}
+		for i := 0; i < rng.Poisson(6); i++ {
+			workEvent(func(t time.Time) Event {
+				return Event{Type: EventFile, Time: t, User: u.ID, PC: u.PC, Activity: ActFileCopy,
+					FileID: p.pickFile(rng), Direction: DirLocalToRemote}
+			})
+		}
+	}
+	return events
+}
+
+// SplitForScenario derives the paper's train/test day ranges around a
+// scenario window: training runs from the dataset start until ~5 weeks
+// before the first labeled day, and testing from there until ~3 weeks
+// after the last labeled day (clamped to the dataset span).
+func SplitForScenario(sc Scenario, datasetStart, datasetEnd Day) (trainStart, trainEnd, testStart, testEnd Day, err error) {
+	ws, we := sc.Window()
+	trainStart = datasetStart
+	trainEnd = ws - 38
+	testStart = trainEnd + 1
+	testEnd = we + 23
+	if testEnd > datasetEnd {
+		testEnd = datasetEnd
+	}
+	if trainEnd <= trainStart {
+		return 0, 0, 0, 0, fmt.Errorf("cert: scenario %s window %v starts too early for a training period", sc.Name(), ws)
+	}
+	return trainStart, trainEnd, testStart, testEnd, nil
+}
+
+// StaticScenario is a scenario reconstructed from stored ground-truth
+// labels: it carries the insider, name and window but injects nothing
+// (the events already exist in the stored dataset).
+type StaticScenario struct {
+	ScenarioName string
+	User         string
+	Start, End   Day
+}
+
+// Name implements Scenario.
+func (s *StaticScenario) Name() string { return s.ScenarioName }
+
+// UserID implements Scenario.
+func (s *StaticScenario) UserID() string { return s.User }
+
+// Window implements Scenario.
+func (s *StaticScenario) Window() (Day, Day) { return s.Start, s.End }
+
+// Labels implements Scenario.
+func (s *StaticScenario) Labels() []Label {
+	return weekdayLabels(s.User, s.ScenarioName, s.Start, s.End)
+}
+
+// Prepare implements Scenario as a no-op.
+func (s *StaticScenario) Prepare(*profile) {}
+
+// Inject implements Scenario: a static scenario injects nothing.
+func (s *StaticScenario) Inject(*profile, Day, *mathx.RNG) []Event { return nil }
+
+// Suppress implements Scenario: never.
+func (s *StaticScenario) Suppress(Day) bool { return false }
+
+// ScenariosFromLabels reconstructs static scenarios from stored labels by
+// grouping on scenario name and taking each group's insider and day span.
+func ScenariosFromLabels(labels []Label) []Scenario {
+	type agg struct {
+		user       string
+		start, end Day
+	}
+	byName := make(map[string]*agg)
+	var order []string
+	for _, l := range labels {
+		a, ok := byName[l.Scenario]
+		if !ok {
+			a = &agg{user: l.User, start: l.Day, end: l.Day}
+			byName[l.Scenario] = a
+			order = append(order, l.Scenario)
+			continue
+		}
+		if l.Day < a.start {
+			a.start = l.Day
+		}
+		if l.Day > a.end {
+			a.end = l.Day
+		}
+	}
+	sort.Strings(order)
+	out := make([]Scenario, 0, len(order))
+	for _, name := range order {
+		a := byName[name]
+		out = append(out, &StaticScenario{ScenarioName: name, User: a.user, Start: a.start, End: a.end})
+	}
+	return out
+}

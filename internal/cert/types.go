@@ -1,0 +1,122 @@
+package cert
+
+import (
+	"time"
+)
+
+// EventType enumerates the CERT log channels.
+type EventType int
+
+// The five event channels present in the CERT release (LDAP is static
+// directory data, not an event stream).
+const (
+	EventLogon EventType = iota + 1
+	EventDevice
+	EventFile
+	EventHTTP
+	EventEmail
+)
+
+// String implements fmt.Stringer.
+func (t EventType) String() string {
+	switch t {
+	case EventLogon:
+		return "logon"
+	case EventDevice:
+		return "device"
+	case EventFile:
+		return "file"
+	case EventHTTP:
+		return "http"
+	case EventEmail:
+		return "email"
+	default:
+		return "unknown"
+	}
+}
+
+// Activity names used across channels. They mirror the CERT schema values.
+const (
+	// Logon channel.
+	ActLogon  = "Logon"
+	ActLogoff = "Logoff"
+
+	// Device channel.
+	ActConnect    = "Connect"
+	ActDisconnect = "Disconnect"
+
+	// File channel. Direction is carried separately.
+	ActFileOpen  = "Open"
+	ActFileWrite = "Write"
+	ActFileCopy  = "Copy"
+
+	// HTTP channel.
+	ActVisit    = "Visit"
+	ActDownload = "Download"
+	ActUpload   = "Upload"
+
+	// Email channel.
+	ActSend = "Send"
+	ActView = "View"
+)
+
+// Dataflow directions for file events.
+const (
+	DirLocal         = "local"           // operate on a local file
+	DirRemote        = "remote"          // operate on a remote/removable file
+	DirLocalToRemote = "local-to-remote" // copy local → removable
+	DirRemoteToLocal = "remote-to-local" // copy removable → local
+)
+
+// Upload/download file types seen in the HTTP channel.
+var FileTypes = []string{"doc", "exe", "jpg", "pdf", "txt", "zip"}
+
+// Event is one log entry in any channel. Unused fields are left zero.
+type Event struct {
+	Type EventType
+	Time time.Time
+	User string
+	PC   string
+
+	// Activity is the channel-specific action (see Act* constants).
+	Activity string
+
+	// FileID identifies the file for file events.
+	FileID string
+	// Direction is the dataflow direction for file events (Dir*).
+	Direction string
+
+	// Domain is the target host for HTTP events.
+	Domain string
+	// FileType is the uploaded/downloaded extension for HTTP events.
+	FileType string
+
+	// Recipient is the destination for email events.
+	Recipient string
+}
+
+// Day returns the calendar day of the event.
+func (e Event) Day() Day { return DayOf(e.Time) }
+
+// Timeframe returns the work/off frame of the event.
+func (e Event) Timeframe() Timeframe { return TimeframeOfHour(e.Time.Hour()) }
+
+// User is one LDAP directory entry. Groups are the third-tier
+// organizational unit ("department"), which the paper uses to define
+// behavioral groups.
+type User struct {
+	ID         string // e.g. "JPH1910"
+	Name       string
+	Email      string
+	Role       string
+	Department string // third-tier OU = ACOBE group
+	PC         string // primary workstation
+}
+
+// Label marks one (user, day) pair as a known-abnormal ground-truth label
+// from an injected threat scenario.
+type Label struct {
+	User     string
+	Day      Day
+	Scenario string
+}

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"acobe/internal/autoencoder"
+	"acobe/internal/cert"
+	"acobe/internal/deviation"
+	"acobe/internal/features"
+	"acobe/internal/mathx"
+	"acobe/internal/nn"
+)
+
+// Config parameterizes a Detector.
+type Config struct {
+	// Deviation holds the compound-matrix parameters (ω, 𝒟, Δ, ε,
+	// weighting).
+	Deviation deviation.Config
+	// Aspects are the behavioral aspects; one autoencoder is trained per
+	// aspect (the paper's ensemble).
+	Aspects []features.Aspect
+	// IncludeGroup embeds group (department-average) deviations into each
+	// matrix; disabling it reproduces the "No-Group" ablation.
+	IncludeGroup bool
+	// AEConfig builds the autoencoder configuration for a given flattened
+	// input width. Defaults to autoencoder.FastConfig.
+	AEConfig func(inputDim int) autoencoder.Config
+	// TrainStride samples every k-th day when building training matrices
+	// (1 = every day). Larger strides cut training cost with little
+	// effect, since adjacent matrices overlap in 𝒟-1 of 𝒟 columns.
+	TrainStride int
+	// N is the critic's vote count (paper default: 3).
+	N int
+	// Aggregate reduces a user's daily scores over a testing window to one
+	// per-aspect anomaly score. Defaults to AggregateRelativeMax.
+	Aggregate func(*ScoreSeries) []float64
+	// Seed differentiates model initialization between aspects.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's CERT-evaluation configuration with
+// fast-sized autoencoders.
+func DefaultConfig() Config {
+	return Config{
+		Deviation:    deviation.DefaultConfig(),
+		Aspects:      features.ACOBEAspects(),
+		IncludeGroup: true,
+		AEConfig:     autoencoder.FastConfig,
+		TrainStride:  2,
+		N:            3,
+		Seed:         7,
+	}
+}
+
+// aspectModel couples one aspect's matrix builder with its autoencoder.
+type aspectModel struct {
+	aspect  features.Aspect
+	builder *deviation.Builder
+	aeCfg   autoencoder.Config
+	ae      *autoencoder.Autoencoder
+}
+
+// Detector is a trained ACOBE instance for one group of users.
+type Detector struct {
+	cfg    Config
+	users  []string
+	models []*aspectModel
+}
+
+// NewDetector wires up matrix builders over the individual deviation field
+// and (when cfg.IncludeGroup) the group field, whose "users" are groups
+// (e.g. per-department averages); userGroup[u] selects user u's group row.
+// The fields must be computed from tables sharing the same day span.
+func NewDetector(cfg Config, ind, group *deviation.Field, userGroup []int) (*Detector, error) {
+	if len(cfg.Aspects) == 0 {
+		return nil, fmt.Errorf("core: no aspects configured")
+	}
+	if cfg.AEConfig == nil {
+		cfg.AEConfig = autoencoder.FastConfig
+	}
+	if cfg.TrainStride < 1 {
+		cfg.TrainStride = 1
+	}
+	if cfg.N < 1 {
+		cfg.N = 1
+	}
+	if !cfg.IncludeGroup {
+		group = nil
+	} else if group == nil {
+		return nil, fmt.Errorf("core: IncludeGroup set but no group field given")
+	}
+	det := &Detector{cfg: cfg, users: ind.Table().Users()}
+	for i, aspect := range cfg.Aspects {
+		b, err := deviation.NewBuilder(ind, group, userGroup, aspect)
+		if err != nil {
+			return nil, fmt.Errorf("core: aspect %s: %w", aspect.Name, err)
+		}
+		aeCfg := cfg.AEConfig(b.Dim())
+		aeCfg.Seed = cfg.Seed + uint64(i)*0x9e37
+		ae, err := autoencoder.New(aeCfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: aspect %s: %w", aspect.Name, err)
+		}
+		det.models = append(det.models, &aspectModel{aspect: aspect, builder: b, aeCfg: aeCfg, ae: ae})
+	}
+	return det, nil
+}
+
+// Users returns the user IDs the detector scores, in index order.
+func (d *Detector) Users() []string { return d.users }
+
+// Aspects returns the configured aspect names in model order.
+func (d *Detector) Aspects() []string {
+	out := make([]string, len(d.models))
+	for i, m := range d.models {
+		out[i] = m.aspect.Name
+	}
+	return out
+}
+
+// FirstMatrixDay returns the earliest scoreable day.
+func (d *Detector) FirstMatrixDay() cert.Day { return d.models[0].builder.FirstMatrixDay() }
+
+// Fit trains every aspect's autoencoder on all users' compound matrices
+// over [from, to] (assumed to be the normal/training period). It returns
+// the per-aspect final losses keyed by aspect name.
+func (d *Detector) Fit(from, to cert.Day) (map[string]float64, error) {
+	losses := make(map[string]float64, len(d.models))
+	for _, m := range d.models {
+		var rows [][]float64
+		for u := range d.users {
+			ms, err := m.builder.BuildRange(u, from, to, d.cfg.TrainStride)
+			if err != nil {
+				return nil, fmt.Errorf("core: build training matrices (%s): %w", m.aspect.Name, err)
+			}
+			for _, mat := range ms {
+				rows = append(rows, mat.Data)
+			}
+		}
+		if len(rows) == 0 {
+			return nil, fmt.Errorf("core: no training matrices for aspect %s in %v..%v", m.aspect.Name, from, to)
+		}
+		loss, err := m.ae.Fit(nn.FromRows(rows))
+		if err != nil {
+			return nil, fmt.Errorf("core: fit aspect %s: %w", m.aspect.Name, err)
+		}
+		losses[m.aspect.Name] = loss
+	}
+	return losses, nil
+}
+
+// ScoreSeries holds per-day anomaly scores for every user in one aspect:
+// Scores[u][i] is user u's reconstruction error on day From+i.
+type ScoreSeries struct {
+	Aspect string
+	From   cert.Day
+	To     cert.Day
+	Scores [][]float64
+}
+
+// DaysCovered returns the number of scored days.
+func (s *ScoreSeries) DaysCovered() int { return int(s.To-s.From) + 1 }
+
+// Score computes per-day anomaly scores for every user and aspect over
+// [from, to] (clamped to the valid matrix range).
+func (d *Detector) Score(from, to cert.Day) ([]*ScoreSeries, error) {
+	var out []*ScoreSeries
+	for _, m := range d.models {
+		s, err := d.scoreAspect(m, from, to)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (d *Detector) scoreAspect(m *aspectModel, from, to cert.Day) (*ScoreSeries, error) {
+	if from < m.builder.FirstMatrixDay() {
+		from = m.builder.FirstMatrixDay()
+	}
+	if to > m.builder.LastMatrixDay() {
+		to = m.builder.LastMatrixDay()
+	}
+	if to < from {
+		return nil, fmt.Errorf("core: empty scoring range for aspect %s", m.aspect.Name)
+	}
+	series := &ScoreSeries{Aspect: m.aspect.Name, From: from, To: to}
+	days := int(to-from) + 1
+	series.Scores = make([][]float64, len(d.users))
+
+	// Users are scored independently; shard them across workers. The
+	// autoencoder's forward pass is read-only after training.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(d.users) {
+		workers = len(d.users)
+	}
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		firstErr atomic.Value
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				u := int(next.Add(1)) - 1
+				if u >= len(d.users) || firstErr.Load() != nil {
+					return
+				}
+				rows := make([][]float64, 0, days)
+				for day := from; day <= to; day++ {
+					mat, err := m.builder.Build(u, day)
+					if err != nil {
+						firstErr.CompareAndSwap(nil, fmt.Errorf("core: score aspect %s: %w", m.aspect.Name, err))
+						return
+					}
+					rows = append(rows, mat.Data)
+				}
+				scores, err := m.ae.Scores(nn.FromRows(rows))
+				if err != nil {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("core: score aspect %s: %w", m.aspect.Name, err))
+					return
+				}
+				series.Scores[u] = scores
+			}
+		}()
+	}
+	wg.Wait()
+	if err := firstErr.Load(); err != nil {
+		return nil, err.(error)
+	}
+	return series, nil
+}
+
+// AggregateMax reduces each user's daily scores to their maximum — the
+// simplest per-aspect anomaly score for ranking over a testing window.
+func AggregateMax(s *ScoreSeries) []float64 {
+	out := make([]float64, len(s.Scores))
+	for u, days := range s.Scores {
+		m := 0.0
+		for _, v := range days {
+			if v > m {
+				m = v
+			}
+		}
+		out[u] = m
+	}
+	return out
+}
+
+// AggregateRelativeMax reduces each user's daily scores to the maximum of
+// score divided by that day's population median. This captures the paper's
+// Figure-5 reading — "on some dates the anomaly score stands out on top of
+// all users" — and is robust to days when the whole population scores high
+// (busy days, environmental changes): standing out matters, absolute
+// magnitude does not.
+func AggregateRelativeMax(s *ScoreSeries) []float64 {
+	days := s.DaysCovered()
+	medians := make([]float64, days)
+	col := make([]float64, len(s.Scores))
+	for d := 0; d < days; d++ {
+		for u := range s.Scores {
+			col[u] = s.Scores[u][d]
+		}
+		medians[d] = mathx.Percentile(col, 50)
+		if medians[d] <= 0 {
+			medians[d] = 1e-12
+		}
+	}
+	out := make([]float64, len(s.Scores))
+	for u, series := range s.Scores {
+		m := 0.0
+		for d, v := range series {
+			if r := v / medians[d]; r > m {
+				m = r
+			}
+		}
+		out[u] = m
+	}
+	return out
+}
+
+// Investigate runs the critic over the aggregated per-aspect scores of a
+// testing window and returns the ordered investigation list.
+func (d *Detector) Investigate(from, to cert.Day) ([]Ranked, error) {
+	series, err := d.Score(from, to)
+	if err != nil {
+		return nil, err
+	}
+	agg := d.cfg.Aggregate
+	if agg == nil {
+		agg = AggregateRelativeMax
+	}
+	scoresByAspect := make([][]float64, len(series))
+	for i, s := range series {
+		scoresByAspect[i] = agg(s)
+	}
+	return Critic(d.users, scoresByAspect, d.cfg.N), nil
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"acobe/internal/mathx"
+)
+
+func TestCriticPaperExample(t *testing.T) {
+	// The paper's example: with N=2, a user ranked 3rd, 5th, 4th across
+	// three aspects gets priority 4 (its 2nd-best rank).
+	users := []string{"a", "b", "c", "d", "e"}
+	// Craft scores so that user "a" ranks 3rd, 5th, 4th.
+	scores := [][]float64{
+		{0.3, 0.5, 0.4, 0.2, 0.1}, // aspect 1: a is 3rd
+		{0.1, 0.5, 0.4, 0.3, 0.2}, // aspect 2: a is 5th
+		{0.2, 0.5, 0.4, 0.3, 0.1}, // aspect 3: a is 4th
+	}
+	list := Critic(users, scores, 2)
+	for _, r := range list {
+		if r.User == "a" {
+			if r.Priority != 4 {
+				t.Errorf("priority = %d, want 4", r.Priority)
+			}
+			if r.Ranks[0] != 3 || r.Ranks[1] != 5 || r.Ranks[2] != 4 {
+				t.Errorf("ranks = %v, want [3 5 4]", r.Ranks)
+			}
+			return
+		}
+	}
+	t.Fatal("user a missing from list")
+}
+
+func TestCriticN1TakesBestRank(t *testing.T) {
+	users := []string{"x", "y"}
+	scores := [][]float64{
+		{1.0, 0.5}, // x 1st
+		{0.1, 0.9}, // y 1st
+	}
+	list := Critic(users, scores, 1)
+	// Both users have a best rank of 1 → same priority; order must be
+	// deterministic (tie broken by rank sum: x has 1+2, y has 2+1 — still
+	// tied, then stable user order).
+	if list[0].Priority != 1 || list[1].Priority != 1 {
+		t.Errorf("priorities %d, %d", list[0].Priority, list[1].Priority)
+	}
+}
+
+func TestCriticNClamped(t *testing.T) {
+	users := []string{"a", "b"}
+	scores := [][]float64{{1, 0}}
+	// N beyond aspect count clamps; N below 1 clamps.
+	for _, n := range []int{-1, 0, 5} {
+		list := Critic(users, scores, n)
+		if len(list) != 2 {
+			t.Fatalf("N=%d produced %d entries", n, len(list))
+		}
+	}
+}
+
+func TestCriticEmpty(t *testing.T) {
+	if Critic(nil, nil, 3) != nil {
+		t.Error("empty input should give nil")
+	}
+	if Critic([]string{"a"}, nil, 1) != nil {
+		t.Error("no aspects should give nil")
+	}
+}
+
+func TestCriticTopScorerIsFirst(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		n := 5 + rng.Intn(30)
+		users := make([]string, n)
+		scores := make([][]float64, 3)
+		for a := range scores {
+			scores[a] = make([]float64, n)
+		}
+		for i := range users {
+			users[i] = string(rune('A'+i%26)) + string(rune('a'+(i/26)%26))
+		}
+		// Make user 0 the top scorer in every aspect.
+		for a := range scores {
+			for i := 1; i < n; i++ {
+				scores[a][i] = rng.Float64() * 0.9
+			}
+			scores[a][0] = 1.0
+		}
+		list := Critic(users, scores, 3)
+		return list[0].User == users[0] && list[0].Priority == 1
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCriticPrioritiesAreSorted(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		n := 3 + rng.Intn(20)
+		users := make([]string, n)
+		scores := make([][]float64, 2)
+		for a := range scores {
+			scores[a] = make([]float64, n)
+			for i := range scores[a] {
+				scores[a][i] = rng.Float64()
+			}
+		}
+		for i := range users {
+			users[i] = string(rune('a' + i%26))
+		}
+		list := Critic(users, scores, 2)
+		for i := 1; i < len(list); i++ {
+			if list[i].Priority < list[i-1].Priority {
+				return false
+			}
+		}
+		return len(list) == n
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCriticDeterministic(t *testing.T) {
+	users := []string{"a", "b", "c", "d"}
+	scores := [][]float64{{0.5, 0.5, 0.5, 0.5}, {0.1, 0.1, 0.1, 0.1}}
+	l1 := Critic(users, scores, 2)
+	l2 := Critic(users, scores, 2)
+	for i := range l1 {
+		if l1[i].User != l2[i].User {
+			t.Fatal("critic output not deterministic under ties")
+		}
+	}
+}
+
+func TestAggregateMax(t *testing.T) {
+	s := &ScoreSeries{From: 0, To: 2, Scores: [][]float64{
+		{0.1, 0.9, 0.3},
+		{0.5, 0.2, 0.4},
+	}}
+	got := AggregateMax(s)
+	if got[0] != 0.9 || got[1] != 0.5 {
+		t.Errorf("AggregateMax = %v", got)
+	}
+}
+
+func TestAggregateRelativeMax(t *testing.T) {
+	// Day 1 is a "busy day": everyone scores high — relative aggregation
+	// must not reward it.
+	s := &ScoreSeries{From: 0, To: 1, Scores: [][]float64{
+		{0.1, 1.0}, // user 0 follows the crowd on the busy day
+		{0.1, 1.0},
+		{0.1, 1.0},
+		{0.4, 1.0}, // user 3 stands out on the quiet day
+	}}
+	got := AggregateRelativeMax(s)
+	if got[3] <= got[0] {
+		t.Errorf("stand-out user not ranked above crowd-followers: %v", got)
+	}
+}
+
+func TestAggregateRelativeMaxZeroMedian(t *testing.T) {
+	s := &ScoreSeries{From: 0, To: 0, Scores: [][]float64{{0}, {0}, {1}}}
+	got := AggregateRelativeMax(s)
+	for _, v := range got {
+		if v < 0 {
+			t.Errorf("negative relative score %g", v)
+		}
+	}
+	if got[2] <= got[0] {
+		t.Error("nonzero scorer not above zero scorers")
+	}
+}

@@ -1,0 +1,58 @@
+package core_test
+
+import (
+	"fmt"
+
+	"acobe/internal/core"
+)
+
+// ExampleCritic reproduces the paper's worked example for Algorithm 1:
+// with N=2, a user ranked 3rd, 5th and 4th across three behavioral
+// aspects gets investigation priority 4 — its 2nd-best rank.
+func ExampleCritic() {
+	users := []string{"alice", "bob", "carol", "dave", "eve"}
+	// Per-aspect anomaly scores; higher = more anomalous. They are
+	// crafted so alice ranks 3rd, 5th and 4th.
+	scoresByAspect := [][]float64{
+		{0.3, 0.5, 0.4, 0.2, 0.1},
+		{0.1, 0.5, 0.4, 0.3, 0.2},
+		{0.2, 0.5, 0.4, 0.3, 0.1},
+	}
+	list := core.Critic(users, scoresByAspect, 2)
+	for _, r := range list {
+		if r.User == "alice" {
+			fmt.Printf("alice: ranks=%v priority=%d\n", r.Ranks, r.Priority)
+		}
+	}
+	fmt.Printf("top of list: %s\n", list[0].User)
+	// Output:
+	// alice: ranks=[3 5 4] priority=4
+	// top of list: bob
+}
+
+// ExampleAnalyzeWaveform shows the §VII-B waveform analysis telling a
+// benign burst (a developer starting a new project: spike then smooth
+// decay) from an attack-like raise (sustained, chaotic).
+func ExampleAnalyzeWaveform() {
+	cfg := core.DefaultWaveformConfig()
+
+	benign := make([]float64, 60)
+	attack := make([]float64, 60)
+	for i := range benign {
+		benign[i], attack[i] = 0.01, 0.01
+	}
+	level := 0.2
+	for i := 48; i < 60; i++ {
+		benign[i] = level // burst that halves every day
+		if level > 0.01 {
+			level /= 2
+		}
+		attack[i] = 0.15 + 0.05*float64(i%3) // stays high, jitters
+	}
+
+	fmt.Println("benign :", core.AnalyzeWaveform(benign, cfg).Classify(cfg))
+	fmt.Println("attack :", core.AnalyzeWaveform(attack, cfg).Classify(cfg))
+	// Output:
+	// benign : benign-burst
+	// attack : attack-like
+}

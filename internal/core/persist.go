@@ -1,0 +1,66 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"acobe/internal/autoencoder"
+)
+
+// modelsSnapshot is the on-disk form of a trained ensemble: one serialized
+// autoencoder per aspect, keyed by aspect name so loads can verify the
+// detector was built with the same configuration.
+type modelsSnapshot struct {
+	Version int
+	Aspects []string
+	Models  [][]byte
+}
+
+// SaveModels writes the trained ensemble (every aspect's autoencoder,
+// including batch-norm statistics) to w. The detector's configuration is
+// not persisted — reconstruct the Detector with NewDetector from the same
+// Config and fields, then LoadModels instead of Fit.
+func (d *Detector) SaveModels(w io.Writer) error {
+	snap := modelsSnapshot{Version: 1}
+	for _, m := range d.models {
+		var buf bytes.Buffer
+		if err := m.ae.Save(&buf); err != nil {
+			return fmt.Errorf("core: save aspect %s: %w", m.aspect.Name, err)
+		}
+		snap.Aspects = append(snap.Aspects, m.aspect.Name)
+		snap.Models = append(snap.Models, buf.Bytes())
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("core: encode models: %w", err)
+	}
+	return nil
+}
+
+// LoadModels replaces the detector's (possibly untrained) autoencoders
+// with models previously written by SaveModels. The aspect names and
+// input widths must match the detector's configuration.
+func (d *Detector) LoadModels(r io.Reader) error {
+	var snap modelsSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("core: decode models: %w", err)
+	}
+	if snap.Version != 1 {
+		return fmt.Errorf("core: unsupported models version %d", snap.Version)
+	}
+	if len(snap.Aspects) != len(d.models) {
+		return fmt.Errorf("core: snapshot has %d aspects, detector has %d", len(snap.Aspects), len(d.models))
+	}
+	for i, m := range d.models {
+		if snap.Aspects[i] != m.aspect.Name {
+			return fmt.Errorf("core: aspect %d is %q in snapshot, %q in detector", i, snap.Aspects[i], m.aspect.Name)
+		}
+		ae, err := autoencoder.Load(bytes.NewReader(snap.Models[i]), m.aeCfg)
+		if err != nil {
+			return fmt.Errorf("core: load aspect %s: %w", m.aspect.Name, err)
+		}
+		m.ae = ae
+	}
+	return nil
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"math"
+
+	"acobe/internal/mathx"
+)
+
+// This file implements the paper's §VII-B "more flexible detection
+// critic" — listed there as future work. Beyond ranking by raw anomaly
+// scores, the advanced critic examines (1) whether a user's anomaly score
+// has a *recent spike*, and (2) whether the raise demonstrates a
+// particular *waveform*: a developer starting a new project produces a
+// bursting raise with a long-lasting smooth decrease, whereas a
+// cyberattack tends not to decrease and shows chaotic signals.
+
+// WaveformClass labels the shape of a user's recent anomaly-score series.
+type WaveformClass int
+
+// Waveform classes, ordered by increasing suspicion.
+const (
+	// WaveformFlat: no recent spike above the user's own baseline.
+	WaveformFlat WaveformClass = iota
+	// WaveformBenignBurst: a spike followed by a smooth, sustained
+	// decrease — the signature of a legitimate behavioral change whose
+	// deviations wash out as the history window adapts.
+	WaveformBenignBurst
+	// WaveformAttackLike: a spike that does not decay, or decays
+	// chaotically — malicious behaviour is rarely consistent over time.
+	WaveformAttackLike
+)
+
+// String implements fmt.Stringer.
+func (c WaveformClass) String() string {
+	switch c {
+	case WaveformFlat:
+		return "flat"
+	case WaveformBenignBurst:
+		return "benign-burst"
+	case WaveformAttackLike:
+		return "attack-like"
+	default:
+		return "unknown"
+	}
+}
+
+// WaveformFeatures summarize one score series for the advanced critic.
+type WaveformFeatures struct {
+	// SpikeRatio is the recent window's peak relative to the baseline
+	// median of the earlier part of the series.
+	SpikeRatio float64
+	// SpikeOffset is the peak's index within the analyzed series.
+	SpikeOffset int
+	// DecayFraction is the fraction of post-peak steps that are
+	// non-increasing (within 5% jitter) — 1.0 is a smooth decay that
+	// settles at a floor.
+	DecayFraction float64
+	// PostPeakLevel is the mean post-peak score relative to the peak;
+	// high values mean the raise never came back down.
+	PostPeakLevel float64
+	// Chaos is the mean absolute day-over-day change after the peak,
+	// normalized by the peak height; erratic series score high.
+	Chaos float64
+}
+
+// WaveformConfig tunes the analysis thresholds. The zero value is not
+// useful; start from DefaultWaveformConfig.
+type WaveformConfig struct {
+	// RecentWindow is how many trailing days count as "recent" when
+	// looking for a spike.
+	RecentWindow int
+	// SpikeThreshold is the minimum SpikeRatio that counts as a spike.
+	SpikeThreshold float64
+	// DecayThreshold: post-peak series with at least this decay fraction
+	// and a low settled level classify as benign bursts.
+	DecayThreshold float64
+	// ChaosThreshold: post-peak chaos above this marks attack-like.
+	ChaosThreshold float64
+}
+
+// DefaultWaveformConfig returns thresholds that work well for
+// reconstruction-error series produced by the detectors in this package.
+func DefaultWaveformConfig() WaveformConfig {
+	return WaveformConfig{
+		RecentWindow:   14,
+		SpikeThreshold: 2.5,
+		DecayThreshold: 0.6,
+		ChaosThreshold: 0.15,
+	}
+}
+
+// AnalyzeWaveform computes shape features of one user's daily score
+// series. The last cfg.RecentWindow days are searched for the spike; the
+// earlier days form the baseline.
+func AnalyzeWaveform(scores []float64, cfg WaveformConfig) WaveformFeatures {
+	var f WaveformFeatures
+	if len(scores) == 0 {
+		return f
+	}
+	recent := cfg.RecentWindow
+	if recent <= 0 || recent > len(scores) {
+		recent = len(scores)
+	}
+	baseline := scores[:len(scores)-recent]
+	window := scores[len(scores)-recent:]
+
+	base := mathx.Percentile(baseline, 50)
+	if len(baseline) == 0 {
+		base = mathx.Percentile(scores, 50)
+	}
+	if base <= 0 {
+		base = 1e-12
+	}
+
+	peakIdx := mathx.ArgMax(window)
+	peak := window[peakIdx]
+	f.SpikeRatio = peak / base
+	f.SpikeOffset = len(scores) - recent + peakIdx
+
+	post := window[peakIdx+1:]
+	if len(post) == 0 {
+		// Spike on the last day: nothing after it to judge decay, so it
+		// cannot be dismissed as a benign burst.
+		f.DecayFraction = 0
+		f.PostPeakLevel = 1
+		f.Chaos = 0
+		return f
+	}
+	decreases := 0
+	prev := peak
+	var absDiffSum, levelSum float64
+	for _, v := range post {
+		if v <= prev*1.05 {
+			decreases++
+		}
+		absDiffSum += math.Abs(v - prev)
+		levelSum += v
+		prev = v
+	}
+	f.DecayFraction = float64(decreases) / float64(len(post))
+	if peak > 0 {
+		f.PostPeakLevel = (levelSum / float64(len(post))) / peak
+		f.Chaos = (absDiffSum / float64(len(post))) / peak
+	}
+	return f
+}
+
+// Classify maps features to a waveform class under the given thresholds.
+func (f WaveformFeatures) Classify(cfg WaveformConfig) WaveformClass {
+	if f.SpikeRatio < cfg.SpikeThreshold {
+		return WaveformFlat
+	}
+	// A smooth, substantial decrease back toward baseline is the benign
+	// "new project" signature.
+	if f.DecayFraction >= cfg.DecayThreshold && f.PostPeakLevel < 0.5 && f.Chaos <= cfg.ChaosThreshold {
+		return WaveformBenignBurst
+	}
+	return WaveformAttackLike
+}
+
+// AdvancedRanked extends Ranked with the waveform evidence behind the
+// adjusted priority.
+type AdvancedRanked struct {
+	Ranked
+	// Classes holds the per-aspect waveform classes.
+	Classes []WaveformClass
+	// Suspicion is the count of aspects classified attack-like.
+	Suspicion int
+}
+
+// AdvancedCritic is the §VII-B critic: it ranks users like Critic but
+// weighs each aspect's aggregated score by the waveform evidence — users
+// whose scores show no recent spike, or whose raise looks like a benign
+// burst that already decayed, are demoted relative to users with
+// sustained or chaotic raises.
+func AdvancedCritic(users []string, series []*ScoreSeries, n int, cfg WaveformConfig) []AdvancedRanked {
+	if len(users) == 0 || len(series) == 0 {
+		return nil
+	}
+	classes := make([][]WaveformClass, len(users)) // [user][aspect]
+	scoresByAspect := make([][]float64, len(series))
+	for a, s := range series {
+		agg := AggregateRelativeMax(s)
+		adjusted := make([]float64, len(users))
+		for u := range users {
+			f := AnalyzeWaveform(s.Scores[u], cfg)
+			class := f.Classify(cfg)
+			if classes[u] == nil {
+				classes[u] = make([]WaveformClass, len(series))
+			}
+			classes[u][a] = class
+			weight := 1.0
+			switch class {
+			case WaveformFlat:
+				weight = 0.5 // no recent spike: keep the score but demote
+			case WaveformBenignBurst:
+				weight = 0.25 // spike already decayed smoothly: likely benign
+			case WaveformAttackLike:
+				weight = 1.0
+			}
+			adjusted[u] = agg[u] * weight
+		}
+		scoresByAspect[a] = adjusted
+	}
+	base := Critic(users, scoresByAspect, n)
+	idx := make(map[string]int, len(users))
+	for i, u := range users {
+		idx[u] = i
+	}
+	out := make([]AdvancedRanked, len(base))
+	for i, r := range base {
+		u := idx[r.User]
+		suspicion := 0
+		for _, c := range classes[u] {
+			if c == WaveformAttackLike {
+				suspicion++
+			}
+		}
+		out[i] = AdvancedRanked{Ranked: r, Classes: classes[u], Suspicion: suspicion}
+	}
+	return out
+}

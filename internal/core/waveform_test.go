@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+
+	"acobe/internal/cert"
+	"acobe/internal/mathx"
+)
+
+// mkSeries builds a 60-day score series of the given shape.
+func flatSeries(level float64) []float64 {
+	out := make([]float64, 60)
+	for i := range out {
+		out[i] = level
+	}
+	return out
+}
+
+// benignBurst: spike at day 48, then a smooth decay back to baseline.
+func benignBurst() []float64 {
+	out := flatSeries(0.01)
+	out[48] = 0.2
+	v := 0.2
+	for i := 49; i < 60; i++ {
+		v *= 0.6
+		if v < 0.01 {
+			v = 0.01
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// attackSustained: spike at day 50 that stays high and jitters.
+func attackSustained() []float64 {
+	out := flatSeries(0.01)
+	rng := mathx.NewRNG(3)
+	for i := 50; i < 60; i++ {
+		out[i] = 0.15 + 0.08*rng.Float64()
+	}
+	return out
+}
+
+func TestAnalyzeWaveformFlat(t *testing.T) {
+	f := AnalyzeWaveform(flatSeries(0.01), DefaultWaveformConfig())
+	if f.SpikeRatio > 1.5 {
+		t.Errorf("flat series spike ratio %g", f.SpikeRatio)
+	}
+	if got := f.Classify(DefaultWaveformConfig()); got != WaveformFlat {
+		t.Errorf("flat series classified %v", got)
+	}
+}
+
+func TestAnalyzeWaveformBenignBurst(t *testing.T) {
+	cfg := DefaultWaveformConfig()
+	f := AnalyzeWaveform(benignBurst(), cfg)
+	if f.SpikeRatio < cfg.SpikeThreshold {
+		t.Fatalf("burst not detected as spike: ratio %g", f.SpikeRatio)
+	}
+	if f.DecayFraction < 0.9 {
+		t.Errorf("smooth decay measured %g", f.DecayFraction)
+	}
+	if got := f.Classify(cfg); got != WaveformBenignBurst {
+		t.Errorf("benign burst classified %v (features %+v)", got, f)
+	}
+}
+
+func TestAnalyzeWaveformAttackLike(t *testing.T) {
+	cfg := DefaultWaveformConfig()
+	f := AnalyzeWaveform(attackSustained(), cfg)
+	if got := f.Classify(cfg); got != WaveformAttackLike {
+		t.Errorf("sustained chaotic raise classified %v (features %+v)", got, f)
+	}
+}
+
+func TestAnalyzeWaveformSpikeOnLastDay(t *testing.T) {
+	cfg := DefaultWaveformConfig()
+	s := flatSeries(0.01)
+	s[59] = 0.3
+	f := AnalyzeWaveform(s, cfg)
+	// Cannot be dismissed as benign: there is nothing after the spike.
+	if got := f.Classify(cfg); got != WaveformAttackLike {
+		t.Errorf("fresh spike classified %v", got)
+	}
+}
+
+func TestAnalyzeWaveformEmpty(t *testing.T) {
+	f := AnalyzeWaveform(nil, DefaultWaveformConfig())
+	if f.SpikeRatio != 0 {
+		t.Errorf("empty series features %+v", f)
+	}
+}
+
+func TestWaveformClassStrings(t *testing.T) {
+	for c, want := range map[WaveformClass]string{
+		WaveformFlat:        "flat",
+		WaveformBenignBurst: "benign-burst",
+		WaveformAttackLike:  "attack-like",
+	} {
+		if c.String() != want {
+			t.Errorf("%d → %q", int(c), c.String())
+		}
+	}
+}
+
+// TestAdvancedCriticDemotesBenignBurst is the §VII-B scenario: a normal
+// user with an already-decayed burst (new project) competes against an
+// attacker whose raise is sustained; the plain critic may rank them
+// equally, the advanced critic must put the attacker first.
+func TestAdvancedCriticDemotesBenignBurst(t *testing.T) {
+	users := []string{"developer", "attacker", "quiet"}
+	mkAspect := func(name string) *ScoreSeries {
+		return &ScoreSeries{
+			Aspect: name,
+			From:   0,
+			To:     cert.Day(59),
+			Scores: [][]float64{
+				benignBurst(),      // developer: burst then smooth decay
+				attackSustained(),  // attacker: sustained chaotic raise
+				flatSeries(0.0098), // quiet user
+			},
+		}
+	}
+	series := []*ScoreSeries{mkAspect("a1"), mkAspect("a2")}
+	cfg := DefaultWaveformConfig()
+
+	adv := AdvancedCritic(users, series, 2, cfg)
+	if adv[0].User != "attacker" {
+		t.Fatalf("advanced critic top = %s, want attacker (%+v)", adv[0].User, adv)
+	}
+	if adv[0].Suspicion != 2 {
+		t.Errorf("attacker suspicion %d, want 2", adv[0].Suspicion)
+	}
+	// The developer must be demoted behind the attacker.
+	for _, r := range adv {
+		if r.User == "developer" && r.Priority <= adv[0].Priority && r.User == adv[0].User {
+			t.Error("developer not demoted")
+		}
+	}
+	// Classes recorded per aspect.
+	if len(adv[0].Classes) != 2 {
+		t.Errorf("classes %v", adv[0].Classes)
+	}
+}
+
+func TestAdvancedCriticEmpty(t *testing.T) {
+	if AdvancedCritic(nil, nil, 1, DefaultWaveformConfig()) != nil {
+		t.Error("empty input should yield nil")
+	}
+}

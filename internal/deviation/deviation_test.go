@@ -1,0 +1,206 @@
+package deviation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"acobe/internal/cert"
+	"acobe/internal/features"
+	"acobe/internal/mathx"
+)
+
+func testCfg() Config {
+	return Config{Window: 5, MatrixDays: 3, Delta: 3, Epsilon: 1, Weighted: false}
+}
+
+func TestConfigValidate(t *testing.T) {
+	valid := testCfg()
+	if err := valid.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Window: 1, MatrixDays: 3, Delta: 3, Epsilon: 1},
+		{Window: 5, MatrixDays: 0, Delta: 3, Epsilon: 1},
+		{Window: 5, MatrixDays: 3, Delta: 0, Epsilon: 1},
+		{Window: 5, MatrixDays: 3, Delta: 3, Epsilon: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d validated", i)
+		}
+	}
+}
+
+func TestSigmaKnownValues(t *testing.T) {
+	cfg := Config{Window: 5, MatrixDays: 1, Delta: 3, Epsilon: 0.01, Weighted: false}
+	// history mean 2, population std sqrt(2).
+	history := []float64{0, 2, 2, 4}
+	sigma, std := Sigma(4, history, cfg)
+	wantStd := math.Sqrt(2)
+	if math.Abs(std-wantStd) > 1e-12 {
+		t.Errorf("std = %g, want %g", std, wantStd)
+	}
+	if math.Abs(sigma-(4-2)/wantStd) > 1e-12 {
+		t.Errorf("sigma = %g", sigma)
+	}
+}
+
+func TestSigmaClamping(t *testing.T) {
+	cfg := Config{Window: 5, MatrixDays: 1, Delta: 3, Epsilon: 0.01}
+	history := []float64{1, 1, 1, 1} // std 0 → epsilon floor
+	sigma, _ := Sigma(100, history, cfg)
+	if sigma != 3 {
+		t.Errorf("positive clamp: sigma = %g, want 3", sigma)
+	}
+	sigma, _ = Sigma(-100, history, cfg)
+	if sigma != -3 {
+		t.Errorf("negative clamp: sigma = %g, want -3", sigma)
+	}
+}
+
+func TestSigmaEpsilonFloor(t *testing.T) {
+	cfg := Config{Window: 5, MatrixDays: 1, Delta: 100, Epsilon: 2}
+	history := []float64{0, 0, 0, 0}
+	sigma, std := Sigma(4, history, cfg)
+	if std != 2 {
+		t.Errorf("floored std = %g, want 2", std)
+	}
+	if sigma != 2 {
+		t.Errorf("sigma = %g, want 2", sigma)
+	}
+}
+
+func TestWeightFunction(t *testing.T) {
+	// std ≤ 2 → weight 1 (log2(2) = 1).
+	if w := Weight(0); w != 1 {
+		t.Errorf("Weight(0) = %g", w)
+	}
+	if w := Weight(2); w != 1 {
+		t.Errorf("Weight(2) = %g", w)
+	}
+	// std = 4 → 1/log2(4) = 0.5.
+	if w := Weight(4); math.Abs(w-0.5) > 1e-12 {
+		t.Errorf("Weight(4) = %g", w)
+	}
+	// Monotone non-increasing.
+	prev := math.Inf(1)
+	for s := 0.5; s < 100; s *= 1.7 {
+		w := Weight(s)
+		if w > prev+1e-12 {
+			t.Errorf("weight increased at std %g", s)
+		}
+		if w <= 0 || w > 1 {
+			t.Errorf("weight out of (0,1]: %g", w)
+		}
+		prev = w
+	}
+}
+
+// buildTable fills a one-user table with a deterministic series.
+func buildTable(t *testing.T, series []float64) *features.Table {
+	t.Helper()
+	tab, err := features.NewTable([]string{"u"}, []string{"f"}, 1, 0, cert.Day(len(series)-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, v := range series {
+		tab.Add(0, 0, 0, cert.Day(d), v)
+	}
+	return tab
+}
+
+func TestFieldMatchesDirectSigma(t *testing.T) {
+	// The field's running-sum implementation must agree with the direct
+	// per-day Sigma computation.
+	if err := quick.Check(func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		series := make([]float64, 20)
+		for i := range series {
+			series[i] = float64(rng.Poisson(4))
+		}
+		cfg := testCfg()
+		tab := buildTable(t, series)
+		field, err := ComputeField(tab, cfg)
+		if err != nil {
+			return false
+		}
+		for d := cfg.Window - 1; d < len(series); d++ {
+			history := series[d-cfg.Window+1 : d]
+			want, _ := Sigma(series[d], history, cfg)
+			got := field.Sigma(0, 0, 0, cert.Day(d))
+			if math.Abs(got-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFieldWeighted(t *testing.T) {
+	series := []float64{0, 8, 0, 8, 0, 8, 0, 8, 100}
+	cfg := testCfg()
+	cfg.Weighted = true
+	tab := buildTable(t, series)
+	field, err := ComputeField(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := cert.Day(len(series) - 1)
+	history := series[len(series)-cfg.Window : len(series)-1]
+	sigma, std := Sigma(series[len(series)-1], history, cfg)
+	want := sigma * Weight(std)
+	if got := field.Sigma(0, 0, 0, d); math.Abs(got-want) > 1e-9 {
+		t.Errorf("weighted sigma = %g, want %g", got, want)
+	}
+}
+
+func TestFieldSpanTooShort(t *testing.T) {
+	tab := buildTable(t, []float64{1, 2, 3})
+	if _, err := ComputeField(tab, testCfg()); err == nil {
+		t.Error("no error for span shorter than window")
+	}
+}
+
+func TestFieldOutOfRangeSigmaIsZero(t *testing.T) {
+	tab := buildTable(t, make([]float64, 12))
+	field, err := ComputeField(tab, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if field.Sigma(0, 0, 0, 0) != 0 {
+		t.Error("pre-window sigma not zero")
+	}
+	if field.Sigma(0, 0, 0, 999) != 0 {
+		t.Error("post-span sigma not zero")
+	}
+	if field.FirstDay() != cert.Day(testCfg().Window-1) {
+		t.Errorf("FirstDay = %v", field.FirstDay())
+	}
+}
+
+// TestSlidingWindowAdaptation verifies the paper's observation that a
+// sustained shift stops looking anomalous once the history window has
+// slid over it (the "white tails" in Figure 4).
+func TestSlidingWindowAdaptation(t *testing.T) {
+	series := make([]float64, 40)
+	for i := 20; i < 40; i++ {
+		series[i] = 10 // level shift at day 20
+	}
+	cfg := testCfg()
+	tab := buildTable(t, series)
+	field, err := ComputeField(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onset := field.Sigma(0, 0, 0, 20)
+	adapted := field.Sigma(0, 0, 0, 20+cert.Day(cfg.Window))
+	if onset < 2.9 {
+		t.Errorf("onset sigma %g, want ≈ 3 (clamped)", onset)
+	}
+	if math.Abs(adapted) > 0.5 {
+		t.Errorf("adapted sigma %g, want ≈ 0 after window slid", adapted)
+	}
+}

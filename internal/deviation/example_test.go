@@ -1,0 +1,36 @@
+package deviation_test
+
+import (
+	"fmt"
+
+	"acobe/internal/deviation"
+)
+
+// ExampleSigma shows the paper's deviation measure: a user who suddenly
+// connects a thumb drive nine times, against a history of almost none,
+// saturates at the clamp Δ=3; a value inside the habitual range stays
+// near zero.
+func ExampleSigma() {
+	cfg := deviation.DefaultConfig() // ω=30, Δ=3, ε=1 count
+	history := []float64{0, 0, 1, 0, 0, 0, 2, 0, 0, 0}
+
+	burst, _ := deviation.Sigma(9, history, cfg)
+	usual, _ := deviation.Sigma(0, history, cfg)
+	fmt.Printf("burst: σ=%.2f\n", burst)
+	fmt.Printf("usual: σ=%.2f\n", usual)
+	// Output:
+	// burst: σ=3.00
+	// usual: σ=-0.30
+}
+
+// ExampleWeight shows the TF-style feature weight: consistent features
+// keep full weight, chaotic ones are scaled down.
+func ExampleWeight() {
+	fmt.Printf("std=1:  w=%.2f\n", deviation.Weight(1))
+	fmt.Printf("std=4:  w=%.2f\n", deviation.Weight(4))
+	fmt.Printf("std=16: w=%.2f\n", deviation.Weight(16))
+	// Output:
+	// std=1:  w=1.00
+	// std=4:  w=0.50
+	// std=16: w=0.25
+}

@@ -1,0 +1,150 @@
+package deviation
+
+import (
+	"fmt"
+
+	"acobe/internal/cert"
+	"acobe/internal/features"
+)
+
+// Matrix is one flattened compound behavioral deviation matrix, ready for
+// an autoencoder: values are deviations transformed from [-Δ, Δ] to [0, 1]
+// (Section V: "we flatten the matrices into vectors, and transform the
+// deviations from close-interval [-Δ,Δ] to [0,1]").
+//
+// Layout (day-fastest): for each component (individual, then group when
+// present), for each feature of the aspect, for each time-frame, the
+// MatrixDays consecutive days ending at Day.
+type Matrix struct {
+	User string
+	Day  cert.Day
+	Data []float64
+}
+
+// Builder assembles compound matrices for one aspect from an individual
+// deviation field and an optional group field whose "users" are groups
+// (e.g. the per-department averages). A nil group field reproduces the
+// paper's "No-Group" ablation.
+type Builder struct {
+	ind       *Field
+	group     *Field
+	userGroup []int
+	aspect    features.Aspect
+	featIdx   []int
+	gFeatIdx  []int
+}
+
+// NewBuilder resolves the aspect's features against the fields' tables.
+// ind and group must share the same day span and configuration. group may
+// be nil (No-Group ablation); otherwise userGroup[u] is the group-table
+// row embedded into user u's matrices (nil defaults every user to row 0).
+func NewBuilder(ind, group *Field, userGroup []int, aspect features.Aspect) (*Builder, error) {
+	b := &Builder{ind: ind, group: group, aspect: aspect}
+	for _, name := range aspect.Features {
+		i := ind.Table().FeatureIndex(name)
+		if i < 0 {
+			return nil, fmt.Errorf("deviation: aspect %s feature %q missing from individual table", aspect.Name, name)
+		}
+		b.featIdx = append(b.featIdx, i)
+	}
+	if group != nil {
+		if group.FirstDay() != ind.FirstDay() || group.EndDay() != ind.EndDay() {
+			return nil, fmt.Errorf("deviation: group field span %v..%v differs from individual %v..%v",
+				group.FirstDay(), group.EndDay(), ind.FirstDay(), ind.EndDay())
+		}
+		for _, name := range aspect.Features {
+			i := group.Table().FeatureIndex(name)
+			if i < 0 {
+				return nil, fmt.Errorf("deviation: aspect %s feature %q missing from group table", aspect.Name, name)
+			}
+			b.gFeatIdx = append(b.gFeatIdx, i)
+		}
+		nUsers := len(ind.Table().Users())
+		if userGroup == nil {
+			userGroup = make([]int, nUsers)
+		}
+		if len(userGroup) != nUsers {
+			return nil, fmt.Errorf("deviation: userGroup has %d entries for %d users", len(userGroup), nUsers)
+		}
+		nGroups := len(group.Table().Users())
+		for u, g := range userGroup {
+			if g < 0 || g >= nGroups {
+				return nil, fmt.Errorf("deviation: user %d assigned to group %d, only %d groups", u, g, nGroups)
+			}
+		}
+		b.userGroup = userGroup
+	}
+	return b, nil
+}
+
+// Dim returns the flattened matrix width.
+func (b *Builder) Dim() int {
+	components := 1
+	if b.group != nil {
+		components = 2
+	}
+	return components * len(b.featIdx) * b.ind.table.Frames() * b.ind.cfg.MatrixDays
+}
+
+// FirstMatrixDay returns the earliest day for which a full matrix exists
+// (needs MatrixDays of deviations, which in turn need a history window).
+func (b *Builder) FirstMatrixDay() cert.Day {
+	return b.ind.FirstDay() + cert.Day(b.ind.cfg.MatrixDays-1)
+}
+
+// LastMatrixDay returns the latest day with a full matrix.
+func (b *Builder) LastMatrixDay() cert.Day { return b.ind.EndDay() }
+
+// Build assembles the compound matrix of user index u ending on day d.
+func (b *Builder) Build(u int, d cert.Day) (Matrix, error) {
+	if d < b.FirstMatrixDay() || d > b.LastMatrixDay() {
+		return Matrix{}, fmt.Errorf("deviation: day %v outside matrix range %v..%v",
+			d, b.FirstMatrixDay(), b.LastMatrixDay())
+	}
+	cfg := b.ind.cfg
+	frames := b.ind.table.Frames()
+	data := make([]float64, 0, b.Dim())
+	scale := 1 / (2 * cfg.Delta)
+
+	appendComponent := func(f *Field, userIdx int, featIdx []int) {
+		dayOff := int(d - f.FirstDay())
+		for _, feat := range featIdx {
+			for frame := 0; frame < frames; frame++ {
+				series := f.seriesSlice(userIdx, feat, frame)
+				for i := cfg.MatrixDays - 1; i >= 0; i-- {
+					v := series[dayOff-i]
+					data = append(data, (v+cfg.Delta)*scale)
+				}
+			}
+		}
+	}
+	appendComponent(b.ind, u, b.featIdx)
+	if b.group != nil {
+		appendComponent(b.group, b.userGroup[u], b.gFeatIdx)
+	}
+	return Matrix{User: b.ind.table.Users()[u], Day: d, Data: data}, nil
+}
+
+// BuildRange assembles matrices for user u on every day in [from, to],
+// clamped to the valid matrix range. Days are stride apart (stride ≥ 1),
+// supporting sampled training sets.
+func (b *Builder) BuildRange(u int, from, to cert.Day, stride int) ([]Matrix, error) {
+	if stride < 1 {
+		stride = 1
+	}
+	if from < b.FirstMatrixDay() {
+		from = b.FirstMatrixDay()
+	}
+	if to > b.LastMatrixDay() {
+		to = b.LastMatrixDay()
+	}
+	var out []Matrix
+	for d := from; d <= to; d += cert.Day(stride) {
+		m, err := b.Build(u, d)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

@@ -1,0 +1,220 @@
+package deviation
+
+import (
+	"math"
+	"testing"
+
+	"acobe/internal/cert"
+	"acobe/internal/features"
+	"acobe/internal/mathx"
+)
+
+// buildFields creates small individual and group fields over two users,
+// two features and one frame with deterministic Poisson-ish content.
+func buildFields(t *testing.T, cfg Config) (ind, group *Field, tab *features.Table) {
+	t.Helper()
+	rng := mathx.NewRNG(1)
+	var err error
+	tab, err = features.NewTable([]string{"u1", "u2"}, []string{"fa", "fb"}, 2, 0, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 2; u++ {
+		for f := 0; f < 2; f++ {
+			for frame := 0; frame < 2; frame++ {
+				for d := cert.Day(0); d <= 29; d++ {
+					tab.Add(u, f, frame, d, float64(rng.Poisson(3)))
+				}
+			}
+		}
+	}
+	gtab, err := tab.GroupTable([]string{"g"}, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ind, err = ComputeField(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	group, err = ComputeField(gtab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ind, group, tab
+}
+
+func aspect() features.Aspect {
+	return features.Aspect{Name: "test", Features: []string{"fa", "fb"}}
+}
+
+func TestBuilderDims(t *testing.T) {
+	cfg := testCfg()
+	ind, group, _ := buildFields(t, cfg)
+
+	b, err := NewBuilder(ind, group, []int{0, 0}, aspect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 components × 2 features × 2 frames × 3 matrix days = 24.
+	if b.Dim() != 24 {
+		t.Errorf("dim with group = %d, want 24", b.Dim())
+	}
+
+	nb, err := NewBuilder(ind, nil, nil, aspect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb.Dim() != 12 {
+		t.Errorf("dim without group = %d, want 12", nb.Dim())
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	cfg := testCfg()
+	ind, group, _ := buildFields(t, cfg)
+	missing := features.Aspect{Name: "x", Features: []string{"nope"}}
+	if _, err := NewBuilder(ind, nil, nil, missing); err == nil {
+		t.Error("no error for missing feature")
+	}
+	if _, err := NewBuilder(ind, group, []int{0}, aspect()); err == nil {
+		t.Error("no error for short userGroup")
+	}
+	if _, err := NewBuilder(ind, group, []int{0, 7}, aspect()); err == nil {
+		t.Error("no error for out-of-range group index")
+	}
+}
+
+func TestMatrixValuesTransformedToUnitInterval(t *testing.T) {
+	cfg := testCfg()
+	ind, group, _ := buildFields(t, cfg)
+	b, err := NewBuilder(ind, group, []int{0, 0}, aspect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.Build(0, b.FirstMatrixDay())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Data) != b.Dim() {
+		t.Fatalf("matrix width %d, want %d", len(m.Data), b.Dim())
+	}
+	for i, v := range m.Data {
+		if v < 0 || v > 1 {
+			t.Fatalf("value %d = %g outside [0,1]", i, v)
+		}
+	}
+}
+
+func TestMatrixLayoutMatchesSigma(t *testing.T) {
+	cfg := testCfg()
+	ind, group, _ := buildFields(t, cfg)
+	b, err := NewBuilder(ind, group, []int{0, 0}, aspect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := b.FirstMatrixDay() + 2
+	m, err := b.Build(1, day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Element 0: individual, feature fa, frame 0, day day-(D-1).
+	firstDay := day - cert.Day(cfg.MatrixDays-1)
+	want := (ind.Sigma(1, 0, 0, firstDay) + cfg.Delta) / (2 * cfg.Delta)
+	if math.Abs(m.Data[0]-want) > 1e-12 {
+		t.Errorf("element 0 = %g, want %g", m.Data[0], want)
+	}
+	// Last element: group component, feature fb, frame 1, day `day`.
+	wantLast := (group.Sigma(0, 1, 1, day) + cfg.Delta) / (2 * cfg.Delta)
+	if got := m.Data[len(m.Data)-1]; math.Abs(got-wantLast) > 1e-12 {
+		t.Errorf("last element = %g, want %g", got, wantLast)
+	}
+	if m.User != "u2" || m.Day != day {
+		t.Errorf("metadata %s/%v", m.User, m.Day)
+	}
+}
+
+func TestBuildRangeClampsAndStrides(t *testing.T) {
+	cfg := testCfg()
+	ind, _, _ := buildFields(t, cfg)
+	b, err := NewBuilder(ind, nil, nil, aspect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := b.BuildRange(0, -100, 1000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) == 0 {
+		t.Fatal("no matrices built")
+	}
+	if ms[0].Day != b.FirstMatrixDay() {
+		t.Errorf("first day %v, want %v", ms[0].Day, b.FirstMatrixDay())
+	}
+	for i := 1; i < len(ms); i++ {
+		if ms[i].Day-ms[i-1].Day != 2 {
+			t.Errorf("stride violated: %v → %v", ms[i-1].Day, ms[i].Day)
+		}
+	}
+	if last := ms[len(ms)-1].Day; last > b.LastMatrixDay() {
+		t.Errorf("last day %v beyond %v", last, b.LastMatrixDay())
+	}
+}
+
+func TestBuildOutOfRange(t *testing.T) {
+	cfg := testCfg()
+	ind, _, _ := buildFields(t, cfg)
+	b, err := NewBuilder(ind, nil, nil, aspect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Build(0, b.FirstMatrixDay()-1); err == nil {
+		t.Error("no error before first matrix day")
+	}
+	if _, err := b.Build(0, b.LastMatrixDay()+1); err == nil {
+		t.Error("no error after last matrix day")
+	}
+}
+
+func TestGroupRowSelectsUserGroup(t *testing.T) {
+	cfg := testCfg()
+	rng := mathx.NewRNG(2)
+	tab, err := features.NewTable([]string{"u1", "u2"}, []string{"fa"}, 1, 0, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 2; u++ {
+		for d := cert.Day(0); d <= 19; d++ {
+			tab.Add(u, 0, 0, d, float64(rng.Poisson(float64(3+u*10))))
+		}
+	}
+	// Each user is its own group, so the group component must equal the
+	// user's own deviations.
+	gtab, err := tab.GroupTable([]string{"g1", "g2"}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ind, err := ComputeField(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grp, err := ComputeField(gtab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBuilder(ind, grp, []int{0, 1}, features.Aspect{Name: "a", Features: []string{"fa"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 2; u++ {
+		m, err := b.Build(u, b.FirstMatrixDay())
+		if err != nil {
+			t.Fatal(err)
+		}
+		half := len(m.Data) / 2
+		for i := 0; i < half; i++ {
+			if math.Abs(m.Data[i]-m.Data[half+i]) > 1e-12 {
+				t.Fatalf("user %d: individual and singleton-group components differ at %d", u, i)
+			}
+		}
+	}
+}

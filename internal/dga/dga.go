@@ -1,0 +1,76 @@
+// Package dga implements a date-seeded domain generation algorithm in the
+// style of newGOZ (the Gameover Zeus / Peer-to-Peer Zeus family), which the
+// paper's botnet case study uses to produce failing DNS lookups: each day
+// the malware derives a deterministic list of candidate rendezvous domains
+// from the date and queries them until one resolves. Because virtually
+// none are registered, the infected host emits a burst of NXDOMAIN
+// failures to never-before-seen domains — exactly the "failure requests to
+// a new domain" signal ACOBE's HTTP aspect measures.
+package dga
+
+import (
+	"fmt"
+	"time"
+)
+
+// TLDs cycled through by the generator, mirroring the GOZ family's use of
+// several gTLDs.
+var TLDs = []string{"com", "net", "org", "biz", "info"}
+
+// Generator derives daily domain lists. The zero value uses seed 0;
+// construct with New to mimic a specific campaign.
+type Generator struct {
+	seed uint32
+}
+
+// New returns a generator for one campaign seed. Bots of the same campaign
+// (same seed) generate identical lists, which is how the botmaster and the
+// bots rendezvous.
+func New(seed uint32) *Generator { return &Generator{seed: seed} }
+
+// mix is the 32-bit mixing core: a multiply/xor-shift hash in the spirit
+// of the newGOZ implementation's repeated integer hashing.
+func mix(x uint32) uint32 {
+	x ^= x >> 16
+	x *= 0x85ebca6b
+	x ^= x >> 13
+	x *= 0xc2b2ae35
+	x ^= x >> 16
+	return x
+}
+
+// DomainsForDate returns the first count candidate domains for the given
+// date. Length and characters are fully determined by (seed, date, index).
+func (g *Generator) DomainsForDate(date time.Time, count int) []string {
+	if count <= 0 {
+		return nil
+	}
+	y, m, d := date.UTC().Date()
+	base := g.seed ^ uint32(y)<<16 ^ uint32(m)<<8 ^ uint32(d)
+	out := make([]string, 0, count)
+	for i := 0; i < count; i++ {
+		out = append(out, g.domain(base, uint32(i)))
+	}
+	return out
+}
+
+// Domain returns the idx-th candidate domain for the date.
+func (g *Generator) Domain(date time.Time, idx int) string {
+	y, m, d := date.UTC().Date()
+	base := g.seed ^ uint32(y)<<16 ^ uint32(m)<<8 ^ uint32(d)
+	return g.domain(base, uint32(idx))
+}
+
+func (g *Generator) domain(base, idx uint32) string {
+	h := mix(base + idx*0x9e3779b9)
+	// newGOZ generates second-level labels 12..23 characters long.
+	length := 12 + int(h%12)
+	label := make([]byte, 0, length)
+	state := h
+	for j := 0; j < length; j++ {
+		state = mix(state + uint32(j))
+		label = append(label, byte('a'+state%26))
+	}
+	tld := TLDs[mix(h+0x51ed)%uint32(len(TLDs))]
+	return fmt.Sprintf("%s.%s", string(label), tld)
+}

@@ -1,0 +1,95 @@
+package dga
+
+import (
+	"regexp"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var domainRe = regexp.MustCompile(`^[a-z]{12,23}\.(com|net|org|biz|info)$`)
+
+func date(y, m, d int) time.Time {
+	return time.Date(y, time.Month(m), d, 0, 0, 0, 0, time.UTC)
+}
+
+func TestDomainFormat(t *testing.T) {
+	g := New(1)
+	for _, dom := range g.DomainsForDate(date(2011, 2, 2), 200) {
+		if !domainRe.MatchString(dom) {
+			t.Errorf("malformed domain %q", dom)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := New(7).DomainsForDate(date(2011, 2, 2), 50)
+	b := New(7).DomainsForDate(date(2011, 2, 2), 50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("domain %d differs: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestBotsRendezvous(t *testing.T) {
+	// Two bots of the same campaign generate the same list — that is the
+	// rendezvous property; different campaigns must not collide.
+	same := New(42).Domain(date(2011, 2, 3), 0)
+	if got := New(42).Domain(date(2011, 2, 3), 0); got != same {
+		t.Error("same campaign diverged")
+	}
+	if got := New(43).Domain(date(2011, 2, 3), 0); got == same {
+		t.Error("different campaigns collided on index 0")
+	}
+}
+
+func TestDaysDiffer(t *testing.T) {
+	g := New(1)
+	d1 := g.DomainsForDate(date(2011, 2, 2), 30)
+	d2 := g.DomainsForDate(date(2011, 2, 3), 30)
+	same := 0
+	for i := range d1 {
+		if d1[i] == d2[i] {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/30 domains identical across days", same)
+	}
+}
+
+func TestDomainsWithinDayAreDistinct(t *testing.T) {
+	g := New(9)
+	seen := map[string]bool{}
+	for _, dom := range g.DomainsForDate(date(2011, 2, 2), 500) {
+		if seen[dom] {
+			t.Fatalf("duplicate domain %s within one day", dom)
+		}
+		seen[dom] = true
+	}
+}
+
+func TestCountHandling(t *testing.T) {
+	g := New(1)
+	if got := g.DomainsForDate(date(2011, 2, 2), 0); got != nil {
+		t.Errorf("count 0 returned %v", got)
+	}
+	if got := g.DomainsForDate(date(2011, 2, 2), -3); got != nil {
+		t.Errorf("negative count returned %v", got)
+	}
+	if got := len(g.DomainsForDate(date(2011, 2, 2), 7)); got != 7 {
+		t.Errorf("asked 7, got %d", got)
+	}
+}
+
+func TestDomainIndexMatchesList(t *testing.T) {
+	if err := quick.Check(func(seed uint32, idx uint8) bool {
+		g := New(seed)
+		d := date(2011, 2, 2)
+		list := g.DomainsForDate(d, int(idx)+1)
+		return g.Domain(d, int(idx)) == list[idx]
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

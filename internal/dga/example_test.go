@@ -1,0 +1,26 @@
+package dga_test
+
+import (
+	"fmt"
+	"time"
+
+	"acobe/internal/dga"
+)
+
+// Example shows the rendezvous property the botnet case study relies on:
+// every bot of a campaign derives the same candidate domains from the
+// date, so the defender sees a burst of NXDOMAIN lookups to domains that
+// never appeared before — and that change every day.
+func Example() {
+	campaign := dga.New(0x60df)
+	day1 := time.Date(2011, 2, 2, 0, 0, 0, 0, time.UTC)
+	day2 := day1.AddDate(0, 0, 1)
+
+	a := campaign.Domain(day1, 0)
+	b := dga.New(0x60df).Domain(day1, 0) // another bot, same campaign
+	fmt.Println("bots agree:", a == b)
+	fmt.Println("days differ:", campaign.Domain(day1, 0) != campaign.Domain(day2, 0))
+	// Output:
+	// bots agree: true
+	// days differ: true
+}

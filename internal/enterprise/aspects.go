@@ -1,0 +1,116 @@
+// Package enterprise simulates the paper's real-world case-study
+// environment (Section VI): 246 employees whose Windows-server and
+// web-proxy audit logs (Windows-Event, Sysmon, PowerShell, DNS, proxy) are
+// gathered through a log pipeline, with 27 behavioral features across six
+// aspects (File, Command, Config, Resource, HTTP, Logon), a January-26th
+// organization-wide environmental change, and hooks for injecting the Zeus
+// botnet and ransomware attacks of the paper's case study.
+//
+// The simulator reuses the cert package's calendar (both datasets fit in
+// the same 2010-2011 day line); the paper's un-dated "Jan 26 / Feb 2"
+// events map to 2011-01-26 and 2011-02-02.
+package enterprise
+
+import "acobe/internal/features"
+
+// The 27 behavioral features: 16 from the four predictable aspects and 11
+// from the two statistical aspects (Section VI-B).
+const (
+	// File aspect: file-handle operations, file shares, Sysmon
+	// file-related events (IDs 2, 11, 4656, 4658-4663, 4670, 5140-5145).
+	FeatFileEvents = "file:events"
+	FeatFileUnique = "file:unique"
+	FeatFileNew    = "file:new"
+	FeatFileShares = "file:share-accesses"
+
+	// Command aspect: process creation and PowerShell execution
+	// (IDs 1, 4100-4104, 4688).
+	FeatCmdProcesses  = "command:processes"
+	FeatCmdPowerShell = "command:powershell"
+	FeatCmdUnique     = "command:unique"
+	FeatCmdNew        = "command:new"
+
+	// Config aspect: registry and account modifications.
+	FeatCfgRegistry    = "config:registry-mods"
+	FeatCfgUnique      = "config:unique"
+	FeatCfgNew         = "config:new"
+	FeatCfgAccountMods = "config:account-mods"
+
+	// Resource aspect: services, scheduled tasks, drivers.
+	FeatResEvents   = "resource:events"
+	FeatResUnique   = "resource:unique"
+	FeatResNew      = "resource:new"
+	FeatResServices = "resource:service-installs"
+
+	// HTTP statistical aspect (proxy + DNS).
+	FeatHTTPSuccess    = "http:success"
+	FeatHTTPSuccessNew = "http:success-new-domain"
+	FeatHTTPFail       = "http:fail"
+	FeatHTTPFailNew    = "http:fail-new-domain"
+	FeatHTTPUploads    = "http:uploads"
+	FeatHTTPUniqueDom  = "http:unique-domains"
+
+	// Logon statistical aspect.
+	FeatLogonSuccess = "logon:success"
+	FeatLogonFail    = "logon:failure"
+	FeatLogonHosts   = "logon:unique-hosts"
+	FeatLogonRemote  = "logon:remote"
+	FeatLogonTotal   = "logon:sessions"
+)
+
+// FileAspect returns the File predictable aspect.
+func FileAspect() features.Aspect {
+	return features.Aspect{Name: "File", Features: []string{
+		FeatFileEvents, FeatFileUnique, FeatFileNew, FeatFileShares,
+	}}
+}
+
+// CommandAspect returns the Command predictable aspect.
+func CommandAspect() features.Aspect {
+	return features.Aspect{Name: "Command", Features: []string{
+		FeatCmdProcesses, FeatCmdPowerShell, FeatCmdUnique, FeatCmdNew,
+	}}
+}
+
+// ConfigAspect returns the Config predictable aspect.
+func ConfigAspect() features.Aspect {
+	return features.Aspect{Name: "Config", Features: []string{
+		FeatCfgRegistry, FeatCfgUnique, FeatCfgNew, FeatCfgAccountMods,
+	}}
+}
+
+// ResourceAspect returns the Resource predictable aspect.
+func ResourceAspect() features.Aspect {
+	return features.Aspect{Name: "Resource", Features: []string{
+		FeatResEvents, FeatResUnique, FeatResNew, FeatResServices,
+	}}
+}
+
+// HTTPAspect returns the HTTP statistical aspect.
+func HTTPAspect() features.Aspect {
+	return features.Aspect{Name: "HTTP", Features: []string{
+		FeatHTTPSuccess, FeatHTTPSuccessNew, FeatHTTPFail,
+		FeatHTTPFailNew, FeatHTTPUploads, FeatHTTPUniqueDom,
+	}}
+}
+
+// LogonAspect returns the Logon statistical aspect.
+func LogonAspect() features.Aspect {
+	return features.Aspect{Name: "Logon", Features: []string{
+		FeatLogonSuccess, FeatLogonFail, FeatLogonHosts,
+		FeatLogonRemote, FeatLogonTotal,
+	}}
+}
+
+// Aspects returns all six aspects in presentation order.
+func Aspects() []features.Aspect {
+	return []features.Aspect{
+		FileAspect(), CommandAspect(), ConfigAspect(),
+		ResourceAspect(), HTTPAspect(), LogonAspect(),
+	}
+}
+
+// FeatureNames returns the flat list of all 27 features.
+func FeatureNames() []string {
+	return features.AllFeatureNames(Aspects())
+}

@@ -1,0 +1,239 @@
+package enterprise
+
+import (
+	"testing"
+	"time"
+
+	"acobe/internal/cert"
+	"acobe/internal/logstore"
+	"acobe/internal/mathx"
+)
+
+func tinyEntConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Employees = 6
+	cfg.Start = cert.MustDay("2011-01-01")
+	cfg.End = cert.MustDay("2011-02-28")
+	return cfg
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := tinyEntConfig()
+	cfg.Employees = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("no error for zero employees")
+	}
+	cfg = tinyEntConfig()
+	cfg.End = cfg.Start
+	if _, err := New(cfg); err == nil {
+		t.Error("no error for empty span")
+	}
+	cfg = tinyEntConfig()
+	cfg.Attacks = []Attack{&fakeAttack{victim: "ghost"}}
+	if _, err := New(cfg); err == nil {
+		t.Error("no error for unknown victim")
+	}
+}
+
+type fakeAttack struct{ victim string }
+
+func (f *fakeAttack) Name() string   { return "fake" }
+func (f *fakeAttack) Victim() string { return f.victim }
+func (f *fakeAttack) Day0() cert.Day { return 0 }
+func (f *fakeAttack) Inject(Employee, cert.Day, *mathx.RNG) []logstore.Record {
+	return nil
+}
+
+func TestAspects27Features(t *testing.T) {
+	names := FeatureNames()
+	if len(names) != 27 {
+		t.Fatalf("%d features, want 27", len(names))
+	}
+	aspects := Aspects()
+	if len(aspects) != 6 {
+		t.Fatalf("%d aspects, want 6", len(aspects))
+	}
+	// 16 from the four predictable aspects, 11 from the statistical two.
+	predictable := 0
+	for _, a := range aspects[:4] {
+		predictable += len(a.Features)
+	}
+	statistical := len(aspects[4].Features) + len(aspects[5].Features)
+	if predictable != 16 || statistical != 11 {
+		t.Errorf("predictable=%d statistical=%d, want 16/11", predictable, statistical)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	count := func() int64 {
+		gen, err := New(tinyEntConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		store := logstore.NewStore()
+		if err := gen.StreamTo(store, 2); err != nil {
+			t.Fatal(err)
+		}
+		return store.Ingested()
+	}
+	if a, b := count(), count(); a != b {
+		t.Errorf("record counts differ across runs: %d vs %d", a, b)
+	}
+}
+
+func TestEnvChangeShiftsCommandAndHTTP(t *testing.T) {
+	gen, err := New(tinyEntConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cmdBefore, cmdAfter, httpBefore, httpAfter float64
+	var daysBefore, daysAfter float64
+	err = gen.Stream(func(d cert.Day, recs []logstore.Record) error {
+		if d.IsWeekend() || cert.IsHoliday(d) {
+			return nil
+		}
+		before := d < DefaultEnvChangeDay
+		if before {
+			daysBefore++
+		} else {
+			daysAfter++
+		}
+		for _, r := range recs {
+			switch {
+			case r.Action == "ProcessCreate":
+				if before {
+					cmdBefore++
+				} else {
+					cmdAfter++
+				}
+			case r.Channel == logstore.ChannelProxy && r.Action == "HTTPRequest" && r.Status == "success":
+				if before {
+					httpBefore++
+				} else {
+					httpAfter++
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmdRateBefore := cmdBefore / daysBefore
+	cmdRateAfter := cmdAfter / daysAfter
+	if cmdRateAfter < cmdRateBefore*3 {
+		t.Errorf("Command rate %f → %f; expected a clear rise after the env change", cmdRateBefore, cmdRateAfter)
+	}
+	httpRateBefore := httpBefore / daysBefore
+	httpRateAfter := httpAfter / daysAfter
+	if httpRateAfter > httpRateBefore*0.85 {
+		t.Errorf("HTTP rate %f → %f; expected a clear drop after the env change", httpRateBefore, httpRateAfter)
+	}
+}
+
+func TestExtractorHTTPNewDomain(t *testing.T) {
+	x, err := NewExtractor([]string{"e1"}, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(d cert.Day, dom, status string) logstore.Record {
+		return logstore.Record{
+			Time: d.Date().Add(10 * time.Hour), User: "e1", Host: "h",
+			Channel: logstore.ChannelProxy, Action: "HTTPRequest", Object: dom, Status: status,
+		}
+	}
+	if err := x.Consume(0, []logstore.Record{mk(0, "a.com", "success"), mk(0, "a.com", "success")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Consume(1, []logstore.Record{mk(1, "a.com", "success"), mk(1, "b.com", "failure")}); err != nil {
+		t.Fatal(err)
+	}
+	tab := x.Table()
+	w := int(cert.Work)
+	if got := tab.At(0, tab.FeatureIndex(FeatHTTPSuccess), w, 0); got != 2 {
+		t.Errorf("success day0 = %g", got)
+	}
+	if got := tab.At(0, tab.FeatureIndex(FeatHTTPSuccessNew), w, 0); got != 2 {
+		t.Errorf("success-new day0 = %g (first-seen pairs count all day)", got)
+	}
+	if got := tab.At(0, tab.FeatureIndex(FeatHTTPSuccessNew), w, 1); got != 0 {
+		t.Errorf("success-new day1 = %g, want 0", got)
+	}
+	if got := tab.At(0, tab.FeatureIndex(FeatHTTPFailNew), w, 1); got != 1 {
+		t.Errorf("fail-new day1 = %g, want 1", got)
+	}
+	if got := tab.At(0, tab.FeatureIndex(FeatHTTPUniqueDom), w, 1); got != 2 {
+		t.Errorf("unique domains day1 = %g, want 2", got)
+	}
+}
+
+func TestExtractorPredictableCategories(t *testing.T) {
+	x, err := NewExtractor([]string{"e1"}, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []logstore.Record{
+		{Time: cert.Day(0).Date().Add(9 * time.Hour), User: "e1", Channel: logstore.ChannelSysmon,
+			EventID: 1, Action: "ProcessCreate", Object: `C:\a.exe`, Status: "success"},
+		{Time: cert.Day(0).Date().Add(9 * time.Hour), User: "e1", Channel: logstore.ChannelSysmon,
+			EventID: 1, Action: "ProcessCreate", Object: `C:\a.exe`, Status: "success"},
+		{Time: cert.Day(0).Date().Add(9 * time.Hour), User: "e1", Channel: logstore.ChannelPowerShell,
+			EventID: 4104, Action: "PowerShell", Object: "x.ps1", Status: "success"},
+		{Time: cert.Day(0).Date().Add(9 * time.Hour), User: "e1", Channel: logstore.ChannelSysmon,
+			EventID: 13, Action: "RegistrySet", Object: `HKCU\k`, Status: "success"},
+	}
+	if err := x.Consume(0, recs); err != nil {
+		t.Fatal(err)
+	}
+	tab := x.Table()
+	w := int(cert.Work)
+	if got := tab.At(0, tab.FeatureIndex(FeatCmdProcesses), w, 0); got != 2 {
+		t.Errorf("processes = %g, want 2", got)
+	}
+	if got := tab.At(0, tab.FeatureIndex(FeatCmdPowerShell), w, 0); got != 1 {
+		t.Errorf("powershell = %g, want 1", got)
+	}
+	if got := tab.At(0, tab.FeatureIndex(FeatCmdUnique), w, 0); got != 2 {
+		t.Errorf("command unique = %g, want 2 (a.exe + x.ps1)", got)
+	}
+	if got := tab.At(0, tab.FeatureIndex(FeatCmdNew), w, 0); got != 2 {
+		t.Errorf("command new = %g, want 2", got)
+	}
+	if got := tab.At(0, tab.FeatureIndex(FeatCfgRegistry), w, 0); got != 1 {
+		t.Errorf("registry = %g, want 1", got)
+	}
+}
+
+func TestVictimHasModestCommandBaseline(t *testing.T) {
+	// The paper notes its victim "barely has any activities in the
+	// Command aspect"; verify typical employees execute few processes
+	// before the env change.
+	gen, err := New(tinyEntConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	perUserCmd := map[string]int{}
+	days := 0
+	err = gen.Stream(func(d cert.Day, recs []logstore.Record) error {
+		if d >= DefaultEnvChangeDay {
+			return nil
+		}
+		if !d.IsWeekend() {
+			days++
+		}
+		for _, r := range recs {
+			if r.Action == "ProcessCreate" {
+				perUserCmd[r.User]++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u, n := range perUserCmd {
+		if rate := float64(n) / float64(days); rate > 2 {
+			t.Errorf("employee %s runs %.1f processes/day; too chatty for the case study", u, rate)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package experiment
+
+import (
+	"testing"
+
+	"acobe/internal/cert"
+)
+
+func TestSweepAggregationNoRetraining(t *testing.T) {
+	data := tinyData(t)
+	run := syntheticRun(data, ModelACOBE, "r6.1-s2", 0.1)
+	results, err := SweepAggregation(data, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d results", len(results))
+	}
+	for _, r := range results {
+		if r.AUC < 0 || r.AUC > 1 {
+			t.Errorf("%s AUC %g", r.Name, r.AUC)
+		}
+		if r.Insider < 1 {
+			t.Errorf("%s insider position %d", r.Name, r.Insider)
+		}
+	}
+	if results[0].Name != "relative-max" || results[1].Name != "absolute-max" {
+		t.Errorf("names %s/%s", results[0].Name, results[1].Name)
+	}
+	// The synthetic boost is uniform, so both aggregators must find it.
+	if results[0].AUC != 1 {
+		t.Errorf("relative-max AUC %g on a blatant synthetic insider", results[0].AUC)
+	}
+}
+
+func TestRunScenarioWithPresetRestoresPreset(t *testing.T) {
+	data := tinyData(t)
+	orig := data.Preset
+	p := orig
+	p.Deviation.Window = 7
+	// An invalid training range forces an error path; the preset must be
+	// restored regardless.
+	bogus := cert.NewScenario1("bogus", data.UserIDs[0], 5, 10)
+	if _, err := RunScenarioWithPreset(data, p, ModelACOBE, bogus); err == nil {
+		t.Error("bogus scenario did not error")
+	}
+	if data.Preset.Deviation != orig.Deviation || data.Preset.Name != orig.Name {
+		t.Error("preset not restored after RunScenarioWithPreset")
+	}
+}

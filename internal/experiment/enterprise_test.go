@@ -1,0 +1,57 @@
+package experiment
+
+import (
+	"testing"
+)
+
+func TestEnterprisePresets(t *testing.T) {
+	def := EnterpriseDefaultPreset()
+	if def.Employees != 246 {
+		t.Errorf("default employees %d, want 246 (the paper's count)", def.Employees)
+	}
+	if def.Deviation.Window != 14 {
+		t.Errorf("window %d, want 14 (two weeks per the paper)", def.Deviation.Window)
+	}
+	tiny := EnterpriseTinyPreset()
+	if tiny.Employees >= def.Employees {
+		t.Error("tiny preset not smaller than default")
+	}
+}
+
+func TestRunEnterpriseUnknownAttack(t *testing.T) {
+	if _, err := RunEnterprise(EnterpriseTinyPreset(), AttackKind("nope")); err == nil {
+		t.Error("no error for unknown attack kind")
+	}
+}
+
+// TestRunEnterpriseZeus is the case-study integration test: the victim
+// must reach investigation rank 1 right after the attack day.
+func TestRunEnterpriseZeus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains six autoencoders")
+	}
+	p := EnterpriseTinyPreset()
+	p.Employees = 20
+	run, err := RunEnterprise(p, AttackZeus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Series) != 6 {
+		t.Fatalf("%d aspect series, want 6", len(run.Series))
+	}
+	attackIdx := int(run.AttackDay - run.ScoreFrom)
+	if attackIdx < 0 || attackIdx >= len(run.VictimDailyRank) {
+		t.Fatalf("attack day outside score window")
+	}
+	// Within three days of the attack the victim must hit rank 1.
+	hit := false
+	for i := attackIdx; i < attackIdx+4 && i < len(run.VictimDailyRank); i++ {
+		if run.VictimDailyRank[i] == 1 {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Errorf("victim never ranked 1 right after the attack: %v",
+			run.VictimDailyRank[attackIdx:min(attackIdx+10, len(run.VictimDailyRank))])
+	}
+}

@@ -1,0 +1,321 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"acobe/internal/cert"
+	"acobe/internal/core"
+	"acobe/internal/features"
+	"acobe/internal/mathx"
+	"acobe/internal/metrics"
+	"acobe/internal/plot"
+)
+
+// BuildFig4 reproduces Figure 4: the r6.1-s2 insider's behavioral
+// deviation matrices in the device and HTTP aspects, one heatmap per
+// (aspect, time-frame), spanning the scenario's testing window. Dark bands
+// on labeled days with white "tails" afterwards come out exactly as in the
+// paper because the sliding history window adapts.
+func BuildFig4(data *CERTData) ([]*plot.Heatmap, error) {
+	ind, _, err := data.Fields(data.Preset.Deviation)
+	if err != nil {
+		return nil, err
+	}
+	insider := data.ScenarioUser["r6.1-s2"]
+	u := data.Table.UserIndex(insider)
+	if u < 0 {
+		return nil, fmt.Errorf("experiment: fig4 insider %q not in table", insider)
+	}
+	sc := data.ScenarioByName("r6.1-s2")
+	if sc == nil {
+		return nil, fmt.Errorf("experiment: fig4 needs the r6.1-s2 scenario")
+	}
+	dsStart, dsEnd := data.Span()
+	_, _, from, to, err := cert.SplitForScenario(sc, dsStart, dsEnd)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig4: %w", err)
+	}
+	if from < ind.FirstDay() {
+		from = ind.FirstDay()
+	}
+
+	var out []*plot.Heatmap
+	for _, aspect := range []features.Aspect{features.DeviceAspect(), features.HTTPAspect()} {
+		for frame := 0; frame < cert.NumTimeframes; frame++ {
+			h := &plot.Heatmap{
+				Title: fmt.Sprintf("Fig4 %s deviations of %s (%s hours)", aspect.Name, insider, cert.Timeframe(frame)),
+				Lo:    -data.Preset.Deviation.Delta,
+				Hi:    data.Preset.Deviation.Delta,
+			}
+			for d := from; d <= to; d++ {
+				h.Cols = append(h.Cols, d.String())
+			}
+			for _, name := range aspect.Features {
+				f := data.Table.FeatureIndex(name)
+				row := make([]float64, 0, int(to-from)+1)
+				for d := from; d <= to; d++ {
+					row = append(row, ind.Sigma(u, f, frame, d))
+				}
+				h.Rows = append(h.Rows, name)
+				h.Values = append(h.Values, row)
+			}
+			out = append(out, h)
+		}
+	}
+	return out, nil
+}
+
+// Fig5Waveform is one sub-figure of Figure 5: the daily anomaly-score
+// trends of the insider's department under one model configuration.
+type Fig5Waveform struct {
+	Model  ModelKind
+	Aspect string
+	Chart  *plot.Chart
+	// Mean and Std over all (user, day) points, as printed above each
+	// sub-figure in the paper.
+	Mean, Std float64
+}
+
+// BuildFig5Waveform extracts one aspect's score trends for the users of
+// the insider's department. The CSV carries the insider's line plus the
+// normal users' mean / p95 / max envelope (the paper plots every grey
+// line; the envelope is what the figure communicates).
+func BuildFig5Waveform(data *CERTData, run *ScenarioRun, aspect string) (*Fig5Waveform, error) {
+	var series *core.ScoreSeries
+	for _, s := range run.Series {
+		if s.Aspect == aspect {
+			series = s
+		}
+	}
+	if series == nil {
+		return nil, fmt.Errorf("experiment: run has no aspect %q", aspect)
+	}
+	insider := run.Insider
+	uIns := data.Table.UserIndex(insider)
+	if uIns < 0 {
+		return nil, fmt.Errorf("experiment: insider %q not in table", insider)
+	}
+	dept := data.UserGroup[uIns]
+
+	days := series.DaysCovered()
+	chart := &plot.Chart{
+		Title: fmt.Sprintf("Fig5 %v scores (%s aspect), dept of %s", run.Model, aspect, insider),
+		XName: "day",
+		YName: "anomaly score",
+	}
+	for i := 0; i < days; i++ {
+		chart.XLabel = append(chart.XLabel, (series.From + cert.Day(i)).String())
+	}
+
+	insiderY := append([]float64(nil), series.Scores[uIns]...)
+	meanY := make([]float64, days)
+	p95Y := make([]float64, days)
+	maxY := make([]float64, days)
+	var all []float64
+	col := make([]float64, 0, 256)
+	for i := 0; i < days; i++ {
+		col = col[:0]
+		for u := range data.UserIDs {
+			if data.UserGroup[u] != dept || u == uIns {
+				continue
+			}
+			col = append(col, series.Scores[u][i])
+		}
+		meanY[i] = mathx.Mean(col)
+		p95Y[i] = mathx.Percentile(col, 95)
+		maxY[i] = mathx.Max(col)
+		all = append(all, col...)
+	}
+	all = append(all, insiderY...)
+	mean, std := mathx.MeanStd(all)
+
+	chart.Series = []plot.Series{
+		{Name: "abnormal:" + insider, Y: insiderY},
+		{Name: "normal-mean", Y: meanY},
+		{Name: "normal-p95", Y: p95Y},
+		{Name: "normal-max", Y: maxY},
+	}
+	return &Fig5Waveform{Model: run.Model, Aspect: aspect, Chart: chart, Mean: mean, Std: std}, nil
+}
+
+// Fig5AspectFor returns the representative aspect charted for each model
+// in Figure 5 (the paper shows device and HTTP for ACOBE, and one
+// sub-figure per ablation).
+func Fig5AspectFor(kind ModelKind) string {
+	if kind == ModelAllInOne {
+		return "all-in-1"
+	}
+	return "http"
+}
+
+// Fig6Result bundles the Figure 6 outputs.
+type Fig6Result struct {
+	ROC     *plot.Chart // ROC curves sampled on a shared FPR grid
+	PR      *plot.Chart // precision at each recall step (4 positives)
+	Summary *plot.Table // AUC / AP / FPs-before-TP per model
+	Curves  map[string]*metrics.Curves
+}
+
+// BuildFig6 evaluates pooled scenario runs per model into ROC and PR
+// curves plus the summary table (Figure 6(a) and 6(b)).
+func BuildFig6(runsByModel map[ModelKind][]*ScenarioRun) (*Fig6Result, error) {
+	curvesByName := make(map[string]*metrics.Curves)
+	names := make([]string, 0, len(runsByModel))
+	for kind, runs := range runsByModel {
+		c, err := metrics.Evaluate(PoolItems(runs))
+		if err != nil {
+			return nil, fmt.Errorf("experiment: fig6 %v: %w", kind, err)
+		}
+		curvesByName[kind.String()] = c
+		names = append(names, kind.String())
+	}
+	sort.Strings(names)
+	return buildFig6Charts(names, curvesByName, "model")
+}
+
+// BuildFig6N evaluates ACOBE at different critic vote counts N (Figure
+// 6(c)).
+func BuildFig6N(runsByN map[int][]*ScenarioRun) (*Fig6Result, error) {
+	curvesByName := make(map[string]*metrics.Curves)
+	var names []string
+	for n, runs := range runsByN {
+		c, err := metrics.Evaluate(PoolItems(runs))
+		if err != nil {
+			return nil, fmt.Errorf("experiment: fig6c N=%d: %w", n, err)
+		}
+		name := fmt.Sprintf("ACOBE-N%d", n)
+		curvesByName[name] = c
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return buildFig6Charts(names, curvesByName, "critic N")
+}
+
+func buildFig6Charts(names []string, curvesByName map[string]*metrics.Curves, what string) (*Fig6Result, error) {
+	const gridN = 101
+	roc := &plot.Chart{Title: "Fig6(a) ROC (" + what + ")", XName: "FPR", YName: "TPR"}
+	for i := 0; i < gridN; i++ {
+		roc.XLabel = append(roc.XLabel, fmt.Sprintf("%.2f", float64(i)/(gridN-1)))
+	}
+	pr := &plot.Chart{Title: "Fig6(b) Precision-Recall (" + what + ")", XName: "recall", YName: "precision"}
+	summary := &plot.Table{
+		Title:   "Fig6 summary (" + what + ")",
+		Columns: []string{what, "AUC", "AP", "FPs before k-th TP"},
+	}
+
+	prGrid := map[float64]bool{}
+	for _, name := range names {
+		for _, p := range curvesByName[name].PR {
+			prGrid[p.X] = true
+		}
+	}
+	var recalls []float64
+	for r := range prGrid {
+		recalls = append(recalls, r)
+	}
+	sort.Float64s(recalls)
+	for _, r := range recalls {
+		pr.XLabel = append(pr.XLabel, fmt.Sprintf("%.3f", r))
+	}
+
+	for _, name := range names {
+		c := curvesByName[name]
+		// ROC sampled as a step function over the FPR grid.
+		y := make([]float64, gridN)
+		for i := 0; i < gridN; i++ {
+			fpr := float64(i) / (gridN - 1)
+			best := 0.0
+			for _, p := range c.ROC {
+				if p.X <= fpr+1e-12 && p.Y > best {
+					best = p.Y
+				}
+			}
+			y[i] = best
+		}
+		roc.Series = append(roc.Series, plot.Series{Name: name, Y: y})
+
+		// PR evaluated at each recall step present in any curve.
+		py := make([]float64, len(recalls))
+		for i, r := range recalls {
+			// precision at the smallest curve recall ≥ r
+			val := 0.0
+			for _, p := range c.PR {
+				if p.X >= r-1e-12 {
+					val = p.Y
+					break
+				}
+			}
+			py[i] = val
+		}
+		pr.Series = append(pr.Series, plot.Series{Name: name, Y: py})
+
+		summary.AddRow(name,
+			fmt.Sprintf("%.4f", c.AUC),
+			fmt.Sprintf("%.4f", c.AP),
+			fmt.Sprintf("%v", c.FPsBeforeTP()))
+	}
+	return &Fig6Result{ROC: roc, PR: pr, Summary: summary, Curves: curvesByName}, nil
+}
+
+// BuildFig7 turns an enterprise case-study run into per-aspect waveform
+// charts (victim vs normal envelope) and the victim's daily-rank chart.
+func BuildFig7(run *EnterpriseRun) (aspects []*plot.Chart, rank *plot.Chart, err error) {
+	vIdx := -1
+	for i, id := range run.Users {
+		if id == run.Victim {
+			vIdx = i
+		}
+	}
+	if vIdx < 0 {
+		return nil, nil, fmt.Errorf("experiment: fig7 victim %q missing", run.Victim)
+	}
+	days := run.Series[0].DaysCovered()
+	xlabels := make([]string, days)
+	for i := range xlabels {
+		xlabels[i] = (run.Series[0].From + cert.Day(i)).String()
+	}
+
+	for _, s := range run.Series {
+		chart := &plot.Chart{
+			Title:  fmt.Sprintf("Fig7 %s aspect (%s attack)", s.Aspect, run.Attack),
+			XName:  "day",
+			YName:  "anomaly score",
+			XLabel: xlabels,
+		}
+		victimY := append([]float64(nil), s.Scores[vIdx]...)
+		meanY := make([]float64, days)
+		p95Y := make([]float64, days)
+		col := make([]float64, 0, len(run.Users))
+		for i := 0; i < days; i++ {
+			col = col[:0]
+			for u := range run.Users {
+				if u == vIdx {
+					continue
+				}
+				col = append(col, s.Scores[u][i])
+			}
+			meanY[i] = mathx.Mean(col)
+			p95Y[i] = mathx.Percentile(col, 95)
+		}
+		chart.Series = []plot.Series{
+			{Name: "victim:" + run.Victim, Y: victimY},
+			{Name: "normal-mean", Y: meanY},
+			{Name: "normal-p95", Y: p95Y},
+		}
+		aspects = append(aspects, chart)
+	}
+
+	rank = &plot.Chart{
+		Title:  fmt.Sprintf("Fig7 victim daily investigation rank (%s attack)", run.Attack),
+		XName:  "day",
+		YName:  "rank (1=top)",
+		XLabel: xlabels,
+	}
+	y := make([]float64, len(run.VictimDailyRank))
+	for i, r := range run.VictimDailyRank {
+		y[i] = float64(r)
+	}
+	rank.Series = []plot.Series{{Name: "victim-rank", Y: y}}
+	return aspects, rank, nil
+}

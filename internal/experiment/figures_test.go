@@ -1,0 +1,252 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"acobe/internal/cert"
+	"acobe/internal/core"
+	"acobe/internal/metrics"
+)
+
+// syntheticRun fabricates a ScenarioRun with controlled score series so
+// the figure builders can be tested without training models.
+func syntheticRun(data *CERTData, kind ModelKind, scenario string, insiderBoost float64) *ScenarioRun {
+	sc := data.ScenarioByName(scenario)
+	insider := sc.UserID()
+	from := cert.MustDay("2010-12-01")
+	to := from + 29
+	days := int(to-from) + 1
+
+	var series []*core.ScoreSeries
+	for _, aspect := range []string{"device", "file", "http"} {
+		s := &core.ScoreSeries{Aspect: aspect, From: from, To: to}
+		for u, id := range data.UserIDs {
+			row := make([]float64, days)
+			for d := range row {
+				row[d] = 0.01 + 0.001*float64((u+d)%7)
+				if id == insider && d > days/2 {
+					row[d] += insiderBoost
+				}
+			}
+			s.Scores = append(s.Scores, row)
+		}
+		series = append(series, s)
+	}
+	scoresByAspect := make([][]float64, len(series))
+	for i, s := range series {
+		scoresByAspect[i] = core.AggregateRelativeMax(s)
+	}
+	list := core.Critic(data.UserIDs, scoresByAspect, 3)
+	run := &ScenarioRun{
+		Model:    kind,
+		Scenario: scenario,
+		Insider:  insider,
+		TestFrom: from,
+		TestTo:   to,
+		Series:   series,
+		List:     list,
+	}
+	run.Items = itemsFromList(data, list, insider)
+	return run
+}
+
+func TestBuildFig4(t *testing.T) {
+	data := tinyData(t)
+	heatmaps, err := BuildFig4(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// device × 2 frames + http × 2 frames.
+	if len(heatmaps) != 4 {
+		t.Fatalf("%d heatmaps", len(heatmaps))
+	}
+	if len(heatmaps[0].Rows) != 2 {
+		t.Errorf("device heatmap has %d rows", len(heatmaps[0].Rows))
+	}
+	if len(heatmaps[2].Rows) != 7 {
+		t.Errorf("http heatmap has %d rows", len(heatmaps[2].Rows))
+	}
+	// The insider's upload-doc row must saturate somewhere in the window
+	// (the dark band of Figure 4).
+	var sawSaturation bool
+	for _, row := range heatmaps[2].Values {
+		for _, v := range row {
+			if v >= 2.9 {
+				sawSaturation = true
+			}
+		}
+	}
+	if !sawSaturation {
+		t.Error("no saturated deviations in the insider's http heatmap")
+	}
+}
+
+func TestBuildFig5Waveform(t *testing.T) {
+	data := tinyData(t)
+	run := syntheticRun(data, ModelACOBE, "r6.1-s2", 0.05)
+	w, err := BuildFig5Waveform(data, run, "http")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Mean <= 0 || w.Std < 0 {
+		t.Errorf("stats mean=%g std=%g", w.Mean, w.Std)
+	}
+	if len(w.Chart.Series) != 4 {
+		t.Fatalf("%d series", len(w.Chart.Series))
+	}
+	if !strings.HasPrefix(w.Chart.Series[0].Name, "abnormal:") {
+		t.Errorf("first series %q", w.Chart.Series[0].Name)
+	}
+	// The insider's late-window scores must exceed the normal envelope.
+	ins := w.Chart.Series[0].Y
+	maxNorm := w.Chart.Series[3].Y
+	if ins[len(ins)-1] <= maxNorm[len(maxNorm)-1] {
+		t.Error("boosted insider does not exceed normal max in the waveform")
+	}
+	if _, err := BuildFig5Waveform(data, run, "nope"); err == nil {
+		t.Error("no error for unknown aspect")
+	}
+}
+
+func TestBuildFig6(t *testing.T) {
+	data := tinyData(t)
+	runsByModel := map[ModelKind][]*ScenarioRun{
+		ModelACOBE:    {syntheticRun(data, ModelACOBE, "r6.1-s2", 0.1)},
+		ModelBaseline: {syntheticRun(data, ModelBaseline, "r6.1-s2", 0.0)},
+	}
+	res, err := BuildFig6(runsByModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ROC.Series) != 2 || len(res.PR.Series) != 2 {
+		t.Fatalf("series counts %d/%d", len(res.ROC.Series), len(res.PR.Series))
+	}
+	acobe := res.Curves["ACOBE"]
+	baseline := res.Curves["Baseline"]
+	if acobe.AUC <= baseline.AUC {
+		t.Errorf("boosted ACOBE AUC %.3f not above flat Baseline %.3f", acobe.AUC, baseline.AUC)
+	}
+	if acobe.AUC != 1 {
+		t.Errorf("boosted insider should give AUC 1, got %.3f", acobe.AUC)
+	}
+	// ROC curves are step functions in [0,1] and end at TPR 1.
+	for _, s := range res.ROC.Series {
+		last := s.Y[len(s.Y)-1]
+		if last != 1 {
+			t.Errorf("%s ROC does not reach TPR 1 (%g)", s.Name, last)
+		}
+	}
+	if got := len(res.Summary.RowsOut); got != 2 {
+		t.Errorf("summary rows %d", got)
+	}
+}
+
+func TestBuildFig6N(t *testing.T) {
+	data := tinyData(t)
+	base := syntheticRun(data, ModelACOBE, "r6.1-s2", 0.1)
+	runsByN := make(map[int][]*ScenarioRun)
+	for n := 1; n <= 3; n++ {
+		rr, err := ReRankRuns(data, []*ScenarioRun{base}, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runsByN[n] = rr
+	}
+	res, err := BuildFig6N(runsByN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PR.Series) != 3 {
+		t.Fatalf("%d series", len(res.PR.Series))
+	}
+	for name := range res.Curves {
+		if !strings.HasPrefix(name, "ACOBE-N") {
+			t.Errorf("unexpected curve %q", name)
+		}
+	}
+}
+
+func TestBuildFig7(t *testing.T) {
+	users := []string{"e1", "e2", "e3"}
+	days := 20
+	mk := func(aspect string) *core.ScoreSeries {
+		s := &core.ScoreSeries{Aspect: aspect, From: 0, To: cert.Day(days - 1)}
+		for u := range users {
+			row := make([]float64, days)
+			for d := range row {
+				row[d] = 0.01
+				if u == 1 && d >= 10 {
+					row[d] = 0.2 // victim spikes after "attack"
+				}
+			}
+			s.Scores = append(s.Scores, row)
+		}
+		return s
+	}
+	run := &EnterpriseRun{
+		Attack:          AttackZeus,
+		Victim:          "e2",
+		ScoreFrom:       0,
+		ScoreTo:         cert.Day(days - 1),
+		AttackDay:       10,
+		Users:           users,
+		Series:          []*core.ScoreSeries{mk("Command"), mk("HTTP")},
+		VictimDailyRank: make([]int, days),
+	}
+	charts, rank, err := BuildFig7(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(charts) != 2 {
+		t.Fatalf("%d aspect charts", len(charts))
+	}
+	for _, c := range charts {
+		if len(c.Series) != 3 {
+			t.Errorf("chart %q has %d series", c.Title, len(c.Series))
+		}
+		victimY := c.Series[0].Y
+		if victimY[15] <= c.Series[1].Y[15] {
+			t.Errorf("victim does not exceed normal mean after attack in %q", c.Title)
+		}
+	}
+	if len(rank.Series) != 1 || len(rank.Series[0].Y) != days {
+		t.Error("rank chart malformed")
+	}
+
+	run.Victim = "ghost"
+	if _, _, err := BuildFig7(run); err == nil {
+		t.Error("no error for missing victim")
+	}
+}
+
+func TestItemsFromListExcludesOtherInsiders(t *testing.T) {
+	data := tinyData(t)
+	run := syntheticRun(data, ModelACOBE, "r6.1-s2", 0.1)
+	// r6.1-s2's items must not contain the other three insiders.
+	for _, it := range run.Items {
+		if it.User != run.Insider && data.IsScenarioUser(it.User) {
+			t.Errorf("other insider %s leaked into items", it.User)
+		}
+	}
+	found := false
+	for _, it := range run.Items {
+		if it.Positive {
+			if it.User != run.Insider {
+				t.Errorf("positive item is %s", it.User)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Error("insider missing from items")
+	}
+	var c *metrics.Curves
+	var err error
+	if c, err = metrics.Evaluate(run.Items); err != nil {
+		t.Fatal(err)
+	}
+	if c.Positives() != 1 {
+		t.Errorf("%d positives", c.Positives())
+	}
+}

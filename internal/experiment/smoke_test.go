@@ -1,0 +1,36 @@
+package experiment
+
+import (
+	"testing"
+
+	"acobe/internal/metrics"
+)
+
+// TestSmokeACOBEDetectsInsider is the end-to-end sanity check: on a tiny
+// synthesized organization, ACOBE must rank the r6.1-s2 insider near the
+// top of the investigation list.
+func TestSmokeACOBEDetectsInsider(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end smoke test")
+	}
+	data, err := BuildCERTData(TinyPreset())
+	if err != nil {
+		t.Fatalf("build data: %v", err)
+	}
+	var sc2 = data.Gen.Scenarios()[1] // r6.1-s2 (JPH1910)
+	run, err := RunScenario(data, ModelACOBE, sc2)
+	if err != nil {
+		t.Fatalf("run scenario: %v", err)
+	}
+	curves, err := metrics.Evaluate(run.Items)
+	if err != nil {
+		t.Fatalf("evaluate: %v", err)
+	}
+	t.Logf("insider=%s auc=%.4f fpsBeforeTP=%v", run.Insider, curves.AUC, curves.FPsBeforeTP())
+	for i, r := range run.List[:5] {
+		t.Logf("rank %d: %s priority=%d ranks=%v", i+1, r.User, r.Priority, r.Ranks)
+	}
+	if curves.AUC < 0.9 {
+		t.Errorf("ACOBE AUC = %.4f, want ≥ 0.9", curves.AUC)
+	}
+}

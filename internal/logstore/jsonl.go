@@ -1,0 +1,104 @@
+package logstore
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// jsonRecord is the wire form of a Record, shaped like what a log shipper
+// would emit (flat JSON object per line, RFC3339 timestamp).
+type jsonRecord struct {
+	Timestamp string `json:"@timestamp"`
+	User      string `json:"user"`
+	Host      string `json:"host"`
+	Channel   string `json:"channel"`
+	EventID   int    `json:"event_id,omitempty"`
+	Action    string `json:"action"`
+	Object    string `json:"object,omitempty"`
+	Status    string `json:"status,omitempty"`
+}
+
+// WriteJSONL streams every record of the store to w as one JSON object
+// per line, in day order. It returns the number of records written.
+func (s *Store) WriteJSONL(w io.Writer) (int, error) {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	n := 0
+	for _, d := range s.Days() {
+		for _, r := range s.DayRecords(d) {
+			jr := jsonRecord{
+				Timestamp: r.Time.UTC().Format(time.RFC3339),
+				User:      r.User,
+				Host:      r.Host,
+				Channel:   r.Channel,
+				EventID:   r.EventID,
+				Action:    r.Action,
+				Object:    r.Object,
+				Status:    r.Status,
+			}
+			if err := enc.Encode(&jr); err != nil {
+				return n, fmt.Errorf("logstore: encode record: %w", err)
+			}
+			n++
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return n, fmt.Errorf("logstore: flush: %w", err)
+	}
+	return n, nil
+}
+
+// SaveJSONL writes the store to a file.
+func (s *Store) SaveJSONL(path string) (int, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, fmt.Errorf("logstore: create %s: %w", path, err)
+	}
+	defer f.Close()
+	return s.WriteJSONL(f)
+}
+
+// ReadJSONL loads records from a JSONL stream into a new store.
+func ReadJSONL(r io.Reader) (*Store, error) {
+	store := NewStore()
+	dec := json.NewDecoder(bufio.NewReader(r))
+	line := 0
+	for {
+		var jr jsonRecord
+		if err := dec.Decode(&jr); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("logstore: decode record %d: %w", line, err)
+		}
+		line++
+		t, err := time.Parse(time.RFC3339, jr.Timestamp)
+		if err != nil {
+			return nil, fmt.Errorf("logstore: record %d timestamp: %w", line, err)
+		}
+		store.Append(Record{
+			Time:    t,
+			User:    jr.User,
+			Host:    jr.Host,
+			Channel: jr.Channel,
+			EventID: jr.EventID,
+			Action:  jr.Action,
+			Object:  jr.Object,
+			Status:  jr.Status,
+		})
+	}
+	return store, nil
+}
+
+// LoadJSONL reads a JSONL file into a new store.
+func LoadJSONL(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("logstore: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return ReadJSONL(f)
+}

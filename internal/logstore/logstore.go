@@ -1,0 +1,234 @@
+// Package logstore is a small, concurrent audit-log ingestion pipeline and
+// in-memory indexed store — the stand-in for the ELK stack the paper's
+// enterprise gathered its Windows-server and web-proxy logs through.
+// Collectors submit records concurrently; the store indexes them by day
+// for the feature-extraction stage.
+package logstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"acobe/internal/cert"
+)
+
+// Channel names of the enterprise audit sources (Section VI-A).
+const (
+	ChannelSecurity   = "Security"   // Windows-Event auditing
+	ChannelSysmon     = "Sysmon"     // Microsoft-Windows-Sysmon/Operational
+	ChannelPowerShell = "PowerShell" // Microsoft-Windows-PowerShell/Operational
+	ChannelDNS        = "DNS"        // DNS-query logs
+	ChannelProxy      = "Proxy"      // web-proxy access logs
+)
+
+// Record is one enterprise audit-log entry, normalized across channels the
+// way a log shipper would emit it.
+type Record struct {
+	Time    time.Time
+	User    string
+	Host    string
+	Channel string
+	// EventID is the Windows event ID (Sysmon 1, Security 4688, ...);
+	// zero for proxy/DNS records.
+	EventID int
+	// Action is the normalized verb: ProcessCreate, FileWrite,
+	// RegistrySet, DNSQuery, HTTPRequest, Logon, ...
+	Action string
+	// Object is the acted-on entity: file path, registry key, domain,
+	// process image, share name.
+	Object string
+	// Status is "success" or "failure" where meaningful.
+	Status string
+}
+
+// Day returns the record's calendar day.
+func (r Record) Day() cert.Day { return cert.DayOf(r.Time) }
+
+// Store is an in-memory day-indexed record store. It is safe for
+// concurrent ingestion and concurrent reads, but reads concurrent with
+// writes see a consistent snapshot only per call.
+type Store struct {
+	mu       sync.RWMutex
+	byDay    map[cert.Day][]Record
+	ingested atomic.Int64
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{byDay: make(map[cert.Day][]Record)}
+}
+
+// Append adds records to the store.
+func (s *Store) Append(recs ...Record) {
+	if len(recs) == 0 {
+		return
+	}
+	s.mu.Lock()
+	for _, r := range recs {
+		d := r.Day()
+		s.byDay[d] = append(s.byDay[d], r)
+	}
+	s.mu.Unlock()
+	s.ingested.Add(int64(len(recs)))
+}
+
+// Ingested returns the total number of records appended so far.
+func (s *Store) Ingested() int64 { return s.ingested.Load() }
+
+// Days returns the sorted days that have records.
+func (s *Store) Days() []cert.Day {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]cert.Day, 0, len(s.byDay))
+	for d := range s.byDay {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DayRecords returns a copy of the records of day d.
+func (s *Store) DayRecords(d cert.Day) []Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]Record(nil), s.byDay[d]...)
+}
+
+// Filter selects records; zero fields match everything.
+type Filter struct {
+	User    string
+	Channel string
+	Action  string
+	EventID int
+	From    cert.Day
+	To      cert.Day // inclusive; zero means open-ended when From is zero too
+	hasSpan bool
+}
+
+// Span restricts the filter to [from, to].
+func (f Filter) Span(from, to cert.Day) Filter {
+	f.From, f.To, f.hasSpan = from, to, true
+	return f
+}
+
+func (f Filter) match(r Record) bool {
+	if f.User != "" && r.User != f.User {
+		return false
+	}
+	if f.Channel != "" && r.Channel != f.Channel {
+		return false
+	}
+	if f.Action != "" && r.Action != f.Action {
+		return false
+	}
+	if f.EventID != 0 && r.EventID != f.EventID {
+		return false
+	}
+	if f.hasSpan {
+		d := r.Day()
+		if d < f.From || d > f.To {
+			return false
+		}
+	}
+	return true
+}
+
+// Query returns matching records in day order.
+func (s *Store) Query(f Filter) []Record {
+	var out []Record
+	for _, d := range s.Days() {
+		if f.hasSpan && (d < f.From || d > f.To) {
+			continue
+		}
+		s.mu.RLock()
+		for _, r := range s.byDay[d] {
+			if f.match(r) {
+				out = append(out, r)
+			}
+		}
+		s.mu.RUnlock()
+	}
+	return out
+}
+
+// Count returns the number of matching records.
+func (s *Store) Count(f Filter) int {
+	n := 0
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for d, recs := range s.byDay {
+		if f.hasSpan && (d < f.From || d > f.To) {
+			continue
+		}
+		for _, r := range recs {
+			if f.match(r) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Pipeline fans concurrent record submissions into a store through a
+// buffered channel with batching — the shape of a log-shipper → indexer
+// pipeline. Close it to flush and stop the workers.
+type Pipeline struct {
+	store   *Store
+	ch      chan Record
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+	batchSz int
+}
+
+// NewPipeline starts workers draining into store. batchSize controls how
+// many records a worker groups per Append (defaults to 256).
+func NewPipeline(store *Store, workers, batchSize int) *Pipeline {
+	if workers < 1 {
+		workers = 1
+	}
+	if batchSize < 1 {
+		batchSize = 256
+	}
+	p := &Pipeline{store: store, ch: make(chan Record, workers*batchSize), batchSz: batchSize}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pipeline) worker() {
+	defer p.wg.Done()
+	batch := make([]Record, 0, p.batchSz)
+	for r := range p.ch {
+		batch = append(batch, r)
+		if len(batch) >= p.batchSz {
+			p.store.Append(batch...)
+			batch = batch[:0]
+		}
+	}
+	if len(batch) > 0 {
+		p.store.Append(batch...)
+	}
+}
+
+// Submit enqueues one record. It returns an error after Close.
+func (p *Pipeline) Submit(r Record) error {
+	if p.closed.Load() {
+		return fmt.Errorf("logstore: submit on closed pipeline")
+	}
+	p.ch <- r
+	return nil
+}
+
+// Close flushes outstanding records and stops the workers. It is safe to
+// call once; further Submits fail.
+func (p *Pipeline) Close() {
+	if p.closed.CompareAndSwap(false, true) {
+		close(p.ch)
+		p.wg.Wait()
+	}
+}

@@ -1,0 +1,195 @@
+package logstore
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"acobe/internal/cert"
+)
+
+func rec(day int, user, channel, action, status string) Record {
+	return Record{
+		Time:    cert.Day(day).Date().Add(10 * time.Hour),
+		User:    user,
+		Host:    "WS-1",
+		Channel: channel,
+		Action:  action,
+		Status:  status,
+	}
+}
+
+func TestStoreAppendAndDays(t *testing.T) {
+	s := NewStore()
+	s.Append(rec(3, "a", ChannelProxy, "HTTPRequest", "success"))
+	s.Append(rec(1, "a", ChannelSysmon, "FileWrite", "success"))
+	s.Append(rec(3, "b", ChannelProxy, "HTTPRequest", "failure"))
+	days := s.Days()
+	if len(days) != 2 || days[0] != 1 || days[1] != 3 {
+		t.Errorf("Days = %v", days)
+	}
+	if got := len(s.DayRecords(3)); got != 2 {
+		t.Errorf("day 3 has %d records", got)
+	}
+	if s.Ingested() != 3 {
+		t.Errorf("Ingested = %d", s.Ingested())
+	}
+}
+
+func TestDayRecordsIsCopy(t *testing.T) {
+	s := NewStore()
+	s.Append(rec(1, "a", ChannelProxy, "HTTPRequest", "success"))
+	got := s.DayRecords(1)
+	got[0].User = "tampered"
+	if s.DayRecords(1)[0].User != "a" {
+		t.Error("DayRecords aliases internal storage")
+	}
+}
+
+func TestQueryFilters(t *testing.T) {
+	s := NewStore()
+	s.Append(
+		rec(1, "alice", ChannelProxy, "HTTPRequest", "success"),
+		rec(2, "alice", ChannelSysmon, "FileWrite", "success"),
+		rec(3, "bob", ChannelProxy, "HTTPRequest", "failure"),
+		rec(4, "alice", ChannelProxy, "HTTPRequest", "failure"),
+	)
+	if got := s.Count(Filter{User: "alice"}); got != 3 {
+		t.Errorf("user filter count = %d", got)
+	}
+	if got := s.Count(Filter{Channel: ChannelProxy}); got != 3 {
+		t.Errorf("channel filter count = %d", got)
+	}
+	if got := s.Count(Filter{Action: "FileWrite"}); got != 1 {
+		t.Errorf("action filter count = %d", got)
+	}
+	if got := s.Count(Filter{User: "alice"}.Span(2, 4)); got != 2 {
+		t.Errorf("span filter count = %d", got)
+	}
+	recs := s.Query(Filter{Channel: ChannelProxy}.Span(1, 3))
+	if len(recs) != 2 {
+		t.Fatalf("query returned %d records", len(recs))
+	}
+	if recs[0].Day() > recs[1].Day() {
+		t.Error("query results out of day order")
+	}
+}
+
+func TestFilterEventID(t *testing.T) {
+	s := NewStore()
+	r := rec(1, "a", ChannelSysmon, "ProcessCreate", "success")
+	r.EventID = 1
+	s.Append(r)
+	if s.Count(Filter{EventID: 1}) != 1 || s.Count(Filter{EventID: 4688}) != 0 {
+		t.Error("event-id filter wrong")
+	}
+}
+
+func TestPipelineConcurrentIngestion(t *testing.T) {
+	s := NewStore()
+	p := NewPipeline(s, 4, 32)
+	const (
+		workers = 8
+		each    = 500
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r := rec(i%30, fmt.Sprintf("user%d", w), ChannelProxy, "HTTPRequest", "success")
+				if err := p.Submit(r); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	p.Close()
+	if got := s.Ingested(); got != workers*each {
+		t.Errorf("ingested %d, want %d", got, workers*each)
+	}
+}
+
+func TestPipelineSubmitAfterClose(t *testing.T) {
+	p := NewPipeline(NewStore(), 1, 8)
+	p.Close()
+	if err := p.Submit(rec(1, "a", ChannelProxy, "HTTPRequest", "success")); err == nil {
+		t.Error("submit after close succeeded")
+	}
+	// Double close must be safe.
+	p.Close()
+}
+
+func TestPipelineFlushesPartialBatch(t *testing.T) {
+	s := NewStore()
+	p := NewPipeline(s, 2, 1000) // batch bigger than submissions
+	for i := 0; i < 5; i++ {
+		if err := p.Submit(rec(i, "a", ChannelDNS, "DNSQuery", "failure")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close()
+	if s.Ingested() != 5 {
+		t.Errorf("flushed %d records, want 5", s.Ingested())
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	s := NewStore()
+	r1 := rec(1, "alice", ChannelSysmon, "FileWrite", "success")
+	r1.EventID = 11
+	r1.Object = `C:\a.docx`
+	r2 := rec(3, "bob", ChannelDNS, "DNSQuery", "failure")
+	r2.Object = "xyz.biz"
+	s.Append(r1, r2)
+
+	path := t.TempDir() + "/logs.jsonl"
+	n, err := s.SaveJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("wrote %d records", n)
+	}
+	loaded, err := LoadJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Ingested() != 2 {
+		t.Fatalf("loaded %d records", loaded.Ingested())
+	}
+	got := loaded.DayRecords(1)[0]
+	if got.User != "alice" || got.EventID != 11 || got.Object != `C:\a.docx` || got.Channel != ChannelSysmon {
+		t.Errorf("round-tripped record %+v", got)
+	}
+	if !got.Time.Equal(r1.Time) {
+		t.Errorf("time %v vs %v", got.Time, r1.Time)
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{not json")); err == nil {
+		t.Error("no error for malformed JSON")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"@timestamp":"bogus","user":"a"}`)); err == nil {
+		t.Error("no error for malformed timestamp")
+	}
+	s, err := ReadJSONL(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Ingested() != 0 {
+		t.Error("empty stream not empty")
+	}
+}
+
+func TestLoadJSONLMissing(t *testing.T) {
+	if _, err := LoadJSONL(t.TempDir() + "/nope.jsonl"); err == nil {
+		t.Error("no error for missing file")
+	}
+}

@@ -1,0 +1,31 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"acobe/internal/metrics"
+)
+
+// ExampleEvaluate walks an investigation list the way the paper's
+// evaluation does: ties between a false positive and a true positive are
+// resolved pessimistically (the FP is investigated first), and the curve
+// metrics are computed from the resulting order.
+func ExampleEvaluate() {
+	items := []metrics.Item{
+		{User: "insider", Priority: 2, Positive: true},
+		{User: "normal-1", Priority: 2}, // same priority as the insider
+		{User: "normal-2", Priority: 5},
+		{User: "normal-3", Priority: 9},
+	}
+	c, err := metrics.Evaluate(items)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("first investigated: %s\n", c.Ordered[0].User)
+	fmt.Printf("AUC: %.3f\n", c.AUC)
+	fmt.Printf("FPs before the insider: %v\n", c.FPsBeforeTP())
+	// Output:
+	// first investigated: normal-1
+	// AUC: 0.667
+	// FPs before the insider: [1]
+}

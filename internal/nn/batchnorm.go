@@ -1,0 +1,187 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// BatchNorm implements batch normalization (Ioffe & Szegedy 2015) over the
+// feature dimension, matching tf.keras.layers.BatchNormalization as used by
+// the paper: during training it normalizes with batch statistics and
+// maintains exponential moving averages; during inference it normalizes
+// with the moving averages.
+type BatchNorm struct {
+	Dim      int
+	Momentum float64 // moving-average momentum (keras default 0.99)
+	Epsilon  float64 // numerical stability term (keras default 1e-3)
+
+	Gamma *Param // 1×Dim scale, initialized to ones
+	Beta  *Param // 1×Dim shift, initialized to zeros
+
+	// Moving statistics used at inference time (not trained by gradient).
+	MovingMean *Matrix // 1×Dim
+	MovingVar  *Matrix // 1×Dim
+
+	// Saved forward-pass intermediates for backprop.
+	lastXHat    *Matrix
+	lastInvStd  []float64
+	lastCentred *Matrix
+	lastBatch   int
+	// lastUsedMoving marks that the most recent training-mode Forward fell
+	// back to moving statistics (single-sample batch); Backward then
+	// treats the layer as a fixed affine transform.
+	lastUsedMoving bool
+}
+
+// NewBatchNorm returns a batch-normalization layer over dim features with
+// keras-default momentum 0.99 and epsilon 1e-3.
+func NewBatchNorm(dim int) *BatchNorm {
+	gamma := NewMatrix(1, dim)
+	for i := range gamma.Data {
+		gamma.Data[i] = 1
+	}
+	movingVar := NewMatrix(1, dim)
+	for i := range movingVar.Data {
+		movingVar.Data[i] = 1
+	}
+	return &BatchNorm{
+		Dim:        dim,
+		Momentum:   0.99,
+		Epsilon:    1e-3,
+		Gamma:      newParam(fmt.Sprintf("bn_%d_gamma", dim), gamma),
+		Beta:       newParam(fmt.Sprintf("bn_%d_beta", dim), NewMatrix(1, dim)),
+		MovingMean: NewMatrix(1, dim),
+		MovingVar:  movingVar,
+	}
+}
+
+// Forward implements Layer.
+func (b *BatchNorm) Forward(x *Matrix, train bool) *Matrix {
+	if x.Cols != b.Dim {
+		panic(fmt.Sprintf("nn: batchnorm expects %d features, got %d", b.Dim, x.Cols))
+	}
+	n := float64(x.Rows)
+	out := NewMatrix(x.Rows, x.Cols)
+	if !train || x.Rows == 1 {
+		// Inference path: use moving statistics. A single-sample batch
+		// also uses moving statistics, since batch variance would be 0.
+		b.lastUsedMoving = train
+		for j := 0; j < b.Dim; j++ {
+			invStd := 1 / math.Sqrt(b.MovingVar.Data[j]+b.Epsilon)
+			g := b.Gamma.Value.Data[j]
+			bt := b.Beta.Value.Data[j]
+			mu := b.MovingMean.Data[j]
+			for i := 0; i < x.Rows; i++ {
+				out.Data[i*x.Cols+j] = g*(x.Data[i*x.Cols+j]-mu)*invStd + bt
+			}
+		}
+		return out
+	}
+
+	mean := make([]float64, b.Dim)
+	variance := make([]float64, b.Dim)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= n
+	}
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		for j, v := range row {
+			d := v - mean[j]
+			variance[j] += d * d
+		}
+	}
+	for j := range variance {
+		variance[j] /= n
+	}
+
+	b.lastUsedMoving = false
+	b.lastInvStd = make([]float64, b.Dim)
+	b.lastCentred = NewMatrix(x.Rows, x.Cols)
+	b.lastXHat = NewMatrix(x.Rows, x.Cols)
+	b.lastBatch = x.Rows
+	for j := 0; j < b.Dim; j++ {
+		b.lastInvStd[j] = 1 / math.Sqrt(variance[j]+b.Epsilon)
+	}
+	for i := 0; i < x.Rows; i++ {
+		for j := 0; j < b.Dim; j++ {
+			idx := i*x.Cols + j
+			c := x.Data[idx] - mean[j]
+			b.lastCentred.Data[idx] = c
+			xhat := c * b.lastInvStd[j]
+			b.lastXHat.Data[idx] = xhat
+			out.Data[idx] = b.Gamma.Value.Data[j]*xhat + b.Beta.Value.Data[j]
+		}
+	}
+
+	// Update moving statistics.
+	for j := 0; j < b.Dim; j++ {
+		b.MovingMean.Data[j] = b.Momentum*b.MovingMean.Data[j] + (1-b.Momentum)*mean[j]
+		b.MovingVar.Data[j] = b.Momentum*b.MovingVar.Data[j] + (1-b.Momentum)*variance[j]
+	}
+	return out
+}
+
+// Backward implements Layer. When the most recent Forward used moving
+// statistics (single-sample training batch), the layer acts as a fixed
+// affine transform: dx = dy · γ · invStd. γ/β gradients are skipped for
+// such batches — a negligible approximation that only affects the rare
+// one-row tail batch of an epoch.
+func (b *BatchNorm) Backward(gradOut *Matrix) *Matrix {
+	if b.lastUsedMoving {
+		out := NewMatrix(gradOut.Rows, gradOut.Cols)
+		for i := 0; i < gradOut.Rows; i++ {
+			for j := 0; j < b.Dim; j++ {
+				idx := i*gradOut.Cols + j
+				invStd := 1 / math.Sqrt(b.MovingVar.Data[j]+b.Epsilon)
+				out.Data[idx] = gradOut.Data[idx] * b.Gamma.Value.Data[j] * invStd
+			}
+		}
+		return out
+	}
+	if b.lastXHat == nil {
+		panic("nn: BatchNorm.Backward before training-mode Forward")
+	}
+	n := float64(b.lastBatch)
+	out := NewMatrix(gradOut.Rows, gradOut.Cols)
+
+	// Per-feature reductions.
+	sumDy := make([]float64, b.Dim)
+	sumDyXHat := make([]float64, b.Dim)
+	for i := 0; i < gradOut.Rows; i++ {
+		for j := 0; j < b.Dim; j++ {
+			idx := i*gradOut.Cols + j
+			sumDy[j] += gradOut.Data[idx]
+			sumDyXHat[j] += gradOut.Data[idx] * b.lastXHat.Data[idx]
+		}
+	}
+	for j := 0; j < b.Dim; j++ {
+		b.Gamma.Grad.Data[j] += sumDyXHat[j]
+		b.Beta.Grad.Data[j] += sumDy[j]
+	}
+	for i := 0; i < gradOut.Rows; i++ {
+		for j := 0; j < b.Dim; j++ {
+			idx := i*gradOut.Cols + j
+			dxhat := gradOut.Data[idx] * b.Gamma.Value.Data[j]
+			// Standard batch-norm input gradient:
+			// dx = (1/n) * invStd * (n*dxhat - sum(dxhat) - xhat * sum(dxhat*xhat))
+			out.Data[idx] = b.lastInvStd[j] / n *
+				(n*dxhat - b.Gamma.Value.Data[j]*sumDy[j] - b.lastXHat.Data[idx]*b.Gamma.Value.Data[j]*sumDyXHat[j])
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (b *BatchNorm) Params() []*Param { return []*Param{b.Gamma, b.Beta} }
+
+// OutDim implements Layer.
+func (b *BatchNorm) OutDim(inDim int) int { return inDim }
+
+// Describe implements Layer.
+func (b *BatchNorm) Describe() string { return fmt.Sprintf("BatchNorm(%d)", b.Dim) }

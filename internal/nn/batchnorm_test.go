@@ -1,0 +1,132 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"acobe/internal/mathx"
+)
+
+func TestBatchNormTrainingNormalizes(t *testing.T) {
+	bn := NewBatchNorm(3)
+	rng := mathx.NewRNG(1)
+	x := NewMatrix(64, 3)
+	for i := 0; i < x.Rows; i++ {
+		x.Set(i, 0, rng.Normal(10, 2))
+		x.Set(i, 1, rng.Normal(-5, 0.5))
+		x.Set(i, 2, rng.Normal(0, 1))
+	}
+	y := bn.Forward(x, true)
+	for j := 0; j < 3; j++ {
+		col := make([]float64, y.Rows)
+		for i := range col {
+			col[i] = y.At(i, j)
+		}
+		mean, std := mathx.MeanStd(col)
+		if math.Abs(mean) > 1e-9 {
+			t.Errorf("feature %d mean %g after batchnorm", j, mean)
+		}
+		if math.Abs(std-1) > 0.01 {
+			t.Errorf("feature %d std %g after batchnorm", j, std)
+		}
+	}
+}
+
+func TestBatchNormInferenceUsesMovingStats(t *testing.T) {
+	bn := NewBatchNorm(1)
+	rng := mathx.NewRNG(2)
+	// Feed many batches so moving stats converge toward N(4, 3).
+	for e := 0; e < 600; e++ {
+		x := NewMatrix(32, 1)
+		for i := range x.Data {
+			x.Data[i] = rng.Normal(4, 3)
+		}
+		bn.Forward(x, true)
+	}
+	if math.Abs(bn.MovingMean.Data[0]-4) > 0.5 {
+		t.Errorf("moving mean %g, want ≈ 4", bn.MovingMean.Data[0])
+	}
+	if math.Abs(bn.MovingVar.Data[0]-9) > 2 {
+		t.Errorf("moving var %g, want ≈ 9", bn.MovingVar.Data[0])
+	}
+	// Inference on the distribution mean should land near zero.
+	y := bn.Forward(FromRows([][]float64{{4}}), false)
+	if math.Abs(y.Data[0]) > 0.2 {
+		t.Errorf("inference output %g, want ≈ 0", y.Data[0])
+	}
+}
+
+func TestBatchNormSingleSampleUsesMovingStats(t *testing.T) {
+	bn := NewBatchNorm(1)
+	// One-sample "training" batch must not divide by zero variance.
+	y := bn.Forward(FromRows([][]float64{{5}}), true)
+	if math.IsNaN(y.Data[0]) || math.IsInf(y.Data[0], 0) {
+		t.Errorf("single-sample forward produced %g", y.Data[0])
+	}
+}
+
+func TestBatchNormGradientCheck(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	net := NewNetwork(
+		NewDense(3, 4, rng),
+		NewBatchNorm(4),
+		NewActivation(ActTanh),
+		NewDense(4, 2, rng),
+	)
+	x := randomMatrix(rng, 6, 3)
+	target := randomMatrix(rng, 6, 2)
+
+	// Gradient checking with batch norm: the analytic gradient assumes
+	// fixed batch statistics while finite differences perturb them, so a
+	// looser tolerance is expected — but the direction must agree.
+	net.ZeroGrads()
+	pred := net.Forward(x, true)
+	_, grad := MSE(pred, target)
+	net.Backward(grad)
+
+	const h = 1e-5
+	checked, agree := 0, 0
+	for _, p := range net.Params() {
+		for i := range p.Value.Data {
+			analytic := p.Grad.Data[i]
+			if math.Abs(analytic) < 1e-8 {
+				continue
+			}
+			orig := p.Value.Data[i]
+			p.Value.Data[i] = orig + h
+			lossPlus, _ := MSE(net.Forward(x, true), target)
+			p.Value.Data[i] = orig - h
+			lossMinus, _ := MSE(net.Forward(x, true), target)
+			p.Value.Data[i] = orig
+			numeric := (lossPlus - lossMinus) / (2 * h)
+			checked++
+			if math.Abs(numeric-analytic) < 1e-3*(1+math.Abs(numeric)) {
+				agree++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no gradients checked")
+	}
+	if frac := float64(agree) / float64(checked); frac < 0.95 {
+		t.Errorf("only %.0f%% of %d gradients match finite differences", frac*100, checked)
+	}
+}
+
+func TestBatchNormBackwardBeforeForwardPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on Backward before Forward")
+		}
+	}()
+	NewBatchNorm(2).Backward(NewMatrix(1, 2))
+}
+
+func TestBatchNormShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on feature mismatch")
+		}
+	}()
+	NewBatchNorm(2).Forward(NewMatrix(4, 3), true)
+}

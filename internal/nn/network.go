@@ -1,0 +1,217 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+
+	"acobe/internal/mathx"
+)
+
+// Network is a sequential stack of layers trained with mini-batch gradient
+// descent against a mean-squared-error loss (the paper's loss function).
+type Network struct {
+	Layers []Layer
+}
+
+// NewNetwork returns a network over the given layers.
+func NewNetwork(layers ...Layer) *Network {
+	return &Network{Layers: layers}
+}
+
+// Forward runs a batch through the network. train toggles training-time
+// behaviour in layers such as BatchNorm.
+func (n *Network) Forward(x *Matrix, train bool) *Matrix {
+	for _, l := range n.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates the gradient of the loss w.r.t. the network output
+// back through all layers, accumulating parameter gradients.
+func (n *Network) Backward(grad *Matrix) *Matrix {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns all trainable parameters in layer order.
+func (n *Network) Params() []*Param {
+	var out []*Param
+	for _, l := range n.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// ZeroGrads clears every parameter gradient.
+func (n *Network) ZeroGrads() {
+	for _, p := range n.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// Describe returns a one-line architecture summary.
+func (n *Network) Describe() string {
+	s := ""
+	for i, l := range n.Layers {
+		if i > 0 {
+			s += " → "
+		}
+		s += l.Describe()
+	}
+	return s
+}
+
+// MSE returns the mean-squared error between prediction and target,
+// averaged over all elements, and the gradient of that loss with respect to
+// the prediction.
+func MSE(pred, target *Matrix) (loss float64, grad *Matrix) {
+	checkSameShape("MSE", pred, target)
+	grad = NewMatrix(pred.Rows, pred.Cols)
+	total := float64(len(pred.Data))
+	for i := range pred.Data {
+		d := pred.Data[i] - target.Data[i]
+		loss += d * d
+		grad.Data[i] = 2 * d / total
+	}
+	return loss / total, grad
+}
+
+// PerSampleMSE returns each row's mean-squared reconstruction error.
+func PerSampleMSE(pred, target *Matrix) []float64 {
+	checkSameShape("PerSampleMSE", pred, target)
+	out := make([]float64, pred.Rows)
+	for i := 0; i < pred.Rows; i++ {
+		var ss float64
+		prow := pred.Row(i)
+		trow := target.Row(i)
+		for j := range prow {
+			d := prow[j] - trow[j]
+			ss += d * d
+		}
+		out[i] = ss / float64(pred.Cols)
+	}
+	return out
+}
+
+// TrainConfig controls Fit.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	Optimizer Optimizer
+	// Shuffle reshuffles the sample order every epoch using RNG.
+	Shuffle bool
+	RNG     *mathx.RNG
+	// Verbose, when non-nil, receives one line per epoch.
+	Verbose func(epoch int, loss float64)
+	// EarlyStopDelta stops training when the epoch loss improves by less
+	// than this fraction for Patience consecutive epochs. Zero disables.
+	EarlyStopDelta float64
+	Patience       int
+}
+
+// Fit trains the network to map inputs to targets (for autoencoders,
+// targets == inputs). It returns the final epoch's mean loss.
+func (n *Network) Fit(inputs, targets *Matrix, cfg TrainConfig) (float64, error) {
+	if inputs.Rows == 0 {
+		return 0, errors.New("nn: Fit with no samples")
+	}
+	if inputs.Rows != targets.Rows {
+		return 0, fmt.Errorf("nn: Fit sample mismatch: %d inputs vs %d targets", inputs.Rows, targets.Rows)
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.Optimizer == nil {
+		cfg.Optimizer = NewAdadelta()
+	}
+	rng := cfg.RNG
+	if rng == nil {
+		rng = mathx.NewRNG(1)
+	}
+
+	order := make([]int, inputs.Rows)
+	for i := range order {
+		order[i] = i
+	}
+
+	var lastLoss float64
+	bad := 0
+	prev := -1.0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.Shuffle {
+			mathx.Shuffle(rng, order)
+		}
+		var epochLoss float64
+		var batches int
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			bx := gatherRows(inputs, order[start:end])
+			bt := gatherRows(targets, order[start:end])
+
+			n.ZeroGrads()
+			pred := n.Forward(bx, true)
+			loss, grad := MSE(pred, bt)
+			n.Backward(grad)
+			cfg.Optimizer.Step(n.Params())
+			epochLoss += loss
+			batches++
+		}
+		lastLoss = epochLoss / float64(batches)
+		if cfg.Verbose != nil {
+			cfg.Verbose(epoch, lastLoss)
+		}
+		if cfg.EarlyStopDelta > 0 {
+			if prev >= 0 && prev-lastLoss < cfg.EarlyStopDelta*prev {
+				bad++
+				if bad >= cfg.Patience {
+					break
+				}
+			} else {
+				bad = 0
+			}
+			prev = lastLoss
+		}
+	}
+	return lastLoss, nil
+}
+
+// gatherRows copies the given rows of m into a new matrix.
+func gatherRows(m *Matrix, idx []int) *Matrix {
+	out := NewMatrix(len(idx), m.Cols)
+	for i, r := range idx {
+		copy(out.Row(i), m.Row(r))
+	}
+	return out
+}
+
+// Predict runs the network in inference mode.
+func (n *Network) Predict(x *Matrix) *Matrix {
+	return n.Forward(x, false)
+}
+
+// ReconstructionErrors runs x through the network in inference mode and
+// returns each row's mean-squared reconstruction error against itself.
+// Rows are scored in chunks to bound peak memory on large inputs.
+func (n *Network) ReconstructionErrors(x *Matrix) []float64 {
+	const chunk = 512
+	out := make([]float64, 0, x.Rows)
+	for start := 0; start < x.Rows; start += chunk {
+		end := start + chunk
+		if end > x.Rows {
+			end = x.Rows
+		}
+		sub := &Matrix{Rows: end - start, Cols: x.Cols, Data: x.Data[start*x.Cols : end*x.Cols]}
+		pred := n.Predict(sub)
+		out = append(out, PerSampleMSE(pred, sub)...)
+	}
+	return out
+}

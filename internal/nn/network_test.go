@@ -1,0 +1,198 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"acobe/internal/mathx"
+)
+
+func TestMSEKnown(t *testing.T) {
+	pred := FromRows([][]float64{{1, 2}})
+	target := FromRows([][]float64{{0, 4}})
+	loss, grad := MSE(pred, target)
+	if math.Abs(loss-2.5) > 1e-12 { // (1 + 4) / 2
+		t.Errorf("loss = %g, want 2.5", loss)
+	}
+	// grad = 2(d)/n: [2*1/2, 2*(-2)/2] = [1, -2]
+	if grad.Data[0] != 1 || grad.Data[1] != -2 {
+		t.Errorf("grad = %v", grad.Data)
+	}
+}
+
+func TestPerSampleMSE(t *testing.T) {
+	pred := FromRows([][]float64{{1, 1}, {0, 0}})
+	target := FromRows([][]float64{{1, 1}, {2, 0}})
+	got := PerSampleMSE(pred, target)
+	if got[0] != 0 || got[1] != 2 {
+		t.Errorf("per-sample errors %v, want [0 2]", got)
+	}
+}
+
+func TestFitLearnsIdentity(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	net := NewNetwork(
+		NewDense(4, 8, rng),
+		NewActivation(ActTanh),
+		NewDense(8, 4, rng),
+	)
+	// Inputs on a 1-D manifold: x = [t, 2t, -t, t²] for t ∈ [0, 1].
+	rows := make([][]float64, 256)
+	for i := range rows {
+		tv := rng.Float64()
+		rows[i] = []float64{tv, 2 * tv, -tv, tv * tv}
+	}
+	x := FromRows(rows)
+	loss, err := net.Fit(x, x, TrainConfig{
+		Epochs: 200, BatchSize: 32, Optimizer: NewAdam(0.01),
+		Shuffle: true, RNG: mathx.NewRNG(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss > 0.001 {
+		t.Errorf("final loss %g, want < 0.001", loss)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	net := NewNetwork(NewDense(2, 2, rng))
+	if _, err := net.Fit(NewMatrix(0, 2), NewMatrix(0, 2), TrainConfig{}); err == nil {
+		t.Error("no error for empty training set")
+	}
+	if _, err := net.Fit(NewMatrix(3, 2), NewMatrix(2, 2), TrainConfig{}); err == nil {
+		t.Error("no error for sample-count mismatch")
+	}
+}
+
+func TestEarlyStopping(t *testing.T) {
+	rng := mathx.NewRNG(4)
+	net := NewNetwork(NewDense(2, 2, rng))
+	x := randomMatrix(rng, 32, 2)
+	epochs := 0
+	_, err := net.Fit(x, x, TrainConfig{
+		Epochs:         500,
+		BatchSize:      32,
+		Optimizer:      NewAdam(0.05),
+		EarlyStopDelta: 0.01,
+		Patience:       2,
+		Verbose:        func(int, float64) { epochs++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epochs >= 500 {
+		t.Errorf("early stopping never fired (%d epochs)", epochs)
+	}
+}
+
+func TestReconstructionErrorsChunking(t *testing.T) {
+	rng := mathx.NewRNG(5)
+	net := NewNetwork(NewDense(3, 3, rng))
+	// More rows than the internal chunk size to cover the chunk loop.
+	x := randomMatrix(rng, 1100, 3)
+	errsChunked := net.ReconstructionErrors(x)
+	pred := net.Predict(x)
+	direct := PerSampleMSE(pred, x)
+	if len(errsChunked) != len(direct) {
+		t.Fatalf("length mismatch %d vs %d", len(errsChunked), len(direct))
+	}
+	for i := range direct {
+		if math.Abs(errsChunked[i]-direct[i]) > 1e-12 {
+			t.Fatalf("row %d: chunked %g vs direct %g", i, errsChunked[i], direct[i])
+		}
+	}
+}
+
+func TestNetworkDescribe(t *testing.T) {
+	rng := mathx.NewRNG(6)
+	net := NewNetwork(NewDense(2, 3, rng), NewBatchNorm(3), NewActivation(ActReLU))
+	want := "Dense(2→3) → BatchNorm(3) → relu"
+	if got := net.Describe(); got != want {
+		t.Errorf("Describe = %q, want %q", got, want)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := mathx.NewRNG(7)
+	net := NewNetwork(
+		NewDense(4, 6, rng),
+		NewBatchNorm(6),
+		NewActivation(ActReLU),
+		NewDense(6, 4, rng),
+		NewActivation(ActSigmoid),
+	)
+	// Train briefly so BatchNorm moving stats are non-trivial.
+	x := randomMatrix(rng, 64, 4)
+	if _, err := net.Fit(x, x, TrainConfig{Epochs: 3, BatchSize: 16}); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	probe := randomMatrix(rng, 8, 4)
+	want := net.Predict(probe)
+	got := loaded.Predict(probe)
+	if !matricesEqual(want, got, 1e-12) {
+		t.Error("loaded network predicts differently")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Error("no error decoding garbage")
+	}
+}
+
+func TestFitDeterminism(t *testing.T) {
+	build := func() float64 {
+		rng := mathx.NewRNG(10)
+		net := NewNetwork(NewDense(3, 5, rng), NewActivation(ActTanh), NewDense(5, 3, rng))
+		x := randomMatrix(mathx.NewRNG(11), 64, 3)
+		loss, err := net.Fit(x, x, TrainConfig{Epochs: 5, BatchSize: 16, Shuffle: true, RNG: mathx.NewRNG(12)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return loss
+	}
+	if a, b := build(), build(); a != b {
+		t.Errorf("training not deterministic: %g vs %g", a, b)
+	}
+}
+
+func TestFitHandlesSingleSampleTailBatch(t *testing.T) {
+	// 33 samples with batch size 32 leaves a final batch of one row;
+	// BatchNorm must fall back to moving statistics instead of dividing
+	// by a zero batch variance.
+	rng := mathx.NewRNG(20)
+	net := NewNetwork(
+		NewDense(4, 6, rng),
+		NewBatchNorm(6),
+		NewActivation(ActReLU),
+		NewDense(6, 4, rng),
+	)
+	x := randomMatrix(rng, 33, 4)
+	loss, err := net.Fit(x, x, TrainConfig{Epochs: 3, BatchSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		t.Fatalf("loss = %g", loss)
+	}
+	for _, p := range net.Params() {
+		for i, v := range p.Value.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("param %s[%d] = %g", p.Name, i, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package nn
+
+import (
+	"math"
+	"testing"
+)
+
+// quadParam builds a single scalar parameter with gradient = 2(x - c),
+// minimizing (x-c)².
+func quadParam(x0 float64) *Param {
+	p := newParam("x", NewMatrix(1, 1))
+	p.Value.Data[0] = x0
+	return p
+}
+
+func stepQuadratic(opt Optimizer, p *Param, c float64, steps int) float64 {
+	for i := 0; i < steps; i++ {
+		p.ZeroGrad()
+		p.Grad.Data[0] = 2 * (p.Value.Data[0] - c)
+		opt.Step([]*Param{p})
+	}
+	return p.Value.Data[0]
+}
+
+func TestSGDConvergesOnQuadratic(t *testing.T) {
+	p := quadParam(10)
+	got := stepQuadratic(NewSGD(0.1), p, 3, 200)
+	if math.Abs(got-3) > 1e-6 {
+		t.Errorf("SGD converged to %g, want 3", got)
+	}
+}
+
+func TestSGDMomentumConverges(t *testing.T) {
+	p := quadParam(10)
+	opt := &SGD{LR: 0.05, Momentum: 0.9}
+	got := stepQuadratic(opt, p, -2, 500)
+	if math.Abs(got+2) > 1e-4 {
+		t.Errorf("SGD+momentum converged to %g, want -2", got)
+	}
+}
+
+func TestSGDStepDirection(t *testing.T) {
+	p := quadParam(5)
+	p.Grad.Data[0] = 2 // positive gradient ⇒ value must decrease
+	NewSGD(0.1).Step([]*Param{p})
+	if p.Value.Data[0] >= 5 {
+		t.Errorf("value %g did not decrease", p.Value.Data[0])
+	}
+	if math.Abs(p.Value.Data[0]-4.8) > 1e-12 {
+		t.Errorf("value %g, want 4.8", p.Value.Data[0])
+	}
+}
+
+func TestAdadeltaConvergesOnQuadratic(t *testing.T) {
+	p := quadParam(10)
+	got := stepQuadratic(NewAdadelta(), p, 3, 4000)
+	if math.Abs(got-3) > 0.05 {
+		t.Errorf("Adadelta converged to %g, want ≈ 3", got)
+	}
+}
+
+func TestAdadeltaMovesWithoutLearningRateTuning(t *testing.T) {
+	// The appeal of Adadelta: the very first step already moves the
+	// parameter even though no learning rate was chosen.
+	p := quadParam(10)
+	NewAdadelta().Step([]*Param{p})
+	// Gradient is zero here (never set) — value must not move.
+	if p.Value.Data[0] != 10 {
+		t.Errorf("moved with zero gradient: %g", p.Value.Data[0])
+	}
+	p.Grad.Data[0] = 1
+	NewAdadelta().Step([]*Param{p})
+	if p.Value.Data[0] >= 10 {
+		t.Errorf("did not move against gradient: %g", p.Value.Data[0])
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	p := quadParam(-8)
+	got := stepQuadratic(NewAdam(0.05), p, 2, 2000)
+	if math.Abs(got-2) > 0.01 {
+		t.Errorf("Adam converged to %g, want 2", got)
+	}
+}
+
+func TestOptimizerDescribe(t *testing.T) {
+	for _, opt := range []Optimizer{NewSGD(0.1), NewAdadelta(), NewAdam(0.001)} {
+		if opt.Describe() == "" {
+			t.Errorf("%T has empty description", opt)
+		}
+	}
+}
+
+func TestOptimizerStateIsPerParameter(t *testing.T) {
+	a := quadParam(1)
+	b := quadParam(1)
+	opt := NewAdadelta()
+	a.Grad.Data[0] = 5
+	b.Grad.Data[0] = 0
+	opt.Step([]*Param{a, b})
+	if a.Value.Data[0] == 1 {
+		t.Error("param a did not move")
+	}
+	if b.Value.Data[0] != 1 {
+		t.Error("param b moved despite zero gradient")
+	}
+}

@@ -1,0 +1,118 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// layerSnapshot is the on-disk representation of one layer.
+type layerSnapshot struct {
+	Kind string // "dense", "activation", "batchnorm"
+
+	// Dense
+	In, Out int
+	W, B    []float64
+
+	// Activation
+	Activation Activation
+
+	// BatchNorm
+	Dim        int
+	Momentum   float64
+	Epsilon    float64
+	Gamma      []float64
+	Beta       []float64
+	MovingMean []float64
+	MovingVar  []float64
+}
+
+// networkSnapshot is the on-disk representation of a network.
+type networkSnapshot struct {
+	Version int
+	Layers  []layerSnapshot
+}
+
+// Save writes the network (architecture and weights, including BatchNorm
+// moving statistics) to w in gob format.
+func (n *Network) Save(w io.Writer) error {
+	snap := networkSnapshot{Version: 1}
+	for _, l := range n.Layers {
+		switch v := l.(type) {
+		case *Dense:
+			snap.Layers = append(snap.Layers, layerSnapshot{
+				Kind: "dense",
+				In:   v.In,
+				Out:  v.Out,
+				W:    append([]float64(nil), v.W.Value.Data...),
+				B:    append([]float64(nil), v.B.Value.Data...),
+			})
+		case *ActivationLayer:
+			snap.Layers = append(snap.Layers, layerSnapshot{
+				Kind:       "activation",
+				Activation: v.Kind,
+			})
+		case *BatchNorm:
+			snap.Layers = append(snap.Layers, layerSnapshot{
+				Kind:       "batchnorm",
+				Dim:        v.Dim,
+				Momentum:   v.Momentum,
+				Epsilon:    v.Epsilon,
+				Gamma:      append([]float64(nil), v.Gamma.Value.Data...),
+				Beta:       append([]float64(nil), v.Beta.Value.Data...),
+				MovingMean: append([]float64(nil), v.MovingMean.Data...),
+				MovingVar:  append([]float64(nil), v.MovingVar.Data...),
+			})
+		default:
+			return fmt.Errorf("nn: cannot serialize layer type %T", l)
+		}
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("nn: encode network: %w", err)
+	}
+	return nil
+}
+
+// Load reads a network previously written by Save.
+func Load(r io.Reader) (*Network, error) {
+	var snap networkSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("nn: decode network: %w", err)
+	}
+	if snap.Version != 1 {
+		return nil, fmt.Errorf("nn: unsupported snapshot version %d", snap.Version)
+	}
+	net := &Network{}
+	for i, ls := range snap.Layers {
+		switch ls.Kind {
+		case "dense":
+			if len(ls.W) != ls.In*ls.Out || len(ls.B) != ls.Out {
+				return nil, fmt.Errorf("nn: layer %d: dense weight shape mismatch", i)
+			}
+			d := &Dense{
+				In:  ls.In,
+				Out: ls.Out,
+				W:   newParam(fmt.Sprintf("dense_%dx%d_w", ls.In, ls.Out), &Matrix{Rows: ls.In, Cols: ls.Out, Data: append([]float64(nil), ls.W...)}),
+				B:   newParam(fmt.Sprintf("dense_%dx%d_b", ls.In, ls.Out), &Matrix{Rows: 1, Cols: ls.Out, Data: append([]float64(nil), ls.B...)}),
+			}
+			net.Layers = append(net.Layers, d)
+		case "activation":
+			net.Layers = append(net.Layers, NewActivation(ls.Activation))
+		case "batchnorm":
+			if len(ls.Gamma) != ls.Dim || len(ls.Beta) != ls.Dim {
+				return nil, fmt.Errorf("nn: layer %d: batchnorm shape mismatch", i)
+			}
+			bn := NewBatchNorm(ls.Dim)
+			bn.Momentum = ls.Momentum
+			bn.Epsilon = ls.Epsilon
+			copy(bn.Gamma.Value.Data, ls.Gamma)
+			copy(bn.Beta.Value.Data, ls.Beta)
+			copy(bn.MovingMean.Data, ls.MovingMean)
+			copy(bn.MovingVar.Data, ls.MovingVar)
+			net.Layers = append(net.Layers, bn)
+		default:
+			return nil, fmt.Errorf("nn: layer %d: unknown kind %q", i, ls.Kind)
+		}
+	}
+	return net, nil
+}
