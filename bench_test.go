@@ -279,6 +279,68 @@ func BenchmarkNNMatMul(b *testing.B) {
 	}
 }
 
+// benchRandMat returns a rows×cols matrix of uniform values.
+func benchRandMat(rows, cols int, seed uint64) *nn.Matrix {
+	rng := mathx.NewRNG(seed)
+	m := nn.NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()
+	}
+	return m
+}
+
+// BenchmarkMatMulATB measures the transpose-product kernel (the dW =
+// xᵀ·grad shape of a Dense backward pass) through the reusable-buffer
+// path.
+func BenchmarkMatMulATB(b *testing.B) {
+	x := benchRandMat(64, 392, 1)
+	g := benchRandMat(64, 128, 2)
+	dst := nn.NewMatrix(392, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = nn.MatMulATBInto(dst, x, g)
+	}
+}
+
+// BenchmarkMatMulABT measures the product-with-transpose kernel (the dx =
+// grad·Wᵀ shape of a Dense backward pass) through the reusable-buffer
+// path.
+func BenchmarkMatMulABT(b *testing.B) {
+	g := benchRandMat(64, 128, 1)
+	w := benchRandMat(392, 128, 2)
+	dst := nn.NewMatrix(64, 392)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = nn.MatMulABTInto(dst, g, w)
+	}
+}
+
+// BenchmarkTrainStep measures one 64-sample batch through the workspace
+// trainer (forward, MSE, backward, Adadelta step) on a 392-128-392
+// autoencoder-shaped network. The headline number is allocs/op: after the
+// first warm-up step, a training step performs zero heap allocations.
+func BenchmarkTrainStep(b *testing.B) {
+	rng := mathx.NewRNG(9)
+	net := nn.NewNetwork(
+		nn.NewDense(392, 128, rng),
+		nn.NewBatchNorm(128),
+		nn.NewActivation(nn.ActReLU),
+		nn.NewDense(128, 392, rng),
+		nn.NewActivation(nn.ActSigmoid),
+	)
+	ws := net.NewWorkspace()
+	bx := benchRandMat(64, 392, 3)
+	opt := nn.NewAdadelta()
+	net.TrainStep(ws, bx, bx, opt) // warm buffers and optimizer slots
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = net.TrainStep(ws, bx, bx, opt)
+	}
+}
+
 // BenchmarkAutoencoderEpoch measures one training epoch of the fast
 // architecture on 1024 samples of width 392.
 func BenchmarkAutoencoderEpoch(b *testing.B) {

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"acobe/internal/mathx"
+	"acobe/internal/nn"
+)
+
+// benchNNEntry is one benchmark's result inside BENCH_nn.json.
+type benchNNEntry struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	Iterations  int   `json:"iterations"`
+}
+
+// benchNNLabel groups one labeled run (e.g. "before", "after") of the nn
+// micro-benchmarks together with the environment it ran under.
+type benchNNLabel struct {
+	GOMAXPROCS int                     `json:"gomaxprocs"`
+	GoVersion  string                  `json:"go_version"`
+	Benchmarks map[string]benchNNEntry `json:"benchmarks"`
+}
+
+// runBenchNN executes the nn micro-benchmarks (mirroring the Benchmark*
+// targets in bench_test.go) through testing.Benchmark and merges the
+// results into path under label, preserving any other labels already in
+// the file. This gives `repro -bench-nn after` runs a durable, diffable
+// record of the training-engine hot path.
+func runBenchNN(path, label string) error {
+	rand := func(rows, cols int, seed uint64) *nn.Matrix {
+		rng := mathx.NewRNG(seed)
+		m := nn.NewMatrix(rows, cols)
+		for i := range m.Data {
+			m.Data[i] = rng.Float64()
+		}
+		return m
+	}
+
+	run := map[string]func(b *testing.B){
+		"MatMul": func(b *testing.B) {
+			a := rand(64, 392, 1)
+			w := rand(392, 128, 2)
+			dst := nn.NewMatrix(64, 128)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = nn.MatMulInto(dst, a, w)
+			}
+		},
+		"MatMulATB": func(b *testing.B) {
+			x := rand(64, 392, 1)
+			g := rand(64, 128, 2)
+			dst := nn.NewMatrix(392, 128)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = nn.MatMulATBInto(dst, x, g)
+			}
+		},
+		"MatMulABT": func(b *testing.B) {
+			g := rand(64, 128, 1)
+			w := rand(392, 128, 2)
+			dst := nn.NewMatrix(64, 392)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = nn.MatMulABTInto(dst, g, w)
+			}
+		},
+		"TrainStep": func(b *testing.B) {
+			rng := mathx.NewRNG(9)
+			net := nn.NewNetwork(
+				nn.NewDense(392, 128, rng),
+				nn.NewBatchNorm(128),
+				nn.NewActivation(nn.ActReLU),
+				nn.NewDense(128, 392, rng),
+				nn.NewActivation(nn.ActSigmoid),
+			)
+			ws := net.NewWorkspace()
+			bx := rand(64, 392, 3)
+			opt := nn.NewAdadelta()
+			net.TrainStep(ws, bx, bx, opt)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = net.TrainStep(ws, bx, bx, opt)
+			}
+		},
+	}
+
+	report := make(map[string]*benchNNLabel)
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &report); err != nil {
+			return fmt.Errorf("bench-nn: parse existing %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("bench-nn: %w", err)
+	}
+
+	entry := &benchNNLabel{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Benchmarks: make(map[string]benchNNEntry),
+	}
+	for name, fn := range run {
+		res := testing.Benchmark(fn)
+		entry.Benchmarks[name] = benchNNEntry{
+			NsPerOp:     res.NsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			Iterations:  res.N,
+		}
+		fmt.Printf("bench-nn %-10s %12d ns/op %10d B/op %6d allocs/op\n",
+			name, res.NsPerOp(), res.AllocedBytesPerOp(), res.AllocsPerOp())
+	}
+	report[label] = entry
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return fmt.Errorf("bench-nn: %w", err)
+	}
+	fmt.Printf("wrote %s (label %q)\n", path, label)
+	return nil
+}

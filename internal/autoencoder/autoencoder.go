@@ -135,11 +135,34 @@ func (a *Autoencoder) Fit(samples *nn.Matrix) (float64, error) {
 }
 
 // Scores returns the per-sample reconstruction errors (anomaly scores).
+// Callers scoring many batches should create a Scorer once and reuse it,
+// which keeps one set of forward buffers alive instead of reallocating
+// them per call.
 func (a *Autoencoder) Scores(samples *nn.Matrix) ([]float64, error) {
-	if samples.Cols != a.cfg.InputDim {
-		return nil, fmt.Errorf("autoencoder: samples have %d features, model expects %d", samples.Cols, a.cfg.InputDim)
+	return a.NewScorer().Scores(samples, nil)
+}
+
+// Scorer scores batches against a trained autoencoder through one reusable
+// workspace. A Scorer is not safe for concurrent use; concurrent scoring
+// of one trained model is done by giving each goroutine its own Scorer
+// (the model itself is read-only during inference).
+type Scorer struct {
+	ae *Autoencoder
+	ws *nn.Workspace
+}
+
+// NewScorer returns a scorer bound to this model.
+func (a *Autoencoder) NewScorer() *Scorer {
+	return &Scorer{ae: a, ws: a.net.NewWorkspace()}
+}
+
+// Scores appends the per-sample reconstruction errors of samples to dst
+// (which may be nil) and returns the extended slice.
+func (s *Scorer) Scores(samples *nn.Matrix, dst []float64) ([]float64, error) {
+	if samples.Cols != s.ae.cfg.InputDim {
+		return nil, fmt.Errorf("autoencoder: samples have %d features, model expects %d", samples.Cols, s.ae.cfg.InputDim)
 	}
-	return a.net.ReconstructionErrors(samples), nil
+	return s.ae.net.ReconstructionErrorsWS(s.ws, samples, dst), nil
 }
 
 // Score returns the reconstruction error of a single flattened sample.

@@ -39,6 +39,11 @@ type Config struct {
 	Aggregate func(*ScoreSeries) []float64
 	// Seed differentiates model initialization between aspects.
 	Seed uint64
+	// SequentialFit trains the aspect ensemble one model at a time instead
+	// of concurrently. Training is deterministic per aspect either way
+	// (each model owns its seed and RNG); the knob exists for debugging
+	// and for parity checks against the parallel path.
+	SequentialFit bool
 }
 
 // DefaultConfig returns the paper's CERT-evaluation configuration with
@@ -127,29 +132,82 @@ func (d *Detector) FirstMatrixDay() cert.Day { return d.models[0].builder.FirstM
 // Fit trains every aspect's autoencoder on all users' compound matrices
 // over [from, to] (assumed to be the normal/training period). It returns
 // the per-aspect final losses keyed by aspect name.
+//
+// Aspects train concurrently, each goroutine holding one slot of the
+// nn worker budget so that ensemble-level and matmul-level parallelism
+// together stay near GOMAXPROCS. Each aspect's training is fully
+// deterministic (own seed, own RNG), so the losses are bit-identical to a
+// sequential run (cfg.SequentialFit).
 func (d *Detector) Fit(from, to cert.Day) (map[string]float64, error) {
 	losses := make(map[string]float64, len(d.models))
-	for _, m := range d.models {
-		var rows [][]float64
-		for u := range d.users {
-			ms, err := m.builder.BuildRange(u, from, to, d.cfg.TrainStride)
+	if d.cfg.SequentialFit || len(d.models) == 1 {
+		for _, m := range d.models {
+			loss, err := d.fitAspect(m, from, to)
 			if err != nil {
-				return nil, fmt.Errorf("core: build training matrices (%s): %w", m.aspect.Name, err)
+				return nil, err
 			}
-			for _, mat := range ms {
-				rows = append(rows, mat.Data)
+			losses[m.aspect.Name] = loss
+		}
+		return losses, nil
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for _, m := range d.models {
+		wg.Add(1)
+		go func(m *aspectModel) {
+			defer wg.Done()
+			nn.AcquireWorker()
+			defer nn.ReleaseWorker()
+			loss, err := d.fitAspect(m, from, to)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
 			}
-		}
-		if len(rows) == 0 {
-			return nil, fmt.Errorf("core: no training matrices for aspect %s in %v..%v", m.aspect.Name, from, to)
-		}
-		loss, err := m.ae.Fit(nn.FromRows(rows))
-		if err != nil {
-			return nil, fmt.Errorf("core: fit aspect %s: %w", m.aspect.Name, err)
-		}
-		losses[m.aspect.Name] = loss
+			losses[m.aspect.Name] = loss
+		}(m)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return losses, nil
+}
+
+// fitAspect builds one aspect's training matrix — every user's compound
+// matrices over the (clamped, strided) day range written directly into one
+// preallocated nn.Matrix — and trains the aspect's autoencoder on it.
+func (d *Detector) fitAspect(m *aspectModel, from, to cert.Day) (float64, error) {
+	f, t, perUser := m.builder.ClampRange(from, to, d.cfg.TrainStride)
+	if perUser == 0 || len(d.users) == 0 {
+		return 0, fmt.Errorf("core: no training matrices for aspect %s in %v..%v", m.aspect.Name, from, to)
+	}
+	stride := cert.Day(d.cfg.TrainStride)
+	if stride < 1 {
+		stride = 1
+	}
+	samples := nn.NewMatrix(perUser*len(d.users), m.builder.Dim())
+	row := 0
+	for u := range d.users {
+		for day := f; day <= t; day += stride {
+			if err := m.builder.BuildInto(u, day, samples.Row(row)); err != nil {
+				return 0, fmt.Errorf("core: build training matrices (%s): %w", m.aspect.Name, err)
+			}
+			row++
+		}
+	}
+	loss, err := m.ae.Fit(samples)
+	if err != nil {
+		return 0, fmt.Errorf("core: fit aspect %s: %w", m.aspect.Name, err)
+	}
+	return loss, nil
 }
 
 // ScoreSeries holds per-day anomaly scores for every user in one aspect:
@@ -193,7 +251,9 @@ func (d *Detector) scoreAspect(m *aspectModel, from, to cert.Day) (*ScoreSeries,
 	series.Scores = make([][]float64, len(d.users))
 
 	// Users are scored independently; shard them across workers. The
-	// autoencoder's forward pass is read-only after training.
+	// autoencoder's forward pass is read-only after training, and each
+	// worker owns one batch matrix and one Scorer (forward buffers), so a
+	// user's scoring allocates only the retained per-user score slice.
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(d.users) {
 		workers = len(d.users)
@@ -207,21 +267,20 @@ func (d *Detector) scoreAspect(m *aspectModel, from, to cert.Day) (*ScoreSeries,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			batch := nn.NewMatrix(days, m.builder.Dim())
+			scorer := m.ae.NewScorer()
 			for {
 				u := int(next.Add(1)) - 1
 				if u >= len(d.users) || firstErr.Load() != nil {
 					return
 				}
-				rows := make([][]float64, 0, days)
-				for day := from; day <= to; day++ {
-					mat, err := m.builder.Build(u, day)
-					if err != nil {
+				for i := 0; i < days; i++ {
+					if err := m.builder.BuildInto(u, from+cert.Day(i), batch.Row(i)); err != nil {
 						firstErr.CompareAndSwap(nil, fmt.Errorf("core: score aspect %s: %w", m.aspect.Name, err))
 						return
 					}
-					rows = append(rows, mat.Data)
 				}
-				scores, err := m.ae.Scores(nn.FromRows(rows))
+				scores, err := scorer.Scores(batch, make([]float64, 0, days))
 				if err != nil {
 					firstErr.CompareAndSwap(nil, fmt.Errorf("core: score aspect %s: %w", m.aspect.Name, err))
 					return

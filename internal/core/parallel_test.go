@@ -1,0 +1,73 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"acobe/internal/autoencoder"
+	"acobe/internal/features"
+)
+
+// twoAspectConfig splits the synthetic features into two single-feature
+// aspects so Fit actually exercises the concurrent ensemble path.
+func twoAspectConfig() Config {
+	cfg := detectorConfig()
+	cfg.Aspects = []features.Aspect{
+		{Name: "fa-only", Features: []string{"fa"}},
+		{Name: "fb-only", Features: []string{"fb"}},
+	}
+	cfg.AEConfig = func(dim int) autoencoder.Config {
+		c := autoencoder.FastConfig(dim)
+		c.Hidden = []int{16, 8}
+		c.Epochs = 10
+		return c
+	}
+	return cfg
+}
+
+// TestFitParallelMatchesSequential trains the two-aspect ensemble twice —
+// once concurrently, once with SequentialFit — and requires bit-identical
+// per-aspect losses and investigation rankings. Each aspect's model owns
+// its seed and RNG, so scheduling must not influence the result. GOMAXPROCS
+// is raised so the run exercises real interleaving (and, under -race, the
+// concurrent scoring path) even on a single-core machine.
+func TestFitParallelMatchesSequential(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	ind, grp, ug := synthData(t)
+
+	train := func(sequential bool) (map[string]float64, []Ranked) {
+		cfg := twoAspectConfig()
+		cfg.SequentialFit = sequential
+		det, err := NewDetector(cfg, ind, grp, ug)
+		if err != nil {
+			t.Fatal(err)
+		}
+		losses, err := det.Fit(0, 90)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ranked, err := det.Investigate(95, 119)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return losses, ranked
+	}
+
+	seqLosses, seqRanked := train(true)
+	parLosses, parRanked := train(false)
+
+	if len(seqLosses) != 2 || len(parLosses) != 2 {
+		t.Fatalf("expected 2 aspect losses, got %d sequential / %d parallel", len(seqLosses), len(parLosses))
+	}
+	for aspect, want := range seqLosses {
+		if got := parLosses[aspect]; got != want {
+			t.Errorf("aspect %s: parallel loss %v != sequential %v", aspect, got, want)
+		}
+	}
+	for i := range seqRanked {
+		if seqRanked[i].User != parRanked[i].User || seqRanked[i].Priority != parRanked[i].Priority {
+			t.Errorf("rank %d: parallel %v/%d != sequential %v/%d", i,
+				parRanked[i].User, parRanked[i].Priority, seqRanked[i].User, seqRanked[i].Priority)
+		}
+	}
+}

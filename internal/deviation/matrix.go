@@ -97,38 +97,54 @@ func (b *Builder) LastMatrixDay() cert.Day { return b.ind.EndDay() }
 
 // Build assembles the compound matrix of user index u ending on day d.
 func (b *Builder) Build(u int, d cert.Day) (Matrix, error) {
+	data := make([]float64, b.Dim())
+	if err := b.BuildInto(u, d, data); err != nil {
+		return Matrix{}, err
+	}
+	return Matrix{User: b.ind.table.Users()[u], Day: d, Data: data}, nil
+}
+
+// BuildInto assembles the compound matrix of user index u ending on day d
+// directly into dst, which must have length Dim(). It is the
+// allocation-free path under Build: callers filling many rows (training
+// sets, scoring batches) write straight into preallocated nn.Matrix rows.
+func (b *Builder) BuildInto(u int, d cert.Day, dst []float64) error {
 	if d < b.FirstMatrixDay() || d > b.LastMatrixDay() {
-		return Matrix{}, fmt.Errorf("deviation: day %v outside matrix range %v..%v",
+		return fmt.Errorf("deviation: day %v outside matrix range %v..%v",
 			d, b.FirstMatrixDay(), b.LastMatrixDay())
+	}
+	if len(dst) != b.Dim() {
+		return fmt.Errorf("deviation: BuildInto dst has %d elements, want %d", len(dst), b.Dim())
 	}
 	cfg := b.ind.cfg
 	frames := b.ind.table.Frames()
-	data := make([]float64, 0, b.Dim())
 	scale := 1 / (2 * cfg.Delta)
 
-	appendComponent := func(f *Field, userIdx int, featIdx []int) {
+	pos := 0
+	fillComponent := func(f *Field, userIdx int, featIdx []int) {
 		dayOff := int(d - f.FirstDay())
 		for _, feat := range featIdx {
 			for frame := 0; frame < frames; frame++ {
 				series := f.seriesSlice(userIdx, feat, frame)
 				for i := cfg.MatrixDays - 1; i >= 0; i-- {
-					v := series[dayOff-i]
-					data = append(data, (v+cfg.Delta)*scale)
+					dst[pos] = (series[dayOff-i] + cfg.Delta) * scale
+					pos++
 				}
 			}
 		}
 	}
-	appendComponent(b.ind, u, b.featIdx)
+	fillComponent(b.ind, u, b.featIdx)
 	if b.group != nil {
-		appendComponent(b.group, b.userGroup[u], b.gFeatIdx)
+		fillComponent(b.group, b.userGroup[u], b.gFeatIdx)
 	}
-	return Matrix{User: b.ind.table.Users()[u], Day: d, Data: data}, nil
+	return nil
 }
 
-// BuildRange assembles matrices for user u on every day in [from, to],
-// clamped to the valid matrix range. Days are stride apart (stride ≥ 1),
-// supporting sampled training sets.
-func (b *Builder) BuildRange(u int, from, to cert.Day, stride int) ([]Matrix, error) {
+// ClampRange clamps [from, to] to the valid matrix range and returns the
+// clamped bounds together with the number of stride-spaced days they
+// contain (0 when the clamped range is empty). stride values below 1 are
+// treated as 1.
+func (b *Builder) ClampRange(from, to cert.Day, stride int) (cert.Day, cert.Day, int) {
 	if stride < 1 {
 		stride = 1
 	}
@@ -138,7 +154,21 @@ func (b *Builder) BuildRange(u int, from, to cert.Day, stride int) ([]Matrix, er
 	if to > b.LastMatrixDay() {
 		to = b.LastMatrixDay()
 	}
-	var out []Matrix
+	if to < from {
+		return from, to, 0
+	}
+	return from, to, (int(to-from) / stride) + 1
+}
+
+// BuildRange assembles matrices for user u on every day in [from, to],
+// clamped to the valid matrix range. Days are stride apart (stride ≥ 1),
+// supporting sampled training sets.
+func (b *Builder) BuildRange(u int, from, to cert.Day, stride int) ([]Matrix, error) {
+	if stride < 1 {
+		stride = 1
+	}
+	from, to, count := b.ClampRange(from, to, stride)
+	out := make([]Matrix, 0, count)
 	for d := from; d <= to; d += cert.Day(stride) {
 		m, err := b.Build(u, d)
 		if err != nil {

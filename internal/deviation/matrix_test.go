@@ -160,6 +160,77 @@ func TestBuildRangeClampsAndStrides(t *testing.T) {
 	}
 }
 
+// TestBuildIntoMatchesBuild checks the allocation-free path fills a
+// caller-owned buffer with exactly the values Build returns, fully
+// overwriting stale contents, and validates buffer length and day range.
+func TestBuildIntoMatchesBuild(t *testing.T) {
+	cfg := testCfg()
+	ind, group, _ := buildFields(t, cfg)
+	b, err := NewBuilder(ind, group, []int{0, 0}, aspect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, b.Dim())
+	for u := 0; u < 2; u++ {
+		for d := b.FirstMatrixDay(); d <= b.LastMatrixDay(); d++ {
+			want, err := b.Build(u, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range dst {
+				dst[i] = math.NaN() // stale contents must be overwritten
+			}
+			if err := b.BuildInto(u, d, dst); err != nil {
+				t.Fatal(err)
+			}
+			for i := range dst {
+				if dst[i] != want.Data[i] {
+					t.Fatalf("user %d day %v element %d: %v != %v", u, d, i, dst[i], want.Data[i])
+				}
+			}
+		}
+	}
+	if err := b.BuildInto(0, b.FirstMatrixDay(), make([]float64, b.Dim()-1)); err == nil {
+		t.Error("no error for short dst buffer")
+	}
+	if err := b.BuildInto(0, b.FirstMatrixDay()-1, dst); err == nil {
+		t.Error("no error before first matrix day")
+	}
+}
+
+// TestClampRangeCounts checks the clamped-bounds/count helper against the
+// materializing BuildRange.
+func TestClampRangeCounts(t *testing.T) {
+	cfg := testCfg()
+	ind, _, _ := buildFields(t, cfg)
+	b, err := NewBuilder(ind, nil, nil, aspect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		from, to cert.Day
+		stride   int
+	}{
+		{-100, 1000, 2},
+		{b.FirstMatrixDay(), b.LastMatrixDay(), 1},
+		{b.FirstMatrixDay() + 3, b.FirstMatrixDay() + 3, 7},
+		{b.LastMatrixDay() + 1, b.LastMatrixDay() + 5, 1}, // empty after clamp
+		{5, 20, 0},                                        // stride floored to 1
+	} {
+		from, to, count := b.ClampRange(tc.from, tc.to, tc.stride)
+		ms, err := b.BuildRange(0, tc.from, tc.to, tc.stride)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count != len(ms) {
+			t.Errorf("ClampRange(%v,%v,%d) count=%d, BuildRange built %d", tc.from, tc.to, tc.stride, count, len(ms))
+		}
+		if count > 0 && (ms[0].Day != from || ms[len(ms)-1].Day > to) {
+			t.Errorf("ClampRange bounds %v..%v disagree with BuildRange days %v..%v", from, to, ms[0].Day, ms[len(ms)-1].Day)
+		}
+	}
+}
+
 func TestBuildOutOfRange(t *testing.T) {
 	cfg := testCfg()
 	ind, _, _ := buildFields(t, cfg)

@@ -22,7 +22,9 @@ type BatchNorm struct {
 	MovingMean *Matrix // 1×Dim
 	MovingVar  *Matrix // 1×Dim
 
-	// Saved forward-pass intermediates for backprop.
+	// Saved forward-pass intermediates for backprop. The matrices and
+	// slices are reused across batches (Reshape), so steady-state training
+	// does not allocate.
 	lastXHat    *Matrix
 	lastInvStd  []float64
 	lastCentred *Matrix
@@ -31,6 +33,12 @@ type BatchNorm struct {
 	// back to moving statistics (single-sample batch); Backward then
 	// treats the layer as a fixed affine transform.
 	lastUsedMoving bool
+
+	// Reduction scratch (length Dim), reused across batches.
+	meanScratch  []float64
+	varScratch   []float64
+	sumDyScratch []float64
+	sumDxhScr    []float64
 }
 
 // NewBatchNorm returns a batch-normalization layer over dim features with
@@ -57,15 +65,24 @@ func NewBatchNorm(dim int) *BatchNorm {
 
 // Forward implements Layer.
 func (b *BatchNorm) Forward(x *Matrix, train bool) *Matrix {
+	out := NewMatrix(x.Rows, x.Cols)
+	b.ForwardInto(x, train, out)
+	return out
+}
+
+// ForwardInto implements Layer.
+func (b *BatchNorm) ForwardInto(x *Matrix, train bool, out *Matrix) {
 	if x.Cols != b.Dim {
 		panic(fmt.Sprintf("nn: batchnorm expects %d features, got %d", b.Dim, x.Cols))
 	}
 	n := float64(x.Rows)
-	out := NewMatrix(x.Rows, x.Cols)
 	if !train || x.Rows == 1 {
 		// Inference path: use moving statistics. A single-sample batch
 		// also uses moving statistics, since batch variance would be 0.
-		b.lastUsedMoving = train
+		// Inference mutates no state, so trained layers score concurrently.
+		if train {
+			b.lastUsedMoving = true
+		}
 		for j := 0; j < b.Dim; j++ {
 			invStd := 1 / math.Sqrt(b.MovingVar.Data[j]+b.Epsilon)
 			g := b.Gamma.Value.Data[j]
@@ -75,11 +92,17 @@ func (b *BatchNorm) Forward(x *Matrix, train bool) *Matrix {
 				out.Data[i*x.Cols+j] = g*(x.Data[i*x.Cols+j]-mu)*invStd + bt
 			}
 		}
-		return out
+		return
 	}
 
-	mean := make([]float64, b.Dim)
-	variance := make([]float64, b.Dim)
+	if b.meanScratch == nil {
+		b.meanScratch = make([]float64, b.Dim)
+		b.varScratch = make([]float64, b.Dim)
+	}
+	mean, variance := b.meanScratch, b.varScratch
+	for j := range mean {
+		mean[j], variance[j] = 0, 0
+	}
 	for i := 0; i < x.Rows; i++ {
 		row := x.Row(i)
 		for j, v := range row {
@@ -101,9 +124,15 @@ func (b *BatchNorm) Forward(x *Matrix, train bool) *Matrix {
 	}
 
 	b.lastUsedMoving = false
-	b.lastInvStd = make([]float64, b.Dim)
-	b.lastCentred = NewMatrix(x.Rows, x.Cols)
-	b.lastXHat = NewMatrix(x.Rows, x.Cols)
+	if b.lastInvStd == nil {
+		b.lastInvStd = make([]float64, b.Dim)
+	}
+	if b.lastCentred == nil {
+		b.lastCentred = &Matrix{}
+		b.lastXHat = &Matrix{}
+	}
+	b.lastCentred.Reshape(x.Rows, x.Cols)
+	b.lastXHat.Reshape(x.Rows, x.Cols)
 	b.lastBatch = x.Rows
 	for j := 0; j < b.Dim; j++ {
 		b.lastInvStd[j] = 1 / math.Sqrt(variance[j]+b.Epsilon)
@@ -124,7 +153,6 @@ func (b *BatchNorm) Forward(x *Matrix, train bool) *Matrix {
 		b.MovingMean.Data[j] = b.Momentum*b.MovingMean.Data[j] + (1-b.Momentum)*mean[j]
 		b.MovingVar.Data[j] = b.Momentum*b.MovingVar.Data[j] + (1-b.Momentum)*variance[j]
 	}
-	return out
 }
 
 // Backward implements Layer. When the most recent Forward used moving
@@ -133,26 +161,37 @@ func (b *BatchNorm) Forward(x *Matrix, train bool) *Matrix {
 // such batches — a negligible approximation that only affects the rare
 // one-row tail batch of an epoch.
 func (b *BatchNorm) Backward(gradOut *Matrix) *Matrix {
+	out := NewMatrix(gradOut.Rows, gradOut.Cols)
+	b.BackwardInto(gradOut, out)
+	return out
+}
+
+// BackwardInto implements Layer.
+func (b *BatchNorm) BackwardInto(gradOut, dst *Matrix) {
 	if b.lastUsedMoving {
-		out := NewMatrix(gradOut.Rows, gradOut.Cols)
 		for i := 0; i < gradOut.Rows; i++ {
 			for j := 0; j < b.Dim; j++ {
 				idx := i*gradOut.Cols + j
 				invStd := 1 / math.Sqrt(b.MovingVar.Data[j]+b.Epsilon)
-				out.Data[idx] = gradOut.Data[idx] * b.Gamma.Value.Data[j] * invStd
+				dst.Data[idx] = gradOut.Data[idx] * b.Gamma.Value.Data[j] * invStd
 			}
 		}
-		return out
+		return
 	}
 	if b.lastXHat == nil {
 		panic("nn: BatchNorm.Backward before training-mode Forward")
 	}
 	n := float64(b.lastBatch)
-	out := NewMatrix(gradOut.Rows, gradOut.Cols)
 
 	// Per-feature reductions.
-	sumDy := make([]float64, b.Dim)
-	sumDyXHat := make([]float64, b.Dim)
+	if b.sumDyScratch == nil {
+		b.sumDyScratch = make([]float64, b.Dim)
+		b.sumDxhScr = make([]float64, b.Dim)
+	}
+	sumDy, sumDyXHat := b.sumDyScratch, b.sumDxhScr
+	for j := range sumDy {
+		sumDy[j], sumDyXHat[j] = 0, 0
+	}
 	for i := 0; i < gradOut.Rows; i++ {
 		for j := 0; j < b.Dim; j++ {
 			idx := i*gradOut.Cols + j
@@ -170,11 +209,10 @@ func (b *BatchNorm) Backward(gradOut *Matrix) *Matrix {
 			dxhat := gradOut.Data[idx] * b.Gamma.Value.Data[j]
 			// Standard batch-norm input gradient:
 			// dx = (1/n) * invStd * (n*dxhat - sum(dxhat) - xhat * sum(dxhat*xhat))
-			out.Data[idx] = b.lastInvStd[j] / n *
+			dst.Data[idx] = b.lastInvStd[j] / n *
 				(n*dxhat - b.Gamma.Value.Data[j]*sumDy[j] - b.lastXHat.Data[idx]*b.Gamma.Value.Data[j]*sumDyXHat[j])
 		}
 	}
-	return out
 }
 
 // Params implements Layer.

@@ -49,13 +49,27 @@ func (p *Param) ZeroGrad() { p.Grad.Zero() }
 // (rows = samples) and Backward consumes the gradient of the loss with
 // respect to the layer's output, returning the gradient with respect to its
 // input while accumulating parameter gradients.
+//
+// The Into variants are the allocation-free hot path used by Workspace:
+// the caller owns the output buffers and the layer fully overwrites them.
+// Forward/Backward are thin allocating wrappers kept for compatibility.
 type Layer interface {
 	// Forward runs the layer. train toggles training-time behaviour
 	// (batch statistics in BatchNorm).
 	Forward(x *Matrix, train bool) *Matrix
+	// ForwardInto runs the layer into out, which the caller has shaped to
+	// x.Rows × OutDim(x.Cols); out's prior contents are fully overwritten.
+	// When train is false the layer must not mutate receiver state, so
+	// concurrent inference over one trained layer is race-free (each
+	// goroutine bringing its own buffers).
+	ForwardInto(x *Matrix, train bool, out *Matrix)
 	// Backward back-propagates gradOut and returns the gradient w.r.t.
 	// the input of the most recent Forward call.
 	Backward(gradOut *Matrix) *Matrix
+	// BackwardInto back-propagates gradOut into dst, which the caller has
+	// shaped like the input of the most recent training-mode forward pass,
+	// accumulating parameter gradients.
+	BackwardInto(gradOut, dst *Matrix)
 	// Params returns the layer's trainable parameters (possibly empty).
 	Params() []*Param
 	// OutDim returns the layer's output width given its input width.
@@ -71,6 +85,10 @@ type Dense struct {
 	B       *Param // 1×Out
 
 	lastInput *Matrix
+
+	// Backward scratch, lazily allocated and reused across batches.
+	dwScratch *Matrix
+	bsScratch []float64
 }
 
 // NewDense returns a dense layer with Xavier/Glorot-uniform initialized
@@ -90,28 +108,47 @@ func NewDense(in, out int, rng *mathx.RNG) *Dense {
 }
 
 // Forward implements Layer.
-func (d *Dense) Forward(x *Matrix, _ bool) *Matrix {
+func (d *Dense) Forward(x *Matrix, train bool) *Matrix {
+	out := NewMatrix(x.Rows, d.Out)
+	d.ForwardInto(x, train, out)
+	return out
+}
+
+// ForwardInto implements Layer.
+func (d *Dense) ForwardInto(x *Matrix, train bool, out *Matrix) {
 	if x.Cols != d.In {
 		panic(fmt.Sprintf("nn: dense expects %d inputs, got %d", d.In, x.Cols))
 	}
-	d.lastInput = x
-	y := MatMul(x, d.W.Value)
-	y.AddRowVec(d.B.Value.Data)
-	return y
+	if train {
+		d.lastInput = x
+	}
+	MatMulInto(out, x, d.W.Value)
+	out.AddRowVec(d.B.Value.Data)
 }
 
 // Backward implements Layer.
 func (d *Dense) Backward(gradOut *Matrix) *Matrix {
+	dst := NewMatrix(gradOut.Rows, d.In)
+	d.BackwardInto(gradOut, dst)
+	return dst
+}
+
+// BackwardInto implements Layer.
+func (d *Dense) BackwardInto(gradOut, dst *Matrix) {
 	// dW += xᵀ · gradOut ; db += column sums ; dx = gradOut · Wᵀ
-	dw := MatMulATB(d.lastInput, gradOut)
+	if d.dwScratch == nil {
+		d.dwScratch = NewMatrix(d.In, d.Out)
+		d.bsScratch = make([]float64, d.Out)
+	}
+	dw := MatMulATBInto(d.dwScratch, d.lastInput, gradOut)
 	for i := range d.W.Grad.Data {
 		d.W.Grad.Data[i] += dw.Data[i]
 	}
-	bs := gradOut.ColSums()
+	bs := gradOut.ColSumsInto(d.bsScratch)
 	for i := range d.B.Grad.Data {
 		d.B.Grad.Data[i] += bs[i]
 	}
-	return MatMulABT(gradOut, d.W.Value)
+	MatMulABTInto(dst, gradOut, d.W.Value)
 }
 
 // Params implements Layer.
@@ -164,14 +201,21 @@ func NewActivation(kind Activation) *ActivationLayer {
 }
 
 // Forward implements Layer.
-func (a *ActivationLayer) Forward(x *Matrix, _ bool) *Matrix {
-	a.lastInput = x
+func (a *ActivationLayer) Forward(x *Matrix, train bool) *Matrix {
 	out := NewMatrix(x.Rows, x.Cols)
+	a.ForwardInto(x, train, out)
+	return out
+}
+
+// ForwardInto implements Layer.
+func (a *ActivationLayer) ForwardInto(x *Matrix, train bool, out *Matrix) {
 	switch a.Kind {
 	case ActReLU:
 		for i, v := range x.Data {
 			if v > 0 {
 				out.Data[i] = v
+			} else {
+				out.Data[i] = 0
 			}
 		}
 	case ActSigmoid:
@@ -187,36 +231,45 @@ func (a *ActivationLayer) Forward(x *Matrix, _ bool) *Matrix {
 	default:
 		panic(fmt.Sprintf("nn: unknown activation %v", a.Kind))
 	}
-	a.lastOutput = out
-	return out
+	if train {
+		a.lastInput = x
+		a.lastOutput = out
+	}
 }
 
 // Backward implements Layer.
 func (a *ActivationLayer) Backward(gradOut *Matrix) *Matrix {
 	out := NewMatrix(gradOut.Rows, gradOut.Cols)
+	a.BackwardInto(gradOut, out)
+	return out
+}
+
+// BackwardInto implements Layer.
+func (a *ActivationLayer) BackwardInto(gradOut, dst *Matrix) {
 	switch a.Kind {
 	case ActReLU:
 		for i, g := range gradOut.Data {
 			if a.lastInput.Data[i] > 0 {
-				out.Data[i] = g
+				dst.Data[i] = g
+			} else {
+				dst.Data[i] = 0
 			}
 		}
 	case ActSigmoid:
 		for i, g := range gradOut.Data {
 			y := a.lastOutput.Data[i]
-			out.Data[i] = g * y * (1 - y)
+			dst.Data[i] = g * y * (1 - y)
 		}
 	case ActTanh:
 		for i, g := range gradOut.Data {
 			y := a.lastOutput.Data[i]
-			out.Data[i] = g * (1 - y*y)
+			dst.Data[i] = g * (1 - y*y)
 		}
 	case ActIdentity:
-		copy(out.Data, gradOut.Data)
+		copy(dst.Data, gradOut.Data)
 	default:
 		panic(fmt.Sprintf("nn: unknown activation %v", a.Kind))
 	}
-	return out
 }
 
 // Params implements Layer.

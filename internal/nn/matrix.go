@@ -8,8 +8,6 @@ package nn
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 )
 
 // Matrix is a dense row-major matrix of float64. A Matrix with Rows == 1
@@ -69,39 +67,46 @@ func (m *Matrix) Zero() {
 }
 
 // parallelThreshold is the number of scalar multiply-adds above which
-// MatMul shards work across goroutines.
+// the matmul kernels shard work across goroutines.
 const parallelThreshold = 1 << 18
+
+// Reshape resizes m to rows×cols in place, reusing the backing array when
+// its capacity allows. Element values are unspecified afterwards; callers
+// must fully overwrite (or Zero) the matrix. It returns m for chaining.
+func (m *Matrix) Reshape(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("nn: invalid matrix shape %dx%d", rows, cols))
+	}
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	}
+	m.Data = m.Data[:n]
+	m.Rows, m.Cols = rows, cols
+	return m
+}
 
 // MatMul returns a × b. Panics on shape mismatch.
 func MatMul(a, b *Matrix) *Matrix {
+	return MatMulInto(NewMatrix(a.Rows, b.Cols), a, b)
+}
+
+// MatMulInto computes a × b into dst (shaped a.Rows×b.Cols) and returns
+// dst. Row ranges above parallelThreshold are sharded across goroutines
+// within the package worker budget; results are bit-identical to the
+// serial sweep either way.
+func MatMulInto(dst, a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("nn: matmul shape mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := NewMatrix(a.Rows, b.Cols)
-	work := a.Rows * a.Cols * b.Cols
-	if work < parallelThreshold || a.Rows == 1 {
-		matmulRange(a, b, out, 0, a.Rows)
-		return out
+	checkDstShape("MatMulInto", dst, a.Rows, b.Cols)
+	dst.Zero()
+	if a.Rows*a.Cols*b.Cols < parallelThreshold {
+		matmulRange(a, b, dst, 0, a.Rows)
+		return dst
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > a.Rows {
-		workers = a.Rows
-	}
-	var wg sync.WaitGroup
-	chunk := (a.Rows + workers - 1) / workers
-	for start := 0; start < a.Rows; start += chunk {
-		end := start + chunk
-		if end > a.Rows {
-			end = a.Rows
-		}
-		wg.Add(1)
-		go func(s, e int) {
-			defer wg.Done()
-			matmulRange(a, b, out, s, e)
-		}(start, end)
-	}
-	wg.Wait()
-	return out
+	shardRows(matmulRange, a, b, dst, a.Rows)
+	return dst
 }
 
 // matmulRange computes rows [rs, re) of out = a × b using an ikj loop
@@ -124,33 +129,70 @@ func matmulRange(a, b, out *Matrix, rs, re int) {
 
 // MatMulATB returns aᵀ × b without materializing the transpose.
 func MatMulATB(a, b *Matrix) *Matrix {
+	return MatMulATBInto(NewMatrix(a.Cols, b.Cols), a, b)
+}
+
+// MatMulATBInto computes aᵀ × b into dst (shaped a.Cols×b.Cols) and
+// returns dst, sharding output-row ranges across goroutines above
+// parallelThreshold. Each output element accumulates in the same k-order
+// as the serial sweep, so results are bit-identical.
+func MatMulATBInto(dst, a, b *Matrix) *Matrix {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("nn: matmulATB shape mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := NewMatrix(a.Cols, b.Cols)
+	checkDstShape("MatMulATBInto", dst, a.Cols, b.Cols)
+	dst.Zero()
+	if a.Rows*a.Cols*b.Cols < parallelThreshold {
+		matmulATBRange(a, b, dst, 0, a.Cols)
+		return dst
+	}
+	shardRows(matmulATBRange, a, b, dst, a.Cols)
+	return dst
+}
+
+// matmulATBRange computes output rows [is, ie) of out = aᵀ × b, i.e. the
+// contributions of columns is..ie of a, streaming row-contiguously over a
+// and b.
+func matmulATBRange(a, b, out *Matrix, is, ie int) {
 	for k := 0; k < a.Rows; k++ {
-		arow := a.Data[k*a.Cols : (k+1)*a.Cols]
+		arow := a.Data[k*a.Cols+is : k*a.Cols+ie]
 		brow := b.Data[k*b.Cols : (k+1)*b.Cols]
 		for i, av := range arow {
 			if av == 0 {
 				continue
 			}
-			orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+			orow := out.Data[(is+i)*out.Cols : (is+i+1)*out.Cols]
 			for j, bv := range brow {
 				orow[j] += av * bv
 			}
 		}
 	}
-	return out
 }
 
 // MatMulABT returns a × bᵀ without materializing the transpose.
 func MatMulABT(a, b *Matrix) *Matrix {
+	return MatMulABTInto(NewMatrix(a.Rows, b.Rows), a, b)
+}
+
+// MatMulABTInto computes a × bᵀ into dst (shaped a.Rows×b.Rows) and
+// returns dst, sharding row ranges across goroutines above
+// parallelThreshold with bit-identical results.
+func MatMulABTInto(dst, a, b *Matrix) *Matrix {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("nn: matmulABT shape mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := NewMatrix(a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
+	checkDstShape("MatMulABTInto", dst, a.Rows, b.Rows)
+	if a.Rows*a.Cols*b.Rows < parallelThreshold {
+		matmulABTRange(a, b, dst, 0, a.Rows)
+		return dst
+	}
+	shardRows(matmulABTRange, a, b, dst, a.Rows)
+	return dst
+}
+
+// matmulABTRange computes rows [rs, re) of out = a × bᵀ.
+func matmulABTRange(a, b, out *Matrix, rs, re int) {
+	for i := rs; i < re; i++ {
 		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
 		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
 		for j := 0; j < b.Rows; j++ {
@@ -162,7 +204,12 @@ func MatMulABT(a, b *Matrix) *Matrix {
 			orow[j] = sum
 		}
 	}
-	return out
+}
+
+func checkDstShape(op string, dst *Matrix, rows, cols int) {
+	if dst.Rows != rows || dst.Cols != cols {
+		panic(fmt.Sprintf("nn: %s dst is %dx%d, want %dx%d", op, dst.Rows, dst.Cols, rows, cols))
+	}
 }
 
 // AddRowVec adds the row vector v (1×cols) to every row of m, in place.
@@ -180,14 +227,25 @@ func (m *Matrix) AddRowVec(v []float64) {
 
 // ColSums returns the per-column sums of m as a slice of length Cols.
 func (m *Matrix) ColSums() []float64 {
-	out := make([]float64, m.Cols)
+	return m.ColSumsInto(make([]float64, m.Cols))
+}
+
+// ColSumsInto writes the per-column sums of m into dst (length Cols),
+// overwriting its contents, and returns dst.
+func (m *Matrix) ColSumsInto(dst []float64) []float64 {
+	if len(dst) != m.Cols {
+		panic(fmt.Sprintf("nn: ColSumsInto dst length %d vs %d cols", len(dst), m.Cols))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		for j, v := range row {
-			out[j] += v
+			dst[j] += v
 		}
 	}
-	return out
+	return dst
 }
 
 // Scale multiplies every element by s in place.

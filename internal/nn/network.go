@@ -68,15 +68,23 @@ func (n *Network) Describe() string {
 // averaged over all elements, and the gradient of that loss with respect to
 // the prediction.
 func MSE(pred, target *Matrix) (loss float64, grad *Matrix) {
-	checkSameShape("MSE", pred, target)
 	grad = NewMatrix(pred.Rows, pred.Cols)
+	return MSEInto(pred, target, grad), grad
+}
+
+// MSEInto computes the mean-squared error between prediction and target,
+// writing the loss gradient w.r.t. the prediction into grad (same shape,
+// fully overwritten) and returning the loss.
+func MSEInto(pred, target, grad *Matrix) (loss float64) {
+	checkSameShape("MSE", pred, target)
+	checkSameShape("MSE grad", pred, grad)
 	total := float64(len(pred.Data))
 	for i := range pred.Data {
 		d := pred.Data[i] - target.Data[i]
 		loss += d * d
 		grad.Data[i] = 2 * d / total
 	}
-	return loss / total, grad
+	return loss / total
 }
 
 // PerSampleMSE returns each row's mean-squared reconstruction error.
@@ -140,6 +148,10 @@ func (n *Network) Fit(inputs, targets *Matrix, cfg TrainConfig) (float64, error)
 		order[i] = i
 	}
 
+	// All per-batch buffers live in the workspace; steady-state epochs
+	// allocate nothing.
+	ws := n.NewWorkspace()
+
 	var lastLoss float64
 	bad := 0
 	prev := -1.0
@@ -154,15 +166,10 @@ func (n *Network) Fit(inputs, targets *Matrix, cfg TrainConfig) (float64, error)
 			if end > len(order) {
 				end = len(order)
 			}
-			bx := gatherRows(inputs, order[start:end])
-			bt := gatherRows(targets, order[start:end])
+			bx := gatherRowsInto(ws.bx, inputs, order[start:end])
+			bt := gatherRowsInto(ws.bt, targets, order[start:end])
 
-			n.ZeroGrads()
-			pred := n.Forward(bx, true)
-			loss, grad := MSE(pred, bt)
-			n.Backward(grad)
-			cfg.Optimizer.Step(n.Params())
-			epochLoss += loss
+			epochLoss += n.TrainStep(ws, bx, bt, cfg.Optimizer)
 			batches++
 		}
 		lastLoss = epochLoss / float64(batches)
@@ -184,13 +191,14 @@ func (n *Network) Fit(inputs, targets *Matrix, cfg TrainConfig) (float64, error)
 	return lastLoss, nil
 }
 
-// gatherRows copies the given rows of m into a new matrix.
-func gatherRows(m *Matrix, idx []int) *Matrix {
-	out := NewMatrix(len(idx), m.Cols)
+// gatherRowsInto copies the given rows of m into dst, reshaping it to
+// len(idx)×m.Cols, and returns dst.
+func gatherRowsInto(dst, m *Matrix, idx []int) *Matrix {
+	dst.Reshape(len(idx), m.Cols)
 	for i, r := range idx {
-		copy(out.Row(i), m.Row(r))
+		copy(dst.Row(i), m.Row(r))
 	}
-	return out
+	return dst
 }
 
 // Predict runs the network in inference mode.
@@ -200,18 +208,9 @@ func (n *Network) Predict(x *Matrix) *Matrix {
 
 // ReconstructionErrors runs x through the network in inference mode and
 // returns each row's mean-squared reconstruction error against itself.
-// Rows are scored in chunks to bound peak memory on large inputs.
+// Rows are scored in chunks to bound peak memory on large inputs. Callers
+// scoring many batches should hold a Workspace and use
+// ReconstructionErrorsWS to reuse buffers across calls.
 func (n *Network) ReconstructionErrors(x *Matrix) []float64 {
-	const chunk = 512
-	out := make([]float64, 0, x.Rows)
-	for start := 0; start < x.Rows; start += chunk {
-		end := start + chunk
-		if end > x.Rows {
-			end = x.Rows
-		}
-		sub := &Matrix{Rows: end - start, Cols: x.Cols, Data: x.Data[start*x.Cols : end*x.Cols]}
-		pred := n.Predict(sub)
-		out = append(out, PerSampleMSE(pred, sub)...)
-	}
-	return out
+	return n.ReconstructionErrorsWS(n.NewWorkspace(), x, make([]float64, 0, x.Rows))
 }

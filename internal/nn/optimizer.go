@@ -65,14 +65,16 @@ func NewAdadelta() *Adadelta {
 // Step implements Optimizer.
 func (a *Adadelta) Step(params []*Param) {
 	for _, p := range params {
-		accGrad := p.Slot("acc_grad")
-		accUpd := p.Slot("acc_update")
-		for i := range p.Value.Data {
-			g := p.Grad.Data[i]
-			accGrad.Data[i] = a.Rho*accGrad.Data[i] + (1-a.Rho)*g*g
-			update := math.Sqrt(accUpd.Data[i]+a.Eps) / math.Sqrt(accGrad.Data[i]+a.Eps) * g
-			accUpd.Data[i] = a.Rho*accUpd.Data[i] + (1-a.Rho)*update*update
-			p.Value.Data[i] -= a.LR * update
+		value := p.Value.Data
+		grad := p.Grad.Data[:len(value)]
+		accGrad := p.Slot("acc_grad").Data[:len(value)]
+		accUpd := p.Slot("acc_update").Data[:len(value)]
+		for i := range value {
+			g := grad[i]
+			accGrad[i] = a.Rho*accGrad[i] + (1-a.Rho)*g*g
+			update := math.Sqrt(accUpd[i]+a.Eps) / math.Sqrt(accGrad[i]+a.Eps) * g
+			accUpd[i] = a.Rho*accUpd[i] + (1-a.Rho)*update*update
+			value[i] -= a.LR * update
 		}
 	}
 }
@@ -104,15 +106,17 @@ func (a *Adam) Step(params []*Param) {
 	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
 	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
 	for _, p := range params {
-		m := p.Slot("adam_m")
-		v := p.Slot("adam_v")
-		for i := range p.Value.Data {
-			g := p.Grad.Data[i]
-			m.Data[i] = a.Beta1*m.Data[i] + (1-a.Beta1)*g
-			v.Data[i] = a.Beta2*v.Data[i] + (1-a.Beta2)*g*g
-			mhat := m.Data[i] / c1
-			vhat := v.Data[i] / c2
-			p.Value.Data[i] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
+		value := p.Value.Data
+		grad := p.Grad.Data[:len(value)]
+		m := p.Slot("adam_m").Data[:len(value)]
+		v := p.Slot("adam_v").Data[:len(value)]
+		for i := range value {
+			g := grad[i]
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			mhat := m[i] / c1
+			vhat := v[i] / c2
+			value[i] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
 		}
 	}
 }

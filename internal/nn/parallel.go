@@ -1,0 +1,140 @@
+package nn
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The package maintains one global compute-worker budget shared by every
+// consumer of heavy parallelism: the matmul kernels shard rows across extra
+// goroutines only while budget remains, and ensemble-level callers (e.g.
+// core.Detector.Fit training one autoencoder per behavioral aspect) hold a
+// slot per concurrent model via AcquireWorker/ReleaseWorker. Coordinating
+// both levels through the same counter keeps the total number of busy
+// goroutines ≈ GOMAXPROCS instead of multiplying aspect-level by
+// matmul-level parallelism.
+//
+// The budget is a counter, not a pool: when no slot is free, work runs
+// inline on the calling goroutine, so progress never blocks on the budget
+// (only AcquireWorker blocks, by design).
+var budget = newWorkerBudget(runtime.GOMAXPROCS(0))
+
+type workerBudget struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	limit int
+	inUse int
+}
+
+func newWorkerBudget(limit int) *workerBudget {
+	if limit < 1 {
+		limit = 1
+	}
+	b := &workerBudget{limit: limit}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// WorkerBudget returns the current compute budget (defaults to GOMAXPROCS
+// at package initialization).
+func WorkerBudget() int {
+	budget.mu.Lock()
+	defer budget.mu.Unlock()
+	return budget.limit
+}
+
+// SetWorkerBudget resizes the compute budget to n slots (floored at 1).
+// Lowering the budget does not preempt running work; it only gates new
+// acquisitions. Size it to the cores you want training to occupy — see
+// DESIGN.md's "Performance architecture" section.
+func SetWorkerBudget(n int) {
+	if n < 1 {
+		n = 1
+	}
+	budget.mu.Lock()
+	budget.limit = n
+	budget.mu.Unlock()
+	budget.cond.Broadcast()
+}
+
+// AcquireWorker blocks until a compute slot is free and claims it. Callers
+// that train or score whole models concurrently should hold a slot for the
+// duration so that model-level and matmul-level parallelism share one
+// budget. Pair with ReleaseWorker.
+func AcquireWorker() {
+	budget.mu.Lock()
+	for budget.inUse >= budget.limit {
+		budget.cond.Wait()
+	}
+	budget.inUse++
+	budget.mu.Unlock()
+}
+
+// ReleaseWorker returns a slot claimed by AcquireWorker.
+func ReleaseWorker() {
+	budget.mu.Lock()
+	if budget.inUse > 0 {
+		budget.inUse--
+	}
+	budget.mu.Unlock()
+	budget.cond.Signal()
+}
+
+// tryAcquireWorker claims a slot only if one is immediately free.
+func tryAcquireWorker() bool {
+	budget.mu.Lock()
+	ok := budget.inUse < budget.limit
+	if ok {
+		budget.inUse++
+	}
+	budget.mu.Unlock()
+	return ok
+}
+
+// matmulKernel computes rows [rs, re) of one matrix product into out.
+// Kernels are passed as named top-level functions (not closures) so that
+// the serial path below stays allocation-free.
+type matmulKernel func(a, b, out *Matrix, rs, re int)
+
+// shardRows splits [0, rows) into contiguous chunks and runs kernel over
+// them, spawning a goroutine per chunk only while worker slots are free;
+// chunks that get no slot run inline. Because chunks are row-disjoint and
+// each kernel accumulates every output element in the same order as a
+// serial sweep, results are bit-identical to kernel(a, b, dst, 0, rows).
+//
+// When the budget allows only one shard the kernel runs inline without
+// touching spawnShards, whose WaitGroup and goroutine closures would
+// otherwise heap-allocate even on a single-core run.
+func shardRows(kernel matmulKernel, a, b, dst *Matrix, rows int) {
+	workers := WorkerBudget()
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 {
+		kernel(a, b, dst, 0, rows)
+		return
+	}
+	spawnShards(kernel, a, b, dst, rows, workers)
+}
+
+func spawnShards(kernel matmulKernel, a, b, dst *Matrix, rows, workers int) {
+	chunk := (rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for start := 0; start < rows; start += chunk {
+		end := start + chunk
+		if end > rows {
+			end = rows
+		}
+		if end < rows && tryAcquireWorker() {
+			wg.Add(1)
+			go func(s, e int) {
+				defer wg.Done()
+				defer ReleaseWorker()
+				kernel(a, b, dst, s, e)
+			}(start, end)
+		} else {
+			kernel(a, b, dst, start, end)
+		}
+	}
+	wg.Wait()
+}

@@ -1,0 +1,108 @@
+package nn
+
+// Workspace owns every per-batch buffer one network needs for training and
+// scoring: the gathered batch inputs/targets, each layer's forward
+// activation and backward gradient, and the loss gradient. Buffers are
+// lazily grown (Matrix.Reshape) and reused, so once shapes stabilize a
+// training step performs zero heap allocations.
+//
+// A Workspace is bound to the layer structure of the network that created
+// it and is not safe for concurrent use; concurrent scoring of one trained
+// network is done by giving each goroutine its own Workspace.
+type Workspace struct {
+	params   []*Param
+	bx, bt   *Matrix   // gathered batch inputs / targets
+	acts     []*Matrix // acts[i]: output of layer i
+	grads    []*Matrix // grads[i]: gradient w.r.t. the input of layer i
+	lossGrad *Matrix   // dLoss/dOutput
+	inCols   []int     // input width seen by each layer on the last forward
+	rows     int       // batch rows of the last forward
+}
+
+// NewWorkspace returns an empty workspace for this network. Buffers are
+// allocated on first use and retained across batches.
+func (n *Network) NewWorkspace() *Workspace {
+	l := len(n.Layers)
+	ws := &Workspace{
+		params:   n.Params(),
+		bx:       &Matrix{},
+		bt:       &Matrix{},
+		lossGrad: &Matrix{},
+		acts:     make([]*Matrix, l),
+		grads:    make([]*Matrix, l),
+		inCols:   make([]int, l),
+	}
+	for i := 0; i < l; i++ {
+		ws.acts[i] = &Matrix{}
+		ws.grads[i] = &Matrix{}
+	}
+	return ws
+}
+
+// forwardWS runs x through the network writing each layer's output into
+// the workspace activation buffers, returning the final output (owned by
+// ws). Arithmetic is identical to the allocating Forward.
+func (n *Network) forwardWS(ws *Workspace, x *Matrix, train bool) *Matrix {
+	ws.rows = x.Rows
+	for i, l := range n.Layers {
+		ws.inCols[i] = x.Cols
+		out := ws.acts[i].Reshape(x.Rows, l.OutDim(x.Cols))
+		l.ForwardInto(x, train, out)
+		x = out
+	}
+	return x
+}
+
+// backwardWS propagates ws.lossGrad back through all layers, accumulating
+// parameter gradients into the network's Params.
+func (n *Network) backwardWS(ws *Workspace) {
+	grad := ws.lossGrad
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		dst := ws.grads[i].Reshape(ws.rows, ws.inCols[i])
+		n.Layers[i].BackwardInto(grad, dst)
+		grad = dst
+	}
+}
+
+// TrainStep runs one forward/backward/optimizer update on a prepared batch
+// (bx inputs, bt targets) through ws and returns the batch's MSE loss.
+// Once buffer shapes have stabilized it performs no heap allocations.
+func (n *Network) TrainStep(ws *Workspace, bx, bt *Matrix, opt Optimizer) float64 {
+	for _, p := range ws.params {
+		p.ZeroGrad()
+	}
+	pred := n.forwardWS(ws, bx, true)
+	loss := MSEInto(pred, bt, ws.lossGrad.Reshape(pred.Rows, pred.Cols))
+	n.backwardWS(ws)
+	opt.Step(ws.params)
+	return loss
+}
+
+// ReconstructionErrorsWS scores x in inference mode through ws, appending
+// each row's mean-squared reconstruction error against itself to dst
+// (which may be nil) and returning the extended slice. Rows are scored in
+// chunks to bound peak buffer size on large inputs. Safe to call from
+// multiple goroutines on one trained network as long as each goroutine
+// uses its own Workspace.
+func (n *Network) ReconstructionErrorsWS(ws *Workspace, x *Matrix, dst []float64) []float64 {
+	const chunk = 512
+	for start := 0; start < x.Rows; start += chunk {
+		end := start + chunk
+		if end > x.Rows {
+			end = x.Rows
+		}
+		sub := &Matrix{Rows: end - start, Cols: x.Cols, Data: x.Data[start*x.Cols : end*x.Cols]}
+		pred := n.forwardWS(ws, sub, false)
+		for i := 0; i < sub.Rows; i++ {
+			var ss float64
+			prow := pred.Row(i)
+			trow := sub.Row(i)
+			for j := range prow {
+				d := prow[j] - trow[j]
+				ss += d * d
+			}
+			dst = append(dst, ss/float64(pred.Cols))
+		}
+	}
+	return dst
+}
