@@ -1,0 +1,47 @@
+# Test tiers (see DESIGN.md §8 "Testing architecture"):
+#   test-short  — seconds; skips everything that trains an ensemble
+#   test        — tier-1 gate: full build + all tests, incl. golden pipelines
+#   test-race   — full suite under the race detector (slow; CI tier)
+#   fuzz-smoke  — each native fuzz target for $(FUZZTIME) on top of its corpus
+#   vet         — static checks
+#   golden-update — regenerate testdata/golden snapshots after an intended
+#                   behavior change; run twice and `git diff` to prove the
+#                   pipelines are still deterministic
+
+GO ?= go
+FUZZTIME ?= 10s
+
+FUZZ_TARGETS = \
+	./internal/cert:FuzzReadEventsCSV \
+	./internal/cert:FuzzParseDay \
+	./internal/dga:FuzzDomains \
+	./internal/logstore:FuzzReadJSONL \
+	./internal/deviation:FuzzSigma
+
+.PHONY: build test test-short test-race fuzz-smoke vet golden-update
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+test-short:
+	$(GO) vet ./...
+	$(GO) test -short ./...
+
+test-race:
+	$(GO) test -race -timeout 40m ./...
+
+fuzz-smoke:
+	@set -e; for t in $(FUZZ_TARGETS); do \
+		pkg=$${t%%:*}; fn=$${t##*:}; \
+		echo "--- $$pkg $$fn"; \
+		$(GO) test $$pkg -run "^$$fn$$" -fuzz "^$$fn$$" -fuzztime $(FUZZTIME); \
+	done
+
+vet:
+	$(GO) vet ./...
+
+golden-update:
+	$(GO) test ./internal/testkit ./internal/experiment ./cmd/repro -run 'Golden' -update -count=1

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"acobe/internal/experiment"
+	"acobe/internal/metrics"
+	"acobe/internal/plot"
+	"acobe/internal/testkit"
+)
+
+// syntheticRuns builds a pinned two-model, two-scenario evaluation whose
+// pooled metrics exercise every branch of the Figure 6 serialization
+// (ROC grid sampling, PR recall grid, summary table) without training
+// anything. The priorities are chosen so the two models produce different
+// curves and a tie inside one scenario exercises the worst-case ordering.
+func syntheticRuns() map[experiment.ModelKind][]*experiment.ScenarioRun {
+	mk := func(scenario, insider string, priorities map[string]int) *experiment.ScenarioRun {
+		run := &experiment.ScenarioRun{Scenario: scenario, Insider: insider}
+		for user, p := range priorities {
+			run.Items = append(run.Items, metrics.Item{User: user, Priority: p, Positive: user == insider})
+		}
+		// Map iteration order must not leak into the figure: canonicalize.
+		run.Items = metrics.OrderWorstCase(run.Items)
+		return run
+	}
+	return map[experiment.ModelKind][]*experiment.ScenarioRun{
+		experiment.ModelACOBE: {
+			mk("s1", "ins1", map[string]int{"ins1": 1, "u1": 2, "u2": 3, "u3": 4}),
+			mk("s2", "ins2", map[string]int{"ins2": 2, "u1": 2, "u2": 5, "u3": 6}),
+		},
+		experiment.ModelBaseline: {
+			mk("s1", "ins1", map[string]int{"ins1": 3, "u1": 1, "u2": 2, "u3": 4}),
+			mk("s2", "ins2", map[string]int{"ins2": 4, "u1": 1, "u2": 2, "u3": 3}),
+		},
+	}
+}
+
+func chartBytes(t *testing.T, c *plot.Chart) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.WriteCSV(&buf); err != nil {
+		t.Fatalf("serialize chart: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenFig6CSVs pins the exact CSV bytes cmd/repro emits for the
+// Figure 6 model comparison: the ROC grid, the PR recall grid, and the
+// AUC / AP / FPs-before-TP summary table.
+func TestGoldenFig6CSVs(t *testing.T) {
+	res, err := experiment.BuildFig6(syntheticRuns())
+	if err != nil {
+		t.Fatalf("build fig6: %v", err)
+	}
+	testkit.GoldenCSV(t, "fig6a_roc.csv", chartBytes(t, res.ROC), 1e-9)
+	testkit.GoldenCSV(t, "fig6b_pr.csv", chartBytes(t, res.PR), 1e-9)
+
+	var buf bytes.Buffer
+	if err := res.Summary.WriteCSV(&buf); err != nil {
+		t.Fatalf("serialize summary: %v", err)
+	}
+	// The summary carries the rankings' integer FP counts — exact.
+	testkit.Golden(t, "fig6_summary.csv", buf.Bytes())
+}
+
+// TestGoldenFig6NCSVs pins the Figure 6(c) critic-N sweep serialization.
+func TestGoldenFig6NCSVs(t *testing.T) {
+	runs := syntheticRuns()[experiment.ModelACOBE]
+	res, err := experiment.BuildFig6N(map[int][]*experiment.ScenarioRun{1: runs, 3: runs})
+	if err != nil {
+		t.Fatalf("build fig6c: %v", err)
+	}
+	testkit.GoldenCSV(t, "fig6c_pr_n.csv", chartBytes(t, res.PR), 1e-9)
+
+	var buf bytes.Buffer
+	if err := res.Summary.WriteCSV(&buf); err != nil {
+		t.Fatalf("serialize summary: %v", err)
+	}
+	testkit.Golden(t, "fig6c_summary.csv", buf.Bytes())
+}

@@ -14,7 +14,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
 	"acobe/internal/cert"
@@ -24,41 +26,46 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	if err := run(os.Stdout, experiment.EnterpriseTinyPreset()); err != nil {
+		log.Fatal(err)
+	}
+}
 
+func run(out io.Writer, preset experiment.EnterprisePreset) error {
 	// Show the attacker's side first: the bot's rendezvous domains for
 	// the attack day. Defenders see these as NXDOMAIN bursts.
 	g := dga.New(0x60df)
 	day0 := cert.MustDay("2011-02-02") // the paper's "Feb 2nd"
-	fmt.Println("first newGOZ candidate domains on the attack day:")
+	fmt.Fprintln(out, "first newGOZ candidate domains on the attack day:")
 	for _, d := range g.DomainsForDate(day0.Date(), 5) {
-		fmt.Println("  ", d)
+		fmt.Fprintln(out, "  ", d)
 	}
 
-	preset := experiment.EnterpriseTinyPreset()
-	fmt.Printf("\nsimulating %d employees over seven months and injecting Zeus on %v...\n",
+	fmt.Fprintf(out, "\nsimulating %d employees over seven months and injecting Zeus on %v...\n",
 		preset.Employees, day0)
 	start := time.Now()
 	run, err := experiment.RunEnterprise(preset, experiment.AttackZeus)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("pipeline + training done in %v; victim is %s\n",
+	fmt.Fprintf(out, "pipeline + training done in %v; victim is %s\n",
 		time.Since(start).Round(time.Second), run.Victim)
 
 	charts, rank, err := experiment.BuildFig7(run)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	// The paper highlights the Command and HTTP aspects for the botnet.
 	for _, c := range charts {
 		if c.Title == fmt.Sprintf("Fig7 Command aspect (%s attack)", run.Attack) ||
 			c.Title == fmt.Sprintf("Fig7 HTTP aspect (%s attack)", run.Attack) {
-			fmt.Println(c.ASCII(10, 70))
+			fmt.Fprintln(out, c.ASCII(10, 70))
 		}
 	}
-	fmt.Println(rank.ASCII(8, 70))
+	fmt.Fprintln(out, rank.ASCII(8, 70))
 
 	attackIdx := int(run.AttackDay - run.ScoreFrom)
-	fmt.Printf("victim's daily investigation rank from the attack day on: %v\n",
+	fmt.Fprintf(out, "victim's daily investigation rank from the attack day on: %v\n",
 		run.VictimDailyRank[attackIdx:])
+	return nil
 }

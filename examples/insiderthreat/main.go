@@ -12,7 +12,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"acobe/internal/experiment"
 	"acobe/internal/features"
@@ -21,55 +23,59 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	preset := experiment.TinyPreset()
+	if err := run(os.Stdout, experiment.TinyPreset()); err != nil {
+		log.Fatal(err)
+	}
+}
 
+func run(out io.Writer, preset experiment.Preset) error {
 	data, err := experiment.BuildCERTData(preset)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	sc := data.ScenarioByName("r6.1-s2")
 	insider := sc.UserID()
 	ws, we := sc.Window()
-	fmt.Printf("insider %s, labeled window %v..%v\n\n", insider, ws, we)
+	fmt.Fprintf(out, "insider %s, labeled window %v..%v\n\n", insider, ws, we)
 
 	// --- Step 1: raw measurements -----------------------------------
 	// The extractor has already turned the event stream into per-day
 	// counts m_{f,t,d}. Look at the marquee feature: resume uploads.
 	u := data.Table.UserIndex(insider)
 	f := data.Table.FeatureIndex(features.FeatHTTPUploadDoc)
-	fmt.Println("http:upload-doc daily counts around the window start (work hours):")
+	fmt.Fprintln(out, "http:upload-doc daily counts around the window start (work hours):")
 	for d := ws - 5; d < ws+10; d++ {
-		fmt.Printf("  %v  %2.0f\n", d, data.Table.At(u, f, 0, d))
+		fmt.Fprintf(out, "  %v  %2.0f\n", d, data.Table.At(u, f, 0, d))
 	}
 
 	// --- Step 2: behavioral deviations (Figure 4) -------------------
 	ind, _, err := data.Fields(preset.Deviation)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("\nsame feature as clamped z-score deviations σ (history window ω=30):")
+	fmt.Fprintf(out, "\nsame feature as clamped z-score deviations σ (history window ω=%d):\n", preset.Deviation.Window)
 	for d := ws - 5; d < ws+10; d++ {
 		sigma := ind.Sigma(u, f, 0, d)
 		bar := ""
 		for i := 0.0; i < sigma; i += 0.5 {
 			bar += "█"
 		}
-		fmt.Printf("  %v  %+5.2f %s\n", d, sigma, bar)
+		fmt.Fprintf(out, "  %v  %+5.2f %s\n", d, sigma, bar)
 	}
 	heatmaps, err := experiment.BuildFig4(data)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("\nFigure 4 heatmap (HTTP aspect, working hours):")
-	fmt.Println(heatmaps[2].ASCII())
+	fmt.Fprintln(out, "\nFigure 4 heatmap (HTTP aspect, working hours):")
+	fmt.Fprintln(out, heatmaps[2].ASCII())
 
 	// --- Step 3: ACOBE vs the single-day Baseline -------------------
-	fmt.Println("training ACOBE and the Liu-et-al Baseline on the same split...")
+	fmt.Fprintln(out, "training ACOBE and the Liu-et-al Baseline on the same split...")
 	results := map[string]*experiment.ScenarioRun{}
 	for _, kind := range []experiment.ModelKind{experiment.ModelACOBE, experiment.ModelBaseline} {
 		run, err := experiment.RunScenario(data, kind, sc)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		results[kind.String()] = run
 	}
@@ -77,7 +83,7 @@ func main() {
 	for name, run := range results {
 		curves, err := metrics.Evaluate(run.Items)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		pos := 0
 		for i, it := range metrics.OrderWorstCase(run.Items) {
@@ -86,17 +92,17 @@ func main() {
 				break
 			}
 		}
-		fmt.Printf("  %-8s insider at list position %d/%d, AUC %.4f\n",
+		fmt.Fprintf(out, "  %-8s insider at list position %d/%d, AUC %.4f\n",
 			name, pos, len(run.Items), curves.AUC)
 	}
 
 	// --- Step 4: the score waveform (Figure 5(b)) -------------------
 	w, err := experiment.BuildFig5Waveform(data, results["ACOBE"], "http")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\nFigure 5(b): http-aspect anomaly scores (dept of %s); mean=%.4f std=%.4f\n",
+	fmt.Fprintf(out, "\nFigure 5(b): http-aspect anomaly scores (dept of %s); mean=%.4f std=%.4f\n",
 		insider, w.Mean, w.Std)
-	fmt.Println(w.Chart.ASCII(10, 70))
-
+	fmt.Fprintln(out, w.Chart.ASCII(10, 70))
+	return nil
 }

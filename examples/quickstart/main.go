@@ -12,7 +12,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
 	"acobe/internal/experiment"
@@ -21,18 +23,21 @@ import (
 
 func main() {
 	log.SetFlags(0)
-
 	// A tiny preset keeps this example under a couple of minutes on a
 	// laptop; see examples/insiderthreat for the full-size walk-through.
-	preset := experiment.TinyPreset()
+	if err := run(os.Stdout, experiment.TinyPreset()); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	fmt.Println("synthesizing CERT-style audit logs (4 departments, 1 insider per dept)...")
+func run(out io.Writer, preset experiment.Preset) error {
+	fmt.Fprintln(out, "synthesizing CERT-style audit logs (4 departments, 1 insider per dept)...")
 	start := time.Now()
 	data, err := experiment.BuildCERTData(preset)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("  %d users, %d features, days %v..%v (%v)\n",
+	fmt.Fprintf(out, "  %d users, %d features, days %v..%v (%v)\n",
 		len(data.UserIDs), len(data.Table.Features()), data.SpanStart, data.SpanEnd,
 		time.Since(start).Round(time.Millisecond))
 
@@ -40,18 +45,18 @@ func main() {
 	// user who job-hunts for two months and then exfiltrates data with a
 	// thumb drive.
 	sc := data.ScenarioByName("r6.1-s2")
-	fmt.Printf("scenario %s: insider %s\n", sc.Name(), sc.UserID())
+	fmt.Fprintf(out, "scenario %s: insider %s\n", sc.Name(), sc.UserID())
 
-	fmt.Println("training ACOBE (device / file / http autoencoders) and scoring...")
+	fmt.Fprintln(out, "training ACOBE (device / file / http autoencoders) and scoring...")
 	start = time.Now()
 	run, err := experiment.RunScenario(data, experiment.ModelACOBE, sc)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("  trained on %v..%v, scored %v..%v (%v)\n",
+	fmt.Fprintf(out, "  trained on %v..%v, scored %v..%v (%v)\n",
 		run.TrainFrom, run.TrainTo, run.TestFrom, run.TestTo, time.Since(start).Round(time.Second))
 
-	fmt.Println("\ninvestigation list (top 10):")
+	fmt.Fprintln(out, "\ninvestigation list (top 10):")
 	for i, r := range run.List {
 		if i >= 10 {
 			break
@@ -60,13 +65,14 @@ func main() {
 		if r.User == run.Insider {
 			marker = "  ← the insider"
 		}
-		fmt.Printf("%3d. %-10s priority=%-3d per-aspect ranks=%v%s\n", i+1, r.User, r.Priority, r.Ranks, marker)
+		fmt.Fprintf(out, "%3d. %-10s priority=%-3d per-aspect ranks=%v%s\n", i+1, r.User, r.Priority, r.Ranks, marker)
 	}
 
 	curves, err := metrics.Evaluate(run.Items)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\nROC AUC %.4f; false positives listed before the insider: %v\n",
+	fmt.Fprintf(out, "\nROC AUC %.4f; false positives listed before the insider: %v\n",
 		curves.AUC, curves.FPsBeforeTP())
+	return nil
 }

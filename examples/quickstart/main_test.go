@@ -1,0 +1,40 @@
+package main
+
+import (
+	"io"
+	"testing"
+
+	"acobe/internal/autoencoder"
+	"acobe/internal/deviation"
+	"acobe/internal/experiment"
+)
+
+// smokePreset shrinks the autoencoders so the example completes in seconds;
+// the smoke test checks the program runs end to end, not detection quality.
+func smokePreset() experiment.Preset {
+	return experiment.Preset{
+		Name:         "smoke",
+		UsersPerDept: 8,
+		Deviation:    deviation.Config{Window: 30, MatrixDays: 14, Delta: 3, Epsilon: 1, Weighted: true},
+		AEConfig: func(dim int) autoencoder.Config {
+			cfg := autoencoder.FastConfig(dim)
+			cfg.Hidden = []int{16, 8}
+			cfg.Epochs = 4
+			cfg.EarlyStopDelta = 0.01
+			cfg.Patience = 1
+			return cfg
+		},
+		TrainStride: 8,
+		N:           3,
+		Seed:        1,
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains an autoencoder ensemble")
+	}
+	if err := run(io.Discard, smokePreset()); err != nil {
+		t.Fatalf("quickstart example failed: %v", err)
+	}
+}

@@ -14,7 +14,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
 	"acobe/internal/experiment"
@@ -22,29 +24,33 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	if err := run(os.Stdout, experiment.EnterpriseTinyPreset()); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	preset := experiment.EnterpriseTinyPreset()
-	fmt.Printf("simulating %d employees and detonating ransomware...\n", preset.Employees)
+func run(out io.Writer, preset experiment.EnterprisePreset) error {
+	fmt.Fprintf(out, "simulating %d employees and detonating ransomware...\n", preset.Employees)
 	start := time.Now()
 	run, err := experiment.RunEnterprise(preset, experiment.AttackRansomware)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("pipeline + training done in %v; victim is %s, attack day %v\n",
+	fmt.Fprintf(out, "pipeline + training done in %v; victim is %s, attack day %v\n",
 		time.Since(start).Round(time.Second), run.Victim, run.AttackDay)
 
 	charts, rank, err := experiment.BuildFig7(run)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	// The paper highlights File and Config for the ransomware.
 	for _, c := range charts {
 		if c.Title == fmt.Sprintf("Fig7 File aspect (%s attack)", run.Attack) ||
 			c.Title == fmt.Sprintf("Fig7 Config aspect (%s attack)", run.Attack) {
-			fmt.Println(c.ASCII(10, 70))
+			fmt.Fprintln(out, c.ASCII(10, 70))
 		}
 	}
-	fmt.Println(rank.ASCII(8, 70))
+	fmt.Fprintln(out, rank.ASCII(8, 70))
 
 	attackIdx := int(run.AttackDay - run.ScoreFrom)
 	held := 0
@@ -54,6 +60,7 @@ func main() {
 		}
 		held++
 	}
-	fmt.Printf("victim held investigation rank 1 for %d consecutive days after the attack\n", held)
-	fmt.Printf("daily ranks from attack day: %v\n", run.VictimDailyRank[attackIdx:])
+	fmt.Fprintf(out, "victim held investigation rank 1 for %d consecutive days after the attack\n", held)
+	fmt.Fprintf(out, "daily ranks from attack day: %v\n", run.VictimDailyRank[attackIdx:])
+	return nil
 }

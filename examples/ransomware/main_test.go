@@ -1,0 +1,40 @@
+package main
+
+import (
+	"io"
+	"testing"
+
+	"acobe/internal/autoencoder"
+	"acobe/internal/deviation"
+	"acobe/internal/experiment"
+)
+
+// smokePreset shrinks the enterprise and its autoencoders so the case study
+// completes in seconds.
+func smokePreset() experiment.EnterprisePreset {
+	return experiment.EnterprisePreset{
+		Name:      "smoke",
+		Employees: 12,
+		Deviation: deviation.Config{Window: 14, MatrixDays: 14, Delta: 3, Epsilon: 1, Weighted: true},
+		AEConfig: func(dim int) autoencoder.Config {
+			cfg := autoencoder.FastConfig(dim)
+			cfg.Hidden = []int{16, 8}
+			cfg.Epochs = 4
+			cfg.EarlyStopDelta = 0.01
+			cfg.Patience = 1
+			return cfg
+		},
+		TrainStride: 8,
+		N:           3,
+		Seed:        1,
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates the enterprise and trains the ensemble")
+	}
+	if err := run(io.Discard, smokePreset()); err != nil {
+		t.Fatalf("ransomware example failed: %v", err)
+	}
+}

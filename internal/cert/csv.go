@@ -2,6 +2,7 @@ package cert
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -31,11 +32,21 @@ func WriteCSV(g *Generator, dir string) (int, error) {
 	}
 	writers := make(map[EventType]*csv.Writer)
 	files := make([]*os.File, 0, 5)
-	defer func() {
+	// Close errors matter here: csv.Writer buffers through the file's page
+	// cache, and a full disk often surfaces only at Close. closeAll is
+	// idempotent so the deferred safety-net close on error paths cannot
+	// double-close.
+	closeAll := func() error {
+		var errs error
 		for _, f := range files {
-			f.Close()
+			if cerr := f.Close(); cerr != nil {
+				errs = errors.Join(errs, cerr)
+			}
 		}
-	}()
+		files = nil
+		return errs
+	}
+	defer closeAll()
 	open := func(t EventType, name string, header []string) error {
 		f, err := os.Create(filepath.Join(dir, name))
 		if err != nil {
@@ -65,6 +76,27 @@ func WriteCSV(g *Generator, dir string) (int, error) {
 		return 0, err
 	}
 
+	n, err := writeEvents(g, writers)
+	if err != nil {
+		return n, err
+	}
+	if err := closeAll(); err != nil {
+		return n, fmt.Errorf("cert: close csv: %w", err)
+	}
+
+	if err := writeLDAP(g.Users(), filepath.Join(dir, FileLDAP)); err != nil {
+		return n, err
+	}
+	if err := writeLabels(g.Labels(), filepath.Join(dir, FileLabels)); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// writeEvents streams every event of g to the per-type CSV writers and
+// flushes them, returning the number of events written. Split from WriteCSV
+// so failing sinks are testable without touching the filesystem.
+func writeEvents(g *Generator, writers map[EventType]*csv.Writer) (int, error) {
 	var n int
 	err := g.Stream(func(_ Day, events []Event) error {
 		for _, e := range events {
@@ -99,13 +131,6 @@ func WriteCSV(g *Generator, dir string) (int, error) {
 			return n, fmt.Errorf("cert: flush csv: %w", err)
 		}
 	}
-
-	if err := writeLDAP(g.Users(), filepath.Join(dir, FileLDAP)); err != nil {
-		return n, err
-	}
-	if err := writeLabels(g.Labels(), filepath.Join(dir, FileLabels)); err != nil {
-		return n, err
-	}
 	return n, nil
 }
 
@@ -114,18 +139,25 @@ func writeLDAP(users []User, path string) error {
 	if err != nil {
 		return fmt.Errorf("cert: create ldap csv: %w", err)
 	}
-	defer f.Close()
 	w := csv.NewWriter(f)
-	if err := w.Write([]string{"user_id", "name", "email", "role", "department", "pc"}); err != nil {
-		return fmt.Errorf("cert: write ldap header: %w", err)
-	}
+	err = w.Write([]string{"user_id", "name", "email", "role", "department", "pc"})
 	for _, u := range users {
-		if err := w.Write([]string{u.ID, u.Name, u.Email, u.Role, u.Department, u.PC}); err != nil {
-			return fmt.Errorf("cert: write ldap row: %w", err)
+		if err != nil {
+			break
 		}
+		err = w.Write([]string{u.ID, u.Name, u.Email, u.Role, u.Department, u.PC})
 	}
-	w.Flush()
-	return w.Error()
+	if err == nil {
+		w.Flush()
+		err = w.Error()
+	}
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("cert: write ldap csv: %w", err)
+	}
+	return nil
 }
 
 func writeLabels(labels []Label, path string) error {
@@ -133,18 +165,25 @@ func writeLabels(labels []Label, path string) error {
 	if err != nil {
 		return fmt.Errorf("cert: create labels csv: %w", err)
 	}
-	defer f.Close()
 	w := csv.NewWriter(f)
-	if err := w.Write([]string{"user", "day", "scenario"}); err != nil {
-		return fmt.Errorf("cert: write labels header: %w", err)
-	}
+	err = w.Write([]string{"user", "day", "scenario"})
 	for _, l := range labels {
-		if err := w.Write([]string{l.User, l.Day.String(), l.Scenario}); err != nil {
-			return fmt.Errorf("cert: write labels row: %w", err)
+		if err != nil {
+			break
 		}
+		err = w.Write([]string{l.User, l.Day.String(), l.Scenario})
 	}
-	w.Flush()
-	return w.Error()
+	if err == nil {
+		w.Flush()
+		err = w.Error()
+	}
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("cert: write labels csv: %w", err)
+	}
+	return nil
 }
 
 // StoredDataset holds a dataset read back from CSV, with events bucketed
@@ -188,30 +227,8 @@ func ReadCSV(dir string) (*StoredDataset, error) {
 	}
 	ds.Labels = labels
 
-	type spec struct {
-		name  string
-		typ   EventType
-		parse func([]string) (Event, error)
-	}
-	specs := []spec{
-		{FileLogon, EventLogon, func(rec []string) (Event, error) {
-			return Event{Type: EventLogon, User: rec[2], PC: rec[3], Activity: rec[4]}, nil
-		}},
-		{FileDevice, EventDevice, func(rec []string) (Event, error) {
-			return Event{Type: EventDevice, User: rec[2], PC: rec[3], Activity: rec[4]}, nil
-		}},
-		{FileFile, EventFile, func(rec []string) (Event, error) {
-			return Event{Type: EventFile, User: rec[2], PC: rec[3], FileID: rec[4], Activity: rec[5], Direction: rec[6]}, nil
-		}},
-		{FileHTTP, EventHTTP, func(rec []string) (Event, error) {
-			return Event{Type: EventHTTP, User: rec[2], PC: rec[3], Domain: rec[4], Activity: rec[5], FileType: rec[6]}, nil
-		}},
-		{FileEmail, EventEmail, func(rec []string) (Event, error) {
-			return Event{Type: EventEmail, User: rec[2], PC: rec[3], Recipient: rec[4], Activity: rec[5]}, nil
-		}},
-	}
-	for _, sp := range specs {
-		if err := readEvents(filepath.Join(dir, sp.name), sp.parse, ds); err != nil {
+	for _, sp := range eventSpecs {
+		if err := readEvents(filepath.Join(dir, sp.Name), sp, ds); err != nil {
 			return nil, err
 		}
 	}
@@ -224,13 +241,49 @@ func ReadCSV(dir string) (*StoredDataset, error) {
 	return ds, nil
 }
 
-func readEvents(path string, parse func([]string) (Event, error), ds *StoredDataset) error {
+// EventSpec describes one per-channel event CSV: its file name, the minimum
+// field count a data row must have, and how a row maps to an Event.
+type EventSpec struct {
+	Name      string
+	Type      EventType
+	MinFields int
+	Parse     func([]string) Event
+}
+
+// eventSpecs drives both ReadCSV and the fuzz harness. MinFields must cover
+// the highest index each Parse touches — readEventsFrom enforces it before
+// calling Parse, so a truncated row is a parse error, not a panic.
+var eventSpecs = []EventSpec{
+	{FileLogon, EventLogon, 5, func(rec []string) Event {
+		return Event{Type: EventLogon, User: rec[2], PC: rec[3], Activity: rec[4]}
+	}},
+	{FileDevice, EventDevice, 5, func(rec []string) Event {
+		return Event{Type: EventDevice, User: rec[2], PC: rec[3], Activity: rec[4]}
+	}},
+	{FileFile, EventFile, 7, func(rec []string) Event {
+		return Event{Type: EventFile, User: rec[2], PC: rec[3], FileID: rec[4], Activity: rec[5], Direction: rec[6]}
+	}},
+	{FileHTTP, EventHTTP, 7, func(rec []string) Event {
+		return Event{Type: EventHTTP, User: rec[2], PC: rec[3], Domain: rec[4], Activity: rec[5], FileType: rec[6]}
+	}},
+	{FileEmail, EventEmail, 6, func(rec []string) Event {
+		return Event{Type: EventEmail, User: rec[2], PC: rec[3], Recipient: rec[4], Activity: rec[5]}
+	}},
+}
+
+func readEvents(path string, sp EventSpec, ds *StoredDataset) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return fmt.Errorf("cert: open %s: %w", path, err)
 	}
 	defer f.Close()
-	r := csv.NewReader(f)
+	return readEventsFrom(f, path, sp, ds)
+}
+
+// readEventsFrom parses one event CSV stream into ds. It is the I/O-free
+// core of readEvents so malformed inputs can be fuzzed directly.
+func readEventsFrom(src io.Reader, name string, sp EventSpec, ds *StoredDataset) error {
+	r := csv.NewReader(src)
 	r.FieldsPerRecord = -1
 	first := true
 	for {
@@ -239,23 +292,20 @@ func readEvents(path string, parse func([]string) (Event, error), ds *StoredData
 			return nil
 		}
 		if err != nil {
-			return fmt.Errorf("cert: read %s: %w", path, err)
+			return fmt.Errorf("cert: read %s: %w", name, err)
 		}
 		if first {
 			first = false
 			continue // header
 		}
-		if len(rec) < 5 {
-			return fmt.Errorf("cert: short record in %s: %q", path, rec)
-		}
-		e, err := parse(rec)
-		if err != nil {
-			return fmt.Errorf("cert: parse %s: %w", path, err)
+		if len(rec) < sp.MinFields {
+			return fmt.Errorf("cert: short record in %s: %q", name, rec)
 		}
 		t, err := time.Parse(csvTimeLayout, rec[1])
 		if err != nil {
-			return fmt.Errorf("cert: parse time in %s: %w", path, err)
+			return fmt.Errorf("cert: parse time in %s: %w", name, err)
 		}
+		e := sp.Parse(rec)
 		e.Time = t
 		d := e.Day()
 		ds.byDay[d] = append(ds.byDay[d], e)

@@ -1,0 +1,75 @@
+package cert
+
+import (
+	"encoding/csv"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// failWriter fails every write after the first failAfter bytes, like a sink
+// on a full disk.
+type failWriter struct {
+	written   int
+	failAfter int
+}
+
+var errSinkFull = errors.New("sink full")
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.failAfter {
+		return 0, errSinkFull
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+// TestWriteEventsFailingSink: a sink that starts failing mid-stream must
+// surface the write error instead of silently dropping events — the failure
+// mode the old deferred-Close-only cleanup used to swallow.
+func TestWriteEventsFailingSink(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.End = 20
+	cfg.Scenarios = nil
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writers := make(map[EventType]*csv.Writer)
+	for _, et := range []EventType{EventLogon, EventDevice, EventFile, EventHTTP, EventEmail} {
+		writers[et] = csv.NewWriter(&failWriter{failAfter: 512})
+	}
+	if _, err := writeEvents(g, writers); !errors.Is(err, errSinkFull) {
+		t.Fatalf("writeEvents error = %v, want %v", err, errSinkFull)
+	}
+}
+
+// TestWriteEventsHealthySink is the control: the same streaming into
+// unbounded sinks succeeds and writes every event once.
+func TestWriteEventsHealthySink(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.End = 20
+	cfg.Scenarios = nil
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinks := make(map[EventType]*strings.Builder)
+	writers := make(map[EventType]*csv.Writer)
+	for _, et := range []EventType{EventLogon, EventDevice, EventFile, EventHTTP, EventEmail} {
+		var b strings.Builder
+		sinks[et] = &b
+		writers[et] = csv.NewWriter(&b)
+	}
+	n, err := writeEvents(g, writers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := 0
+	for _, b := range sinks {
+		rows += strings.Count(b.String(), "\n")
+	}
+	if rows != n {
+		t.Fatalf("sinks hold %d rows, writeEvents reported %d events", rows, n)
+	}
+}

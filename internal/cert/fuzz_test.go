@@ -1,0 +1,84 @@
+package cert
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadEventsCSV feeds arbitrary bytes through every per-channel event
+// parser. The parsers sit on the trust boundary with on-disk datasets, so
+// they must reject malformed input with an error — never a panic — and must
+// be deterministic.
+func FuzzReadEventsCSV(f *testing.F) {
+	f.Add([]byte("id,date,user,pc,activity\n{E1},01/02/2010 08:30:00,u1,pc1,Logon\n"))
+	f.Add([]byte("id,date,user,pc,filename,activity,direction\n{E1},01/02/2010 09:00:00,u1,pc1,doc.pdf,open,in\n"))
+	f.Add([]byte("id,date,user,pc,activity\n{E1},99/99/9999 99:99:99,u1,pc1,Logon\n"))
+	f.Add([]byte("id,date\nshort,row\n"))
+	f.Add([]byte("\"unterminated,quote\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, sp := range eventSpecs {
+			ds := &StoredDataset{byDay: make(map[Day][]Event)}
+			err := readEventsFrom(bytes.NewReader(data), sp.Name, sp, ds)
+			if err != nil {
+				continue
+			}
+			n := 0
+			for _, events := range ds.byDay {
+				for _, e := range events {
+					if e.Type != sp.Type {
+						t.Fatalf("%s: parsed event has type %v, want %v", sp.Name, e.Type, sp.Type)
+					}
+					if e.Time.IsZero() {
+						t.Fatalf("%s: accepted event with zero time", sp.Name)
+					}
+					n++
+				}
+			}
+			// Accepted input must parse identically on a second pass.
+			ds2 := &StoredDataset{byDay: make(map[Day][]Event)}
+			if err := readEventsFrom(bytes.NewReader(data), sp.Name, sp, ds2); err != nil {
+				t.Fatalf("%s: accepted once, rejected on replay: %v", sp.Name, err)
+			}
+			n2 := 0
+			for _, events := range ds2.byDay {
+				n2 += len(events)
+			}
+			if n != n2 {
+				t.Fatalf("%s: parsed %d events, then %d on replay", sp.Name, n, n2)
+			}
+		}
+	})
+}
+
+// FuzzParseDay: ParseDay must never panic, and any accepted day inside the
+// representable range must round-trip through its canonical String form.
+// (Days further than ~273 years from the 2010 epoch saturate time.Sub and
+// are excluded — the dataset spans 2010–2011.)
+func FuzzParseDay(f *testing.F) {
+	f.Add("2010-01-02")
+	f.Add("2011-05-31")
+	f.Add("2009-12-31")
+	f.Add("2010-02-29")
+	f.Add("0000-01-01")
+	f.Add("not-a-date")
+	f.Fuzz(func(t *testing.T, s string) {
+		d, err := ParseDay(s)
+		if err != nil {
+			return
+		}
+		if d != MustDay(s) {
+			t.Fatalf("MustDay(%q) = %v, ParseDay = %v", s, MustDay(s), d)
+		}
+		if d < -100000 || d > 100000 {
+			return
+		}
+		back, err := ParseDay(d.String())
+		if err != nil {
+			t.Fatalf("ParseDay(%q) accepted but canonical form %q rejected: %v", s, d.String(), err)
+		}
+		if back != d {
+			t.Fatalf("round trip %q → %v → %q → %v", s, d, d.String(), back)
+		}
+	})
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"acobe/internal/mathx"
+	"acobe/internal/testkit"
+)
+
+// Property tests for Algorithm 1: the critic's output must be a function of
+// the score *values*, not of user enumeration order, and Priority must
+// behave as "the N-th best per-aspect rank".
+
+// distinctScores generates per-aspect score columns with no ties, so that
+// per-aspect ranks — and therefore the whole critic output — are uniquely
+// determined by the values.
+func distinctScores(rng *mathx.RNG, aspects, users int) [][]float64 {
+	out := make([][]float64, aspects)
+	for a := range out {
+		col := make([]float64, users)
+		for u := range col {
+			// Strictly increasing jitter keeps every pair distinct.
+			col[u] = rng.Float64() + float64(u)*1e-7
+		}
+		out[a] = col
+	}
+	return out
+}
+
+// TestCriticPermutationInvariance: reordering the users must not change any
+// user's priority or per-aspect ranks, and must produce the same
+// investigation order up to exact (priority, sum-of-ranks) ties — the critic
+// breaks those by input order, which is the only part of Algorithm 1 that is
+// allowed to see the enumeration.
+func TestCriticPermutationInvariance(t *testing.T) {
+	rng := mathx.NewRNG(7)
+	for trial := 0; trial < 50; trial++ {
+		const nUsers, nAspects = 17, 6
+		users := make([]string, nUsers)
+		for u := range users {
+			users[u] = fmt.Sprintf("user%02d", u)
+		}
+		scores := distinctScores(rng, nAspects, nUsers)
+
+		base := Critic(users, scores, 3)
+
+		perm := testkit.Permutation(uint64(trial)+1, nUsers)
+		pUsers := make([]string, nUsers)
+		pScores := make([][]float64, nAspects)
+		for a := range pScores {
+			pScores[a] = make([]float64, nUsers)
+		}
+		for newIdx, oldIdx := range perm {
+			pUsers[newIdx] = users[oldIdx]
+			for a := range scores {
+				pScores[a][newIdx] = scores[a][oldIdx]
+			}
+		}
+		permuted := Critic(pUsers, pScores, 3)
+
+		if len(base) != len(permuted) {
+			t.Fatalf("trial %d: list length changed %d → %d", trial, len(base), len(permuted))
+		}
+		// Per-user output is exactly invariant.
+		byUser := make(map[string]Ranked, len(permuted))
+		for _, r := range permuted {
+			byUser[r.User] = r
+		}
+		for _, want := range base {
+			got, ok := byUser[want.User]
+			if !ok {
+				t.Fatalf("trial %d: %s missing from permuted list", trial, want.User)
+			}
+			if got.Priority != want.Priority {
+				t.Fatalf("trial %d %s: priority changed %d → %d",
+					trial, want.User, want.Priority, got.Priority)
+			}
+			for a := range want.Ranks {
+				if got.Ranks[a] != want.Ranks[a] {
+					t.Fatalf("trial %d %s aspect %d: rank changed %d → %d",
+						trial, want.User, a, want.Ranks[a], got.Ranks[a])
+				}
+			}
+		}
+		// Order is invariant up to exact (priority, sum-of-ranks) ties:
+		// positions must agree on the sort key, and any user displaced by
+		// the permutation must be tied with the user it displaced.
+		for i := range base {
+			bk := [2]int{base[i].Priority, sumInts(base[i].Ranks)}
+			pk := [2]int{permuted[i].Priority, sumInts(permuted[i].Ranks)}
+			if bk != pk {
+				t.Fatalf("trial %d pos %d: sort key changed %v → %v (users %s → %s)",
+					trial, i, bk, pk, base[i].User, permuted[i].User)
+			}
+		}
+	}
+}
+
+// TestCriticNMonotonicity: Priority is the N-th smallest of a user's
+// per-aspect ranks, so for every user it must be non-decreasing in N, equal
+// to the best rank at N=1, and equal to the worst rank at N=len(aspects).
+func TestCriticNMonotonicity(t *testing.T) {
+	rng := mathx.NewRNG(8)
+	const nUsers, nAspects = 23, 6
+	users := make([]string, nUsers)
+	for u := range users {
+		users[u] = fmt.Sprintf("user%02d", u)
+	}
+	scores := distinctScores(rng, nAspects, nUsers)
+
+	prioByN := make([]map[string]int, nAspects+1)
+	for n := 1; n <= nAspects; n++ {
+		prioByN[n] = make(map[string]int, nUsers)
+		for _, r := range Critic(users, scores, n) {
+			prioByN[n][r.User] = r.Priority
+		}
+	}
+	for _, u := range users {
+		for n := 2; n <= nAspects; n++ {
+			if prioByN[n][u] < prioByN[n-1][u] {
+				t.Fatalf("%s: priority decreased from %d (N=%d) to %d (N=%d)",
+					u, prioByN[n-1][u], n-1, prioByN[n][u], n)
+			}
+		}
+	}
+	// Cross-check the extremes against the raw ranks.
+	for _, r := range Critic(users, scores, 1) {
+		best := r.Ranks[0]
+		worst := r.Ranks[0]
+		for _, rk := range r.Ranks {
+			if rk < best {
+				best = rk
+			}
+			if rk > worst {
+				worst = rk
+			}
+		}
+		if r.Priority != best {
+			t.Fatalf("%s: N=1 priority %d != best rank %d", r.User, r.Priority, best)
+		}
+		if prioByN[nAspects][r.User] != worst {
+			t.Fatalf("%s: N=%d priority %d != worst rank %d",
+				r.User, nAspects, prioByN[nAspects][r.User], worst)
+		}
+	}
+}
+
+// TestCriticNClamping: out-of-range N values clamp to [1, len(aspects)]
+// rather than panicking or producing garbage.
+func TestCriticNClamping(t *testing.T) {
+	rng := mathx.NewRNG(9)
+	const nUsers, nAspects = 11, 4
+	users := make([]string, nUsers)
+	for u := range users {
+		users[u] = fmt.Sprintf("user%02d", u)
+	}
+	scores := distinctScores(rng, nAspects, nUsers)
+
+	low := Critic(users, scores, 1)
+	for i, r := range Critic(users, scores, 0) {
+		if r.User != low[i].User || r.Priority != low[i].Priority {
+			t.Fatalf("pos %d: N=0 (%s/%d) differs from N=1 (%s/%d)",
+				i, r.User, r.Priority, low[i].User, low[i].Priority)
+		}
+	}
+	if got := Critic(users, scores, -5); got[0].User != low[0].User {
+		t.Fatalf("N=-5 top user %s differs from N=1 top user %s", got[0].User, low[0].User)
+	}
+	high := Critic(users, scores, nAspects)
+	for i, r := range Critic(users, scores, nAspects+10) {
+		if r.User != high[i].User || r.Priority != high[i].Priority {
+			t.Fatalf("pos %d: N>aspects (%s/%d) differs from N=aspects (%s/%d)",
+				i, r.User, r.Priority, high[i].User, high[i].Priority)
+		}
+	}
+}
+
+// TestCriticRanksAreValid: every aspect's ranks are a permutation of
+// 1..len(users) and the returned list is sorted by priority.
+func TestCriticRanksAreValid(t *testing.T) {
+	rng := mathx.NewRNG(10)
+	const nUsers, nAspects = 13, 5
+	users := make([]string, nUsers)
+	for u := range users {
+		users[u] = fmt.Sprintf("user%02d", u)
+	}
+	scores := distinctScores(rng, nAspects, nUsers)
+
+	list := Critic(users, scores, 3)
+	if len(list) != nUsers {
+		t.Fatalf("list has %d rows, want %d", len(list), nUsers)
+	}
+	prios := make([]int, len(list))
+	for a := 0; a < nAspects; a++ {
+		seen := make([]bool, nUsers+1)
+		for i, r := range list {
+			prios[i] = r.Priority
+			rk := r.Ranks[a]
+			if rk < 1 || rk > nUsers || seen[rk] {
+				t.Fatalf("aspect %d: rank %d invalid or duplicated", a, rk)
+			}
+			seen[rk] = true
+		}
+	}
+	if !testkit.NonDecreasingInts(prios) {
+		t.Fatalf("investigation list not sorted by priority: %v", prios)
+	}
+}

@@ -2,10 +2,12 @@ package core
 
 import (
 	"runtime"
+	"sync"
 	"testing"
 
 	"acobe/internal/autoencoder"
 	"acobe/internal/features"
+	"acobe/internal/nn"
 )
 
 // twoAspectConfig splits the synthetic features into two single-feature
@@ -68,6 +70,116 @@ func TestFitParallelMatchesSequential(t *testing.T) {
 		if seqRanked[i].User != parRanked[i].User || seqRanked[i].Priority != parRanked[i].Priority {
 			t.Errorf("rank %d: parallel %v/%d != sequential %v/%d", i,
 				parRanked[i].User, parRanked[i].Priority, seqRanked[i].User, seqRanked[i].Priority)
+		}
+	}
+}
+
+// TestSetWorkerBudgetEdgeCases: the budget floors at 1 (0 and negative
+// requests must not wedge AcquireWorker), accepts oversubscription beyond
+// GOMAXPROCS, and — because the kernels are bit-deterministic regardless of
+// sharding — training under any budget produces identical results.
+func TestSetWorkerBudgetEdgeCases(t *testing.T) {
+	old := nn.WorkerBudget()
+	defer nn.SetWorkerBudget(old)
+
+	for _, tc := range []struct{ set, want int }{
+		{0, 1},
+		{-8, 1},
+		{1, 1},
+		{runtime.GOMAXPROCS(0) * 4, runtime.GOMAXPROCS(0) * 4},
+	} {
+		nn.SetWorkerBudget(tc.set)
+		if got := nn.WorkerBudget(); got != tc.want {
+			t.Fatalf("SetWorkerBudget(%d): budget = %d, want %d", tc.set, got, tc.want)
+		}
+		// The floored budget must still grant slots.
+		nn.AcquireWorker()
+		nn.ReleaseWorker()
+	}
+
+	ind, grp, ug := synthData(t)
+	train := func(budgetSlots int) ([]Ranked, map[string]float64) {
+		nn.SetWorkerBudget(budgetSlots)
+		det, err := NewDetector(twoAspectConfig(), ind, grp, ug)
+		if err != nil {
+			t.Fatal(err)
+		}
+		losses, err := det.Fit(0, 90)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ranked, err := det.Investigate(95, 119)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ranked, losses
+	}
+	starved, starvedLosses := train(1)
+	oversub, oversubLosses := train(runtime.GOMAXPROCS(0) * 4)
+	for aspect, want := range starvedLosses {
+		if got := oversubLosses[aspect]; got != want {
+			t.Errorf("aspect %s: loss %v under budget 1, %v oversubscribed", aspect, want, got)
+		}
+	}
+	for i := range starved {
+		if starved[i].User != oversub[i].User || starved[i].Priority != oversub[i].Priority {
+			t.Errorf("rank %d: budget 1 gives %s/%d, oversubscribed gives %s/%d", i,
+				starved[i].User, starved[i].Priority, oversub[i].User, oversub[i].Priority)
+		}
+	}
+}
+
+// TestConcurrentScoring races several Score calls over one trained
+// detector. The forward pass is read-only after training and every scoring
+// worker owns its Scorer buffers, so concurrent calls must be safe (this is
+// what -race checks) and must all return identical scores.
+func TestConcurrentScoring(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	ind, grp, ug := synthData(t)
+	det, err := NewDetector(twoAspectConfig(), ind, grp, ug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.Fit(0, 90); err != nil {
+		t.Fatal(err)
+	}
+	want, err := det.Score(95, 119)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const callers = 4
+	results := make([][]*ScoreSeries, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			results[c], errs[c] = det.Score(95, 119)
+		}(c)
+	}
+	wg.Wait()
+	for c := 0; c < callers; c++ {
+		if errs[c] != nil {
+			t.Fatalf("caller %d: %v", c, errs[c])
+		}
+		if len(results[c]) != len(want) {
+			t.Fatalf("caller %d: %d aspects, want %d", c, len(results[c]), len(want))
+		}
+		for a := range want {
+			got := results[c][a]
+			if got.Aspect != want[a].Aspect || got.From != want[a].From || got.To != want[a].To {
+				t.Fatalf("caller %d aspect %d: series header mismatch", c, a)
+			}
+			for u := range want[a].Scores {
+				for i := range want[a].Scores[u] {
+					if got.Scores[u][i] != want[a].Scores[u][i] {
+						t.Fatalf("caller %d aspect %s user %d day %d: %g != %g",
+							c, got.Aspect, u, i, got.Scores[u][i], want[a].Scores[u][i])
+					}
+				}
+			}
 		}
 	}
 }

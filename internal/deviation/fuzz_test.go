@@ -1,0 +1,70 @@
+package deviation
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzSigma decodes the input as a measurement followed by a history series
+// (8 bytes per float64) and checks the invariants every deviation must
+// satisfy: clamped to [-Δ, Δ], finite, std floored at ε, and deterministic.
+// Values are bounded to the count-like magnitudes the detector actually
+// measures; unbounded float64 histories overflow the variance accumulation,
+// which is outside the feature domain.
+func FuzzSigma(f *testing.F) {
+	enc := func(xs ...float64) []byte {
+		out := make([]byte, 0, 8*len(xs))
+		for _, x := range xs {
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(x))
+		}
+		return out
+	}
+	f.Add(enc(5, 1, 2, 3, 2, 1))
+	f.Add(enc(1e9, 0, 0, 0, 0))
+	f.Add(enc(0))          // measurement with empty history
+	f.Add(enc(-3.5, 2, 2)) // constant history
+	f.Add([]byte{1, 2, 3}) // trailing partial chunk
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 8 {
+			return
+		}
+		if len(data) > 8*1024 {
+			data = data[:8*1024]
+		}
+		decode := func(b []byte) (float64, bool) {
+			x := math.Float64frombits(binary.LittleEndian.Uint64(b))
+			return x, !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) <= 1e12
+		}
+		m, ok := decode(data[:8])
+		if !ok {
+			return
+		}
+		var history []float64
+		for b := data[8:]; len(b) >= 8; b = b[8:] {
+			x, ok := decode(b[:8])
+			if !ok {
+				return
+			}
+			history = append(history, x)
+		}
+		cfg := DefaultConfig()
+		sigma, std := Sigma(m, history, cfg)
+		if math.IsNaN(sigma) || math.IsInf(sigma, 0) {
+			t.Fatalf("Sigma(%g, %d-point history) = %g, want finite", m, len(history), sigma)
+		}
+		if math.Abs(sigma) > cfg.Delta {
+			t.Fatalf("|sigma| = %g exceeds Δ = %g", math.Abs(sigma), cfg.Delta)
+		}
+		if std < cfg.Epsilon {
+			t.Fatalf("std %g below floor ε = %g", std, cfg.Epsilon)
+		}
+		if s2, d2 := Sigma(m, history, cfg); s2 != sigma || d2 != std {
+			t.Fatalf("Sigma not deterministic: (%g, %g) vs (%g, %g)", sigma, std, s2, d2)
+		}
+		w := Weight(std)
+		if w <= 0 || w > 1 || math.IsNaN(w) {
+			t.Fatalf("Weight(%g) = %g outside (0, 1]", std, w)
+		}
+	})
+}

@@ -1,0 +1,177 @@
+package deviation
+
+import (
+	"math"
+	"testing"
+
+	"acobe/internal/cert"
+	"acobe/internal/features"
+	"acobe/internal/mathx"
+	"acobe/internal/testkit"
+)
+
+// The metamorphic tests pin the z-score semantics of Section IV-A: the
+// deviation must respond to *relative* change against the sliding history,
+// so transformations that preserve relative change must preserve sigma.
+
+func randomHistory(rng *mathx.RNG, n int, scale float64) []float64 {
+	h := make([]float64, n)
+	for i := range h {
+		h[i] = rng.Float64() * scale
+	}
+	return h
+}
+
+// TestSigmaShiftInvariance: adding a constant to the measurement and its
+// whole history leaves the deviation unchanged — the z-score sees only the
+// offset from the history mean.
+func TestSigmaShiftInvariance(t *testing.T) {
+	cfg := DefaultConfig()
+	rng := mathx.NewRNG(11)
+	for trial := 0; trial < 200; trial++ {
+		h := randomHistory(rng, 29, 50)
+		m := rng.Float64() * 100
+		c := (rng.Float64() - 0.5) * 1000
+		shifted := make([]float64, len(h))
+		for i := range h {
+			shifted[i] = h[i] + c
+		}
+		want, wantStd := Sigma(m, h, cfg)
+		got, gotStd := Sigma(m+c, shifted, cfg)
+		if !testkit.InEpsilon(want, got, 1e-6) {
+			t.Fatalf("trial %d: shift by %g changed sigma %g → %g", trial, c, want, got)
+		}
+		if !testkit.InEpsilon(wantStd, gotStd, 1e-6) {
+			t.Fatalf("trial %d: shift by %g changed std %g → %g", trial, c, wantStd, gotStd)
+		}
+	}
+}
+
+// TestSigmaScaleInvariance: scaling the measurement and history by k > 0
+// scales both the offset and the std by k, leaving sigma unchanged as long
+// as the epsilon floor stays inactive on both sides.
+func TestSigmaScaleInvariance(t *testing.T) {
+	cfg := DefaultConfig()
+	rng := mathx.NewRNG(12)
+	for trial := 0; trial < 200; trial++ {
+		h := randomHistory(rng, 29, 40)
+		m := rng.Float64() * 80
+		k := 1 + rng.Float64()*9 // scale up so the ε floor stays inactive
+		_, std := Sigma(m, h, cfg)
+		if std <= cfg.Epsilon {
+			continue // floored history: relative scale is not preserved
+		}
+		scaled := make([]float64, len(h))
+		for i := range h {
+			scaled[i] = h[i] * k
+		}
+		want, _ := Sigma(m, h, cfg)
+		got, _ := Sigma(m*k, scaled, cfg)
+		if !testkit.InEpsilon(want, got, 1e-6) {
+			t.Fatalf("trial %d: scale by %g changed sigma %g → %g", trial, k, want, got)
+		}
+	}
+}
+
+// TestSigmaClampBoundsAndIdempotence: sigma always lands in [-Δ, Δ], an
+// extreme measurement saturates exactly at ±Δ, and re-deriving the
+// measurement from a clamped deviation reproduces the same deviation (the
+// clamp is idempotent).
+func TestSigmaClampBoundsAndIdempotence(t *testing.T) {
+	cfg := DefaultConfig()
+	rng := mathx.NewRNG(13)
+	for trial := 0; trial < 200; trial++ {
+		h := randomHistory(rng, 29, 30)
+		m := (rng.Float64() - 0.5) * 1e6
+		sigma, std := Sigma(m, h, cfg)
+		if math.Abs(sigma) > cfg.Delta {
+			t.Fatalf("trial %d: |sigma| = %g > Δ = %g", trial, math.Abs(sigma), cfg.Delta)
+		}
+		if std < cfg.Epsilon {
+			t.Fatalf("trial %d: returned std %g below ε %g", trial, std, cfg.Epsilon)
+		}
+		// Idempotence: a measurement placed exactly at the clamped
+		// deviation re-derives to the same deviation.
+		mean := mathx.Mean(h)
+		m2 := mean + sigma*std
+		sigma2, _ := Sigma(m2, h, cfg)
+		if !testkit.InEpsilon(sigma, sigma2, 1e-9) {
+			t.Fatalf("trial %d: clamp not idempotent: %g → %g", trial, sigma, sigma2)
+		}
+	}
+	// Saturation is exact, not approximate.
+	h := []float64{1, 2, 3, 2, 1, 2, 3, 2, 1, 2}
+	if s, _ := Sigma(1e12, h, cfg); s != cfg.Delta {
+		t.Errorf("huge positive measurement: sigma %g, want exactly %g", s, cfg.Delta)
+	}
+	if s, _ := Sigma(-1e12, h, cfg); s != -cfg.Delta {
+		t.Errorf("huge negative measurement: sigma %g, want exactly %g", s, -cfg.Delta)
+	}
+}
+
+// TestWeightProperties: w = 1/log2(max(std, 2)) is in (0, 1] and
+// non-increasing in std — chaotic features can only be scaled down.
+func TestWeightProperties(t *testing.T) {
+	prev := math.Inf(1)
+	for std := 0.0; std <= 64; std += 0.25 {
+		w := Weight(std)
+		if w <= 0 || w > 1 {
+			t.Fatalf("Weight(%g) = %g outside (0, 1]", std, w)
+		}
+		if w > prev {
+			t.Fatalf("Weight(%g) = %g increased from %g", std, w, prev)
+		}
+		prev = w
+	}
+	if Weight(1.5) != 1 {
+		t.Errorf("Weight below the floor should be exactly 1, got %g", Weight(1.5))
+	}
+}
+
+// TestComputeFieldMatchesDirectSigma cross-validates the running-sum
+// sliding-window implementation of ComputeField against the direct
+// per-window Sigma computation — the optimization must be behaviorally
+// invisible.
+func TestComputeFieldMatchesDirectSigma(t *testing.T) {
+	for _, weighted := range []bool{false, true} {
+		cfg := Config{Window: 7, MatrixDays: 3, Delta: 3, Epsilon: 1, Weighted: weighted}
+		table, err := features.NewTable([]string{"u0", "u1"}, []string{"f0", "f1"}, 2, 0, 39)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := mathx.NewRNG(99)
+		for u := 0; u < 2; u++ {
+			for f := 0; f < 2; f++ {
+				for frame := 0; frame < 2; frame++ {
+					for d := cert.Day(0); d <= 39; d++ {
+						table.Add(u, f, frame, d, math.Floor(rng.Float64()*20))
+					}
+				}
+			}
+		}
+		field, err := ComputeField(table, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < 2; u++ {
+			for f := 0; f < 2; f++ {
+				for frame := 0; frame < 2; frame++ {
+					series := table.Series(u, f, frame)
+					for d := field.FirstDay(); d <= field.EndDay(); d++ {
+						i := int(d)
+						history := series[i-cfg.Window+1 : i]
+						want, std := Sigma(series[i], history, cfg)
+						if weighted {
+							want *= Weight(std)
+						}
+						got := field.Sigma(u, f, frame, d)
+						if !testkit.InEpsilon(want, got, 1e-9) {
+							t.Fatalf("weighted=%v u=%d f=%d frame=%d day=%v: field %g, direct %g",
+								weighted, u, f, frame, d, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package dga
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzDomains checks the generator's contract for every (seed, date, count):
+// the output is well-formed (12–23 char lowercase label plus a known TLD),
+// sized as requested, deterministic, and consistent between DomainsForDate
+// and the single-domain Domain accessor — the rendezvous property bots and
+// botmaster rely on.
+func FuzzDomains(f *testing.F) {
+	f.Add(uint32(0), int64(1262476800), 10)   // campaign 0, 2010-01-03
+	f.Add(uint32(0x1A2B), int64(0), 1)        // epoch
+	f.Add(uint32(7), int64(-86400), 3)        // pre-epoch date
+	f.Add(uint32(0xFFFFFFFF), int64(1), 1000) // max seed, large burst
+	f.Add(uint32(42), int64(4102444800), 0)   // count 0 → nil
+	f.Fuzz(func(t *testing.T, seed uint32, unixSec int64, count int) {
+		if count > 4096 {
+			count = 4096 // bound the work, not the property
+		}
+		g := New(seed)
+		date := time.Unix(unixSec, 0)
+		domains := g.DomainsForDate(date, count)
+		if count <= 0 {
+			if domains != nil {
+				t.Fatalf("count %d: want nil, got %d domains", count, len(domains))
+			}
+			return
+		}
+		if len(domains) != count {
+			t.Fatalf("want %d domains, got %d", count, len(domains))
+		}
+		for i, dom := range domains {
+			label, tld, ok := strings.Cut(dom, ".")
+			if !ok {
+				t.Fatalf("domain %q has no TLD separator", dom)
+			}
+			if len(label) < 12 || len(label) > 23 {
+				t.Fatalf("label %q has length %d, want 12..23", label, len(label))
+			}
+			for _, c := range label {
+				if c < 'a' || c > 'z' {
+					t.Fatalf("label %q contains non-lowercase char %q", label, c)
+				}
+			}
+			valid := false
+			for _, known := range TLDs {
+				if tld == known {
+					valid = true
+					break
+				}
+			}
+			if !valid {
+				t.Fatalf("domain %q uses unknown TLD %q", dom, tld)
+			}
+			if single := g.Domain(date, i); single != dom {
+				t.Fatalf("Domain(date, %d) = %q, DomainsForDate[%d] = %q", i, single, i, dom)
+			}
+		}
+		again := g.DomainsForDate(date, count)
+		for i := range domains {
+			if domains[i] != again[i] {
+				t.Fatalf("generator not deterministic at index %d: %q vs %q", i, domains[i], again[i])
+			}
+		}
+	})
+}

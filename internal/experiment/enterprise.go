@@ -126,7 +126,12 @@ func RunEnterprise(p EnterprisePreset, kind AttackKind) (*EnterpriseRun, error) 
 		return nil, fmt.Errorf("experiment: %w", err)
 	}
 	for _, d := range store.Days() {
-		if err := x.Consume(d, store.DayRecords(d)); err != nil {
+		// Concurrent ingestion preserves no within-day order, and the
+		// extractor attributes unique/new counts to the frame of a key's
+		// first record — canonicalize so runs are reproducible.
+		recs := store.DayRecords(d)
+		logstore.SortRecords(recs)
+		if err := x.Consume(d, recs); err != nil {
 			return nil, fmt.Errorf("experiment: %w", err)
 		}
 	}

@@ -1,0 +1,57 @@
+package logstore
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadJSONL: the JSONL reader guards the boundary with shipped log
+// files, so arbitrary bytes must never panic it. Accepted input must reach a
+// canonical fixpoint: writing the store and reading it back must reproduce
+// the written bytes exactly (WriteJSONL normalizes timestamps to UTC-second
+// RFC3339, so the first write is the canonicalizer).
+func FuzzReadJSONL(f *testing.F) {
+	f.Add([]byte(`{"@timestamp":"2010-01-04T09:00:00Z","user":"emp001","host":"ws01","channel":"Sysmon","event_id":1,"action":"ProcessCreate","object":"cmd.exe","status":"success"}` + "\n"))
+	f.Add([]byte(`{"@timestamp":"2010-01-04T23:30:00+05:00","user":"emp002","host":"ws02","channel":"Proxy","action":"HTTPRequest"}` + "\n"))
+	f.Add([]byte(`{"@timestamp":"not a time","user":"u"}` + "\n"))
+	f.Add([]byte(`{"@timestamp":"2010-01-04T09:00:00.123456Z","user":"frac"}` + "\n"))
+	f.Add([]byte("{\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		store, err := ReadJSONL(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// RFC3339 re-serialization only round-trips for in-range years
+		// (converting an offset timestamp to UTC can leave [1, 9999]).
+		for _, d := range store.Days() {
+			for _, r := range store.DayRecords(d) {
+				if y := r.Time.UTC().Year(); y < 1 || y > 9999 {
+					return
+				}
+			}
+		}
+		var first bytes.Buffer
+		n, err := store.WriteJSONL(&first)
+		if err != nil {
+			t.Fatalf("write accepted store: %v", err)
+		}
+		if int64(n) != store.Ingested() {
+			t.Fatalf("wrote %d records, store ingested %d", n, store.Ingested())
+		}
+		store2, err := ReadJSONL(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read own output: %v", err)
+		}
+		if store2.Ingested() != store.Ingested() {
+			t.Fatalf("round trip changed record count %d → %d", store.Ingested(), store2.Ingested())
+		}
+		var second bytes.Buffer
+		if _, err := store2.WriteJSONL(&second); err != nil {
+			t.Fatalf("second write: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatal("write → read → write is not a fixpoint")
+		}
+	})
+}

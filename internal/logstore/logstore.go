@@ -97,6 +97,37 @@ func (s *Store) DayRecords(d cert.Day) []Record {
 	return append([]Record(nil), s.byDay[d]...)
 }
 
+// SortRecords orders records by the canonical total order (time, user,
+// channel, event ID, action, object, status). Concurrent ingestion through
+// Append or Pipeline preserves no within-day order, so any consumer whose
+// features depend on first-seen attribution (e.g. the enterprise
+// extractor's unique/new counters) must canonicalize the order first or
+// its output varies run to run with goroutine scheduling.
+func SortRecords(recs []Record) {
+	sort.SliceStable(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if !a.Time.Equal(b.Time) {
+			return a.Time.Before(b.Time)
+		}
+		if a.User != b.User {
+			return a.User < b.User
+		}
+		if a.Channel != b.Channel {
+			return a.Channel < b.Channel
+		}
+		if a.EventID != b.EventID {
+			return a.EventID < b.EventID
+		}
+		if a.Action != b.Action {
+			return a.Action < b.Action
+		}
+		if a.Object != b.Object {
+			return a.Object < b.Object
+		}
+		return a.Status < b.Status
+	})
+}
+
 // Filter selects records; zero fields match everything.
 type Filter struct {
 	User    string

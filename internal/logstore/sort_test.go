@@ -1,0 +1,50 @@
+package logstore
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestSortRecordsCanonical: SortRecords must produce the same order from
+// any input permutation (the property RunEnterprise relies on after
+// concurrent ingestion) and be idempotent.
+func TestSortRecordsCanonical(t *testing.T) {
+	base := time.Date(2010, 1, 4, 9, 0, 0, 0, time.UTC)
+	recs := []Record{
+		{Time: base, User: "b", Channel: ChannelSysmon, EventID: 1, Action: "ProcessCreate", Object: "a.exe"},
+		{Time: base, User: "a", Channel: ChannelSysmon, EventID: 1, Action: "ProcessCreate", Object: "a.exe"},
+		{Time: base, User: "a", Channel: ChannelProxy, Action: "HTTPRequest", Object: "x.com"},
+		{Time: base.Add(time.Second), User: "a", Channel: ChannelProxy, Action: "HTTPRequest", Object: "x.com"},
+		{Time: base, User: "a", Channel: ChannelSysmon, EventID: 1, Action: "ProcessCreate", Object: "b.exe"},
+		{Time: base, User: "a", Channel: ChannelSysmon, EventID: 11, Action: "FileWrite", Object: "b.exe"},
+		{Time: base, User: "a", Channel: ChannelSysmon, EventID: 1, Action: "ProcessCreate", Object: "a.exe", Status: "success"},
+	}
+	want := append([]Record(nil), recs...)
+	SortRecords(want)
+
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		shuffled := append([]Record(nil), recs...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		SortRecords(shuffled)
+		for i := range want {
+			if shuffled[i] != want[i] {
+				t.Fatalf("trial %d: position %d = %+v, want %+v", trial, i, shuffled[i], want[i])
+			}
+		}
+		SortRecords(shuffled) // idempotent
+		for i := range want {
+			if shuffled[i] != want[i] {
+				t.Fatalf("trial %d: re-sort moved position %d", trial, i)
+			}
+		}
+	}
+
+	// The order is total over the fields: every adjacent pair differs.
+	for i := 1; i < len(want); i++ {
+		if want[i] == want[i-1] {
+			t.Fatalf("fixture records %d and %d identical; test needs distinct records", i-1, i)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package testkit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CSV accumulates a deterministic comma-separated document for golden
+// snapshots. Cells are rendered immediately with fixed formatting (Float
+// for float64s), so serializing the same values always yields the same
+// bytes — the property the -update workflow relies on.
+type CSV struct {
+	b strings.Builder
+}
+
+// Comment appends a "# ..." line; GoldenCSV compares comments exactly,
+// which makes them the right place for structural metadata (windows,
+// seeds, presets) that must never drift silently.
+func (c *CSV) Comment(format string, args ...any) {
+	fmt.Fprintf(&c.b, "# "+format+"\n", args...)
+}
+
+// Row appends one record. float64 cells use Float, everything else uses
+// %v; values containing commas or newlines are rejected at test time via
+// panic since golden serialization must stay unambiguous.
+func (c *CSV) Row(cells ...any) {
+	for i, cell := range cells {
+		if i > 0 {
+			c.b.WriteByte(',')
+		}
+		var s string
+		switch v := cell.(type) {
+		case float64:
+			s = Float(v)
+		case string:
+			s = v
+		default:
+			s = fmt.Sprintf("%v", v)
+		}
+		if strings.ContainsAny(s, ",\n") {
+			panic(fmt.Sprintf("testkit: CSV cell %q needs quoting; golden cells must be comma- and newline-free", s))
+		}
+		c.b.WriteString(s)
+	}
+	c.b.WriteByte('\n')
+}
+
+// Floats appends one record of a label followed by a float series.
+func (c *CSV) Floats(label string, xs []float64) {
+	cells := make([]any, 0, len(xs)+1)
+	cells = append(cells, label)
+	for _, x := range xs {
+		cells = append(cells, x)
+	}
+	c.Row(cells...)
+}
+
+// Ints appends one record of a label followed by an int series.
+func (c *CSV) Ints(label string, xs []int) {
+	cells := make([]any, 0, len(xs)+1)
+	cells = append(cells, label)
+	for _, x := range xs {
+		cells = append(cells, x)
+	}
+	c.Row(cells...)
+}
+
+// Bytes returns the document serialized so far.
+func (c *CSV) Bytes() []byte { return []byte(c.b.String()) }

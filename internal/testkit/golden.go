@@ -1,0 +1,135 @@
+package testkit
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// update is registered once here and shared by every test binary that
+// imports testkit; `go test ./... -update` therefore regenerates every
+// golden file in the repo in one pass.
+var update = flag.Bool("update", false, "rewrite golden files under testdata/golden/ with current outputs")
+
+// Update reports whether the test run was started with -update.
+func Update() bool { return *update }
+
+// Path resolves a golden name to its location under the current package's
+// testdata/golden directory (go test runs with the package dir as cwd).
+func Path(name string) string {
+	return filepath.Join("testdata", "golden", filepath.FromSlash(name))
+}
+
+// Golden compares got byte-for-byte against testdata/golden/<name>,
+// or rewrites the file when the test runs with -update. Use it for
+// outputs that must match exactly: rankings, orderings, integer series,
+// structural metadata.
+func Golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := Path(name)
+	if Update() {
+		writeGolden(t, path, got)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden %s: %v (run `go test -update` to create it)", name, err)
+	}
+	if string(want) == string(got) {
+		return
+	}
+	t.Errorf("golden %s: output differs from snapshot (run `go test -update` after verifying the change is intended)\n%s",
+		name, diffLines(string(want), string(got)))
+}
+
+// GoldenCSV compares got against testdata/golden/<name> cell by cell:
+// cells that parse as floats on both sides must agree within eps, all
+// other cells must match exactly. Use it for float series (scores,
+// figure CSVs) where the last digits may legitimately wiggle under
+// refactors that reorder arithmetic. With -update the file is rewritten
+// verbatim.
+func GoldenCSV(t *testing.T, name string, got []byte, eps float64) {
+	t.Helper()
+	path := Path(name)
+	if Update() {
+		writeGolden(t, path, got)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden %s: %v (run `go test -update` to create it)", name, err)
+	}
+	if msg := compareCSV(string(want), string(got), eps); msg != "" {
+		t.Errorf("golden %s: %s (run `go test -update` after verifying the change is intended)", name, msg)
+	}
+}
+
+func writeGolden(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatalf("golden: create dir: %v", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("golden: write %s: %v", path, err)
+	}
+	t.Logf("golden: wrote %s (%d bytes)", path, len(data))
+}
+
+// compareCSV returns a description of the first mismatch between two
+// CSV-ish documents (comma-separated, no quoting), or "" when they agree
+// within eps. Line and cell counts must match exactly.
+func compareCSV(want, got string, eps float64) string {
+	wl := splitLines(want)
+	gl := splitLines(got)
+	if len(wl) != len(gl) {
+		return fmt.Sprintf("line count %d, want %d", len(gl), len(wl))
+	}
+	for i := range wl {
+		wc := strings.Split(wl[i], ",")
+		gc := strings.Split(gl[i], ",")
+		if len(wc) != len(gc) {
+			return fmt.Sprintf("line %d: %d cells, want %d", i+1, len(gc), len(wc))
+		}
+		for j := range wc {
+			if wc[j] == gc[j] {
+				continue
+			}
+			wf, werr := strconv.ParseFloat(wc[j], 64)
+			gf, gerr := strconv.ParseFloat(gc[j], 64)
+			if werr == nil && gerr == nil && InEpsilon(wf, gf, eps) {
+				continue
+			}
+			return fmt.Sprintf("line %d cell %d: %q, want %q (eps %g)", i+1, j+1, gc[j], wc[j], eps)
+		}
+	}
+	return ""
+}
+
+func splitLines(s string) []string {
+	s = strings.TrimRight(s, "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}
+
+// diffLines renders a compact first-divergence diff for exact-match
+// golden failures.
+func diffLines(want, got string) string {
+	wl := splitLines(want)
+	gl := splitLines(got)
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("first difference at line %d:\n  want: %s\n  got:  %s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: want %d lines, got %d", len(wl), len(gl))
+}

@@ -1,0 +1,105 @@
+// Package testkit is the repo-wide correctness harness shared by every
+// package's tests: golden-file snapshots with tolerance-aware comparison
+// (exact for rankings and orderings, epsilon for float series), a
+// deterministic CSV serializer for pipeline outputs, and small invariant
+// helpers used by the metamorphic/property tests.
+//
+// The golden workflow: tests serialize a pipeline's outputs with Codec
+// helpers and hand the bytes to Golden (exact) or GoldenCSV (tolerant).
+// Running the tests with -update rewrites the files under testdata/golden/
+// instead of comparing; two consecutive -update runs must produce
+// byte-identical files because every pipeline in this repo is seeded and
+// bit-deterministic (see DESIGN.md §8).
+//
+// testkit deliberately imports nothing from the rest of the repo so that
+// any package's tests — including internal white-box tests — can use it
+// without import cycles.
+package testkit
+
+import (
+	"math"
+	"strconv"
+)
+
+// Float formats a float64 with enough significant digits (12) that golden
+// regeneration is stable while epsilon comparisons at 1e-9 still pass for
+// bit-identical recomputations. NaN and infinities format as Go spells
+// them, so accidental non-finite outputs show up in the diff.
+func Float(v float64) string {
+	return strconv.FormatFloat(v, 'g', 12, 64)
+}
+
+// InEpsilon reports whether a and b differ by at most eps, treating NaN as
+// unequal to everything and equal infinities as equal.
+func InEpsilon(a, b, eps float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	return math.Abs(a-b) <= eps
+}
+
+// AllFinite reports whether every value is neither NaN nor infinite.
+func AllFinite(xs []float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// NonDecreasing reports whether xs is sorted in non-decreasing order.
+func NonDecreasing(xs []float64) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// NonDecreasingInts reports whether xs is sorted in non-decreasing order.
+func NonDecreasingInts(xs []int) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// WithinRange reports whether every value lies in [lo, hi].
+func WithinRange(xs []float64, lo, hi float64) bool {
+	for _, x := range xs {
+		if x < lo || x > hi || math.IsNaN(x) {
+			return false
+		}
+	}
+	return true
+}
+
+// Permutation returns a deterministic pseudo-random permutation of
+// 0..n-1 derived from seed (splitmix64-driven Fisher-Yates). Tests use it
+// for permutation-invariance checks without pulling in a specific RNG.
+func Permutation(seed uint64, n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	s := seed
+	next := func() uint64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

@@ -1,0 +1,158 @@
+package testkit
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFloatFormattingIsStable(t *testing.T) {
+	cases := map[float64]string{
+		0:           "0",
+		1.5:         "1.5",
+		math.Pi:     "3.14159265359",
+		math.NaN():  "NaN",
+		math.Inf(1): "+Inf",
+	}
+	for v, want := range cases {
+		if got := Float(v); got != want {
+			t.Errorf("Float(%v) = %q, want %q", v, got, want)
+		}
+	}
+	// Stability: formatting twice gives identical bytes.
+	if Float(1.0/3.0) != Float(1.0/3.0) {
+		t.Error("Float not deterministic")
+	}
+}
+
+func TestInEpsilon(t *testing.T) {
+	if !InEpsilon(1.0, 1.0+1e-12, 1e-9) {
+		t.Error("tiny difference rejected")
+	}
+	if InEpsilon(1.0, 1.1, 1e-9) {
+		t.Error("large difference accepted")
+	}
+	if InEpsilon(math.NaN(), math.NaN(), 1) {
+		t.Error("NaN compared equal")
+	}
+	if !InEpsilon(math.Inf(1), math.Inf(1), 0) {
+		t.Error("equal infinities rejected")
+	}
+	if InEpsilon(math.Inf(1), math.Inf(-1), math.Inf(1)) {
+		t.Error("opposite infinities accepted")
+	}
+}
+
+func TestInvariantHelpers(t *testing.T) {
+	if !AllFinite([]float64{0, -1, 2}) || AllFinite([]float64{math.NaN()}) || AllFinite([]float64{math.Inf(-1)}) {
+		t.Error("AllFinite wrong")
+	}
+	if !NonDecreasing([]float64{1, 1, 2}) || NonDecreasing([]float64{2, 1}) {
+		t.Error("NonDecreasing wrong")
+	}
+	if !NonDecreasingInts([]int{1, 1, 2}) || NonDecreasingInts([]int{2, 1}) {
+		t.Error("NonDecreasingInts wrong")
+	}
+	if !WithinRange([]float64{0, 1}, 0, 1) || WithinRange([]float64{-0.1}, 0, 1) || WithinRange([]float64{math.NaN()}, 0, 1) {
+		t.Error("WithinRange wrong")
+	}
+}
+
+func TestPermutationIsDeterministicAndComplete(t *testing.T) {
+	p1 := Permutation(7, 100)
+	p2 := Permutation(7, 100)
+	seen := make([]bool, 100)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("permutation not deterministic at %d", i)
+		}
+		seen[p1[i]] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("element %d missing from permutation", i)
+		}
+	}
+	if p3 := Permutation(8, 100); equalInts(p1, p3) {
+		t.Error("different seeds produced identical permutations")
+	}
+}
+
+func equalInts(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return len(a) == len(b)
+}
+
+func TestCompareCSVTolerance(t *testing.T) {
+	want := "# meta\nu1,1.0000000001,x\nu2,2,y\n"
+	got := "# meta\nu1,1.0000000002,x\nu2,2,y\n"
+	if msg := compareCSV(want, got, 1e-9); msg != "" {
+		t.Errorf("within-eps difference rejected: %s", msg)
+	}
+	if msg := compareCSV(want, got, 1e-12); msg == "" {
+		t.Error("out-of-eps difference accepted")
+	}
+	// Non-numeric cells compare exactly.
+	if msg := compareCSV("a,b\n", "a,c\n", 1); msg == "" {
+		t.Error("string cell mismatch accepted")
+	}
+	// Structural mismatches are always errors.
+	if msg := compareCSV("a\nb\n", "a\n", 1); msg == "" {
+		t.Error("line-count mismatch accepted")
+	}
+	if msg := compareCSV("a,b\n", "a\n", 1); msg == "" {
+		t.Error("cell-count mismatch accepted")
+	}
+}
+
+func TestCSVBuilder(t *testing.T) {
+	var c CSV
+	c.Comment("window %s..%s", "2010-01-02", "2010-01-30")
+	c.Row("user", "score", 1.25, 3)
+	c.Floats("s", []float64{0.5, 1.0})
+	c.Ints("r", []int{1, 2, 3})
+	got := string(c.Bytes())
+	want := "# window 2010-01-02..2010-01-30\nuser,score,1.25,3\ns,0.5,1\nr,1,2,3\n"
+	if got != want {
+		t.Errorf("CSV builder output:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestCSVBuilderRejectsAmbiguousCells(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("comma-bearing cell did not panic")
+		}
+	}()
+	var c CSV
+	c.Row("a,b")
+}
+
+func TestDiffLines(t *testing.T) {
+	msg := diffLines("a\nb\nc\n", "a\nX\nc\n")
+	if !strings.Contains(msg, "line 2") || !strings.Contains(msg, "X") {
+		t.Errorf("diff message %q", msg)
+	}
+	msg = diffLines("a\n", "a\nb\n")
+	if !strings.Contains(msg, "line counts differ") {
+		t.Errorf("diff message %q", msg)
+	}
+}
+
+// TestGoldenRoundTrip exercises the write/compare cycle against a
+// committed golden snapshot of the serializer's own output — testkit eats
+// its own dog food.
+func TestGoldenRoundTrip(t *testing.T) {
+	var c CSV
+	c.Comment("testkit self-check")
+	c.Row("pos", "user", "priority")
+	c.Row(1, "alice", 2)
+	c.Row(2, "bob", 4)
+	c.Floats("scores", []float64{1.0 / 3.0, 2.0 / 3.0, 1})
+	Golden(t, "selfcheck.csv", c.Bytes())
+	GoldenCSV(t, "selfcheck.csv", c.Bytes(), 1e-9)
+}
