@@ -1,8 +1,11 @@
 # Test tiers (see DESIGN.md §8 "Testing architecture"):
 #   test-short  — seconds; skips everything that trains an ensemble
-#   test        — tier-1 gate: full build + all tests, incl. golden pipelines
+#   test        — tier-1 gate: build + vet + all tests + serve-smoke
 #   test-race   — full suite under the race detector (slow; CI tier)
 #   fuzz-smoke  — each native fuzz target for $(FUZZTIME) on top of its corpus
+#   serve-smoke — boot the acobed daemon selftest (real HTTP listener:
+#                 ingest → close days → retrain → rank) and diff its ranked
+#                 CSV against the committed golden copy
 #   vet         — static checks
 #   golden-update — regenerate testdata/golden snapshots after an intended
 #                   behavior change; run twice and `git diff` to prove the
@@ -18,13 +21,14 @@ FUZZ_TARGETS = \
 	./internal/logstore:FuzzReadJSONL \
 	./internal/deviation:FuzzSigma
 
-.PHONY: build test test-short test-race fuzz-smoke vet golden-update
+.PHONY: build test test-short test-race fuzz-smoke serve-smoke vet golden-update
 
 build:
 	$(GO) build ./...
 
-test: build
+test: build vet
 	$(GO) test ./...
+	$(MAKE) serve-smoke
 
 test-short:
 	$(GO) vet ./...
@@ -40,8 +44,13 @@ fuzz-smoke:
 		$(GO) test $$pkg -run "^$$fn$$" -fuzz "^$$fn$$" -fuzztime $(FUZZTIME); \
 	done
 
+serve-smoke:
+	@echo "--- acobed selftest (online serving smoke)"
+	@$(GO) run ./cmd/acobed -selftest | diff -u cmd/acobed/testdata/golden/selftest.csv - \
+		&& echo "serve-smoke: ranked list matches golden"
+
 vet:
 	$(GO) vet ./...
 
 golden-update:
-	$(GO) test ./internal/testkit ./internal/experiment ./cmd/repro -run 'Golden' -update -count=1
+	$(GO) test ./internal/testkit ./internal/experiment ./cmd/repro ./cmd/acobed -run 'Golden' -update -count=1

@@ -10,6 +10,7 @@
 package acobe
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -361,7 +362,7 @@ func BenchmarkAutoencoderEpoch(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := ae.Fit(samples); err != nil {
+		if _, err := ae.Fit(context.Background(), samples); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -18,10 +18,10 @@ import (
 	"time"
 
 	"acobe/internal/cert"
-	"acobe/internal/core"
 	"acobe/internal/experiment"
 	"acobe/internal/features"
 	"acobe/internal/metrics"
+	"acobe/pkg/acobe"
 )
 
 func main() {
@@ -103,7 +103,7 @@ func run(args []string) error {
 
 	if *advanced {
 		fmt.Printf("\nadvanced (waveform) critic, top %d:\n", *top)
-		adv := core.AdvancedCritic(data.UserIDs, run.Series, preset.N, core.DefaultWaveformConfig())
+		adv := acobe.AdvancedCritic(data.UserIDs, run.Series, preset.N, acobe.DefaultWaveformConfig())
 		for i, r := range adv {
 			if i >= *top {
 				break

@@ -1,0 +1,195 @@
+// Command acobed is the online ACOBE scoring daemon: it ingests audit-log
+// events continuously over HTTP, advances each user's deviation windows
+// incrementally as days close, retrains the autoencoder ensemble on demand
+// without pausing ingest, and serves ranked investigation lists.
+//
+// The HTTP API (see internal/serve):
+//
+//	POST /v1/ingest          one JSON event per line
+//	POST /v1/close?day=D     close every day through D and slide the windows
+//	GET  /v1/rank?from=&to=&top=N
+//	POST /v1/retrain?from=&to=&wait=1
+//	GET  /v1/status
+//	GET  /healthz
+//
+// Usage:
+//
+//	acobed -listen :8467 -users alice,bob,carol -groups eng -membership 0,0,0
+//	acobed -selftest
+//
+// -selftest synthesizes a small organization, replays it day by day through
+// a real HTTP listener (ingest → close → retrain → rank), and prints the
+// resulting investigation list as CSV. The output is deterministic; the
+// Makefile's serve-smoke target diffs it against a committed golden copy.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"acobe/internal/cert"
+	"acobe/internal/deviation"
+	"acobe/internal/enterprise"
+	"acobe/internal/serve"
+	"acobe/pkg/acobe"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "acobed:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("acobed", flag.ContinueOnError)
+	var (
+		listen     = fs.String("listen", "127.0.0.1:8467", "HTTP listen address")
+		mode       = fs.String("mode", "cert", "log family to extract: cert or enterprise")
+		usersFlag  = fs.String("users", "", "comma-separated user IDs (required)")
+		groupsFlag = fs.String("groups", "", "comma-separated peer-group names (empty: serve without group deviations)")
+		memberFlag = fs.String("membership", "", "comma-separated group index per user, -1 excludes (required with -groups)")
+		startFlag  = fs.String("start", "0", "first measured day (YYYY-MM-DD or day index)")
+		window     = fs.Int("window", 30, "ω: sliding history length in days")
+		matrixDays = fs.Int("matrix-days", 14, "𝒟: days per compound matrix")
+		delta      = fs.Float64("delta", 3, "Δ: deviation clamp")
+		epsilon    = fs.Float64("epsilon", 1, "ε: floor on the history std")
+		weighted   = fs.Bool("weighted", true, "apply the paper's TF-style feature weights")
+		seed       = fs.Uint64("seed", 7, "model-initialization seed")
+		votes      = fs.Int("votes", 3, "critic vote count N")
+		stride     = fs.Int("stride", 2, "training matrix day stride")
+		queue      = fs.Int("queue", 64, "ingest queue bound in batches")
+		selftest   = fs.Bool("selftest", false, "run the built-in end-to-end smoke over real HTTP and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *selftest {
+		return runSelftest(stdout)
+	}
+
+	users := splitList(*usersFlag)
+	if len(users) == 0 {
+		return errors.New("-users is required (comma-separated IDs)")
+	}
+	cfg := serve.Config{
+		Users: users,
+		Deviation: deviation.Config{
+			Window: *window, MatrixDays: *matrixDays,
+			Delta: *delta, Epsilon: *epsilon, Weighted: *weighted,
+		},
+		QueueSize: *queue,
+	}
+	var err error
+	if cfg.Start, err = parseDayArg(*startFlag); err != nil {
+		return fmt.Errorf("-start: %w", err)
+	}
+	if groups := splitList(*groupsFlag); len(groups) > 0 {
+		cfg.Groups = groups
+		if cfg.Membership, err = parseInts(*memberFlag); err != nil {
+			return fmt.Errorf("-membership: %w", err)
+		}
+	}
+	var aspects []acobe.Aspect
+	switch *mode {
+	case "cert":
+		aspects = acobe.ACOBEAspects()
+	case "enterprise":
+		aspects = enterprise.Aspects()
+		ing, err := serve.NewEnterpriseIngestor(users, cfg.Start)
+		if err != nil {
+			return err
+		}
+		cfg.Ingestor = ing
+	default:
+		return fmt.Errorf("-mode: unknown log family %q", *mode)
+	}
+	cfg.DetectorOptions = []acobe.Option{
+		acobe.WithAspects(aspects...),
+		acobe.WithSeed(*seed),
+		acobe.WithVotes(*votes),
+		acobe.WithTrainStride(*stride),
+	}
+
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "acobed: serving %d users on http://%s\n", len(users), ln.Addr())
+	return serveHTTP(srv, ln, stdout)
+}
+
+// serveHTTP runs the HTTP front end until SIGINT/SIGTERM, then drains the
+// daemon: stop accepting requests, cancel any in-flight retrain, finish
+// queued day-closes, and exit.
+func serveHTTP(srv *serve.Server, ln net.Listener, stdout io.Writer) error {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(stdout, "acobed: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := hs.Shutdown(shutCtx)
+	if serr := srv.Shutdown(shutCtx); err == nil {
+		err = serr
+	}
+	return err
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := splitList(s)
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+func parseDayArg(s string) (cert.Day, error) {
+	if n, err := strconv.Atoi(s); err == nil {
+		return cert.Day(n), nil
+	}
+	return cert.ParseDay(s)
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"acobe/internal/testkit"
+)
+
+// TestSelftestGolden runs the full daemon smoke — synthesize, ingest over a
+// real HTTP listener, close days, retrain, rank — and pins its CSV output.
+// This is the end-to-end online/offline determinism gate for the serving
+// stack; the Makefile serve-smoke target diffs the same output via the CLI.
+func TestSelftestGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains an ensemble")
+	}
+	var buf bytes.Buffer
+	if err := runSelftest(&buf); err != nil {
+		t.Fatalf("selftest: %v", err)
+	}
+	testkit.Golden(t, "selftest.csv", buf.Bytes())
+}
+
+func TestFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{}, &buf); err == nil {
+		t.Fatal("missing -users accepted")
+	}
+	if err := run([]string{"-users", "a,b", "-mode", "nope"}, &buf); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	if err := run([]string{"-users", "a,b", "-start", "bogus"}, &buf); err == nil {
+		t.Fatal("bad start accepted")
+	}
+	if err := run([]string{"-users", "a,b", "-groups", "g", "-membership", "x,y"}, &buf); err == nil {
+		t.Fatal("bad membership accepted")
+	}
+}

@@ -1,0 +1,15 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains an autoencoder ensemble")
+	}
+	if err := run(io.Discard); err != nil {
+		t.Fatalf("embed example failed: %v", err)
+	}
+}

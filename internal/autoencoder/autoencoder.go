@@ -5,6 +5,7 @@
 package autoencoder
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -113,8 +114,9 @@ func New(cfg Config) (*Autoencoder, error) {
 }
 
 // Fit trains the autoencoder to reconstruct the given samples (rows).
-// It returns the final epoch's mean MSE loss.
-func (a *Autoencoder) Fit(samples *nn.Matrix) (float64, error) {
+// It returns the final epoch's mean MSE loss. Cancelling ctx aborts
+// training between batches and returns the context's error.
+func (a *Autoencoder) Fit(ctx context.Context, samples *nn.Matrix) (float64, error) {
 	if samples.Cols != a.cfg.InputDim {
 		return 0, fmt.Errorf("autoencoder: samples have %d features, model expects %d", samples.Cols, a.cfg.InputDim)
 	}
@@ -131,6 +133,7 @@ func (a *Autoencoder) Fit(samples *nn.Matrix) (float64, error) {
 		Verbose:        a.cfg.Verbose,
 		EarlyStopDelta: a.cfg.EarlyStopDelta,
 		Patience:       a.cfg.Patience,
+		Ctx:            ctx,
 	})
 }
 

@@ -2,6 +2,7 @@ package autoencoder
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"acobe/internal/mathx"
@@ -70,7 +71,7 @@ func TestAnomalyScoresSeparate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ae.Fit(train); err != nil {
+	if _, err := ae.Fit(context.Background(), train); err != nil {
 		t.Fatal(err)
 	}
 
@@ -110,7 +111,7 @@ func TestScoresDimensionMismatch(t *testing.T) {
 	if _, err := ae.Scores(nn.NewMatrix(2, 5)); err == nil {
 		t.Error("no error for wrong sample width")
 	}
-	if _, err := ae.Fit(nn.NewMatrix(2, 5)); err == nil {
+	if _, err := ae.Fit(context.Background(), nn.NewMatrix(2, 5)); err == nil {
 		t.Error("no error for wrong training width")
 	}
 }
@@ -122,7 +123,7 @@ func TestScoreSingle(t *testing.T) {
 		t.Fatal(err)
 	}
 	train := manifoldSamples(rng, 128, 6)
-	if _, err := ae.Fit(train); err != nil {
+	if _, err := ae.Fit(context.Background(), train); err != nil {
 		t.Fatal(err)
 	}
 	s, err := ae.Score(train.Row(0))
@@ -142,7 +143,7 @@ func TestSaveLoadPreservesScores(t *testing.T) {
 		t.Fatal(err)
 	}
 	train := manifoldSamples(rng, 128, 8)
-	if _, err := ae.Fit(train); err != nil {
+	if _, err := ae.Fit(context.Background(), train); err != nil {
 		t.Fatal(err)
 	}
 
@@ -176,7 +177,7 @@ func TestDeterministicTraining(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		loss, err := ae.Fit(manifoldSamples(mathx.NewRNG(7), 128, 6))
+		loss, err := ae.Fit(context.Background(), manifoldSamples(mathx.NewRNG(7), 128, 6))
 		if err != nil {
 			t.Fatal(err)
 		}

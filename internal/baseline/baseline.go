@@ -21,6 +21,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 
 	"acobe/internal/autoencoder"
@@ -234,7 +235,7 @@ func (m *Model) Fit(from, to cert.Day) (map[string]float64, error) {
 				rows = append(rows, m.vector(am, u, d))
 			}
 		}
-		loss, err := am.ae.Fit(nn.FromRows(rows))
+		loss, err := am.ae.Fit(context.Background(), nn.FromRows(rows))
 		if err != nil {
 			return nil, fmt.Errorf("baseline: fit aspect %s: %w", am.aspect.Name, err)
 		}

@@ -305,6 +305,11 @@ func readEventsFrom(src io.Reader, name string, sp EventSpec, ds *StoredDataset)
 		if err != nil {
 			return fmt.Errorf("cert: parse time in %s: %w", name, err)
 		}
+		if t.IsZero() {
+			// "01/01/0001 0:00:00" parses to Go's zero time, which the rest
+			// of the pipeline treats as "no timestamp" — reject it.
+			return fmt.Errorf("cert: zero timestamp in %s: %q", name, rec[1])
+		}
 		e := sp.Parse(rec)
 		e.Time = t
 		d := e.Day()

@@ -24,9 +24,17 @@ var Epoch = time.Date(2010, 1, 2, 0, 0, 0, 0, time.UTC)
 // release span.
 var DatasetEnd = time.Date(2011, 5, 31, 0, 0, 0, 0, time.UTC)
 
-// DayOf converts a time to its Day index.
+// DayOf converts a time to its Day index. It uses integer Unix-second
+// arithmetic (floor division), so every representable time.Time maps to a
+// well-defined calendar day: the previous time.Duration-based computation
+// saturated ~292 years from the epoch.
 func DayOf(t time.Time) Day {
-	return Day(int(t.Sub(Epoch).Hours() / 24))
+	secs := t.Unix() - Epoch.Unix()
+	d := secs / 86400
+	if secs < 0 && secs%86400 != 0 {
+		d-- // floor, not truncation: pre-epoch times belong to the earlier day
+	}
+	return Day(d)
 }
 
 // Date converts a Day index back to a UTC midnight time.

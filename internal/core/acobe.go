@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -138,11 +139,15 @@ func (d *Detector) FirstMatrixDay() cert.Day { return d.models[0].builder.FirstM
 // together stay near GOMAXPROCS. Each aspect's training is fully
 // deterministic (own seed, own RNG), so the losses are bit-identical to a
 // sequential run (cfg.SequentialFit).
-func (d *Detector) Fit(from, to cert.Day) (map[string]float64, error) {
+//
+// Cancelling ctx aborts training mid-epoch: every aspect's trainer checks
+// the context between batches, returns promptly, and Fit reports the
+// context's error after all aspect goroutines have exited (no leaks).
+func (d *Detector) Fit(ctx context.Context, from, to cert.Day) (map[string]float64, error) {
 	losses := make(map[string]float64, len(d.models))
 	if d.cfg.SequentialFit || len(d.models) == 1 {
 		for _, m := range d.models {
-			loss, err := d.fitAspect(m, from, to)
+			loss, err := d.fitAspect(ctx, m, from, to)
 			if err != nil {
 				return nil, err
 			}
@@ -162,7 +167,7 @@ func (d *Detector) Fit(from, to cert.Day) (map[string]float64, error) {
 			defer wg.Done()
 			nn.AcquireWorker()
 			defer nn.ReleaseWorker()
-			loss, err := d.fitAspect(m, from, to)
+			loss, err := d.fitAspect(ctx, m, from, to)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -184,7 +189,10 @@ func (d *Detector) Fit(from, to cert.Day) (map[string]float64, error) {
 // fitAspect builds one aspect's training matrix — every user's compound
 // matrices over the (clamped, strided) day range written directly into one
 // preallocated nn.Matrix — and trains the aspect's autoencoder on it.
-func (d *Detector) fitAspect(m *aspectModel, from, to cert.Day) (float64, error) {
+func (d *Detector) fitAspect(ctx context.Context, m *aspectModel, from, to cert.Day) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, fmt.Errorf("core: fit aspect %s: %w", m.aspect.Name, err)
+	}
 	f, t, perUser := m.builder.ClampRange(from, to, d.cfg.TrainStride)
 	if perUser == 0 || len(d.users) == 0 {
 		return 0, fmt.Errorf("core: no training matrices for aspect %s in %v..%v", m.aspect.Name, from, to)
@@ -203,7 +211,7 @@ func (d *Detector) fitAspect(m *aspectModel, from, to cert.Day) (float64, error)
 			row++
 		}
 	}
-	loss, err := m.ae.Fit(samples)
+	loss, err := m.ae.Fit(ctx, samples)
 	if err != nil {
 		return 0, fmt.Errorf("core: fit aspect %s: %w", m.aspect.Name, err)
 	}
@@ -223,11 +231,12 @@ type ScoreSeries struct {
 func (s *ScoreSeries) DaysCovered() int { return int(s.To-s.From) + 1 }
 
 // Score computes per-day anomaly scores for every user and aspect over
-// [from, to] (clamped to the valid matrix range).
-func (d *Detector) Score(from, to cert.Day) ([]*ScoreSeries, error) {
+// [from, to] (clamped to the valid matrix range). Cancelling ctx stops the
+// scoring workers between users and returns the context's error.
+func (d *Detector) Score(ctx context.Context, from, to cert.Day) ([]*ScoreSeries, error) {
 	var out []*ScoreSeries
 	for _, m := range d.models {
-		s, err := d.scoreAspect(m, from, to)
+		s, err := d.scoreAspect(ctx, m, from, to)
 		if err != nil {
 			return nil, err
 		}
@@ -236,7 +245,7 @@ func (d *Detector) Score(from, to cert.Day) ([]*ScoreSeries, error) {
 	return out, nil
 }
 
-func (d *Detector) scoreAspect(m *aspectModel, from, to cert.Day) (*ScoreSeries, error) {
+func (d *Detector) scoreAspect(ctx context.Context, m *aspectModel, from, to cert.Day) (*ScoreSeries, error) {
 	if from < m.builder.FirstMatrixDay() {
 		from = m.builder.FirstMatrixDay()
 	}
@@ -272,6 +281,10 @@ func (d *Detector) scoreAspect(m *aspectModel, from, to cert.Day) (*ScoreSeries,
 			for {
 				u := int(next.Add(1)) - 1
 				if u >= len(d.users) || firstErr.Load() != nil {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("core: score aspect %s: %w", m.aspect.Name, err))
 					return
 				}
 				for i := 0; i < days; i++ {
@@ -346,8 +359,8 @@ func AggregateRelativeMax(s *ScoreSeries) []float64 {
 
 // Investigate runs the critic over the aggregated per-aspect scores of a
 // testing window and returns the ordered investigation list.
-func (d *Detector) Investigate(from, to cert.Day) ([]Ranked, error) {
-	series, err := d.Score(from, to)
+func (d *Detector) Investigate(ctx context.Context, from, to cert.Day) ([]Ranked, error) {
+	series, err := d.Score(ctx, from, to)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"acobe/internal/autoencoder"
@@ -78,14 +79,14 @@ func TestDetectorEndToEnd(t *testing.T) {
 	if got := det.Aspects(); len(got) != 1 || got[0] != "a" {
 		t.Fatalf("aspects %v", got)
 	}
-	losses, err := det.Fit(0, 90)
+	losses, err := det.Fit(context.Background(), 0, 90)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if losses["a"] <= 0 {
 		t.Errorf("loss %g", losses["a"])
 	}
-	list, err := det.Investigate(95, 119)
+	list, err := det.Investigate(context.Background(), 95, 119)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,10 +124,10 @@ func TestDetectorNoGroup(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := det.Fit(0, 90); err != nil {
+	if _, err := det.Fit(context.Background(), 0, 90); err != nil {
 		t.Fatal(err)
 	}
-	series, err := det.Score(95, 119)
+	series, err := det.Score(context.Background(), 95, 119)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,10 +145,10 @@ func TestScoreClampingToMatrixRange(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := det.Fit(0, 90); err != nil {
+	if _, err := det.Fit(context.Background(), 0, 90); err != nil {
 		t.Fatal(err)
 	}
-	series, err := det.Score(-100, 10000)
+	series, err := det.Score(context.Background(), -100, 10000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestFitEmptyRange(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := det.Fit(200, 210); err == nil {
+	if _, err := det.Fit(context.Background(), 200, 210); err == nil {
 		t.Error("no error for training range past the data")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"testing"
@@ -44,11 +45,11 @@ func TestFitParallelMatchesSequential(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		losses, err := det.Fit(0, 90)
+		losses, err := det.Fit(context.Background(), 0, 90)
 		if err != nil {
 			t.Fatal(err)
 		}
-		ranked, err := det.Investigate(95, 119)
+		ranked, err := det.Investigate(context.Background(), 95, 119)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -104,11 +105,11 @@ func TestSetWorkerBudgetEdgeCases(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		losses, err := det.Fit(0, 90)
+		losses, err := det.Fit(context.Background(), 0, 90)
 		if err != nil {
 			t.Fatal(err)
 		}
-		ranked, err := det.Investigate(95, 119)
+		ranked, err := det.Investigate(context.Background(), 95, 119)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -140,10 +141,10 @@ func TestConcurrentScoring(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := det.Fit(0, 90); err != nil {
+	if _, err := det.Fit(context.Background(), 0, 90); err != nil {
 		t.Fatal(err)
 	}
-	want, err := det.Score(95, 119)
+	want, err := det.Score(context.Background(), 95, 119)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestConcurrentScoring(t *testing.T) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			results[c], errs[c] = det.Score(95, 119)
+			results[c], errs[c] = det.Score(context.Background(), 95, 119)
 		}(c)
 	}
 	wg.Wait()

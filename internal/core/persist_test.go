@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"testing"
 )
 
@@ -11,10 +12,10 @@ func TestSaveLoadModelsRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := det.Fit(0, 90); err != nil {
+	if _, err := det.Fit(context.Background(), 0, 90); err != nil {
 		t.Fatal(err)
 	}
-	want, err := det.Score(95, 119)
+	want, err := det.Score(context.Background(), 95, 119)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func TestSaveLoadModelsRoundTrip(t *testing.T) {
 	if err := fresh.LoadModels(bytes.NewReader(buf.Bytes())); err != nil {
 		t.Fatal(err)
 	}
-	got, err := fresh.Score(95, 119)
+	got, err := fresh.Score(context.Background(), 95, 119)
 	if err != nil {
 		t.Fatal(err)
 	}

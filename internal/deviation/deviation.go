@@ -113,7 +113,10 @@ type Field struct {
 	nf       int
 	frames   int
 	days     int // number of deviation days
-	sigma    []float64
+	// capDays is the allocated day capacity of each sigma series (≥ days);
+	// StreamField grows it geometrically when appending days online.
+	capDays int
+	sigma   []float64
 }
 
 // ComputeField derives the deviation field of a measurement table. The
@@ -137,6 +140,7 @@ func ComputeField(t *features.Table, cfg Config) (*Field, error) {
 		frames:   t.Frames(),
 		days:     int(end-firstDay) + 1,
 	}
+	f.capDays = f.days
 	users := len(t.Users())
 	f.sigma = make([]float64, users*f.nf*f.frames*f.days)
 	for u := 0; u < users; u++ {
@@ -190,8 +194,47 @@ func (f *Field) computeSeries(u, feat, frame int, series []float64) {
 }
 
 func (f *Field) seriesSlice(u, feat, frame int) []float64 {
-	o := ((u*f.nf+feat)*f.frames + frame) * f.days
+	o := ((u*f.nf+feat)*f.frames + frame) * f.capDays
 	return f.sigma[o : o+f.days]
+}
+
+// appendDay extends every series by one (zeroed) day, reallocating with
+// doubled capacity when full so online appends stay amortized O(1).
+func (f *Field) appendDay() {
+	if f.days+1 > f.capDays {
+		newCap := f.capDays * 2
+		if min := f.days + 1; newCap < min {
+			newCap = min
+		}
+		if newCap < 8 {
+			newCap = 8
+		}
+		series := len(f.table.Users()) * f.nf * f.frames
+		grown := make([]float64, series*newCap)
+		for s := 0; s < series; s++ {
+			copy(grown[s*newCap:s*newCap+f.days], f.sigma[s*f.capDays:s*f.capDays+f.days])
+		}
+		f.capDays = newCap
+		f.sigma = grown
+	}
+	f.days++
+	f.endDay++
+}
+
+// Clone returns an independent deep copy of the field (including its
+// source table), compacted to the logical day count. Retraining trains on
+// such a frozen snapshot while a StreamField keeps appending to the live
+// field.
+func (f *Field) Clone() *Field {
+	c := *f
+	c.table = f.table.Clone()
+	series := len(f.table.Users()) * f.nf * f.frames
+	c.capDays = f.days
+	c.sigma = make([]float64, series*f.days)
+	for s := 0; s < series; s++ {
+		copy(c.sigma[s*f.days:(s+1)*f.days], f.sigma[s*f.capDays:s*f.capDays+f.days])
+	}
+	return &c
 }
 
 // FirstDay returns the first day with a defined deviation.

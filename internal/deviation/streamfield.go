@@ -1,0 +1,101 @@
+package deviation
+
+import (
+	"fmt"
+
+	"acobe/internal/cert"
+	"acobe/internal/features"
+)
+
+// StreamField maintains a deviation Field incrementally: it consumes the
+// source measurement table one day at a time and appends that day's
+// deviations in O(users·features·frames) — O(1) per cell — using one
+// Accumulator per (user, feature, frame). After consuming days start..d it
+// is bit-identical to ComputeField over a table spanning start..d (same
+// running-sum operations in the same order; see
+// TestStreamFieldMatchesComputeField), which is what lets the online
+// serving layer answer ranked-list queries that match the batch pipeline
+// byte for byte.
+//
+// Unlike ComputeField, which requires the table's span to already cover a
+// full history window, a StreamField can be created over a table of any
+// length and primes itself as days arrive. The table is expected to grow
+// via features.Table.EnsureDay; call Advance after each appended day.
+type StreamField struct {
+	field *Field
+	acc   []Accumulator
+	hist  []float64 // per-cell rings, Window-1 slots each
+	next  cert.Day  // first table day not yet consumed
+}
+
+// NewStreamField builds an empty streaming field over t. No table days are
+// consumed yet; call Advance (or Advance after growing the table) to feed
+// them in chronological order.
+func NewStreamField(t *features.Table, cfg Config) (*StreamField, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	start, _ := t.Span()
+	first := start + cert.Day(cfg.Window-1)
+	cells := len(t.Users()) * len(t.Features()) * t.Frames()
+	return &StreamField{
+		field: &Field{
+			cfg:      cfg,
+			table:    t,
+			firstDay: first,
+			endDay:   first - 1, // empty: no deviation days yet
+			nf:       len(t.Features()),
+			frames:   t.Frames(),
+		},
+		acc:  make([]Accumulator, cells),
+		hist: make([]float64, cells*(cfg.Window-1)),
+		next: start,
+	}, nil
+}
+
+// Field returns the live deviation field. It grows as Advance consumes
+// days; builders holding it observe the extended range on their next
+// BuildInto.
+func (s *StreamField) Field() *Field { return s.field }
+
+// NextDay returns the first table day not yet consumed.
+func (s *StreamField) NextDay() cert.Day { return s.next }
+
+// Advance consumes every table day from the last consumed day up to the
+// table's current end (which may have grown via EnsureDay since the last
+// call). Days whose history window is not yet full only prime the
+// accumulators; later days each append one deviation day to the field.
+func (s *StreamField) Advance() error {
+	t := s.field.table
+	start, end := t.Span()
+	if s.next < start {
+		return fmt.Errorf("deviation: stream field behind table start (%v < %v)", s.next, start)
+	}
+	users := len(t.Users())
+	w1 := s.field.cfg.Window - 1
+	for ; s.next <= end; s.next++ {
+		d := s.next
+		emit := d >= s.field.firstDay
+		if emit {
+			s.field.appendDay()
+		}
+		at := s.field.days - 1
+		cell := 0
+		for u := 0; u < users; u++ {
+			for feat := 0; feat < s.field.nf; feat++ {
+				for frame := 0; frame < s.field.frames; frame++ {
+					m := t.At(u, feat, frame, d)
+					sigma, ok := s.acc[cell].Push(s.field.cfg, s.hist[cell*w1:(cell+1)*w1], m)
+					if ok != emit {
+						return fmt.Errorf("deviation: stream field out of phase on day %v (cell %d)", d, cell)
+					}
+					if ok {
+						s.field.seriesSlice(u, feat, frame)[at] = sigma
+					}
+					cell++
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package deviation
+
+import (
+	"testing"
+
+	"acobe/internal/cert"
+	"acobe/internal/features"
+	"acobe/internal/mathx"
+)
+
+// fillDay writes pseudo-random measurements for one day into tab.
+func fillDay(tab *features.Table, rng *mathx.RNG, d cert.Day) {
+	for u := range tab.Users() {
+		for f := range tab.Features() {
+			for frame := 0; frame < tab.Frames(); frame++ {
+				v := float64(int(rng.Normal(6, 3)))
+				if v < 0 {
+					v = 0
+				}
+				tab.Add(u, f, frame, d, v)
+			}
+		}
+	}
+}
+
+// TestStreamFieldMatchesComputeField grows a table day by day (EnsureDay +
+// Advance, the online ingest path) and checks that after every appended day
+// the streaming field is bit-identical to a batch ComputeField over a
+// fresh table with the same content — both the raw sigma series and the
+// compound matrices built from them.
+func TestStreamFieldMatchesComputeField(t *testing.T) {
+	cfg := Config{Window: 8, MatrixDays: 3, Delta: 3, Epsilon: 1, Weighted: true}
+	users := []string{"u0", "u1", "u2"}
+	feats := []string{"fa", "fb"}
+	const lastDay = cert.Day(59)
+
+	// Reference table with the full span up front.
+	ref, err := features.NewTable(users, feats, 2, 0, lastDay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mathx.NewRNG(23)
+	for d := cert.Day(0); d <= lastDay; d++ {
+		fillDay(ref, rng, d)
+	}
+
+	// Live table that starts with one day and grows online.
+	live, err := features.NewTable(users, feats, 2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := NewStreamField(live, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aspect := features.Aspect{Name: "a", Features: feats}
+	builder, err := NewBuilder(sf.Field(), nil, nil, aspect)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for d := cert.Day(0); d <= lastDay; d++ {
+		if err := live.EnsureDay(d); err != nil {
+			t.Fatal(err)
+		}
+		for u := range users {
+			for f := range feats {
+				for frame := 0; frame < 2; frame++ {
+					live.Add(u, f, frame, d, ref.At(u, f, frame, d))
+				}
+			}
+		}
+		if err := sf.Advance(); err != nil {
+			t.Fatal(err)
+		}
+		if d < cert.Day(cfg.Window-1) {
+			continue
+		}
+		// Batch recompute over the prefix 0..d.
+		prefix, err := features.NewTable(users, feats, 2, 0, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := range users {
+			for f := range feats {
+				for frame := 0; frame < 2; frame++ {
+					for dd := cert.Day(0); dd <= d; dd++ {
+						prefix.Add(u, f, frame, dd, ref.At(u, f, frame, dd))
+					}
+				}
+			}
+		}
+		batch, err := ComputeField(prefix, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sf.Field().FirstDay() != batch.FirstDay() || sf.Field().EndDay() != batch.EndDay() {
+			t.Fatalf("day %v: stream span %v..%v, batch %v..%v", d,
+				sf.Field().FirstDay(), sf.Field().EndDay(), batch.FirstDay(), batch.EndDay())
+		}
+		for u := range users {
+			for f := range feats {
+				for frame := 0; frame < 2; frame++ {
+					got := sf.Field().SigmaSeries(u, f, frame)
+					want := batch.SigmaSeries(u, f, frame)
+					if len(got) != len(want) {
+						t.Fatalf("day %v: series length %d != %d", d, len(got), len(want))
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("day %v u=%d f=%d frame=%d idx=%d: stream %v != batch %v",
+								d, u, f, frame, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+		// Matrices straight off the streaming field must match too.
+		if d >= builder.FirstMatrixDay() {
+			bb, err := NewBuilder(batch, nil, nil, aspect)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([]float64, builder.Dim())
+			want := make([]float64, bb.Dim())
+			for u := range users {
+				if err := builder.BuildInto(u, d, got); err != nil {
+					t.Fatal(err)
+				}
+				if err := bb.BuildInto(u, d, want); err != nil {
+					t.Fatal(err)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("day %v u=%d matrix idx %d: stream %v != batch %v", d, u, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStreamFieldEmpty: a field with no consumed deviation days reports an
+// empty range and Advance on an unchanged table is a no-op.
+func TestStreamFieldEmpty(t *testing.T) {
+	cfg := Config{Window: 5, MatrixDays: 2, Delta: 3, Epsilon: 1}
+	tab, err := features.NewTable([]string{"u"}, []string{"f"}, 1, 10, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := NewStreamField(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sf.Advance(); err != nil {
+		t.Fatal(err)
+	}
+	if sf.Field().EndDay() >= sf.Field().FirstDay() {
+		t.Fatalf("field claims deviation days after %d table days", tab.Days())
+	}
+	if err := sf.Advance(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if got := sf.NextDay(); got != 12 {
+		t.Fatalf("NextDay = %v, want 12", got)
+	}
+}

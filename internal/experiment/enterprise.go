@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"acobe/internal/attack"
@@ -173,10 +174,10 @@ func RunEnterprise(p EnterprisePreset, kind AttackKind) (*EnterpriseRun, error) 
 		AttackDay: enterprise.DefaultAttackDay,
 		Users:     ids,
 	}
-	if _, err := det.Fit(run.TrainFrom, run.TrainTo); err != nil {
+	if _, err := det.Fit(context.Background(), run.TrainFrom, run.TrainTo); err != nil {
 		return nil, fmt.Errorf("experiment: %w", err)
 	}
-	series, err := det.Score(run.ScoreFrom, run.ScoreTo)
+	series, err := det.Score(context.Background(), run.ScoreFrom, run.ScoreTo)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: %w", err)
 	}

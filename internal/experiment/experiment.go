@@ -6,6 +6,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -412,10 +413,10 @@ func runACOBEVariant(data *CERTData, kind ModelKind, trainFrom, trainTo, testFro
 	if err != nil {
 		return nil, nil, err
 	}
-	if _, err := det.Fit(trainFrom, trainTo); err != nil {
+	if _, err := det.Fit(context.Background(), trainFrom, trainTo); err != nil {
 		return nil, nil, err
 	}
-	series, err := det.Score(testFrom, testTo)
+	series, err := det.Score(context.Background(), testFrom, testTo)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,161 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"acobe/internal/cert"
+	"acobe/internal/core"
+	"acobe/internal/serve"
+	"acobe/internal/testkit"
+	"acobe/pkg/acobe"
+)
+
+// TestServeHTTPGoldenCERTS1 is the online/offline parity gate at the
+// system boundary: it replays the golden CERT dataset day by day through
+// the serving daemon's real HTTP API (ingest → close → retrain → rank) and
+// requires the resulting investigation list to serialize to exactly the
+// bytes of the committed batch-pipeline snapshot (cert_s1_list.csv). Any
+// drift between the incremental sliding-window path and the batch
+// deviation computation — in extraction, group averaging, window math,
+// training, or ranking — fails this test.
+func TestServeHTTPGoldenCERTS1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden pipeline trains the ensemble")
+	}
+	preset := goldenPreset()
+	gcfg := cert.SmallConfig(preset.UsersPerDept)
+	gcfg.Seed = preset.Seed
+	gen, err := cert.New(gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deptIdx := make(map[string]int, len(gcfg.Departments))
+	for i, d := range gcfg.Departments {
+		deptIdx[d] = i
+	}
+	var (
+		users      []string
+		membership []int
+	)
+	for _, u := range gen.Users() {
+		users = append(users, u.ID)
+		membership = append(membership, deptIdx[u.Department])
+	}
+	var sc cert.Scenario
+	for _, s := range gen.Scenarios() {
+		if s.Name() == "r6.1-s1" {
+			sc = s
+		}
+	}
+	if sc == nil {
+		t.Fatal("scenario r6.1-s1 missing")
+	}
+	start, end := gen.Span()
+	trainFrom, trainTo, testFrom, testTo, err := cert.SplitForScenario(sc, start, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := serve.New(serve.Config{
+		Users:      users,
+		Groups:     gcfg.Departments,
+		Membership: membership,
+		Start:      start,
+		Deviation:  preset.Deviation,
+		DetectorOptions: []acobe.Option{
+			acobe.WithAspects(acobe.ACOBEAspects()...),
+			acobe.WithModelConfig(preset.AEConfig),
+			acobe.WithTrainStride(preset.TrainStride),
+			acobe.WithVotes(preset.N),
+			acobe.WithSeed(preset.Seed),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	post := func(url string, body *bytes.Buffer) {
+		t.Helper()
+		if body == nil {
+			body = &bytes.Buffer{}
+		}
+		resp, err := client.Post(url, "application/x-ndjson", body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			var msg bytes.Buffer
+			_, _ = msg.ReadFrom(resp.Body)
+			t.Fatalf("%s: %s: %s", url, resp.Status, msg.String())
+		}
+	}
+
+	// Day-by-day replay over the wire, training once the train span closes.
+	err = gen.Stream(func(d cert.Day, events []cert.Event) error {
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		for i := range events {
+			if err := enc.Encode(serve.Event{Cert: &events[i]}); err != nil {
+				return err
+			}
+		}
+		post(fmt.Sprintf("%s/v1/ingest", ts.URL), &buf)
+		post(fmt.Sprintf("%s/v1/close?day=%d", ts.URL, d), nil)
+		if d == trainTo {
+			post(fmt.Sprintf("%s/v1/retrain?from=%d&to=%d&wait=1", ts.URL, trainFrom, trainTo), nil)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := client.Get(fmt.Sprintf("%s/v1/rank?from=%d&to=%d", ts.URL, testFrom, testTo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rank: %s", resp.Status)
+	}
+	var ranked struct {
+		Aspects []string       `json:"aspects"`
+		List    []acobe.Ranked `json:"list"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ranked); err != nil {
+		t.Fatal(err)
+	}
+
+	// Serialize the served list exactly as the batch pipeline serializes
+	// its run, then compare against the batch pipeline's committed golden.
+	run := &ScenarioRun{
+		Model:     ModelACOBE,
+		Scenario:  sc.Name(),
+		Insider:   sc.UserID(),
+		TrainFrom: trainFrom,
+		TrainTo:   trainTo,
+		TestFrom:  testFrom,
+		TestTo:    testTo,
+		List:      ranked.List,
+	}
+	for _, a := range ranked.Aspects {
+		run.Series = append(run.Series, &core.ScoreSeries{Aspect: a})
+	}
+	testkit.Golden(t, "cert_s1_list.csv", serializeList(run))
+}

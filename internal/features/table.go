@@ -22,11 +22,17 @@ type Table struct {
 	start    cert.Day
 	end      cert.Day
 
+	// capDays is the allocated day capacity of every series; it is ≥
+	// Days() so that EnsureDay can extend the span without re-striding the
+	// backing array on every appended day.
+	capDays int
+
 	userIdx    map[string]int
 	featureIdx map[string]int
 
 	// data is laid out [user][feature][frame][day] with day fastest, so a
-	// (user, feature, frame) day-series is one contiguous slice.
+	// (user, feature, frame) day-series is one contiguous slice (strided
+	// by capDays).
 	data []float64
 }
 
@@ -64,6 +70,7 @@ func NewTable(users, features []string, frames int, start, end cert.Day) (*Table
 		t.featureIdx[f] = i
 	}
 	days := int(end-start) + 1
+	t.capDays = days
 	t.data = make([]float64, len(users)*len(features)*frames*days)
 	return t, nil
 }
@@ -101,8 +108,55 @@ func (t *Table) FeatureIndex(name string) int {
 
 // offset computes the flat index of (u, f, frame, day-start).
 func (t *Table) offset(u, f, frame int, d cert.Day) int {
+	return ((u*len(t.features)+f)*t.frames+frame)*t.capDays + int(d-t.start)
+}
+
+// EnsureDay extends the table's span so that day d is in range, keeping
+// existing measurements and zero-filling the new days. Growth doubles the
+// allocated day capacity (amortized O(1) per appended day), which is what
+// lets the online ingestion path extend one table day-by-day for months
+// without quadratic copying. Days before the current start are rejected —
+// the span only grows forward.
+func (t *Table) EnsureDay(d cert.Day) error {
+	if d < t.start {
+		return fmt.Errorf("features: EnsureDay %v before table start %v", d, t.start)
+	}
+	if d <= t.end {
+		return nil
+	}
+	need := int(d-t.start) + 1
+	if need > t.capDays {
+		newCap := t.capDays * 2
+		if newCap < need {
+			newCap = need
+		}
+		series := len(t.users) * len(t.features) * t.frames
+		grown := make([]float64, series*newCap)
+		old := t.Days()
+		for s := 0; s < series; s++ {
+			copy(grown[s*newCap:s*newCap+old], t.data[s*t.capDays:s*t.capDays+old])
+		}
+		t.capDays = newCap
+		t.data = grown
+	}
+	t.end = d
+	return nil
+}
+
+// Clone returns an independent deep copy of the table, compacted to the
+// logical span (growth slack is not copied). The serving layer snapshots
+// tables this way so that retraining can read a frozen copy while ingest
+// keeps extending the live one.
+func (t *Table) Clone() *Table {
+	c := *t
 	days := t.Days()
-	return ((u*len(t.features)+f)*t.frames+frame)*days + int(d-t.start)
+	series := len(t.users) * len(t.features) * t.frames
+	c.capDays = days
+	c.data = make([]float64, series*days)
+	for s := 0; s < series; s++ {
+		copy(c.data[s*days:(s+1)*days], t.data[s*t.capDays:s*t.capDays+days])
+	}
+	return &c
 }
 
 // InSpan reports whether day d lies inside the table.
@@ -126,10 +180,12 @@ func (t *Table) At(u, f, frame int, d cert.Day) float64 {
 }
 
 // Series returns the contiguous day-series of (u, f, frame) over the whole
-// span. The returned slice aliases the table; callers must not modify it.
+// span. The returned slice aliases the table; callers must not modify it,
+// and a later EnsureDay growth may move the backing array, so do not hold
+// the slice across span extensions.
 func (t *Table) Series(u, f, frame int) []float64 {
 	o := t.offset(u, f, frame, t.start)
-	return t.data[o : o+t.Days()]
+	return t.data[o : o+t.Days() : o+t.Days()]
 }
 
 // GroupTable builds a table whose "users" are groups: each cell is the

@@ -170,3 +170,71 @@ func TestAllFeatureNamesDedup(t *testing.T) {
 		t.Errorf("got %v", names)
 	}
 }
+
+// TestEnsureDayGrowth: extending the span day by day must preserve every
+// existing measurement across capacity-doubling reallocations and zero-fill
+// the new days, so the online ingest path can grow a table for months.
+func TestEnsureDayGrowth(t *testing.T) {
+	tab := newTestTable(t) // 3 users × 2 features × 2 frames, days 10..19
+	rng := mathx.NewRNG(7)
+	fill := func(from, to cert.Day) {
+		for u := 0; u < 3; u++ {
+			for f := 0; f < 2; f++ {
+				for fr := 0; fr < 2; fr++ {
+					for d := from; d <= to; d++ {
+						tab.Add(u, f, fr, d, float64(int(rng.Normal(5, 3))))
+					}
+				}
+			}
+		}
+	}
+	fill(10, 19)
+
+	// Reference copy built on a table that never grows.
+	ref, err := NewTable(tab.Users(), tab.Features(), tab.Frames(), 10, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 3; u++ {
+		for f := 0; f < 2; f++ {
+			for fr := 0; fr < 2; fr++ {
+				for d := cert.Day(10); d <= 19; d++ {
+					ref.Add(u, f, fr, d, tab.At(u, f, fr, d))
+				}
+			}
+		}
+	}
+
+	for d := cert.Day(20); d <= 60; d++ {
+		if err := tab.EnsureDay(d); err != nil {
+			t.Fatal(err)
+		}
+		if _, end := tab.Span(); end != d {
+			t.Fatalf("end = %v after EnsureDay(%v)", end, d)
+		}
+	}
+	// Idempotent for in-span days, rejects pre-start days.
+	if err := tab.EnsureDay(15); err != nil {
+		t.Fatalf("in-span EnsureDay: %v", err)
+	}
+	if err := tab.EnsureDay(5); err == nil {
+		t.Fatal("EnsureDay before start did not error")
+	}
+
+	for u := 0; u < 3; u++ {
+		for f := 0; f < 2; f++ {
+			for fr := 0; fr < 2; fr++ {
+				got := tab.Series(u, f, fr)
+				want := ref.Series(u, f, fr)
+				if len(got) != len(want) {
+					t.Fatalf("series length %d, want %d", len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("u=%d f=%d fr=%d day-idx %d: %v != %v", u, f, fr, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}

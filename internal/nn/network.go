@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -118,6 +119,9 @@ type TrainConfig struct {
 	// than this fraction for Patience consecutive epochs. Zero disables.
 	EarlyStopDelta float64
 	Patience       int
+	// Ctx, when non-nil, is checked between batches: cancellation aborts
+	// training promptly (mid-epoch) and Fit returns the context's error.
+	Ctx context.Context
 }
 
 // Fit trains the network to map inputs to targets (for autoencoders,
@@ -162,6 +166,11 @@ func (n *Network) Fit(inputs, targets *Matrix, cfg TrainConfig) (float64, error)
 		var epochLoss float64
 		var batches int
 		for start := 0; start < len(order); start += cfg.BatchSize {
+			if cfg.Ctx != nil {
+				if err := cfg.Ctx.Err(); err != nil {
+					return lastLoss, fmt.Errorf("nn: training canceled at epoch %d: %w", epoch, err)
+				}
+			}
 			end := start + cfg.BatchSize
 			if end > len(order) {
 				end = len(order)

@@ -80,6 +80,13 @@ func ReleaseWorker() {
 	budget.cond.Signal()
 }
 
+// TryAcquireWorker claims a compute slot only if one is immediately free,
+// reporting whether it did. Callers that shard batch work (e.g. the online
+// serving layer's day-close advance) spawn a goroutine per extra slot they
+// win and run the remainder inline, so progress never blocks on a busy
+// budget. Pair successful acquisitions with ReleaseWorker.
+func TryAcquireWorker() bool { return tryAcquireWorker() }
+
 // tryAcquireWorker claims a slot only if one is immediately free.
 func tryAcquireWorker() bool {
 	budget.mu.Lock()

@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"acobe/internal/cert"
+	"acobe/pkg/acobe"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /v1/ingest          body: one JSON Event per line (JSONL)
+//	POST /v1/close?day=D     close every day through D
+//	GET  /v1/rank?from=&to=&top=N
+//	POST /v1/retrain?from=&to=&wait=1
+//	GET  /v1/status
+//	GET  /healthz
+//
+// Days parse as YYYY-MM-DD or as a plain integer day number.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	mux.HandleFunc("POST /v1/close", s.handleClose)
+	mux.HandleFunc("GET /v1/rank", s.handleRank)
+	mux.HandleFunc("POST /v1/retrain", s.handleRetrain)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// parseDay accepts 2010-06-01 or a raw integer day index.
+func parseDay(s string) (cert.Day, error) {
+	if s == "" {
+		return 0, errors.New("missing day")
+	}
+	if n, err := strconv.Atoi(s); err == nil {
+		return cert.Day(n), nil
+	}
+	return cert.ParseDay(s)
+}
+
+func httpError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrNoModel):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrRetrainInProgress):
+		code = http.StatusConflict
+	case errors.Is(err, ErrShuttingDown):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, acobe.ErrCanceled):
+		code = http.StatusServiceUnavailable
+	}
+	http.Error(w, err.Error(), code)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// handleIngest reads one JSON event per body line and submits them in one
+// batch. A full queue blocks the request (backpressure); a canceled
+// request or shutdown yields 503.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var events []Event
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			http.Error(w, fmt.Sprintf("line %d: %v", line, err), http.StatusBadRequest)
+			return
+		}
+		if !e.Valid() {
+			http.Error(w, fmt.Sprintf("line %d: event must carry exactly one of cert/record", line), http.StatusBadRequest)
+			return
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.Submit(r.Context(), events); err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, map[string]int{"accepted": len(events)})
+}
+
+func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
+	d, err := parseDay(r.URL.Query().Get("day"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.CloseDay(r.Context(), d); err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{"closed_through": s.ClosedThrough()})
+}
+
+// rankResponse is the ranked-list wire format.
+type rankResponse struct {
+	From    cert.Day       `json:"from"`
+	To      cert.Day       `json:"to"`
+	Aspects []string       `json:"aspects"`
+	List    []acobe.Ranked `json:"list"`
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	from, err := parseDay(q.Get("from"))
+	if err != nil {
+		http.Error(w, "from: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	to, err := parseDay(q.Get("to"))
+	if err != nil {
+		http.Error(w, "to: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	list, err := s.Rank(r.Context(), from, to)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	if topStr := q.Get("top"); topStr != "" {
+		top, err := strconv.Atoi(topStr)
+		if err != nil || top < 0 {
+			http.Error(w, "top: must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		if top < len(list) {
+			list = list[:top]
+		}
+	}
+	det := s.Detector()
+	writeJSON(w, rankResponse{From: from, To: to, Aspects: det.AspectNames(), List: list})
+}
+
+func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	from, err := parseDay(q.Get("from"))
+	if err != nil {
+		http.Error(w, "from: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	to, err := parseDay(q.Get("to"))
+	if err != nil {
+		http.Error(w, "to: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	wait := q.Get("wait") == "1" || q.Get("wait") == "true"
+	if err := s.Retrain(r.Context(), from, to, wait); err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{"training": !wait, "fitted": s.Detector() != nil})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Status())
+}

@@ -1,0 +1,541 @@
+// Package serve is the online half of the repository: a long-running
+// scoring service that ingests audit-log events continuously, advances the
+// per-user deviation state one closed day at a time in O(1) per cell
+// (deviation.StreamField over running sums), and answers ranked
+// investigation-list queries from a trained ensemble through pkg/acobe.
+//
+// The data path is built for byte-identical parity with the offline batch
+// pipeline: the same extractors fill the measurement tables, the group
+// table repeats GroupTable's member-sum order, the streaming window
+// advance performs the batch field's floating-point operations in the
+// batch order, and training/scoring run through the same facade. Feeding
+// the daemon a dataset day by day therefore yields exactly the ranked
+// list the batch pipeline prints for that dataset (asserted against the
+// committed golden snapshots).
+//
+// Concurrency model:
+//
+//   - One drain goroutine owns the day buffers; producers hand it event
+//     batches through a bounded queue (Submit blocks when full —
+//     backpressure instead of unbounded growth).
+//   - Day-close mutates tables and fields under a writer lock; rank
+//     queries score under a reader lock, so queries never observe a
+//     half-advanced day.
+//   - Retraining clones the fields under a reader lock and trains on the
+//     frozen snapshot without any lock, so ingest and queries continue
+//     while a new ensemble fits; the trained weights are swapped in
+//     atomically (old detector answers until the instant of the swap).
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"acobe/internal/cert"
+	"acobe/internal/deviation"
+	"acobe/internal/features"
+	"acobe/internal/nn"
+	"acobe/pkg/acobe"
+)
+
+// Typed failures surfaced to API clients.
+var (
+	// ErrNoModel is returned by Rank before the first successful retrain.
+	ErrNoModel = errors.New("serve: no trained model yet")
+	// ErrRetrainInProgress is returned when a retrain is already running.
+	ErrRetrainInProgress = errors.New("serve: retrain already in progress")
+	// ErrShuttingDown is returned by Submit/CloseDay after Shutdown began.
+	ErrShuttingDown = errors.New("serve: shutting down")
+)
+
+// Config wires a Server.
+type Config struct {
+	// Users lists every scored user ID, in index order.
+	Users []string
+	// Groups and Membership declare the peer groups (Membership[u] indexes
+	// Groups; -1 excludes the user). Leave Groups empty to serve without
+	// group deviations (the No-Group variant).
+	Groups     []string
+	Membership []int
+	// Start is the first measured day.
+	Start cert.Day
+	// Deviation carries ω, 𝒟, Δ, ε and weighting.
+	Deviation deviation.Config
+	// Ingestor fills the measurement table from closed days' events.
+	// Defaults to a CERTIngestor over Users starting at Start.
+	Ingestor Ingestor
+	// DetectorOptions configure the ensemble built at each retrain
+	// (aspects, model size, seed, votes, train stride, ...). Group
+	// deviation inclusion is derived from Groups and must not be set here.
+	DetectorOptions []acobe.Option
+	// QueueSize bounds the ingest queue in batches (default 64). When the
+	// queue is full, Submit blocks — backpressure, not buffering.
+	QueueSize int
+}
+
+// envelope is one unit of drain-goroutine work: either an event batch or
+// a close-through-day control item (done != nil).
+type envelope struct {
+	events       []Event
+	closeThrough cert.Day
+	done         chan error
+}
+
+// Server is the online scoring daemon's engine, independent of its HTTP
+// shell (cmd/acobed).
+type Server struct {
+	cfg     Config
+	ing     Ingestor
+	grpTbl  *features.Table
+	ind     *deviation.StreamField
+	grp     *deviation.StreamField // nil without groups
+	invSize []float64              // 1/|group|, GroupTable's exact factor
+
+	// mu orders day-close writes against rank-query reads of the live
+	// tables and fields. closedThrough is published under it.
+	mu            sync.RWMutex
+	closedThrough cert.Day
+
+	// buffered holds events of not-yet-closed days; owned by the drain
+	// goroutine exclusively.
+	buffered map[cert.Day][]Event
+
+	qmu    sync.RWMutex // guards queue sends against close(queue)
+	queue  chan envelope
+	closed bool // under qmu
+
+	ingested atomic.Int64
+	late     atomic.Int64
+
+	det          atomic.Pointer[acobe.Detector]
+	retraining   atomic.Bool
+	lastTrainErr atomic.Value // error from the most recent retrain, or nil
+
+	lifeCtx   context.Context
+	cancel    context.CancelFunc
+	drainWG   sync.WaitGroup
+	retrainWG sync.WaitGroup
+}
+
+// New validates the configuration and starts the drain goroutine.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Users) == 0 {
+		return nil, errors.New("serve: no users configured")
+	}
+	if err := cfg.Deviation.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 64
+	}
+	s := &Server{
+		cfg:           cfg,
+		ing:           cfg.Ingestor,
+		closedThrough: cfg.Start - 1,
+		buffered:      make(map[cert.Day][]Event),
+		queue:         make(chan envelope, cfg.QueueSize),
+	}
+	if s.ing == nil {
+		ing, err := NewCERTIngestor(cfg.Users, cfg.Start)
+		if err != nil {
+			return nil, err
+		}
+		s.ing = ing
+	}
+	var err error
+	s.ind, err = deviation.NewStreamField(s.ing.Table(), cfg.Deviation)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	if len(cfg.Groups) > 0 {
+		if len(cfg.Membership) != len(cfg.Users) {
+			return nil, fmt.Errorf("serve: membership has %d entries for %d users", len(cfg.Membership), len(cfg.Users))
+		}
+		t := s.ing.Table()
+		s.grpTbl, err = features.NewTable(cfg.Groups, t.Features(), t.Frames(), cfg.Start, cfg.Start)
+		if err != nil {
+			return nil, fmt.Errorf("serve: group table: %w", err)
+		}
+		sizes := make([]int, len(cfg.Groups))
+		for u, g := range cfg.Membership {
+			if g >= len(cfg.Groups) {
+				return nil, fmt.Errorf("serve: user %d in group %d, only %d groups", u, g, len(cfg.Groups))
+			}
+			if g >= 0 {
+				sizes[g]++
+			}
+		}
+		s.invSize = make([]float64, len(cfg.Groups))
+		for g, n := range sizes {
+			if n == 0 {
+				return nil, fmt.Errorf("serve: group %q has no members", cfg.Groups[g])
+			}
+			s.invSize[g] = 1 / float64(n)
+		}
+		s.grp, err = deviation.NewStreamField(s.grpTbl, cfg.Deviation)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+	}
+	s.lifeCtx, s.cancel = context.WithCancel(context.Background())
+	s.drainWG.Add(1)
+	go s.drain()
+	return s, nil
+}
+
+// Submit hands a batch of events to the drain goroutine. It blocks while
+// the bounded queue is full (backpressure) until ctx is canceled or
+// shutdown begins. Events for already-closed days are counted as late and
+// dropped at drain time.
+func (s *Server) Submit(ctx context.Context, events []Event) error {
+	for _, e := range events {
+		if !e.Valid() {
+			return errors.New("serve: event must carry exactly one of cert/record payloads")
+		}
+	}
+	return s.send(ctx, envelope{events: events})
+}
+
+// CloseDay declares that every day up to and including d is complete,
+// extracts the buffered events into measurements, and advances the
+// deviation windows. It blocks until the advance finished (or failed).
+func (s *Server) CloseDay(ctx context.Context, d cert.Day) error {
+	done := make(chan error, 1)
+	if err := s.send(ctx, envelope{closeThrough: d, done: done}); err != nil {
+		return err
+	}
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// send enqueues one envelope with backpressure.
+func (s *Server) send(ctx context.Context, env envelope) error {
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
+	if s.closed {
+		return ErrShuttingDown
+	}
+	select {
+	case s.queue <- env:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// drain is the single consumer of the ingest queue. It owns the per-day
+// buffers; day-close work happens here so that table mutation is
+// single-writer by construction.
+func (s *Server) drain() {
+	defer s.drainWG.Done()
+	for env := range s.queue {
+		if env.done != nil {
+			env.done <- s.closeDays(env.closeThrough)
+			continue
+		}
+		for _, e := range env.events {
+			d := e.Day()
+			if d <= s.closedThrough { // drain goroutine wrote it; no lock needed
+				s.late.Add(1)
+				continue
+			}
+			s.buffered[d] = append(s.buffered[d], e)
+			s.ingested.Add(1)
+		}
+	}
+}
+
+// closeDays advances day by day through to, including days with no
+// buffered events (zero activity is a real measurement).
+func (s *Server) closeDays(to cert.Day) error {
+	for d := s.closedThrough + 1; d <= to; d++ {
+		evs := s.buffered[d]
+		delete(s.buffered, d)
+		s.mu.Lock()
+		err := s.advanceDay(d, evs)
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// advanceDay extracts one closed day and slides every deviation window
+// forward — O(users·features·frames) total, O(1) per cell. Caller holds
+// the write lock.
+func (s *Server) advanceDay(d cert.Day, evs []Event) error {
+	t := s.ing.Table()
+	if err := t.EnsureDay(d); err != nil {
+		return err
+	}
+	if err := s.ing.ConsumeDay(d, evs); err != nil {
+		return err
+	}
+	if s.grpTbl != nil {
+		if err := s.grpTbl.EnsureDay(d); err != nil {
+			return err
+		}
+		s.fillGroupDay(d)
+	}
+	if err := s.ind.Advance(); err != nil {
+		return err
+	}
+	if s.grp != nil {
+		if err := s.grp.Advance(); err != nil {
+			return err
+		}
+	}
+	s.closedThrough = d
+	return nil
+}
+
+// fillGroupDay computes every group's member-average measurements for one
+// day, sharded across free compute workers. Each cell sums its members in
+// ascending user order and multiplies by 1/size — the exact operation
+// order of features.Table.GroupTable, so streamed group measurements are
+// bit-identical to the batch group table's.
+func (s *Server) fillGroupDay(d cert.Day) {
+	t := s.ing.Table()
+	nf := len(t.Features())
+	frames := t.Frames()
+	cells := len(s.cfg.Groups) * nf * frames
+
+	fill := func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			g := c / (nf * frames)
+			rem := c % (nf * frames)
+			f := rem / frames
+			fr := rem % frames
+			var sum float64
+			for u, grp := range s.cfg.Membership {
+				if grp == g {
+					sum += t.At(u, f, fr, d)
+				}
+			}
+			s.grpTbl.Add(g, f, fr, d, sum*s.invSize[g])
+		}
+	}
+
+	workers := nn.WorkerBudget()
+	if workers > cells {
+		workers = cells
+	}
+	if workers <= 1 {
+		fill(0, cells)
+		return
+	}
+	chunk := (cells + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < cells; lo += chunk {
+		hi := lo + chunk
+		if hi > cells {
+			hi = cells
+		}
+		if hi < cells && nn.TryAcquireWorker() {
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				defer nn.ReleaseWorker()
+				fill(lo, hi)
+			}(lo, hi)
+		} else {
+			fill(lo, hi)
+		}
+	}
+	wg.Wait()
+}
+
+// detectorOptions assembles the facade options for a (re)build.
+func (s *Server) detectorOptions() []acobe.Option {
+	opts := append([]acobe.Option(nil), s.cfg.DetectorOptions...)
+	return append(opts, acobe.WithGroupDeviations(s.grp != nil))
+}
+
+// newDetector builds an untrained detector over the given fields.
+func (s *Server) newDetector(ind, grp *acobe.Field) (*acobe.Detector, error) {
+	var membership []int
+	if grp != nil {
+		membership = s.cfg.Membership
+	}
+	return acobe.NewDetectorFromFields(ind, grp, membership, s.detectorOptions()...)
+}
+
+// Retrain fits a fresh ensemble on the training days [from, to] and swaps
+// it in atomically; the previous detector keeps serving Rank until the
+// swap. Training runs on a snapshot of the deviation fields cloned under a
+// read lock, so ingest and queries proceed concurrently. With wait=false
+// the fit continues in the background (tied to the server's lifetime
+// context); with wait=true it is additionally tied to ctx and the call
+// blocks until the swap or an error.
+func (s *Server) Retrain(ctx context.Context, from, to cert.Day, wait bool) error {
+	if !s.retraining.CompareAndSwap(false, true) {
+		return ErrRetrainInProgress
+	}
+	s.mu.RLock()
+	indSnap := s.ind.Field().Clone()
+	var grpSnap *acobe.Field
+	if s.grp != nil {
+		grpSnap = s.grp.Field().Clone()
+	}
+	s.mu.RUnlock()
+
+	det, err := s.newDetector(indSnap, grpSnap)
+	if err != nil {
+		s.retraining.Store(false)
+		return err
+	}
+
+	trainCtx, cancelTrain := context.WithCancel(s.lifeCtx)
+	var stop func() bool
+	if wait {
+		stop = context.AfterFunc(ctx, cancelTrain)
+	}
+	run := func() error {
+		defer s.retraining.Store(false)
+		defer cancelTrain()
+		if stop != nil {
+			defer stop()
+		}
+		err := func() error {
+			if _, err := det.Fit(trainCtx, from, to); err != nil {
+				return err
+			}
+			return s.swapIn(det)
+		}()
+		s.lastTrainErr.Store(errBox{err})
+		return err
+	}
+	if wait {
+		return run()
+	}
+	s.retrainWG.Add(1)
+	go func() {
+		defer s.retrainWG.Done()
+		_ = run() // surfaced via Status.LastTrainError
+	}()
+	return nil
+}
+
+// errBox lets atomic.Value hold nil errors uniformly.
+type errBox struct{ err error }
+
+// swapIn rebinds the snapshot-trained models onto the live fields and
+// publishes the resulting detector. The weight transfer goes through the
+// model serializer, which round-trips float64 bits exactly.
+func (s *Server) swapIn(trained *acobe.Detector) error {
+	var buf bytes.Buffer
+	if err := trained.SaveModels(&buf); err != nil {
+		return fmt.Errorf("serve: snapshot models: %w", err)
+	}
+	s.mu.RLock()
+	live, err := s.newDetector(s.ind.Field(), s.liveGroupField())
+	s.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	if err := live.LoadModels(&buf); err != nil {
+		return fmt.Errorf("serve: rebind models: %w", err)
+	}
+	s.det.Store(live)
+	return nil
+}
+
+func (s *Server) liveGroupField() *acobe.Field {
+	if s.grp == nil {
+		return nil
+	}
+	return s.grp.Field()
+}
+
+// Rank scores [from, to] with the current ensemble and returns the
+// ordered investigation list. It holds the read lock for the duration of
+// scoring so a concurrent day-close cannot shift the window mid-query.
+func (s *Server) Rank(ctx context.Context, from, to cert.Day) ([]acobe.Ranked, error) {
+	det := s.det.Load()
+	if det == nil {
+		return nil, ErrNoModel
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return det.Rank(ctx, from, to)
+}
+
+// Status is a point-in-time snapshot of the daemon's state.
+type Status struct {
+	Users         int      `json:"users"`
+	ClosedThrough cert.Day `json:"closed_through"`
+	Ingested      int64    `json:"ingested"`
+	Late          int64    `json:"late"`
+	QueueDepth    int      `json:"queue_depth"`
+	Fitted        bool     `json:"fitted"`
+	Retraining    bool     `json:"retraining"`
+	// LastTrainError carries the most recent retrain failure ("" if the
+	// last retrain succeeded or none ran yet).
+	LastTrainError string `json:"last_train_error,omitempty"`
+}
+
+// Status reports ingest and model state.
+func (s *Server) Status() Status {
+	s.mu.RLock()
+	closed := s.closedThrough
+	s.mu.RUnlock()
+	st := Status{
+		Users:         len(s.cfg.Users),
+		ClosedThrough: closed,
+		Ingested:      s.ingested.Load(),
+		Late:          s.late.Load(),
+		QueueDepth:    len(s.queue),
+		Fitted:        s.det.Load() != nil,
+		Retraining:    s.retraining.Load(),
+	}
+	if box, ok := s.lastTrainErr.Load().(errBox); ok && box.err != nil {
+		st.LastTrainError = box.err.Error()
+	}
+	return st
+}
+
+// ClosedThrough returns the last closed (fully extracted) day.
+func (s *Server) ClosedThrough() cert.Day {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.closedThrough
+}
+
+// Detector returns the currently serving detector, or nil before the
+// first successful retrain.
+func (s *Server) Detector() *acobe.Detector { return s.det.Load() }
+
+// Shutdown stops accepting work, cancels any in-flight retrain, drains
+// every already-queued batch and day-close to completion, and waits for
+// the workers to exit (bounded by ctx).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.qmu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+		s.cancel()
+	}
+	s.qmu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.drainWG.Wait()
+		s.retrainWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
