@@ -6,6 +6,9 @@
 #   serve-smoke — boot the acobed daemon selftest (real HTTP listener:
 #                 ingest → close days → retrain → rank) and diff its ranked
 #                 CSV against the committed golden copy
+#   bench       — scoring + kernel benchmarks with alloc stats (one run
+#                 each; BENCH_nn.json / BENCH_score.json hold the numbers
+#                 `cmd/repro -bench-nn` / `-bench-score` commit)
 #   vet         — static checks
 #   golden-update — regenerate testdata/golden snapshots after an intended
 #                   behavior change; run twice and `git diff` to prove the
@@ -21,7 +24,7 @@ FUZZ_TARGETS = \
 	./internal/logstore:FuzzReadJSONL \
 	./internal/deviation:FuzzSigma
 
-.PHONY: build test test-short test-race fuzz-smoke serve-smoke vet golden-update
+.PHONY: build test test-short test-race bench fuzz-smoke serve-smoke vet golden-update
 
 build:
 	$(GO) build ./...
@@ -36,6 +39,10 @@ test-short:
 
 test-race:
 	$(GO) test -race -timeout 40m ./...
+
+bench:
+	$(GO) test -run '^$$' -bench '^(BenchmarkNNMatMul|BenchmarkMatMulATB|BenchmarkMatMulABT|BenchmarkTrainStep|BenchmarkScoreBatch|BenchmarkServeRank)$$' -benchmem -count=1 -timeout 60m .
+	$(GO) test ./internal/nn -run '^$$' -bench '^BenchmarkMatMulDirectDispatch$$' -benchmem -count=1
 
 fuzz-smoke:
 	@set -e; for t in $(FUZZ_TARGETS); do \

@@ -23,10 +23,13 @@ import (
 	"acobe/internal/deviation"
 	"acobe/internal/dga"
 	"acobe/internal/experiment"
+	"acobe/internal/features"
 	"acobe/internal/logstore"
 	"acobe/internal/mathx"
 	"acobe/internal/metrics"
 	"acobe/internal/nn"
+	"acobe/internal/serve"
+	pubacobe "acobe/pkg/acobe"
 )
 
 // benchPreset is the reduced scale used by the figure benchmarks.
@@ -538,6 +541,215 @@ func BenchmarkAdvancedCritic(b *testing.B) {
 			top := list[0]
 			b.Logf("advanced critic top: %s (suspicion %d/%d, classes %v)",
 				top.User, top.Suspicion, len(run.Series), top.Classes)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Scoring hot path (BENCH_score.json). `cmd/repro -bench-score` runs the
+// same two workloads with GOMAXPROCS pinned to 1 and merges the numbers
+// into BENCH_score.json; the copies here make them reachable from
+// `make bench` / `go test -bench`.
+// ---------------------------------------------------------------------
+
+var (
+	scoreBenchOnce sync.Once
+	scoreBenchDet  *core.Detector
+	scoreBenchFrom cert.Day
+	scoreBenchTo   cert.Day
+	scoreBenchErr  error
+)
+
+// scoreBenchDetector trains one ensemble on the bench-scale CERT
+// organization's r6.1-s1 split, once per process (mirrors
+// cmd/repro/benchscore.go so the two report comparable numbers).
+func scoreBenchDetector(b *testing.B) (*core.Detector, cert.Day, cert.Day) {
+	b.Helper()
+	scoreBenchOnce.Do(func() {
+		p := experiment.TinyPreset()
+		p.Name = "bench-score"
+		p.UsersPerDept = 8
+		p.TrainStride = 4
+		data, err := experiment.BuildCERTData(p)
+		if err != nil {
+			scoreBenchErr = err
+			return
+		}
+		sc := data.ScenarioByName("r6.1-s1")
+		if sc == nil {
+			scoreBenchErr = errors.New("bench: scenario r6.1-s1 not found")
+			return
+		}
+		dsStart, dsEnd := data.Span()
+		trainFrom, trainTo, testFrom, testTo, err := cert.SplitForScenario(sc, dsStart, dsEnd)
+		if err != nil {
+			scoreBenchErr = err
+			return
+		}
+		cfg := core.Config{
+			Deviation:    p.Deviation,
+			Aspects:      features.ACOBEAspects(),
+			IncludeGroup: true,
+			AEConfig:     p.AEConfig,
+			TrainStride:  p.TrainStride,
+			N:            p.N,
+			Seed:         p.Seed,
+		}
+		ind, group, err := data.Fields(cfg.Deviation)
+		if err != nil {
+			scoreBenchErr = err
+			return
+		}
+		det, err := core.NewDetector(cfg, ind, group, data.UserGroup)
+		if err != nil {
+			scoreBenchErr = err
+			return
+		}
+		if _, err := det.Fit(context.Background(), trainFrom, trainTo); err != nil {
+			scoreBenchErr = err
+			return
+		}
+		scoreBenchDet, scoreBenchFrom, scoreBenchTo = det, testFrom, testTo
+	})
+	if scoreBenchErr != nil {
+		b.Fatal(scoreBenchErr)
+	}
+	return scoreBenchDet, scoreBenchFrom, scoreBenchTo
+}
+
+// BenchmarkScoreBatch measures Detector.ScoreBatchInto over the full CERT
+// r6.1-s1 testing window — every user × every test day × all three
+// aspects flow through the batched ensemble inference path (one
+// users×features GEMM chain per chunk instead of a forward pass per
+// user-day), recycling the result series like a long-running daemon
+// would, so steady state is 0 allocs/op. The nn worker budget is pinned
+// to 1 so before/after runs compare single-thread throughput; combine
+// with -cpu=1 to also pin the scheduler.
+func BenchmarkScoreBatch(b *testing.B) {
+	det, from, to := scoreBenchDetector(b)
+	defer nn.SetWorkerBudget(nn.WorkerBudget())
+	nn.SetWorkerBudget(1)
+	ctx := context.Background()
+	// One warm-up call allocates the result series and scorer pools; the
+	// timed loop then runs in steady state.
+	dst, err := det.ScoreBatchInto(ctx, nil, from, to)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if dst, err = det.ScoreBatchInto(ctx, dst, from, to); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var (
+	rankBenchOnce sync.Once
+	rankBenchSrv  *serve.Server
+	rankBenchFrom cert.Day
+	rankBenchTo   cert.Day
+	rankBenchErr  error
+)
+
+// rankBenchServer boots a selftest-scale online daemon, replays its whole
+// timeline, retrains once, and keeps it alive for the rest of the bench
+// process (mirrors cmd/repro/benchscore.go).
+func rankBenchServer(b *testing.B) (*serve.Server, cert.Day, cert.Day) {
+	b.Helper()
+	rankBenchOnce.Do(func() {
+		const endDay = cert.Day(95)
+		gcfg := cert.SmallConfig(3)
+		gcfg.Seed = 7
+		gcfg.Start = 0
+		gcfg.End = endDay
+		gcfg.EnvChanges = nil
+		gcfg.Scenarios = nil
+		gen, err := cert.New(gcfg)
+		if err != nil {
+			rankBenchErr = err
+			return
+		}
+		var (
+			users      []string
+			membership []int
+		)
+		deptIndex := make(map[string]int)
+		for i, d := range gen.Departments() {
+			deptIndex[d] = i
+		}
+		for _, u := range gen.Users() {
+			users = append(users, u.ID)
+			membership = append(membership, deptIndex[u.Department])
+		}
+		srv, err := serve.New(serve.Config{
+			Users:      users,
+			Groups:     gen.Departments(),
+			Membership: membership,
+			Start:      0,
+			Deviation: deviation.Config{
+				Window: 7, MatrixDays: 3,
+				Delta: 3, Epsilon: 1, Weighted: true,
+			},
+			DetectorOptions: []pubacobe.Option{
+				pubacobe.WithAspects(pubacobe.ACOBEAspects()...),
+				pubacobe.WithSeed(7),
+				pubacobe.WithVotes(2),
+				pubacobe.WithTrainStride(2),
+				pubacobe.WithModelConfig(func(dim int) pubacobe.ModelConfig {
+					cfg := pubacobe.FastModelConfig(dim)
+					cfg.Hidden = []int{16, 8}
+					cfg.Epochs = 30
+					return cfg
+				}),
+			},
+		})
+		if err != nil {
+			rankBenchErr = err
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+		defer cancel()
+		err = gen.Stream(func(d cert.Day, events []cert.Event) error {
+			evs := make([]serve.Event, len(events))
+			for i := range events {
+				evs[i] = serve.Event{Cert: &events[i]}
+			}
+			if err := srv.Submit(ctx, evs); err != nil {
+				return err
+			}
+			return srv.CloseDay(ctx, d)
+		})
+		if err == nil {
+			err = srv.Retrain(ctx, 8, 74, true)
+		}
+		if err != nil {
+			_ = srv.Shutdown(ctx)
+			rankBenchErr = err
+			return
+		}
+		rankBenchSrv, rankBenchFrom, rankBenchTo = srv, 80, endDay
+	})
+	if rankBenchErr != nil {
+		b.Fatal(rankBenchErr)
+	}
+	return rankBenchSrv, rankBenchFrom, rankBenchTo
+}
+
+// BenchmarkServeRank measures serve.Server.Rank — the online daemon's
+// query path, which batches all users' score matrices per aspect, runs
+// the waveform critic, and assembles the ranked list.
+func BenchmarkServeRank(b *testing.B) {
+	srv, from, to := rankBenchServer(b)
+	defer nn.SetWorkerBudget(nn.WorkerBudget())
+	nn.SetWorkerBudget(1)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.Rank(ctx, from, to); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -70,10 +71,16 @@ func run(args []string, stdout io.Writer) error {
 		votes      = fs.Int("votes", 3, "critic vote count N")
 		stride     = fs.Int("stride", 2, "training matrix day stride")
 		queue      = fs.Int("queue", 64, "ingest queue bound in batches")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 		selftest   = fs.Bool("selftest", false, "run the built-in end-to-end smoke over real HTTP and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *pprofAddr != "" {
+		if err := startPprof(*pprofAddr, stdout); err != nil {
+			return err
+		}
 	}
 	if *selftest {
 		return runSelftest(stdout)
@@ -132,6 +139,26 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "acobed: serving %d users on http://%s\n", len(users), ln.Addr())
 	return serveHTTP(srv, ln, stdout)
+}
+
+// startPprof serves the net/http/pprof handlers on their own listener and
+// mux, so profiling stays off the daemon's API surface (and off entirely
+// unless -pprof is given). The profile server is best-effort: it dies with
+// the process rather than participating in graceful shutdown.
+func startPprof(addr string, stdout io.Writer) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("-pprof: %w", err)
+	}
+	fmt.Fprintf(stdout, "acobed: pprof on http://%s/debug/pprof/\n", ln.Addr())
+	go func() { _ = http.Serve(ln, mux) }()
+	return nil
 }
 
 // serveHTTP runs the HTTP front end until SIGINT/SIGTERM, then drains the

@@ -5,13 +5,15 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
 
 	"acobe/internal/mathx"
 	"acobe/internal/nn"
 )
 
-// benchNNEntry is one benchmark's result inside BENCH_nn.json.
+// benchNNEntry is one benchmark's result inside BENCH_nn.json /
+// BENCH_score.json.
 type benchNNEntry struct {
 	NsPerOp     int64 `json:"ns_per_op"`
 	BytesPerOp  int64 `json:"bytes_per_op"`
@@ -27,11 +29,58 @@ type benchNNLabel struct {
 	Benchmarks map[string]benchNNEntry `json:"benchmarks"`
 }
 
+// mergeBenchReport runs each named benchmark function, then merges the
+// results into the JSON report at path under label, preserving any other
+// labels already in the file. Both bench runners (-bench-nn, -bench-score)
+// share it so their reports stay schema-identical and diffable.
+func mergeBenchReport(path, label string, run map[string]func(b *testing.B)) error {
+	report := make(map[string]*benchNNLabel)
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &report); err != nil {
+			return fmt.Errorf("bench: parse existing %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("bench: %w", err)
+	}
+
+	entry := &benchNNLabel{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Benchmarks: make(map[string]benchNNEntry),
+	}
+	names := make([]string, 0, len(run))
+	for name := range run {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		res := testing.Benchmark(run[name])
+		entry.Benchmarks[name] = benchNNEntry{
+			NsPerOp:     res.NsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			Iterations:  res.N,
+		}
+		fmt.Printf("bench %-12s %12d ns/op %10d B/op %6d allocs/op\n",
+			name, res.NsPerOp(), res.AllocedBytesPerOp(), res.AllocsPerOp())
+	}
+	report[label] = entry
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+	fmt.Printf("wrote %s (label %q)\n", path, label)
+	return nil
+}
+
 // runBenchNN executes the nn micro-benchmarks (mirroring the Benchmark*
 // targets in bench_test.go) through testing.Benchmark and merges the
-// results into path under label, preserving any other labels already in
-// the file. This gives `repro -bench-nn after` runs a durable, diffable
-// record of the training-engine hot path.
+// results into path under label. This gives `repro -bench-nn after` runs a
+// durable, diffable record of the training-engine hot path.
 func runBenchNN(path, label string) error {
 	rand := func(rows, cols int, seed uint64) *nn.Matrix {
 		rng := mathx.NewRNG(seed)
@@ -94,40 +143,5 @@ func runBenchNN(path, label string) error {
 		},
 	}
 
-	report := make(map[string]*benchNNLabel)
-	if raw, err := os.ReadFile(path); err == nil {
-		if err := json.Unmarshal(raw, &report); err != nil {
-			return fmt.Errorf("bench-nn: parse existing %s: %w", path, err)
-		}
-	} else if !os.IsNotExist(err) {
-		return fmt.Errorf("bench-nn: %w", err)
-	}
-
-	entry := &benchNNLabel{
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		GoVersion:  runtime.Version(),
-		Benchmarks: make(map[string]benchNNEntry),
-	}
-	for name, fn := range run {
-		res := testing.Benchmark(fn)
-		entry.Benchmarks[name] = benchNNEntry{
-			NsPerOp:     res.NsPerOp(),
-			BytesPerOp:  res.AllocedBytesPerOp(),
-			AllocsPerOp: res.AllocsPerOp(),
-			Iterations:  res.N,
-		}
-		fmt.Printf("bench-nn %-10s %12d ns/op %10d B/op %6d allocs/op\n",
-			name, res.NsPerOp(), res.AllocedBytesPerOp(), res.AllocsPerOp())
-	}
-	report[label] = entry
-
-	out, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
-		return fmt.Errorf("bench-nn: %w", err)
-	}
-	fmt.Printf("wrote %s (label %q)\n", path, label)
-	return nil
+	return mergeBenchReport(path, label, run)
 }

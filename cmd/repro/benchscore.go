@@ -1,0 +1,214 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"acobe/internal/cert"
+	"acobe/internal/core"
+	"acobe/internal/deviation"
+	"acobe/internal/experiment"
+	"acobe/internal/features"
+	"acobe/internal/nn"
+	"acobe/internal/serve"
+	"acobe/pkg/acobe"
+)
+
+// runBenchScore measures the scoring hot path end to end and merges the
+// results into path under label (same JSON schema as BENCH_nn.json):
+//
+//	ScoreBatch — Detector.ScoreBatchInto over the full CERT r6.1-s1
+//	             testing window (every user × every test day × all three
+//	             aspects) on the bench-scale organization, after a one-off
+//	             Fit, recycling the result series between calls.
+//	ServeRank  — serve.Server.Rank on a selftest-scale online daemon that
+//	             has ingested its whole timeline and retrained once.
+//
+// Both benchmarks pin GOMAXPROCS=1 and the nn worker budget to 1 so that
+// before/after runs compare pure single-thread throughput of the scoring
+// engine, not scheduling luck.
+func runBenchScore(path, label string) error {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	defer nn.SetWorkerBudget(nn.WorkerBudget())
+	nn.SetWorkerBudget(1)
+
+	fmt.Println("bench-score: building CERT dataset and training the ensemble...")
+	start := time.Now()
+	det, scoreFrom, scoreTo, err := benchScoreDetector()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bench-score: detector ready in %v (scoring %v..%v)\n",
+		time.Since(start).Round(time.Second), scoreFrom, scoreTo)
+
+	fmt.Println("bench-score: booting the online daemon and retraining...")
+	start = time.Now()
+	srv, rankFrom, rankTo, err := benchScoreServer()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	fmt.Printf("bench-score: daemon ready in %v\n", time.Since(start).Round(time.Second))
+
+	run := map[string]func(b *testing.B){
+		"ScoreBatch": func(b *testing.B) {
+			ctx := context.Background()
+			// One warm-up call allocates the result series and scorer
+			// pools; the timed loop then runs in steady state.
+			dst, err := det.ScoreBatchInto(ctx, nil, scoreFrom, scoreTo)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if dst, err = det.ScoreBatchInto(ctx, dst, scoreFrom, scoreTo); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		"ServeRank": func(b *testing.B) {
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := srv.Rank(ctx, rankFrom, rankTo); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	}
+	return mergeBenchReport(path, label, run)
+}
+
+// benchScoreDetector trains one ACOBE ensemble on the bench-scale CERT
+// organization's r6.1-s1 split and returns it with the testing window.
+func benchScoreDetector() (*core.Detector, cert.Day, cert.Day, error) {
+	p := experiment.TinyPreset()
+	p.Name = "bench-score"
+	p.UsersPerDept = 8
+	p.TrainStride = 4
+	data, err := experiment.BuildCERTData(p)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	sc := data.ScenarioByName("r6.1-s1")
+	if sc == nil {
+		return nil, 0, 0, fmt.Errorf("bench-score: scenario r6.1-s1 not found")
+	}
+	dsStart, dsEnd := data.Span()
+	trainFrom, trainTo, testFrom, testTo, err := cert.SplitForScenario(sc, dsStart, dsEnd)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	cfg := core.Config{
+		Deviation:    p.Deviation,
+		Aspects:      features.ACOBEAspects(),
+		IncludeGroup: true,
+		AEConfig:     p.AEConfig,
+		TrainStride:  p.TrainStride,
+		N:            p.N,
+		Seed:         p.Seed,
+	}
+	ind, group, err := data.Fields(cfg.Deviation)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	det, err := core.NewDetector(cfg, ind, group, data.UserGroup)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if _, err := det.Fit(context.Background(), trainFrom, trainTo); err != nil {
+		return nil, 0, 0, err
+	}
+	return det, testFrom, testTo, nil
+}
+
+// benchScoreServer boots a selftest-scale online daemon, replays its whole
+// timeline (ingest + day closes), retrains once, and returns it ready to
+// answer Rank queries.
+func benchScoreServer() (*serve.Server, cert.Day, cert.Day, error) {
+	const (
+		endDay     = cert.Day(95)
+		window     = 7
+		matrixDays = 3
+		trainFrom  = cert.Day(8)
+		trainTo    = cert.Day(74)
+		rankFrom   = cert.Day(80)
+	)
+	gcfg := cert.SmallConfig(3)
+	gcfg.Seed = 7
+	gcfg.Start = 0
+	gcfg.End = endDay
+	gcfg.EnvChanges = nil
+	gcfg.Scenarios = nil
+	gen, err := cert.New(gcfg)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	var (
+		users      []string
+		membership []int
+	)
+	deptIndex := make(map[string]int)
+	for i, d := range gen.Departments() {
+		deptIndex[d] = i
+	}
+	for _, u := range gen.Users() {
+		users = append(users, u.ID)
+		membership = append(membership, deptIndex[u.Department])
+	}
+	srv, err := serve.New(serve.Config{
+		Users:      users,
+		Groups:     gen.Departments(),
+		Membership: membership,
+		Start:      0,
+		Deviation: deviation.Config{
+			Window: window, MatrixDays: matrixDays,
+			Delta: 3, Epsilon: 1, Weighted: true,
+		},
+		DetectorOptions: []acobe.Option{
+			acobe.WithAspects(acobe.ACOBEAspects()...),
+			acobe.WithSeed(7),
+			acobe.WithVotes(2),
+			acobe.WithTrainStride(2),
+			acobe.WithModelConfig(func(dim int) acobe.ModelConfig {
+				cfg := acobe.FastModelConfig(dim)
+				cfg.Hidden = []int{16, 8}
+				cfg.Epochs = 30
+				return cfg
+			}),
+		},
+	})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	err = gen.Stream(func(d cert.Day, events []cert.Event) error {
+		evs := make([]serve.Event, len(events))
+		for i := range events {
+			evs[i] = serve.Event{Cert: &events[i]}
+		}
+		if err := srv.Submit(ctx, evs); err != nil {
+			return err
+		}
+		return srv.CloseDay(ctx, d)
+	})
+	if err != nil {
+		srv.Shutdown(ctx)
+		return nil, 0, 0, err
+	}
+	if err := srv.Retrain(ctx, trainFrom, trainTo, true); err != nil {
+		srv.Shutdown(ctx)
+		return nil, 0, 0, err
+	}
+	return srv, rankFrom, endDay, nil
+}

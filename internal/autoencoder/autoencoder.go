@@ -159,13 +159,26 @@ func (a *Autoencoder) NewScorer() *Scorer {
 	return &Scorer{ae: a, ws: a.net.NewWorkspace()}
 }
 
-// Scores appends the per-sample reconstruction errors of samples to dst
-// (which may be nil) and returns the extended slice.
-func (s *Scorer) Scores(samples *nn.Matrix, dst []float64) ([]float64, error) {
+// ScoreBatch appends the per-sample reconstruction errors of a stacked
+// batch — any number of users'/days' flattened deviation matrices, one per
+// row — to dst (which may be nil) and returns the extended slice. The
+// batch flows through the network's fused batched forward pass, one GEMM
+// per layer per chunk instead of a forward pass per sample. Rows are
+// scored independently, so stacking and chunking leave every score
+// bit-identical to scoring each row on its own. When dst has sufficient
+// capacity the call performs no steady-state allocations.
+func (s *Scorer) ScoreBatch(samples *nn.Matrix, dst []float64) ([]float64, error) {
 	if samples.Cols != s.ae.cfg.InputDim {
 		return nil, fmt.Errorf("autoencoder: samples have %d features, model expects %d", samples.Cols, s.ae.cfg.InputDim)
 	}
 	return s.ae.net.ReconstructionErrorsWS(s.ws, samples, dst), nil
+}
+
+// Scores appends the per-sample reconstruction errors of samples to dst
+// (which may be nil) and returns the extended slice. It is ScoreBatch
+// under its historical name.
+func (s *Scorer) Scores(samples *nn.Matrix, dst []float64) ([]float64, error) {
+	return s.ScoreBatch(samples, dst)
 }
 
 // Score returns the reconstruction error of a single flattened sample.

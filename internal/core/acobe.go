@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -67,6 +66,31 @@ type aspectModel struct {
 	builder *deviation.Builder
 	aeCfg   autoencoder.Config
 	ae      *autoencoder.Autoencoder
+
+	// scorers recycles (Scorer, batch matrix) pairs across Score calls so
+	// steady-state scoring reuses the forward buffers instead of
+	// reallocating them every call. Entries are bound to the model they
+	// were created for; getScorer discards entries whose model pointer no
+	// longer matches (LoadModels replaces ae in place).
+	scorers sync.Pool
+}
+
+// pooledScorer is one reusable scoring context: a Scorer (forward
+// buffers) plus the batch matrix rows are staged in, tagged with the
+// model it is bound to.
+type pooledScorer struct {
+	ae     *autoencoder.Autoencoder
+	scorer *autoencoder.Scorer
+	batch  *nn.Matrix
+}
+
+// getScorer returns a scoring context for the current model, reusing a
+// pooled one when its binding is still valid.
+func (m *aspectModel) getScorer() *pooledScorer {
+	if ps, ok := m.scorers.Get().(*pooledScorer); ok && ps.ae == m.ae {
+		return ps
+	}
+	return &pooledScorer{ae: m.ae, scorer: m.ae.NewScorer(), batch: &nn.Matrix{}}
 }
 
 // Detector is a trained ACOBE instance for one group of users.
@@ -225,27 +249,60 @@ type ScoreSeries struct {
 	From   cert.Day
 	To     cert.Day
 	Scores [][]float64
+
+	// flat is the backing array the per-user Scores rows are views of,
+	// retained so ScoreBatchInto can recycle it.
+	flat []float64
 }
 
 // DaysCovered returns the number of scored days.
 func (s *ScoreSeries) DaysCovered() int { return int(s.To-s.From) + 1 }
 
 // Score computes per-day anomaly scores for every user and aspect over
-// [from, to] (clamped to the valid matrix range). Cancelling ctx stops the
-// scoring workers between users and returns the context's error.
+// [from, to] (clamped to the valid matrix range). It is ScoreBatch under
+// its historical name.
 func (d *Detector) Score(ctx context.Context, from, to cert.Day) ([]*ScoreSeries, error) {
-	var out []*ScoreSeries
-	for _, m := range d.models {
-		s, err := d.scoreAspect(ctx, m, from, to)
+	return d.ScoreBatch(ctx, from, to)
+}
+
+// ScoreBatch computes per-day anomaly scores for every user and aspect
+// over [from, to] (clamped to the valid matrix range) by stacking all
+// users' flattened deviation matrices into one rows×features batch per
+// aspect and running whole chunks of it through the model at once — one
+// GEMM per layer per chunk instead of a forward pass per user. Rows are
+// scored independently by the network, so the scores are bit-identical to
+// looping Score over single users. Cancelling ctx stops the scoring
+// workers between chunks and returns the context's error.
+func (d *Detector) ScoreBatch(ctx context.Context, from, to cert.Day) ([]*ScoreSeries, error) {
+	return d.ScoreBatchInto(ctx, nil, from, to)
+}
+
+// ScoreBatchInto is ScoreBatch with caller-owned result storage: it
+// recycles the series and score buffers already in dst (growing them as
+// needed), fills dst[i] with aspect i's series, and returns the slice.
+// dst may be nil or shorter than the aspect count. A steady-state caller
+// that feeds each call's result back in — a daemon scoring the same
+// window shape on every rank — allocates nothing.
+func (d *Detector) ScoreBatchInto(ctx context.Context, dst []*ScoreSeries, from, to cert.Day) ([]*ScoreSeries, error) {
+	if cap(dst) < len(d.models) {
+		grown := make([]*ScoreSeries, len(d.models))
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:len(d.models)]
+	for i, m := range d.models {
+		s, err := d.scoreAspect(ctx, m, from, to, dst[i])
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, s)
+		dst[i] = s
 	}
-	return out, nil
+	return dst, nil
 }
 
-func (d *Detector) scoreAspect(ctx context.Context, m *aspectModel, from, to cert.Day) (*ScoreSeries, error) {
+// scoreAspect scores one aspect over the clamped window, reusing the
+// buffers of a previous series when one is passed in.
+func (d *Detector) scoreAspect(ctx context.Context, m *aspectModel, from, to cert.Day, reuse *ScoreSeries) (*ScoreSeries, error) {
 	if from < m.builder.FirstMatrixDay() {
 		from = m.builder.FirstMatrixDay()
 	}
@@ -255,58 +312,151 @@ func (d *Detector) scoreAspect(ctx context.Context, m *aspectModel, from, to cer
 	if to < from {
 		return nil, fmt.Errorf("core: empty scoring range for aspect %s", m.aspect.Name)
 	}
-	series := &ScoreSeries{Aspect: m.aspect.Name, From: from, To: to}
-	days := int(to-from) + 1
-	series.Scores = make([][]float64, len(d.users))
-
-	// Users are scored independently; shard them across workers. The
-	// autoencoder's forward pass is read-only after training, and each
-	// worker owns one batch matrix and one Scorer (forward buffers), so a
-	// user's scoring allocates only the retained per-user score slice.
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(d.users) {
-		workers = len(d.users)
+	series := reuse
+	if series == nil {
+		series = &ScoreSeries{}
 	}
+	series.Aspect = m.aspect.Name
+	series.From, series.To = from, to
+	days := int(to-from) + 1
+	users := len(d.users)
+	if cap(series.Scores) < users {
+		series.Scores = make([][]float64, users)
+	}
+	series.Scores = series.Scores[:users]
+	if users == 0 {
+		return series, nil
+	}
+
+	// Batched scoring: flatten the (user, day) grid into one row space of
+	// users×days rows — row r is user r/days on day from+r%days — and score
+	// it in fixed-size stacked chunks, each one batch through the fused
+	// forward pass. All scores land in one flat buffer; the per-user series
+	// are subslice views of it. The model is read-only during inference and
+	// every scoring context (batch matrix + forward buffers) is
+	// worker-owned and pooled across calls, so steady-state scoring with a
+	// recycled series allocates nothing at all: the single-worker chunk
+	// loop below spawns no goroutines and builds no closures.
+	total := users * days
+	if cap(series.flat) < total {
+		series.flat = make([]float64, total)
+	}
+	flat := series.flat[:total]
+	numChunks := (total + scoreChunkRows - 1) / scoreChunkRows
+
+	workers := nn.EffectiveWorkers()
+	if workers > numChunks {
+		workers = numChunks
+	}
+	var err error
+	if workers <= 1 {
+		err = d.scoreChunksSerial(ctx, m, from, days, flat)
+	} else {
+		err = d.scoreChunksParallel(ctx, m, from, days, flat, workers)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: score aspect %s: %w", m.aspect.Name, err)
+	}
+	for u := 0; u < users; u++ {
+		series.Scores[u] = flat[u*days : (u+1)*days]
+	}
+	return series, nil
+}
+
+// scoreChunkRows is the stacked-batch height of one scoring chunk.
+const scoreChunkRows = 512
+
+// scoreChunksSerial runs the chunk loop on the calling goroutine with no
+// closures or atomics, keeping single-worker steady-state scoring
+// allocation-free.
+func (d *Detector) scoreChunksSerial(ctx context.Context, m *aspectModel, from cert.Day, days int, flat []float64) error {
+	ps := m.getScorer()
+	defer m.scorers.Put(ps)
+	dim := m.builder.Dim()
+	total := len(flat)
+	for lo := 0; lo < total; lo += scoreChunkRows {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		hi := lo + scoreChunkRows
+		if hi > total {
+			hi = total
+		}
+		ps.batch.Reshape(hi-lo, dim)
+		for r := lo; r < hi; r++ {
+			if err := m.builder.BuildInto(r/days, from+cert.Day(r%days), ps.batch.Row(r-lo)); err != nil {
+				return err
+			}
+		}
+		// The dst slice is zero-length with exactly hi-lo capacity, so
+		// ScoreBatch appends the chunk's scores straight into flat[lo:hi]
+		// without allocating.
+		if _, err := ps.scorer.ScoreBatch(ps.batch, flat[lo:lo:hi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scoreChunksParallel fans the chunk loop out over the nn worker budget.
+// Chunks are claimed atomically: one worker runs inline, extra workers
+// spawn only while the budget has free slots.
+func (d *Detector) scoreChunksParallel(ctx context.Context, m *aspectModel, from cert.Day, days int, flat []float64, workers int) error {
+	total := len(flat)
+	numChunks := (total + scoreChunkRows - 1) / scoreChunkRows
 	var (
-		wg       sync.WaitGroup
 		next     atomic.Int64
 		firstErr atomic.Value
 	)
-	for w := 0; w < workers; w++ {
+	fail := func(err error) {
+		firstErr.CompareAndSwap(nil, err)
+	}
+	process := func() {
+		ps := m.getScorer()
+		defer m.scorers.Put(ps)
+		for {
+			c := int(next.Add(1)) - 1
+			if c >= numChunks || firstErr.Load() != nil {
+				return
+			}
+			if err := ctx.Err(); err != nil {
+				fail(err)
+				return
+			}
+			lo := c * scoreChunkRows
+			hi := lo + scoreChunkRows
+			if hi > total {
+				hi = total
+			}
+			ps.batch.Reshape(hi-lo, m.builder.Dim())
+			for r := lo; r < hi; r++ {
+				if err := m.builder.BuildInto(r/days, from+cert.Day(r%days), ps.batch.Row(r-lo)); err != nil {
+					fail(err)
+					return
+				}
+			}
+			if _, err := ps.scorer.ScoreBatch(ps.batch, flat[lo:lo:hi]); err != nil {
+				fail(err)
+				return
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 1; w < workers && nn.TryAcquireWorker(); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			batch := nn.NewMatrix(days, m.builder.Dim())
-			scorer := m.ae.NewScorer()
-			for {
-				u := int(next.Add(1)) - 1
-				if u >= len(d.users) || firstErr.Load() != nil {
-					return
-				}
-				if err := ctx.Err(); err != nil {
-					firstErr.CompareAndSwap(nil, fmt.Errorf("core: score aspect %s: %w", m.aspect.Name, err))
-					return
-				}
-				for i := 0; i < days; i++ {
-					if err := m.builder.BuildInto(u, from+cert.Day(i), batch.Row(i)); err != nil {
-						firstErr.CompareAndSwap(nil, fmt.Errorf("core: score aspect %s: %w", m.aspect.Name, err))
-						return
-					}
-				}
-				scores, err := scorer.Scores(batch, make([]float64, 0, days))
-				if err != nil {
-					firstErr.CompareAndSwap(nil, fmt.Errorf("core: score aspect %s: %w", m.aspect.Name, err))
-					return
-				}
-				series.Scores[u] = scores
-			}
+			defer nn.ReleaseWorker()
+			process()
 		}()
 	}
+	process()
 	wg.Wait()
 	if err := firstErr.Load(); err != nil {
-		return nil, err.(error)
+		return err.(error)
 	}
-	return series, nil
+	return nil
 }
 
 // AggregateMax reduces each user's daily scores to their maximum — the

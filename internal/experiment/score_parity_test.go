@@ -1,0 +1,98 @@
+package experiment
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"acobe/internal/autoencoder"
+	"acobe/internal/cert"
+	"acobe/internal/core"
+	"acobe/internal/features"
+)
+
+// TestScoreBatchChunkParityCERT pins the batched scoring path on real
+// CERT data: over the tiny organization's r6.1-s1 split, every user's
+// score for every test day must come out bit-identical whether the
+// window is scored in one ScoreBatch call or re-scored in chunks of 1,
+// 7, or 23 (prime) days. Batching stacks users×days rows into shared
+// GEMMs, so any dependence of a score on its batch neighbors — padding,
+// blocking, or accumulation-order leakage — would surface here as a
+// bit flip on some chunk boundary.
+func TestScoreBatchChunkParityCERT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains an ensemble")
+	}
+	data := tinyData(t)
+	sc := data.ScenarioByName("r6.1-s1")
+	if sc == nil {
+		t.Fatal("scenario r6.1-s1 not found")
+	}
+	dsStart, dsEnd := data.Span()
+	trainFrom, trainTo, testFrom, testTo, err := cert.SplitForScenario(sc, dsStart, dsEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := data.Preset
+	cfg := core.Config{
+		Deviation:    p.Deviation,
+		Aspects:      features.ACOBEAspects(),
+		IncludeGroup: true,
+		AEConfig: func(dim int) autoencoder.Config {
+			c := autoencoder.FastConfig(dim)
+			c.Hidden = []int{16, 8}
+			c.Epochs = 4
+			return c
+		},
+		TrainStride: 8,
+		N:           p.N,
+		Seed:        p.Seed,
+	}
+	ind, group, err := data.Fields(cfg.Deviation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := core.NewDetector(cfg, ind, group, data.UserGroup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := det.Fit(ctx, trainFrom, trainTo); err != nil {
+		t.Fatal(err)
+	}
+
+	full, err := det.ScoreBatch(ctx, testFrom, testTo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clamping may shift the start; chunk against the span actually scored.
+	from, to := full[0].From, full[0].To
+
+	for _, chunk := range []cert.Day{1, 7, 23} {
+		for start := from; start <= to; start += chunk {
+			end := start + chunk - 1
+			if end > to {
+				end = to
+			}
+			part, err := det.ScoreBatch(ctx, start, end)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for ai := range full {
+				off := int(start - from)
+				for u := range full[ai].Scores {
+					for i := range part[ai].Scores[u] {
+						got := part[ai].Scores[u][i]
+						want := full[ai].Scores[u][off+i]
+						if math.Float64bits(got) != math.Float64bits(want) {
+							t.Fatalf("chunk=%d aspect %s user %s day %v: chunked %x, full %x",
+								chunk, full[ai].Aspect, data.UserIDs[u], start+cert.Day(i),
+								math.Float64bits(got), math.Float64bits(want))
+						}
+					}
+				}
+			}
+		}
+	}
+}

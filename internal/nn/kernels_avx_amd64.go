@@ -1,0 +1,55 @@
+package nn
+
+// AVX support for the 4-wide micro-kernels in kernels_avx_amd64.s.
+//
+// The assembly uses VMULPD/VADDPD only — never FMA. An FMA would skip the
+// intermediate rounding of each product and change low bits, breaking the
+// bit-identity contract with the scalar kernels and the committed golden
+// snapshots. With separate multiply and add, each vector lane performs
+// exactly the scalar sequence (round the product, then one rounded add,
+// ascending k), so vector and scalar results are identical to the bit.
+
+// cpuid1ecx returns ECX of CPUID leaf 1.
+func cpuid1ecx() uint32
+
+// xgetbv0 returns the low word of XCR0; only valid once cpuid1ecx has
+// confirmed OSXSAVE support.
+func xgetbv0() uint32
+
+// useAVX reports whether the CPU supports AVX and the OS saves the
+// 256-bit register state. It is a variable, not a constant, so tests can
+// force the scalar fallback path.
+var useAVX = func() bool {
+	const (
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	ecx := cpuid1ecx()
+	if ecx&osxsaveBit == 0 || ecx&avxBit == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE) and 2 (AVX) must both be OS-enabled.
+	return xgetbv0()&0x6 == 0x6
+}()
+
+// axpyPair4AVX accumulates one k-quad into two output rows over the first
+// blocks×4 columns: for each column j,
+//
+//	out0[j] = (((out0[j] + a[0]·b[j]) + a[1]·b[stride+j]) + a[2]·b[2·stride+j]) + a[3]·b[3·stride+j]
+//	out1[j] = same with a[4..7]
+//
+// blocks must be ≥ 1; the caller handles the n%4 column tail in Go.
+//
+//go:noescape
+func axpyPair4AVX(out0, out1, b *float64, blocks, stride int, a *[8]float64)
+
+// axpySingle4AVX is the single-output-row form of axpyPair4AVX with a[0..3].
+//
+//go:noescape
+func axpySingle4AVX(out, b *float64, blocks, stride int, a *[4]float64)
+
+// axpy1AVX accumulates a single k-term over the first blocks×4 columns:
+// out[j] += a·b[j].
+//
+//go:noescape
+func axpy1AVX(out, b *float64, blocks int, a float64)

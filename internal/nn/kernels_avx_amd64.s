@@ -1,0 +1,153 @@
+// AVX micro-kernels for the blocked matmul path.
+//
+// Strictly VMULPD + VADDPD, never FMA: each product must round to float64
+// before the add so every lane reproduces the scalar kernel's arithmetic
+// bit for bit. Terms are applied in ascending-k order, matching the scalar
+// accumulation ((((o+t0)+t1)+t2)+t3).
+//
+// Register notes: Y15/X15 is the Go ABI zero register and R14 holds g —
+// both are left untouched. VZEROUPPER before every RET avoids SSE/AVX
+// transition stalls in surrounding runtime code.
+
+#include "textflag.h"
+
+// func cpuid1ecx() uint32
+TEXT ·cpuid1ecx(SB), NOSPLIT, $0-4
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, ret+0(FP)
+	RET
+
+// func xgetbv0() uint32
+TEXT ·xgetbv0(SB), NOSPLIT, $0-4
+	XORL CX, CX
+	XGETBV
+	MOVL AX, ret+0(FP)
+	RET
+
+// func axpyPair4AVX(out0, out1, b *float64, blocks, stride int, a *[8]float64)
+//
+// For bl = 0..blocks-1, columns j = 4bl..4bl+3:
+//   out0[j] = (((out0[j] + a[0]*b[j]) + a[1]*b[s+j]) + a[2]*b[2s+j]) + a[3]*b[3s+j]
+//   out1[j] = same with a[4..7]
+// blocks >= 1 (caller-guaranteed).
+TEXT ·axpyPair4AVX(SB), NOSPLIT, $0-48
+	MOVQ out0+0(FP), DI
+	MOVQ out1+8(FP), SI
+	MOVQ b+16(FP), BX
+	MOVQ blocks+24(FP), CX
+	MOVQ stride+32(FP), R8
+	SHLQ $3, R8              // stride in bytes
+	LEAQ (R8)(R8*2), R9      // 3*stride in bytes
+	MOVQ a+40(FP), DX
+	VBROADCASTSD (DX), Y7    // a[0..3]: row-0 scalars for the k-quad
+	VBROADCASTSD 8(DX), Y8
+	VBROADCASTSD 16(DX), Y9
+	VBROADCASTSD 24(DX), Y10
+	VBROADCASTSD 32(DX), Y11 // a[4..7]: row-1 scalars
+	VBROADCASTSD 40(DX), Y12
+	VBROADCASTSD 48(DX), Y13
+	VBROADCASTSD 56(DX), Y14
+
+pairloop:
+	VMOVUPD (BX), Y0         // B rows k..k+3 at this column block
+	VMOVUPD (BX)(R8*1), Y1
+	VMOVUPD (BX)(R8*2), Y2
+	VMOVUPD (BX)(R9*1), Y3
+
+	VMOVUPD (DI), Y4         // out0: +t0 +t1 +t2 +t3, ascending k
+	VMULPD  Y0, Y7, Y5
+	VADDPD  Y5, Y4, Y4
+	VMULPD  Y1, Y8, Y5
+	VADDPD  Y5, Y4, Y4
+	VMULPD  Y2, Y9, Y5
+	VADDPD  Y5, Y4, Y4
+	VMULPD  Y3, Y10, Y5
+	VADDPD  Y5, Y4, Y4
+	VMOVUPD Y4, (DI)
+
+	VMOVUPD (SI), Y6         // out1, same B vectors
+	VMULPD  Y0, Y11, Y5
+	VADDPD  Y5, Y6, Y6
+	VMULPD  Y1, Y12, Y5
+	VADDPD  Y5, Y6, Y6
+	VMULPD  Y2, Y13, Y5
+	VADDPD  Y5, Y6, Y6
+	VMULPD  Y3, Y14, Y5
+	VADDPD  Y5, Y6, Y6
+	VMOVUPD Y6, (SI)
+
+	ADDQ $32, BX
+	ADDQ $32, DI
+	ADDQ $32, SI
+	DECQ CX
+	JNZ  pairloop
+
+	VZEROUPPER
+	RET
+
+// func axpySingle4AVX(out, b *float64, blocks, stride int, a *[4]float64)
+//
+// Single-row form of axpyPair4AVX. blocks >= 1.
+TEXT ·axpySingle4AVX(SB), NOSPLIT, $0-40
+	MOVQ out+0(FP), DI
+	MOVQ b+8(FP), BX
+	MOVQ blocks+16(FP), CX
+	MOVQ stride+24(FP), R8
+	SHLQ $3, R8
+	LEAQ (R8)(R8*2), R9
+	MOVQ a+32(FP), DX
+	VBROADCASTSD (DX), Y7
+	VBROADCASTSD 8(DX), Y8
+	VBROADCASTSD 16(DX), Y9
+	VBROADCASTSD 24(DX), Y10
+
+singleloop:
+	VMOVUPD (BX), Y0
+	VMOVUPD (BX)(R8*1), Y1
+	VMOVUPD (BX)(R8*2), Y2
+	VMOVUPD (BX)(R9*1), Y3
+
+	VMOVUPD (DI), Y4
+	VMULPD  Y0, Y7, Y5
+	VADDPD  Y5, Y4, Y4
+	VMULPD  Y1, Y8, Y5
+	VADDPD  Y5, Y4, Y4
+	VMULPD  Y2, Y9, Y5
+	VADDPD  Y5, Y4, Y4
+	VMULPD  Y3, Y10, Y5
+	VADDPD  Y5, Y4, Y4
+	VMOVUPD Y4, (DI)
+
+	ADDQ $32, BX
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  singleloop
+
+	VZEROUPPER
+	RET
+
+// func axpy1AVX(out, b *float64, blocks int, a float64)
+//
+// Single k-term: out[j] += a*b[j] over blocks*4 columns. blocks >= 1.
+TEXT ·axpy1AVX(SB), NOSPLIT, $0-32
+	MOVQ out+0(FP), DI
+	MOVQ b+8(FP), BX
+	MOVQ blocks+16(FP), CX
+	VBROADCASTSD a+24(FP), Y7
+
+oneloop:
+	VMOVUPD (BX), Y0
+	VMOVUPD (DI), Y4
+	VMULPD  Y0, Y7, Y5
+	VADDPD  Y5, Y4, Y4
+	VMOVUPD Y4, (DI)
+
+	ADDQ $32, BX
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  oneloop
+
+	VZEROUPPER
+	RET

@@ -1,0 +1,20 @@
+//go:build !amd64
+
+package nn
+
+// Non-amd64 builds always take the scalar packed kernels; the stubs exist
+// only to satisfy references from the shared driver code.
+
+var useAVX = false
+
+func axpyPair4AVX(out0, out1, b *float64, blocks, stride int, a *[8]float64) {
+	panic("nn: axpyPair4AVX called without AVX support")
+}
+
+func axpySingle4AVX(out, b *float64, blocks, stride int, a *[4]float64) {
+	panic("nn: axpySingle4AVX called without AVX support")
+}
+
+func axpy1AVX(out, b *float64, blocks int, a float64) {
+	panic("nn: axpy1AVX called without AVX support")
+}

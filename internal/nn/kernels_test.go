@@ -1,0 +1,170 @@
+package nn
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"acobe/internal/mathx"
+)
+
+// sparseMatrix returns a rows×cols matrix with ~30% exact zeros, so the
+// parity tests exercise the quad-skip and legacy zero-skip paths.
+func sparseMatrix(r *mathx.RNG, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		if r.Float64() < 0.3 {
+			continue
+		}
+		m.Data[i] = r.Normal(0, 1)
+	}
+	return m
+}
+
+// matricesIdentical requires bit-exact equality (math.Float64bits), the
+// contract the blocked kernels must keep so golden snapshots never move.
+func matricesIdentical(t *testing.T, label string, got, want *Matrix) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", label, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+			t.Fatalf("%s: element %d = %x, want %x", label, i,
+				math.Float64bits(got.Data[i]), math.Float64bits(want.Data[i]))
+		}
+	}
+}
+
+// dispatchShapes covers every row of the dispatch size table in matrix.go
+// plus the kernels' edge geometry: MACs below smallKernelCutoff (legacy
+// sweep), between the cutoffs (blocked direct), and above
+// parallelThreshold (blocked + sharded); odd row counts (pair-kernel
+// tail), k not a multiple of 4 (quad tail), k crossing the panelFloats/n
+// panel boundary, and single-row/single-column extremes.
+var dispatchShapes = [][3]int{
+	{1, 1, 1},      // 1 MAC: legacy
+	{5, 7, 3},      // 105 MACs: legacy, odd everything
+	{16, 32, 16},   // 8192 MACs == smallKernelCutoff: first blocked shape
+	{33, 17, 9},    // odd rows + k tail
+	{63, 100, 65},  // odd rows, k tail, odd cols
+	{64, 64, 64},   // 256K MACs == parallelThreshold: first sharded shape
+	{64, 392, 128}, // the training hot shape (sharded when workers allow)
+	{3, 4099, 5},   // k crosses the packed-panel boundary mid-matrix
+	{1, 513, 1023}, // single output row, wide panel (panelK floor)
+	{2, 9000, 2},   // deep k, tiny n: many panels per product
+}
+
+// TestMatMulDispatchTable pins the blocked kernels to the legacy sweeps
+// bit-for-bit on every size class of the dispatch table, for all three
+// products, at worker budget 1 and at the default budget. On AVX machines
+// this exercises the vector drivers; TestMatMulScalarKernelParity covers
+// the packed scalar fallback.
+func TestMatMulDispatchTable(t *testing.T) {
+	runDispatchParity(t)
+}
+
+// TestMatMulScalarKernelParity forces the packed scalar kernels on
+// machines whose default is the AVX path, so both kernel families stay
+// pinned to the legacy sweeps regardless of the build host.
+func TestMatMulScalarKernelParity(t *testing.T) {
+	if !useAVX {
+		t.Skip("scalar kernels are already the default on this machine")
+	}
+	useAVX = false
+	defer func() { useAVX = true }()
+	runDispatchParity(t)
+}
+
+func runDispatchParity(t *testing.T) {
+	t.Helper()
+	prev := WorkerBudget()
+	defer SetWorkerBudget(prev)
+	for _, budget := range []int{1, prev} {
+		SetWorkerBudget(budget)
+		r := mathx.NewRNG(99)
+		for _, s := range dispatchShapes {
+			rows, k, cols := s[0], s[1], s[2]
+
+			a := sparseMatrix(r, rows, k)
+			b := sparseMatrix(r, k, cols)
+			want := NewMatrix(rows, cols)
+			matmulRange(a, b, want, 0, rows)
+			matricesIdentical(t, "MatMul", MatMul(a, b), want)
+
+			at := sparseMatrix(r, k, rows)
+			want = NewMatrix(rows, cols)
+			matmulATBRange(at, b, want, 0, rows)
+			matricesIdentical(t, "MatMulATB", MatMulATB(at, b), want)
+
+			bt := sparseMatrix(r, cols, k)
+			want = NewMatrix(rows, cols)
+			matmulABTRange(a, bt, want, 0, rows)
+			matricesIdentical(t, "MatMulABT", MatMulABT(a, bt), want)
+		}
+	}
+}
+
+// TestEffectiveWorkers pins the dispatch fix for the GOMAXPROCS=1
+// regression: the effective worker count honors both the configured
+// budget and the scheduler's live GOMAXPROCS, whichever is smaller.
+func TestEffectiveWorkers(t *testing.T) {
+	prev := WorkerBudget()
+	defer SetWorkerBudget(prev)
+
+	SetWorkerBudget(1)
+	if got := EffectiveWorkers(); got != 1 {
+		t.Errorf("EffectiveWorkers with budget 1 = %d, want 1", got)
+	}
+	SetWorkerBudget(64)
+	if got, p := EffectiveWorkers(), runtime.GOMAXPROCS(0); got != min(64, p) {
+		t.Errorf("EffectiveWorkers with budget 64 = %d, want min(64, GOMAXPROCS=%d)", got, p)
+	}
+}
+
+// TestMatMulZeroDims checks the blocked kernels tolerate degenerate
+// shapes (empty k or n) like the legacy ones do.
+func TestMatMulZeroDims(t *testing.T) {
+	for _, s := range [][3]int{{0, 3, 2}, {3, 0, 2}, {3, 2, 0}} {
+		got := MatMul(NewMatrix(s[0], s[1]), NewMatrix(s[1], s[2]))
+		if got.Rows != s[0] || got.Cols != s[2] {
+			t.Errorf("MatMul zero-dim shape %v → %dx%d", s, got.Rows, got.Cols)
+		}
+	}
+}
+
+// BenchmarkMatMulDirectDispatch measures one shape from each row of the
+// dispatch size table under a worker budget of 1 — the configuration
+// PR 1's sharded kernels regressed. The 0 allocs/op reported for every
+// size class is the proof of direct dispatch: spawning even one shard
+// goroutine would allocate (goroutine closure + WaitGroup bookkeeping),
+// so a zero-allocation steady state means the single-worker path never
+// touches the goroutine machinery.
+func BenchmarkMatMulDirectDispatch(b *testing.B) {
+	prev := WorkerBudget()
+	defer SetWorkerBudget(prev)
+	SetWorkerBudget(1)
+	for _, bc := range []struct {
+		name string
+		s    [3]int
+	}{
+		{"legacy_4Ki", [3]int{8, 16, 8}},      // < smallKernelCutoff
+		{"blocked_64Ki", [3]int{32, 64, 32}},  // < parallelThreshold
+		{"blocked_3Mi", [3]int{64, 392, 128}}, // ≥ parallelThreshold, 1 worker
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			r := mathx.NewRNG(7)
+			a := randomMatrix(r, bc.s[0], bc.s[1])
+			w := randomMatrix(r, bc.s[1], bc.s[2])
+			dst := NewMatrix(bc.s[0], bc.s[2])
+			if allocs := testing.AllocsPerRun(3, func() { MatMulInto(dst, a, w) }); allocs != 0 {
+				b.Fatalf("direct dispatch allocated %.0f objects/op, want 0 (goroutine-free)", allocs)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulInto(dst, a, w)
+			}
+		})
+	}
+}

@@ -66,9 +66,29 @@ func (m *Matrix) Zero() {
 	}
 }
 
-// parallelThreshold is the number of scalar multiply-adds above which
-// the matmul kernels shard work across goroutines.
-const parallelThreshold = 1 << 18
+// Matmul dispatch size table. The product size in scalar multiply-adds
+// (MACs = rows × k × cols) picks the kernel; every kernel produces
+// bit-identical output (see kernels.go), so the cutoffs affect only speed:
+//
+//	MACs < smallKernelCutoff            legacy ikj sweep — at this size the
+//	                                    blocked kernel's panel pack costs a
+//	                                    comparable number of memory ops to
+//	                                    the whole product.
+//	smallKernelCutoff ≤ MACs,           cache-blocked direct path on the
+//	  below parallelThreshold or        calling goroutine: zero goroutines,
+//	  EffectiveWorkers() == 1           zero scheduling overhead.
+//	MACs ≥ parallelThreshold and        cache-blocked kernels, output rows
+//	  EffectiveWorkers() > 1            sharded across the worker budget.
+//
+// TestMatMulDispatchTable pins this table; BenchmarkMatMulDirectDispatch
+// asserts the single-worker path spawns no goroutines.
+const (
+	smallKernelCutoff = 1 << 13
+
+	// parallelThreshold is the number of MACs above which the matmul
+	// kernels shard work across goroutines.
+	parallelThreshold = 1 << 18
+)
 
 // Reshape resizes m to rows×cols in place, reusing the backing array when
 // its capacity allows. Element values are unspecified afterwards; callers
@@ -101,11 +121,16 @@ func MatMulInto(dst, a, b *Matrix) *Matrix {
 	}
 	checkDstShape("MatMulInto", dst, a.Rows, b.Cols)
 	dst.Zero()
-	if a.Rows*a.Cols*b.Cols < parallelThreshold {
+	macs := a.Rows * a.Cols * b.Cols
+	if macs < smallKernelCutoff {
 		matmulRange(a, b, dst, 0, a.Rows)
 		return dst
 	}
-	shardRows(matmulRange, a, b, dst, a.Rows)
+	if macs < parallelThreshold {
+		matmulBlockedRange(a, b, dst, 0, a.Rows)
+		return dst
+	}
+	shardRows(matmulBlockedRange, a, b, dst, a.Rows)
 	return dst
 }
 
@@ -142,11 +167,16 @@ func MatMulATBInto(dst, a, b *Matrix) *Matrix {
 	}
 	checkDstShape("MatMulATBInto", dst, a.Cols, b.Cols)
 	dst.Zero()
-	if a.Rows*a.Cols*b.Cols < parallelThreshold {
+	macs := a.Rows * a.Cols * b.Cols
+	if macs < smallKernelCutoff {
 		matmulATBRange(a, b, dst, 0, a.Cols)
 		return dst
 	}
-	shardRows(matmulATBRange, a, b, dst, a.Cols)
+	if macs < parallelThreshold {
+		matmulATBBlockedRange(a, b, dst, 0, a.Cols)
+		return dst
+	}
+	shardRows(matmulATBBlockedRange, a, b, dst, a.Cols)
 	return dst
 }
 
@@ -182,11 +212,16 @@ func MatMulABTInto(dst, a, b *Matrix) *Matrix {
 		panic(fmt.Sprintf("nn: matmulABT shape mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	checkDstShape("MatMulABTInto", dst, a.Rows, b.Rows)
-	if a.Rows*a.Cols*b.Rows < parallelThreshold {
+	macs := a.Rows * a.Cols * b.Rows
+	if macs < smallKernelCutoff {
 		matmulABTRange(a, b, dst, 0, a.Rows)
 		return dst
 	}
-	shardRows(matmulABTRange, a, b, dst, a.Rows)
+	if macs < parallelThreshold {
+		matmulABTBlocked(a, b, dst, 0, a.Rows)
+		return dst
+	}
+	shardRows(matmulABTBlocked, a, b, dst, a.Rows)
 	return dst
 }
 

@@ -3,6 +3,7 @@ package nn
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // The package maintains one global compute-worker budget shared by every
@@ -22,7 +23,7 @@ var budget = newWorkerBudget(runtime.GOMAXPROCS(0))
 type workerBudget struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
-	limit int
+	limit atomic.Int64
 	inUse int
 }
 
@@ -30,17 +31,17 @@ func newWorkerBudget(limit int) *workerBudget {
 	if limit < 1 {
 		limit = 1
 	}
-	b := &workerBudget{limit: limit}
+	b := &workerBudget{}
+	b.limit.Store(int64(limit))
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
 
 // WorkerBudget returns the current compute budget (defaults to GOMAXPROCS
-// at package initialization).
+// at package initialization). The limit is kept in an atomic so the matmul
+// dispatch can read it on every call without taking the budget mutex.
 func WorkerBudget() int {
-	budget.mu.Lock()
-	defer budget.mu.Unlock()
-	return budget.limit
+	return int(budget.limit.Load())
 }
 
 // SetWorkerBudget resizes the compute budget to n slots (floored at 1).
@@ -51,10 +52,30 @@ func SetWorkerBudget(n int) {
 	if n < 1 {
 		n = 1
 	}
+	// The store happens under the mutex so a waiter in AcquireWorker cannot
+	// observe the old limit, start waiting, and miss this broadcast.
 	budget.mu.Lock()
-	budget.limit = n
+	budget.limit.Store(int64(n))
 	budget.mu.Unlock()
 	budget.cond.Broadcast()
+}
+
+// EffectiveWorkers bounds shard fan-out by both the configured budget and
+// the scheduler's actual parallelism. The package budget defaults to
+// GOMAXPROCS at process start, so a later GOMAXPROCS(1) — a -cpu=1
+// benchmark run, or a container shrinking its quota — would otherwise
+// leave the budget high and make shardRows pay goroutine overhead with no
+// parallelism to gain. When this returns 1 every matmul takes the
+// zero-goroutine direct path.
+func EffectiveWorkers() int {
+	w := int(budget.limit.Load())
+	if p := runtime.GOMAXPROCS(0); p < w {
+		w = p
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // AcquireWorker blocks until a compute slot is free and claims it. Callers
@@ -63,7 +84,7 @@ func SetWorkerBudget(n int) {
 // budget. Pair with ReleaseWorker.
 func AcquireWorker() {
 	budget.mu.Lock()
-	for budget.inUse >= budget.limit {
+	for budget.inUse >= int(budget.limit.Load()) {
 		budget.cond.Wait()
 	}
 	budget.inUse++
@@ -90,7 +111,7 @@ func TryAcquireWorker() bool { return tryAcquireWorker() }
 // tryAcquireWorker claims a slot only if one is immediately free.
 func tryAcquireWorker() bool {
 	budget.mu.Lock()
-	ok := budget.inUse < budget.limit
+	ok := budget.inUse < int(budget.limit.Load())
 	if ok {
 		budget.inUse++
 	}
@@ -113,7 +134,7 @@ type matmulKernel func(a, b, out *Matrix, rs, re int)
 // touching spawnShards, whose WaitGroup and goroutine closures would
 // otherwise heap-allocate even on a single-core run.
 func shardRows(kernel matmulKernel, a, b, dst *Matrix, rows int) {
-	workers := WorkerBudget()
+	workers := EffectiveWorkers()
 	if workers > rows {
 		workers = rows
 	}

@@ -17,6 +17,18 @@ type Workspace struct {
 	lossGrad *Matrix   // dLoss/dOutput
 	inCols   []int     // input width seen by each layer on the last forward
 	rows     int       // batch rows of the last forward
+
+	// Fused-inference state (see infer.go). The plan groups layers into
+	// Dense+BatchNorm+activation steps; invStd is per-feature 1/√(var+ε)
+	// scratch. Both live here rather than on the shared layers so
+	// concurrent scorers stay race-free.
+	plan      []fusedStep
+	planBuilt bool
+	invStd    []float64
+
+	// sub is the reusable chunk-view header for ReconstructionErrorsWS, so
+	// steady-state scoring builds no per-chunk Matrix on the heap.
+	sub Matrix
 }
 
 // NewWorkspace returns an empty workspace for this network. Buffers are
@@ -81,9 +93,9 @@ func (n *Network) TrainStep(ws *Workspace, bx, bt *Matrix, opt Optimizer) float6
 // ReconstructionErrorsWS scores x in inference mode through ws, appending
 // each row's mean-squared reconstruction error against itself to dst
 // (which may be nil) and returning the extended slice. Rows are scored in
-// chunks to bound peak buffer size on large inputs. Safe to call from
-// multiple goroutines on one trained network as long as each goroutine
-// uses its own Workspace.
+// chunks (through the fused batched forward, see infer.go) to bound peak
+// buffer size on large inputs. Safe to call from multiple goroutines on
+// one trained network as long as each goroutine uses its own Workspace.
 func (n *Network) ReconstructionErrorsWS(ws *Workspace, x *Matrix, dst []float64) []float64 {
 	const chunk = 512
 	for start := 0; start < x.Rows; start += chunk {
@@ -91,8 +103,9 @@ func (n *Network) ReconstructionErrorsWS(ws *Workspace, x *Matrix, dst []float64
 		if end > x.Rows {
 			end = x.Rows
 		}
-		sub := &Matrix{Rows: end - start, Cols: x.Cols, Data: x.Data[start*x.Cols : end*x.Cols]}
-		pred := n.forwardWS(ws, sub, false)
+		sub := &ws.sub
+		*sub = Matrix{Rows: end - start, Cols: x.Cols, Data: x.Data[start*x.Cols : end*x.Cols]}
+		pred := n.ForwardBatchInto(ws, sub)
 		for i := 0; i < sub.Rows; i++ {
 			var ss float64
 			prow := pred.Row(i)

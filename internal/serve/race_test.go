@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"acobe/internal/cert"
+)
+
+// TestConcurrentRankDuringRetrain hammers Rank — the batched scoring
+// path with its pooled per-goroutine scorers — while retrains swap a
+// freshly trained detector underneath. Under `make test-race` this is
+// the regression net for the scorer-pool / model-swap interaction: a
+// pooled scorer outliving its model, or a swap racing a running batch,
+// shows up here as a data race or a failed query.
+func TestConcurrentRankDuringRetrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains ensembles")
+	}
+	ctx := context.Background()
+	srv := newTestServer(t, newStubIngestor(t, 0), 16)
+	for d := cert.Day(0); d <= 55; d++ {
+		if err := srv.CloseDay(ctx, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.Retrain(ctx, 0, 40, true); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := srv.Rank(ctx, 45, 55); err != nil {
+					t.Errorf("rank during retrain: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	// Two model swaps while the rankers hammer the query path.
+	for i := 0; i < 2; i++ {
+		if err := srv.Retrain(ctx, 0, cert.Day(45+5*i), true); err != nil {
+			t.Errorf("retrain %d: %v", i, err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

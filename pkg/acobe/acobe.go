@@ -384,12 +384,35 @@ func (d *Detector) Fit(ctx context.Context, from, to Day) (map[string]float64, e
 }
 
 // Score computes per-day anomaly scores for every user and aspect over
-// [from, to] (clamped to the scoreable range).
+// [from, to] (clamped to the scoreable range). It is ScoreBatch under its
+// historical name.
 func (d *Detector) Score(ctx context.Context, from, to Day) ([]*ScoreSeries, error) {
+	return d.ScoreBatch(ctx, from, to)
+}
+
+// ScoreBatch computes per-day anomaly scores for every user and aspect
+// over [from, to] (clamped to the scoreable range), stacking all users'
+// flattened deviation matrices into one batch per aspect and scoring
+// whole chunks of it in single forward passes. Scores are bit-identical
+// to scoring users one at a time; only the throughput differs.
+func (d *Detector) ScoreBatch(ctx context.Context, from, to Day) ([]*ScoreSeries, error) {
 	if !d.fitted {
 		return nil, ErrNotFitted
 	}
-	series, err := d.det.Score(ctx, from, to)
+	series, err := d.det.ScoreBatch(ctx, from, to)
+	return series, wrapErr(err)
+}
+
+// ScoreBatchInto is ScoreBatch with caller-owned result storage: the
+// series and score buffers already in dst are recycled (grown as needed)
+// and the filled slice is returned. A caller that feeds each result back
+// in — scoring the same window shape repeatedly — allocates nothing in
+// steady state. dst may be nil, which makes it equivalent to ScoreBatch.
+func (d *Detector) ScoreBatchInto(ctx context.Context, dst []*ScoreSeries, from, to Day) ([]*ScoreSeries, error) {
+	if !d.fitted {
+		return nil, ErrNotFitted
+	}
+	series, err := d.det.ScoreBatchInto(ctx, dst, from, to)
 	return series, wrapErr(err)
 }
 

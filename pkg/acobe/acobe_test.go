@@ -91,6 +91,9 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if _, err := det.Rank(ctx, 90, lastDay); !errors.Is(err, acobe.ErrNotFitted) {
 		t.Fatalf("Rank before Fit: %v, want ErrNotFitted", err)
 	}
+	if _, err := det.ScoreBatchInto(ctx, nil, 90, lastDay); !errors.Is(err, acobe.ErrNotFitted) {
+		t.Fatalf("ScoreBatchInto before Fit: %v, want ErrNotFitted", err)
+	}
 
 	losses, err := det.Fit(ctx, 0, 85)
 	if err != nil {
@@ -101,6 +104,28 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 	if !det.Fitted() {
 		t.Fatal("Fitted() false after Fit")
+	}
+
+	// ScoreBatchInto with a recycled dst must reproduce Score exactly.
+	series, err := det.Score(ctx, 91, lastDay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused, err := det.ScoreBatchInto(ctx, nil, 91, lastDay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused, err = det.ScoreBatchInto(ctx, reused, 91, lastDay); err != nil {
+		t.Fatal(err)
+	}
+	for ai := range series {
+		for u := range series[ai].Scores {
+			for i, v := range series[ai].Scores[u] {
+				if reused[ai].Scores[u][i] != v {
+					t.Fatalf("ScoreBatchInto diverged at aspect %d user %d day %d", ai, u, i)
+				}
+			}
+		}
 	}
 
 	list, err := det.Rank(ctx, 91, lastDay)
