@@ -22,7 +22,8 @@ FUZZ_TARGETS = \
 	./internal/cert:FuzzParseDay \
 	./internal/dga:FuzzDomains \
 	./internal/logstore:FuzzReadJSONL \
-	./internal/deviation:FuzzSigma
+	./internal/deviation:FuzzSigma \
+	./internal/serve:FuzzWALDecode
 
 .PHONY: build test test-short test-race bench fuzz-smoke serve-smoke vet golden-update
 

@@ -71,6 +71,9 @@ func run(args []string, stdout io.Writer) error {
 		votes      = fs.Int("votes", 3, "critic vote count N")
 		stride     = fs.Int("stride", 2, "training matrix day stride")
 		queue      = fs.Int("queue", 64, "ingest queue bound in batches")
+		dataDir    = fs.String("data-dir", "", "durability directory (WAL + snapshots); empty serves from memory only")
+		fsyncFlag  = fs.String("fsync", "close", "WAL fsync policy with -data-dir: close, always, or never")
+		snapEvery  = fs.Int("snapshot-interval", 30, "closed days between state snapshots with -data-dir")
 		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 		selftest   = fs.Bool("selftest", false, "run the built-in end-to-end smoke over real HTTP and exit")
 	)
@@ -129,9 +132,28 @@ func run(args []string, stdout io.Writer) error {
 		acobe.WithTrainStride(*stride),
 	}
 
-	srv, err := serve.New(cfg)
-	if err != nil {
-		return err
+	var srv *serve.Server
+	if *dataDir != "" {
+		policy, err := serve.ParseFsyncPolicy(*fsyncFlag)
+		if err != nil {
+			return fmt.Errorf("-fsync: %w", err)
+		}
+		var info *serve.RecoverInfo
+		srv, info, err = serve.Open(cfg, serve.PersistConfig{
+			Dir:           *dataDir,
+			Fsync:         policy,
+			SnapshotEvery: *snapEvery,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "acobed: recovered %s: closed through %v, %d records replayed (snapshot=%v), %d torn bytes truncated\n",
+			*dataDir, info.ClosedThrough, info.ReplayedRecords, info.SnapshotLoaded, info.TornBytes)
+	} else {
+		srv, err = serve.New(cfg)
+		if err != nil {
+			return err
+		}
 	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

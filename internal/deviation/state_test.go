@@ -1,0 +1,175 @@
+package deviation
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"acobe/internal/cert"
+	"acobe/internal/features"
+)
+
+func stateTestCfg() Config {
+	return Config{Window: 4, MatrixDays: 2, Delta: 3, Epsilon: 0.5, Weighted: true}
+}
+
+// stateMeasure is a deterministic pseudo-measurement varied across every
+// table coordinate.
+func stateMeasure(u, f, frame int, d cert.Day) float64 {
+	return math.Abs(math.Sin(float64(u+1)*1.3+float64(f+1)*0.7+float64(frame+1)*2.1+float64(d)*0.9)) * 10
+}
+
+func newStateTestTable(t *testing.T) *features.Table {
+	t.Helper()
+	tab, err := features.NewTable([]string{"u1", "u2"}, []string{"f1", "f2", "f3"}, 2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func fillStateDay(t *testing.T, tab *features.Table, d cert.Day) {
+	t.Helper()
+	if err := tab.EnsureDay(d); err != nil {
+		t.Fatal(err)
+	}
+	for u := range tab.Users() {
+		for f := range tab.Features() {
+			for frame := 0; frame < tab.Frames(); frame++ {
+				tab.Add(u, f, frame, d, stateMeasure(u, f, frame, d))
+			}
+		}
+	}
+}
+
+func encodeStream(t *testing.T, s *StreamField) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestStreamFieldStateRoundTrip(t *testing.T) {
+	cfg := stateTestCfg()
+	const last, split = 12, 6
+
+	run := func(upTo cert.Day) (*features.Table, *StreamField) {
+		tab := newStateTestTable(t)
+		sf, err := NewStreamField(tab, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for d := cert.Day(0); d <= upTo; d++ {
+			fillStateDay(t, tab, d)
+			if err := sf.Advance(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tab, sf
+	}
+
+	_, full := run(last)
+	midTab, mid := run(split)
+
+	var tabState bytes.Buffer
+	if err := midTab.SaveState(&tabState); err != nil {
+		t.Fatal(err)
+	}
+	state := encodeStream(t, mid)
+
+	// Restore: table first, then the stream field over it.
+	restoredTab := newStateTestTable(t)
+	if err := restoredTab.LoadState(bytes.NewReader(tabState.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewStreamField(restoredTab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.LoadState(bytes.NewReader(state)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(state, encodeStream(t, restored)) {
+		t.Fatal("restored stream field re-encodes to different bytes")
+	}
+	if restored.NextDay() != split+1 {
+		t.Fatalf("restored NextDay = %v, want %v", restored.NextDay(), split+1)
+	}
+
+	// Resume and compare against the uninterrupted run bit for bit.
+	for d := cert.Day(split + 1); d <= last; d++ {
+		fillStateDay(t, restoredTab, d)
+		if err := restored.Advance(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(encodeStream(t, full), encodeStream(t, restored)) {
+		t.Error("resumed stream field state differs from uninterrupted run")
+	}
+	ff, rf := full.Field(), restored.Field()
+	if ff.FirstDay() != rf.FirstDay() || ff.EndDay() != rf.EndDay() {
+		t.Fatalf("field spans differ: %v..%v vs %v..%v", ff.FirstDay(), ff.EndDay(), rf.FirstDay(), rf.EndDay())
+	}
+	for u := 0; u < 2; u++ {
+		for f := 0; f < 3; f++ {
+			for frame := 0; frame < 2; frame++ {
+				a, b := ff.SigmaSeries(u, f, frame), rf.SigmaSeries(u, f, frame)
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("sigma(%d,%d,%d)[%d] = %g, want %g", u, f, frame, i, b[i], a[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestStreamFieldStateRejectsBadInput(t *testing.T) {
+	cfg := stateTestCfg()
+	tab := newStateTestTable(t)
+	sf, err := NewStreamField(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := cert.Day(0); d <= 6; d++ {
+		fillStateDay(t, tab, d)
+		if err := sf.Advance(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var tabState bytes.Buffer
+	if err := tab.SaveState(&tabState); err != nil {
+		t.Fatal(err)
+	}
+	state := encodeStream(t, sf)
+
+	freshPair := func(streamCfg Config) (*features.Table, *StreamField) {
+		rt := newStateTestTable(t)
+		if err := rt.LoadState(bytes.NewReader(tabState.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		rs, err := NewStreamField(rt, streamCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rt, rs
+	}
+
+	// Truncation must error, never panic.
+	for _, cut := range []int{0, 5, 11, len(state) / 2, len(state) - 1} {
+		_, rs := freshPair(cfg)
+		if err := rs.LoadState(bytes.NewReader(state[:cut])); err == nil {
+			t.Errorf("no error for state truncated at %d bytes", cut)
+		}
+	}
+
+	// A different window is a shape mismatch.
+	wide := cfg
+	wide.Window = 6
+	_, rs := freshPair(wide)
+	if err := rs.LoadState(bytes.NewReader(state)); err == nil {
+		t.Error("no error loading state into stream field with different window")
+	}
+}

@@ -1,0 +1,98 @@
+package enterprise
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"acobe/internal/cert"
+	"acobe/internal/persist"
+)
+
+const (
+	extractorStateMagic = "ACEX"
+	extractorVersion    = 1
+)
+
+// seenCategories is the fixed category order used when serializing the
+// first-seen trackers, so the encoding is deterministic.
+var seenCategories = []string{"command", "config", "domain", "file", "resource"}
+
+// SaveState writes the extractor's table and first-seen trackers so the
+// serving daemon can snapshot mid-stream and resume after a restart with
+// the "new"-object features unchanged. Map keys are written sorted: equal
+// state always serializes to identical bytes.
+func (x *Extractor) SaveState(w io.Writer) error {
+	if err := x.table.SaveState(w); err != nil {
+		return err
+	}
+	pw := persist.NewWriter(w)
+	pw.Magic(extractorStateMagic, extractorVersion)
+	pw.Bool(x.started)
+	pw.I64(int64(x.lastDay))
+	pw.U64(uint64(len(seenCategories)))
+	for _, cat := range seenCategories {
+		pw.String(cat)
+		users := x.seen[cat]
+		ids := make([]int, 0, len(users))
+		for u := range users {
+			ids = append(ids, u)
+		}
+		sort.Ints(ids)
+		pw.U64(uint64(len(ids)))
+		for _, u := range ids {
+			pw.Int(u)
+			keys := make([]string, 0, len(users[u]))
+			for k := range users[u] {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			pw.Strings(keys)
+		}
+	}
+	return pw.Err()
+}
+
+// LoadState restores state written by SaveState into a freshly constructed
+// extractor over the same employees and start day.
+func (x *Extractor) LoadState(r io.Reader) error {
+	if err := x.table.LoadState(r); err != nil {
+		return err
+	}
+	pr := persist.NewReader(r)
+	if v := pr.Magic(extractorStateMagic); pr.Err() == nil && v != extractorVersion {
+		return fmt.Errorf("enterprise: extractor state version %d unsupported", v)
+	}
+	x.started = pr.Bool()
+	x.lastDay = cert.Day(pr.I64())
+	ncat := pr.Len()
+	if pr.Err() == nil && ncat != len(seenCategories) {
+		return fmt.Errorf("enterprise: extractor state has %d categories, want %d", ncat, len(seenCategories))
+	}
+	users := len(x.table.Users())
+	for c := 0; c < ncat && pr.Err() == nil; c++ {
+		cat := pr.String()
+		if _, ok := x.seen[cat]; !ok {
+			return fmt.Errorf("enterprise: extractor state has unknown category %q", cat)
+		}
+		hist := make(map[int]map[string]bool)
+		n := pr.Len()
+		for i := 0; i < n && pr.Err() == nil; i++ {
+			u := pr.Int()
+			keys := pr.Strings()
+			if u < 0 || u >= users {
+				return fmt.Errorf("enterprise: extractor state user index %d out of range", u)
+			}
+			set := make(map[string]bool, len(keys))
+			for _, k := range keys {
+				set[k] = true
+			}
+			hist[u] = set
+		}
+		x.seen[cat] = hist
+	}
+	if err := pr.Err(); err != nil {
+		return fmt.Errorf("enterprise: load extractor state: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package enterprise
+
+import (
+	"bytes"
+	"testing"
+
+	"acobe/internal/cert"
+	"acobe/internal/logstore"
+)
+
+func encodeEntExtractor(t *testing.T, x *Extractor) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := x.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestEnterpriseExtractorStateRoundTrip(t *testing.T) {
+	cfg := tinyEntConfig()
+	cfg.End = cfg.Start + 14
+	gen, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := gen.EmployeeIDs()
+	start, end := gen.Span()
+
+	newX := func() *Extractor {
+		x, err := NewExtractor(ids, start, end)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return x
+	}
+	full, mid := newX(), newX()
+	var days []cert.Day
+	byDay := map[cert.Day][]logstore.Record{}
+	err = gen.Stream(func(d cert.Day, recs []logstore.Record) error {
+		days = append(days, d)
+		byDay[d] = recs
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := len(days) / 2
+	for i, d := range days {
+		if err := full.Consume(d, byDay[d]); err != nil {
+			t.Fatal(err)
+		}
+		if i < split {
+			if err := mid.Consume(d, byDay[d]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	state := encodeEntExtractor(t, mid)
+	restored := newX()
+	if err := restored.LoadState(bytes.NewReader(state)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(state, encodeEntExtractor(t, restored)) {
+		t.Fatal("restored extractor re-encodes to different bytes")
+	}
+	for _, d := range days[split:] {
+		if err := restored.Consume(d, byDay[d]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(encodeEntExtractor(t, full), encodeEntExtractor(t, restored)) {
+		t.Error("resumed extractor state differs from uninterrupted run")
+	}
+
+	// Truncated state must error, never panic.
+	for _, cut := range []int{0, 7, len(state) / 3, len(state) - 1} {
+		fresh := newX()
+		if err := fresh.LoadState(bytes.NewReader(state[:cut])); err == nil {
+			t.Errorf("no error for state truncated at %d bytes", cut)
+		}
+	}
+}

@@ -1,0 +1,353 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"testing"
+	"time"
+
+	"acobe/internal/cert"
+	"acobe/internal/core"
+	"acobe/internal/serve"
+	"acobe/internal/testkit"
+	"acobe/pkg/acobe"
+)
+
+// The crash matrix is the headline proof of the persistence layer: a
+// serving daemon is driven into a fault at each distinct persistence step
+// (torn WAL write, interrupted segment rotation, torn snapshot, crash
+// between snapshot publish and WAL pruning), "crashes" (the injected fault
+// plays dead-disk from then on), recovers from whatever files survived, and
+// re-ingests the missing suffix. The recovered daemon's investigation list
+// must serialize to exactly the bytes of the committed batch-pipeline
+// golden (cert_s1_list.csv) — crash + recovery is indistinguishable from
+// never having crashed.
+
+// certS1Serve bundles the CERT r6.1-s1 serving setup shared by the crash
+// matrix and the recovery golden. Generation is a single RNG sequence, so
+// every replay pass builds a fresh generator from gcfg — re-streaming one
+// generator instance would produce different events.
+type certS1Serve struct {
+	gcfg      cert.Config
+	cfg       serve.Config
+	sc        cert.Scenario
+	trainFrom cert.Day
+	trainTo   cert.Day
+	testFrom  cert.Day
+	testTo    cert.Day
+}
+
+func newCertS1Serve(t *testing.T) *certS1Serve {
+	t.Helper()
+	preset := goldenPreset()
+	gcfg := cert.SmallConfig(preset.UsersPerDept)
+	gcfg.Seed = preset.Seed
+	gen, err := cert.New(gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deptIdx := make(map[string]int, len(gcfg.Departments))
+	for i, d := range gcfg.Departments {
+		deptIdx[d] = i
+	}
+	var (
+		users      []string
+		membership []int
+	)
+	for _, u := range gen.Users() {
+		users = append(users, u.ID)
+		membership = append(membership, deptIdx[u.Department])
+	}
+	var sc cert.Scenario
+	for _, s := range gen.Scenarios() {
+		if s.Name() == "r6.1-s1" {
+			sc = s
+		}
+	}
+	if sc == nil {
+		t.Fatal("scenario r6.1-s1 missing")
+	}
+	start, end := gen.Span()
+	trainFrom, trainTo, testFrom, testTo, err := cert.SplitForScenario(sc, start, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &certS1Serve{
+		gcfg: gcfg,
+		cfg: serve.Config{
+			Users:      users,
+			Groups:     gcfg.Departments,
+			Membership: membership,
+			Start:      start,
+			Deviation:  preset.Deviation,
+			DetectorOptions: []acobe.Option{
+				acobe.WithAspects(acobe.ACOBEAspects()...),
+				acobe.WithModelConfig(preset.AEConfig),
+				acobe.WithTrainStride(preset.TrainStride),
+				acobe.WithVotes(preset.N),
+				acobe.WithSeed(preset.Seed),
+			},
+		},
+		sc:        sc,
+		trainFrom: trainFrom,
+		trainTo:   trainTo,
+		testFrom:  testFrom,
+		testTo:    testTo,
+	}
+}
+
+// stream replays the dataset day by day through the server, from the day
+// after closed to the end of the span, retraining at the train-span
+// barrier exactly as the golden pipeline does. A day whose batch already
+// survived recovery as buffered events is closed without resubmitting —
+// resubmitting would double-ingest a batch the WAL already holds. On the
+// first submit/close failure it stops and reports the day it failed on.
+func (s1 *certS1Serve) stream(t *testing.T, srv *serve.Server, closed cert.Day, buffered map[cert.Day]int) (cert.Day, error) {
+	t.Helper()
+	ctx := context.Background()
+	gen, err := cert.New(s1.gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failedAt cert.Day
+	var failure error
+	err = gen.Stream(func(d cert.Day, events []cert.Event) error {
+		if d <= closed {
+			return nil
+		}
+		if n := buffered[d]; n != len(events) {
+			if n != 0 {
+				return errStreamStop // torn batch: impossible under single-frame appends
+			}
+			batch := make([]serve.Event, len(events))
+			for i := range events {
+				batch[i] = serve.Event{Cert: &events[i]}
+			}
+			if err := srv.Submit(ctx, batch); err != nil {
+				failedAt, failure = d, err
+				return errStreamStop
+			}
+		}
+		if err := srv.CloseDay(ctx, d); err != nil {
+			failedAt, failure = d, err
+			return errStreamStop
+		}
+		if d == s1.trainTo {
+			if err := srv.Retrain(ctx, s1.trainFrom, s1.trainTo, true); err != nil {
+				failedAt, failure = d, err
+				return errStreamStop
+			}
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, errStreamStop) {
+		t.Fatal(err)
+	}
+	if err != nil && failure == nil {
+		t.Fatalf("day batch recovered torn despite all-or-nothing WAL frames")
+	}
+	return failedAt, failure
+}
+
+var errStreamStop = errors.New("stop streaming")
+
+// rankedList serializes the ranked test window exactly as the batch
+// pipeline serializes its golden run. The ensemble was trained at the
+// train-span barrier during the stream.
+func (s1 *certS1Serve) rankedList(t *testing.T, srv *serve.Server) []byte {
+	t.Helper()
+	ctx := context.Background()
+	list, err := srv.Rank(ctx, s1.testFrom, s1.testTo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := &ScenarioRun{
+		Model:     ModelACOBE,
+		Scenario:  s1.sc.Name(),
+		Insider:   s1.sc.UserID(),
+		TrainFrom: s1.trainFrom,
+		TrainTo:   s1.trainTo,
+		TestFrom:  s1.testFrom,
+		TestTo:    s1.testTo,
+		List:      list,
+	}
+	for _, a := range srv.Detector().AspectNames() {
+		run.Series = append(run.Series, &core.ScoreSeries{Aspect: a})
+	}
+	return serializeList(run)
+}
+
+func shutdownServe(t *testing.T, srv *serve.Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeCrashMatrixCERTS1 runs the four-failpoint crash matrix.
+func TestServeCrashMatrixCERTS1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("streams the CERT dataset and trains the ensemble, several times")
+	}
+	want, err := os.ReadFile(testkit.Path("cert_s1_list.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		pc   serve.PersistConfig
+		plan *testkit.FaultPlan
+	}{
+		{
+			// A WAL append is cut mid-frame: the torn record must be
+			// truncated on recovery and its batch resubmitted.
+			name: "mid-record-write",
+			pc:   serve.PersistConfig{SnapshotEvery: 10, SegmentBytes: 1 << 20},
+			plan: &testkit.FaultPlan{Name: "wal-", Op: "write", After: 2_000_000},
+		},
+		{
+			// The crash lands during segment rotation, after the old
+			// segment closed but before the new one exists.
+			name: "mid-rotation",
+			pc:   serve.PersistConfig{SnapshotEvery: 10, SegmentBytes: 1 << 20},
+			plan: &testkit.FaultPlan{Name: "wal-", Op: "create", After: 3},
+		},
+		{
+			// A snapshot write is torn: recovery must ignore the partial
+			// .tmp and rebuild from the WAL (no earlier snapshot exists).
+			name: "mid-snapshot",
+			pc:   serve.PersistConfig{SnapshotEvery: 10, SegmentBytes: 1 << 20},
+			plan: &testkit.FaultPlan{Name: "snapshot-", Op: "write", After: 20_000},
+		},
+		{
+			// The crash lands after the snapshot published but before the
+			// WAL segments behind it were pruned: recovery must prefer the
+			// snapshot and tolerate the stale segments.
+			name: "post-snapshot-pre-truncate",
+			pc:   serve.PersistConfig{SnapshotEvery: 10, SegmentBytes: 1 << 20},
+			plan: &testkit.FaultPlan{Name: "wal-", Op: "remove", After: 0},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			s1 := newCertS1Serve(t)
+			dir := t.TempDir()
+			pc := tc.pc
+			pc.Dir = dir
+			pc.Hooks = serve.Hooks{
+				WrapWriter: func(name string, f serve.WritableFile) serve.WritableFile {
+					return tc.plan.WrapWriter(name, f)
+				},
+				BeforeOp: tc.plan.BeforeOp,
+			}
+			srv, _, err := serve.Open(s1.cfg, pc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			failedAt, ferr := s1.stream(t, srv, s1.cfg.Start-1, nil)
+			if ferr == nil {
+				t.Fatal("fault never fired; the failpoint budget no longer matches the stream")
+			}
+			if !errors.Is(ferr, serve.ErrPersistenceFailed) || !errors.Is(ferr, testkit.ErrInjected) {
+				t.Fatalf("failure = %v, want ErrPersistenceFailed wrapping ErrInjected", ferr)
+			}
+			if !tc.plan.Tripped() {
+				t.Fatal("stream failed before the failpoint tripped")
+			}
+			t.Logf("crashed at day %v: %v", failedAt, ferr)
+			// The dead disk already holds exactly the pre-crash bytes;
+			// shutting down just reaps the goroutines.
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			_ = srv.Shutdown(ctx)
+			cancel()
+
+			rec, info, err := serve.Open(s1.cfg, serve.PersistConfig{
+				Dir: dir, SnapshotEvery: tc.pc.SnapshotEvery, SegmentBytes: tc.pc.SegmentBytes,
+			})
+			if err != nil {
+				t.Fatalf("recovery after %s: %v", tc.name, err)
+			}
+			defer shutdownServe(t, rec)
+			// Recovery may include the crash day itself: when the fault hit
+			// post-close maintenance (snapshot publish, WAL prune), the close
+			// record was already durably in the WAL before the error.
+			if info.ClosedThrough > failedAt {
+				t.Fatalf("recovered ClosedThrough %v past the crash day %v", info.ClosedThrough, failedAt)
+			}
+			t.Logf("recovered: snapshot=%v(day %v) replayed=%d records torn=%d bytes closed=%v",
+				info.SnapshotLoaded, info.SnapshotDay, info.ReplayedRecords, info.TornBytes, info.ClosedThrough)
+			if _, err := s1.stream(t, rec, info.ClosedThrough, info.BufferedEvents); err != nil {
+				t.Fatalf("resume after %s: %v", tc.name, err)
+			}
+			if got := s1.rankedList(t, rec); !bytes.Equal(got, want) {
+				t.Errorf("recovered ranking differs from the uninterrupted batch golden")
+			}
+		})
+	}
+}
+
+// TestServeRecoverGoldenCERTS1 pins restart-mid-stream behavior as a
+// golden: the daemon is cleanly restarted halfway through the training
+// span, resumes from its WAL + snapshots, and the final ranked list is
+// snapshotted — and must stay byte-identical to the batch pipeline's
+// cert_s1_list.csv, because recovery must not perturb ranking at all.
+func TestServeRecoverGoldenCERTS1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("streams the CERT dataset and trains the ensemble")
+	}
+	s1 := newCertS1Serve(t)
+	dir := t.TempDir()
+	pc := serve.PersistConfig{Dir: dir, SnapshotEvery: 30, SegmentBytes: 1 << 22}
+	srv, _, err := serve.Open(s1.cfg, pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restartAt := s1.trainFrom + (s1.trainTo-s1.trainFrom)/2
+	ctx := context.Background()
+	gen, err := cert.New(s1.gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = gen.Stream(func(d cert.Day, events []cert.Event) error {
+		if d > restartAt {
+			return errStreamStop
+		}
+		batch := make([]serve.Event, len(events))
+		for i := range events {
+			batch[i] = serve.Event{Cert: &events[i]}
+		}
+		if err := srv.Submit(ctx, batch); err != nil {
+			return err
+		}
+		return srv.CloseDay(ctx, d)
+	})
+	if err != nil && !errors.Is(err, errStreamStop) {
+		t.Fatal(err)
+	}
+	shutdownServe(t, srv)
+
+	rec, info, err := serve.Open(s1.cfg, pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdownServe(t, rec)
+	if info.ClosedThrough != restartAt {
+		t.Fatalf("recovered ClosedThrough = %v, want %v", info.ClosedThrough, restartAt)
+	}
+	if info.TornBytes != 0 {
+		t.Fatalf("clean restart recovered %d torn bytes", info.TornBytes)
+	}
+	if _, err := s1.stream(t, rec, info.ClosedThrough, info.BufferedEvents); err != nil {
+		t.Fatal(err)
+	}
+	got := s1.rankedList(t, rec)
+	testkit.Golden(t, "serve_recover_cert_s1.csv", got)
+	if want, err := os.ReadFile(testkit.Path("cert_s1_list.csv")); err == nil && !bytes.Equal(got, want) {
+		t.Error("restart-mid-stream ranking differs from the uninterrupted batch golden")
+	}
+}

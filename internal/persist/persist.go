@@ -1,0 +1,358 @@
+// Package persist provides the little-endian binary codec shared by every
+// state serializer in the repository (measurement tables, extractor
+// first-seen trackers, streaming deviation windows, serve-layer
+// snapshots). It exists so that each package can write a compact,
+// deterministic, bit-exact encoding of its state without inventing its own
+// framing, and so that every decoder is defensive by construction: length
+// prefixes are capped before allocation, reads never run past the input,
+// and all failures surface as sticky errors instead of panics.
+//
+// Determinism matters beyond aesthetics: tests prove deep state equality
+// by comparing encoded bytes, so two encodings of equal state must be
+// byte-identical (callers sort map keys before writing them).
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// ErrCorrupt is wrapped by every decoding failure caused by malformed
+// input (bad magic, absurd length prefix, short read).
+var ErrCorrupt = errors.New("persist: corrupt state")
+
+// MaxSliceLen caps every decoded length prefix: no well-formed state in
+// this repository comes close, and anything larger is corruption that must
+// not translate into a huge allocation.
+const MaxSliceLen = 1 << 28
+
+// Writer serializes primitives with a sticky error, so call sites can
+// write whole structures and check the error once.
+type Writer struct {
+	w   io.Writer
+	err error
+	buf [8]byte
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Err returns the first write error.
+func (w *Writer) Err() error { return w.err }
+
+func (w *Writer) write(p []byte) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.w.Write(p)
+}
+
+// Magic writes a fixed 4-byte tag followed by a format version.
+func (w *Writer) Magic(tag string, version uint32) {
+	if len(tag) != 4 {
+		w.fail(fmt.Errorf("persist: magic %q must be 4 bytes", tag))
+		return
+	}
+	w.write([]byte(tag))
+	w.U32(version)
+}
+
+func (w *Writer) fail(err error) {
+	if w.err == nil {
+		w.err = err
+	}
+}
+
+// U8 writes one byte.
+func (w *Writer) U8(v uint8) { w.write([]byte{v}) }
+
+// Bool writes a bool as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// U32 writes a little-endian uint32.
+func (w *Writer) U32(v uint32) {
+	binary.LittleEndian.PutUint32(w.buf[:4], v)
+	w.write(w.buf[:4])
+}
+
+// U64 writes a little-endian uint64.
+func (w *Writer) U64(v uint64) {
+	binary.LittleEndian.PutUint64(w.buf[:8], v)
+	w.write(w.buf[:8])
+}
+
+// I64 writes a little-endian int64.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// Int writes an int as int64.
+func (w *Writer) Int(v int) { w.I64(int64(v)) }
+
+// F64 writes the IEEE-754 bits of v, preserving every representable value
+// (including NaN payloads and signed zeros) exactly.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Bytes writes a length-prefixed byte slice.
+func (w *Writer) Bytes(p []byte) {
+	w.U64(uint64(len(p)))
+	w.write(p)
+}
+
+// String writes a length-prefixed string.
+func (w *Writer) String(s string) { w.Bytes([]byte(s)) }
+
+// Strings writes a length-prefixed list of strings.
+func (w *Writer) Strings(ss []string) {
+	w.U64(uint64(len(ss)))
+	for _, s := range ss {
+		w.String(s)
+	}
+}
+
+// F64s writes a length-prefixed float64 slice (raw IEEE bits).
+func (w *Writer) F64s(xs []float64) {
+	w.U64(uint64(len(xs)))
+	if w.err != nil {
+		return
+	}
+	// Chunked conversion keeps the temporary buffer small for huge slices.
+	var chunk [512 * 8]byte
+	for len(xs) > 0 {
+		n := len(xs)
+		if n > 512 {
+			n = 512
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(chunk[i*8:], math.Float64bits(xs[i]))
+		}
+		w.write(chunk[:n*8])
+		xs = xs[n:]
+	}
+}
+
+// Reader decodes primitives with a sticky error. Every length prefix is
+// validated against MaxSliceLen (and the caller-provided cap, when given)
+// before any allocation, so corrupt input fails cleanly.
+type Reader struct {
+	r   io.Reader
+	err error
+	buf [8]byte
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Err returns the first decoding error.
+func (r *Reader) Err() error { return r.err }
+
+// Fail records err as the reader's sticky error (first failure wins).
+// Callers use it to surface semantic validation errors through the same
+// channel as framing errors.
+func (r *Reader) Fail(err error) { r.fail(err) }
+
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *Reader) corrupt(format string, args ...any) {
+	r.fail(fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...)))
+}
+
+func (r *Reader) read(p []byte) {
+	if r.err != nil {
+		return
+	}
+	if _, err := io.ReadFull(r.r, p); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			r.corrupt("unexpected end of input")
+		} else {
+			r.fail(err)
+		}
+	}
+}
+
+// Magic validates a 4-byte tag and returns the format version.
+func (r *Reader) Magic(tag string) uint32 {
+	var got [4]byte
+	r.read(got[:])
+	if r.err == nil && string(got[:]) != tag {
+		r.corrupt("bad magic %q, want %q", got[:], tag)
+	}
+	return r.U32()
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	r.read(r.buf[:1])
+	if r.err != nil {
+		return 0
+	}
+	return r.buf[0]
+}
+
+// Bool reads a byte written by Writer.Bool; any value other than 0/1 is
+// corruption.
+func (r *Reader) Bool() bool {
+	switch r.U8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		if r.err == nil {
+			r.corrupt("invalid bool byte")
+		}
+		return false
+	}
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	r.read(r.buf[:4])
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(r.buf[:4])
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	r.read(r.buf[:8])
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(r.buf[:8])
+}
+
+// I64 reads a little-endian int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Int reads an int64 written by Writer.Int.
+func (r *Reader) Int() int { return int(r.I64()) }
+
+// F64 reads IEEE-754 bits.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Len reads a length prefix and validates it against MaxSliceLen.
+func (r *Reader) Len() int {
+	n := r.U64()
+	if r.err != nil {
+		return 0
+	}
+	if n > MaxSliceLen {
+		r.corrupt("length prefix %d exceeds cap %d", n, MaxSliceLen)
+		return 0
+	}
+	return int(n)
+}
+
+// Bytes reads a length-prefixed byte slice.
+func (r *Reader) Bytes() []byte {
+	n := r.Len()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	p := make([]byte, n)
+	r.read(p)
+	if r.err != nil {
+		return nil
+	}
+	return p
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string { return string(r.Bytes()) }
+
+// Strings reads a length-prefixed string list.
+func (r *Reader) Strings() []string {
+	n := r.Len()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	ss := make([]string, 0, minInt(n, 4096))
+	for i := 0; i < n; i++ {
+		ss = append(ss, r.String())
+		if r.err != nil {
+			return nil
+		}
+	}
+	return ss
+}
+
+// F64s reads a length-prefixed float64 slice. want < 0 accepts any length
+// (still capped by MaxSliceLen); otherwise the length must equal want.
+func (r *Reader) F64s(want int) []float64 {
+	n := r.Len()
+	if r.err != nil {
+		return nil
+	}
+	if want >= 0 && n != want {
+		r.corrupt("float slice has %d entries, want %d", n, want)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	xs := make([]float64, n)
+	var chunk [512 * 8]byte
+	for i := 0; i < n; {
+		c := n - i
+		if c > 512 {
+			c = 512
+		}
+		r.read(chunk[:c*8])
+		if r.err != nil {
+			return nil
+		}
+		for j := 0; j < c; j++ {
+			xs[i+j] = math.Float64frombits(binary.LittleEndian.Uint64(chunk[j*8:]))
+		}
+		i += c
+	}
+	return xs
+}
+
+// ReadF64sInto reads a float64 slice whose length must equal len(dst),
+// decoding directly into dst (no allocation).
+func (r *Reader) ReadF64sInto(dst []float64) {
+	n := r.Len()
+	if r.err != nil {
+		return
+	}
+	if n != len(dst) {
+		r.corrupt("float slice has %d entries, want %d", n, len(dst))
+		return
+	}
+	var chunk [512 * 8]byte
+	for i := 0; i < n; {
+		c := n - i
+		if c > 512 {
+			c = 512
+		}
+		r.read(chunk[:c*8])
+		if r.err != nil {
+			return
+		}
+		for j := 0; j < c; j++ {
+			dst[i+j] = math.Float64frombits(binary.LittleEndian.Uint64(chunk[j*8:]))
+		}
+		i += c
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"acobe/internal/cert"
@@ -51,6 +52,19 @@ type Ingestor interface {
 	ConsumeDay(d cert.Day, events []Event) error
 }
 
+// StatefulIngestor is an Ingestor whose cross-day state (table plus
+// first-seen trackers) can be serialized. The persistence layer requires
+// it: snapshots capture the ingestor so recovery resumes extraction
+// mid-stream with identical results. Both built-in ingestors implement it.
+type StatefulIngestor interface {
+	Ingestor
+	// SaveState writes the ingestor's complete state deterministically.
+	SaveState(w io.Writer) error
+	// LoadState restores state written by SaveState into a freshly
+	// constructed ingestor of the same shape.
+	LoadState(r io.Reader) error
+}
+
 // CERTIngestor adapts the CERT feature extractor (device/file/HTTP
 // fine-grained features) to the serving loop. CERT extraction is
 // within-day order-independent — a (feature, object) pair first seen on
@@ -72,6 +86,12 @@ func NewCERTIngestor(users []string, start cert.Day) (*CERTIngestor, error) {
 
 // Table implements Ingestor.
 func (c *CERTIngestor) Table() *features.Table { return c.x.Table() }
+
+// SaveState implements StatefulIngestor.
+func (c *CERTIngestor) SaveState(w io.Writer) error { return c.x.SaveState(w) }
+
+// LoadState implements StatefulIngestor.
+func (c *CERTIngestor) LoadState(r io.Reader) error { return c.x.LoadState(r) }
 
 // ConsumeDay implements Ingestor.
 func (c *CERTIngestor) ConsumeDay(d cert.Day, events []Event) error {
@@ -105,6 +125,12 @@ func NewEnterpriseIngestor(users []string, start cert.Day) (*EnterpriseIngestor,
 
 // Table implements Ingestor.
 func (e *EnterpriseIngestor) Table() *features.Table { return e.x.Table() }
+
+// SaveState implements StatefulIngestor.
+func (e *EnterpriseIngestor) SaveState(w io.Writer) error { return e.x.SaveState(w) }
+
+// LoadState implements StatefulIngestor.
+func (e *EnterpriseIngestor) LoadState(r io.Reader) error { return e.x.LoadState(r) }
 
 // ConsumeDay implements Ingestor.
 func (e *EnterpriseIngestor) ConsumeDay(d cert.Day, events []Event) error {

@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"acobe/internal/cert"
+)
+
+// TestPersistConcurrentUse hammers one persisted server from four sides at
+// once — ingest+close (which snapshots, rotates, and prunes segments on the
+// drain goroutine), rank queries, a retrain, and finally a shutdown racing
+// the still-running readers. It asserts no deadlock and a consistent,
+// recoverable final state; the -race build (make test-race) is where it
+// earns its keep.
+func TestPersistConcurrentUse(t *testing.T) {
+	dir := t.TempDir()
+	pc := PersistConfig{
+		Dir:           dir,
+		SnapshotEvery: 3,       // snapshot every few closes, concurrently with queries
+		SegmentBytes:  1 << 15, // force segment rotation + pruning
+	}
+	srv, _, err := Open(persistCfg(), pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const lastDay = cert.Day(29)
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ct := srv.ClosedThrough()
+				if ct >= 1 {
+					// Errors are expected while the window is short or no
+					// model is trained; data races are what we're after.
+					_, _ = srv.Rank(ctx, ct-1, ct)
+				}
+				_ = srv.Status()
+				_ = srv.LastRecovery()
+			}
+		}()
+	}
+
+	var trainer sync.WaitGroup
+	trainer.Add(1)
+	go func() {
+		defer trainer.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if srv.ClosedThrough() >= 14 {
+				err := srv.Retrain(ctx, 0, 12, true)
+				if err == nil || errors.Is(err, ErrRetrainInProgress) {
+					return
+				}
+			}
+		}
+	}()
+
+	for d := cert.Day(0); d <= lastDay; d++ {
+		if err := srv.Submit(ctx, persistDayEvents(d)); err != nil {
+			t.Fatalf("submit day %v: %v", d, err)
+		}
+		if err := srv.CloseDay(ctx, d); err != nil {
+			t.Fatalf("close day %v: %v", d, err)
+		}
+	}
+
+	// Shut down while the readers are still querying: Rank/Status against a
+	// stopped server must stay safe.
+	shutdown(t, srv)
+	close(stop)
+	readers.Wait()
+	trainer.Wait()
+
+	if got := srv.ClosedThrough(); got != lastDay {
+		t.Fatalf("closed through %v, want %v", got, lastDay)
+	}
+	if st := srv.Status(); st.PersistError != "" {
+		t.Fatalf("persistence failed during concurrent use: %s", st.PersistError)
+	}
+
+	// The surviving files must recover to the exact same state.
+	want := serverStateBytes(t, srv)
+	b, info, err := Open(persistCfg(), pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, b)
+	if info.ClosedThrough != lastDay {
+		t.Fatalf("recovered ClosedThrough = %v, want %v", info.ClosedThrough, lastDay)
+	}
+	if got := serverStateBytes(t, b); !bytes.Equal(got, want) {
+		t.Fatal("recovered state differs from the live server's final state")
+	}
+}

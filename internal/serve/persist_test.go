@@ -1,0 +1,343 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"acobe/internal/cert"
+	"acobe/internal/testkit"
+)
+
+// persistCfg is the shared server shape for persistence tests: the real
+// CERT ingestor (persistence requires a StatefulIngestor) with groups on,
+// so snapshots exercise every state blob.
+func persistCfg() Config {
+	return Config{
+		Users:      testUsers,
+		Groups:     testGroups,
+		Membership: testMember,
+		Start:      0,
+		Deviation:  testDevCfg(),
+		QueueSize:  16,
+	}
+}
+
+// persistDayEvents is a deterministic synthetic day: logons, device
+// connects with rotating hosts, file and upload activity — enough variety
+// to move the first-seen trackers and several features.
+func persistDayEvents(d cert.Day) []Event {
+	evs := make([]Event, 0, 4*len(testUsers))
+	for i, u := range testUsers {
+		at := func(h int) time.Time { return d.Date().Add(time.Duration(h) * time.Hour) }
+		evs = append(evs,
+			Event{Cert: &cert.Event{Type: cert.EventLogon, Time: at(8 + i%3), User: u, Activity: cert.ActLogon}},
+			Event{Cert: &cert.Event{Type: cert.EventDevice, Time: at(10), User: u, PC: fmt.Sprintf("PC-%d", (int(d)+i)%4), Activity: cert.ActConnect}},
+			Event{Cert: &cert.Event{Type: cert.EventFile, Time: at(11), User: u, Activity: cert.ActFileOpen, Direction: cert.DirLocal, FileID: fmt.Sprintf("F%d", (int(d)+i)%5)}},
+		)
+		if (int(d)+i)%3 == 0 {
+			evs = append(evs, Event{Cert: &cert.Event{Type: cert.EventHTTP, Time: at(14), User: u, Activity: cert.ActUpload, FileType: "doc", Domain: fmt.Sprintf("d%d.com", i%2)}})
+		}
+	}
+	return evs
+}
+
+// feedDays submits and closes days [from, to].
+func feedDays(t *testing.T, s *Server, from, to cert.Day) {
+	t.Helper()
+	ctx := context.Background()
+	for d := from; d <= to; d++ {
+		if err := s.Submit(ctx, persistDayEvents(d)); err != nil {
+			t.Fatalf("submit day %v: %v", d, err)
+		}
+		if err := s.CloseDay(ctx, d); err != nil {
+			t.Fatalf("close day %v: %v", d, err)
+		}
+	}
+}
+
+// serverStateBytes serializes the full ingest state (extractor, individual
+// and group windows). Byte equality is deep state equality — every encoder
+// is deterministic.
+func serverStateBytes(t *testing.T, s *Server) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.ing.(StatefulIngestor).SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ind.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if s.grp != nil {
+		if err := s.grpTbl.SaveState(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.grp.SaveState(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// referenceStateBytes runs an uninterrupted in-memory server over days
+// [0, to] and returns its state encoding.
+func referenceStateBytes(t *testing.T, to cert.Day) []byte {
+	t.Helper()
+	srv, err := New(persistCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	feedDays(t, srv, 0, to)
+	return serverStateBytes(t, srv)
+}
+
+func shutdown(t *testing.T, s *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPersistCleanShutdownRecovery(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	a, info, err := Open(persistCfg(), PersistConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.SnapshotLoaded || info.ReplayedRecords != 0 || info.ClosedThrough != -1 {
+		t.Fatalf("fresh open reported recovery: %+v", info)
+	}
+	feedDays(t, a, 0, 24)
+	// Two open-day batches that must survive the restart as buffered.
+	if err := a.Submit(ctx, persistDayEvents(25)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Submit(ctx, persistDayEvents(26)); err != nil {
+		t.Fatal(err)
+	}
+	wantState := serverStateBytes(t, a)
+	wantIngested := a.ingested.Load()
+	shutdown(t, a)
+
+	b, info, err := Open(persistCfg(), PersistConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, b)
+	if info.ClosedThrough != 24 {
+		t.Fatalf("recovered ClosedThrough = %v, want 24", info.ClosedThrough)
+	}
+	if info.TornBytes != 0 {
+		t.Fatalf("clean shutdown left %d torn bytes", info.TornBytes)
+	}
+	want25, want26 := len(persistDayEvents(25)), len(persistDayEvents(26))
+	if info.BufferedEvents[25] != want25 || info.BufferedEvents[26] != want26 {
+		t.Fatalf("recovered buffered events %v, want day25=%d day26=%d", info.BufferedEvents, want25, want26)
+	}
+	if got := serverStateBytes(t, b); !bytes.Equal(got, wantState) {
+		t.Fatal("recovered state differs from pre-shutdown state")
+	}
+	if got := b.ingested.Load(); got != wantIngested {
+		t.Fatalf("recovered ingested counter = %d, want %d", got, wantIngested)
+	}
+
+	// Resuming the stream must land exactly where an uninterrupted run
+	// does. Days 25 and 26 were already submitted (recovered as buffered),
+	// so the resume closes them without resubmitting, then continues.
+	for d := cert.Day(25); d <= 26; d++ {
+		if err := b.CloseDay(ctx, d); err != nil {
+			t.Fatalf("close recovered day %v: %v", d, err)
+		}
+	}
+	feedDays(t, b, 27, 30)
+	if got, want := serverStateBytes(t, b), referenceStateBytes(t, 30); !bytes.Equal(got, want) {
+		t.Fatal("resumed state differs from uninterrupted run")
+	}
+}
+
+func TestPersistBoundedReplay(t *testing.T) {
+	dir := t.TempDir()
+	pc := PersistConfig{Dir: dir, SnapshotEvery: 10, SegmentBytes: 4096}
+
+	a, _, err := Open(persistCfg(), pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedDays(t, a, 0, 36)
+	shutdown(t, a)
+
+	// Snapshots landed at days 9, 19, 29; only the newest two survive.
+	snaps, err := listSnapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 || snaps[0].day != 29 || snaps[1].day != 19 {
+		t.Fatalf("retained snapshots = %v, want days 29 and 19", snaps)
+	}
+
+	b, info, err := Open(persistCfg(), pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, b)
+	if !info.SnapshotLoaded || info.SnapshotDay != 29 {
+		t.Fatalf("recovered from snapshot day %v (loaded=%v), want 29", info.SnapshotDay, info.SnapshotLoaded)
+	}
+	// The replay is bounded to the tail behind the snapshot: days 30..36,
+	// one event batch + one close barrier each.
+	if info.ReplayedRecords != 14 {
+		t.Fatalf("replayed %d records, want 14 (7 days × 2)", info.ReplayedRecords)
+	}
+	if got, want := serverStateBytes(t, b), referenceStateBytes(t, 36); !bytes.Equal(got, want) {
+		t.Fatal("snapshot+tail recovery differs from uninterrupted run")
+	}
+}
+
+func TestPersistTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	a, _, err := Open(persistCfg(), PersistConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedDays(t, a, 0, 10)
+	want := serverStateBytes(t, a)
+	shutdown(t, a)
+
+	// Simulate a crash mid-append: garbage half-frame at the tail.
+	segs, err := listSegments(filepath.Join(dir, "wal"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no WAL segments (%v)", err)
+	}
+	last := walSegPath(filepath.Join(dir, "wal"), segs[len(segs)-1])
+	f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x40, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	b, info, err := Open(persistCfg(), PersistConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, b)
+	if info.TornBytes != 11 {
+		t.Fatalf("truncated %d torn bytes, want 11", info.TornBytes)
+	}
+	if info.ClosedThrough != 10 {
+		t.Fatalf("recovered ClosedThrough = %v, want 10", info.ClosedThrough)
+	}
+	if got := serverStateBytes(t, b); !bytes.Equal(got, want) {
+		t.Fatal("state after torn-tail truncation differs from pre-crash state")
+	}
+}
+
+func TestPersistFailStop(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	plan := &testkit.FaultPlan{Name: "wal-", Op: "write", After: 2000}
+	a, _, err := Open(persistCfg(), PersistConfig{
+		Dir:   dir,
+		Hooks: Hooks{WrapWriter: func(name string, f WritableFile) WritableFile { return plan.WrapWriter(name, f) }, BeforeOp: plan.BeforeOp},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failedAt cert.Day = -1
+	for d := cert.Day(0); d <= 40; d++ {
+		if err := a.Submit(ctx, persistDayEvents(d)); err != nil {
+			if !errors.Is(err, ErrPersistenceFailed) || !errors.Is(err, testkit.ErrInjected) {
+				t.Fatalf("submit failure = %v, want ErrPersistenceFailed wrapping ErrInjected", err)
+			}
+			failedAt = d
+			break
+		}
+		if err := a.CloseDay(ctx, d); err != nil {
+			if !errors.Is(err, ErrPersistenceFailed) {
+				t.Fatalf("close failure = %v, want ErrPersistenceFailed", err)
+			}
+			failedAt = d
+			break
+		}
+	}
+	if failedAt < 0 {
+		t.Fatal("fault never fired")
+	}
+	// Fail-stop: all later work is refused immediately with the latched
+	// error; nothing half-applies.
+	if err := a.Submit(ctx, persistDayEvents(failedAt+1)); !errors.Is(err, ErrPersistenceFailed) {
+		t.Fatalf("submit after failure = %v, want ErrPersistenceFailed", err)
+	}
+	if err := a.CloseDay(ctx, failedAt+1); !errors.Is(err, ErrPersistenceFailed) {
+		t.Fatalf("close after failure = %v, want ErrPersistenceFailed", err)
+	}
+	if st := a.Status(); st.PersistError == "" {
+		t.Fatal("status does not surface the persistence failure")
+	}
+	shutdown(t, a)
+
+	// The surviving prefix recovers into exactly the state of an
+	// uninterrupted run over the durable days.
+	b, info, err := Open(persistCfg(), PersistConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, b)
+	if info.ClosedThrough >= failedAt {
+		t.Fatalf("recovered ClosedThrough %v not behind failure day %v", info.ClosedThrough, failedAt)
+	}
+	if info.ClosedThrough >= 0 {
+		if got, want := serverStateBytes(t, b), referenceStateBytes(t, info.ClosedThrough); !bytes.Equal(got, want) {
+			t.Fatal("recovered prefix state differs from uninterrupted run over the same days")
+		}
+	}
+}
+
+func TestPersistSnapshotFallback(t *testing.T) {
+	dir := t.TempDir()
+	pc := PersistConfig{Dir: dir, SnapshotEvery: 5}
+	a, _, err := Open(persistCfg(), pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedDays(t, a, 0, 22) // snapshots at 4, 9, 14, 19; retained: 19, 14
+	shutdown(t, a)
+
+	// Corrupt the newest snapshot in the middle; recovery must fall back
+	// to the previous one and replay the longer tail.
+	data, err := os.ReadFile(snapPath(dir, 19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(snapPath(dir, 19), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	b, info, err := Open(persistCfg(), pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, b)
+	if !info.SnapshotLoaded || info.SnapshotDay != 14 {
+		t.Fatalf("fell back to snapshot day %v (loaded=%v), want 14", info.SnapshotDay, info.SnapshotLoaded)
+	}
+	if info.ClosedThrough != 22 {
+		t.Fatalf("recovered ClosedThrough = %v, want 22", info.ClosedThrough)
+	}
+	if got, want := serverStateBytes(t, b), referenceStateBytes(t, 22); !bytes.Equal(got, want) {
+		t.Fatal("fallback recovery differs from uninterrupted run")
+	}
+}

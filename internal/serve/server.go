@@ -77,11 +77,14 @@ type Config struct {
 	QueueSize int
 }
 
-// envelope is one unit of drain-goroutine work: either an event batch or
-// a close-through-day control item (done != nil).
+// envelope is one unit of drain-goroutine work: an event batch or (with
+// isClose) a close-through-day control item. done, when non-nil, receives
+// the outcome — always set for closes, and set for event batches when
+// persistence is on (Submit acks only after the batch hit the WAL).
 type envelope struct {
 	events       []Event
 	closeThrough cert.Day
+	isClose      bool
 	done         chan error
 }
 
@@ -115,14 +118,37 @@ type Server struct {
 	retraining   atomic.Bool
 	lastTrainErr atomic.Value // error from the most recent retrain, or nil
 
+	// Persistence (nil pcfg = disabled). The WAL appender and snapshot
+	// cadence are owned by the drain goroutine (and by recovery, which
+	// runs before it starts). persistFail is the fail-stop latch: set
+	// once, read by every later Submit/CloseDay.
+	pcfg          *PersistConfig
+	fs            persistFS
+	wal           *wal
+	persistFail   atomic.Value // errBox
+	daysSinceSnap int
+	recovery      *RecoverInfo
+
 	lifeCtx   context.Context
 	cancel    context.CancelFunc
 	drainWG   sync.WaitGroup
 	retrainWG sync.WaitGroup
 }
 
-// New validates the configuration and starts the drain goroutine.
+// New validates the configuration and starts the drain goroutine. The
+// server is purely in-memory; use Open for crash-safe persistence.
 func New(cfg Config) (*Server, error) {
+	s, err := newCore(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.start()
+	return s, nil
+}
+
+// newCore builds the server's ingest state without starting workers;
+// recovery restores into it before the first envelope is drained.
+func newCore(cfg Config) (*Server, error) {
 	if len(cfg.Users) == 0 {
 		return nil, errors.New("serve: no users configured")
 	}
@@ -181,23 +207,58 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("serve: %w", err)
 		}
 	}
+	return s, nil
+}
+
+// start launches the drain goroutine; no envelopes are processed before it.
+func (s *Server) start() {
 	s.lifeCtx, s.cancel = context.WithCancel(context.Background())
 	s.drainWG.Add(1)
 	go s.drain()
-	return s, nil
+}
+
+// adoptCore replaces this server's ingest state with a freshly built
+// core's. Recovery uses it to retry a snapshot load from scratch: a
+// half-loaded corrupt snapshot must not leak into the next attempt.
+func (s *Server) adoptCore(c *Server) {
+	s.ing = c.ing
+	s.grpTbl = c.grpTbl
+	s.ind = c.ind
+	s.grp = c.grp
+	s.invSize = c.invSize
+	s.closedThrough = c.closedThrough
+	s.buffered = c.buffered
+	s.ingested.Store(0)
+	s.late.Store(0)
 }
 
 // Submit hands a batch of events to the drain goroutine. It blocks while
 // the bounded queue is full (backpressure) until ctx is canceled or
 // shutdown begins. Events for already-closed days are counted as late and
-// dropped at drain time.
+// dropped at drain time. With persistence enabled Submit additionally
+// blocks until the batch is appended to the WAL: a nil return means the
+// whole batch survives a restart (batches are logged as a single frame,
+// all-or-nothing).
 func (s *Server) Submit(ctx context.Context, events []Event) error {
 	for _, e := range events {
 		if !e.Valid() {
 			return errors.New("serve: event must carry exactly one of cert/record payloads")
 		}
 	}
-	return s.send(ctx, envelope{events: events})
+	env := envelope{events: events}
+	if s.wal == nil {
+		return s.send(ctx, env)
+	}
+	env.done = make(chan error, 1)
+	if err := s.send(ctx, env); err != nil {
+		return err
+	}
+	select {
+	case err := <-env.done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // CloseDay declares that every day up to and including d is complete,
@@ -205,7 +266,7 @@ func (s *Server) Submit(ctx context.Context, events []Event) error {
 // deviation windows. It blocks until the advance finished (or failed).
 func (s *Server) CloseDay(ctx context.Context, d cert.Day) error {
 	done := make(chan error, 1)
-	if err := s.send(ctx, envelope{closeThrough: d, done: done}); err != nil {
+	if err := s.send(ctx, envelope{closeThrough: d, isClose: true, done: done}); err != nil {
 		return err
 	}
 	select {
@@ -218,6 +279,9 @@ func (s *Server) CloseDay(ctx context.Context, d cert.Day) error {
 
 // send enqueues one envelope with backpressure.
 func (s *Server) send(ctx context.Context, env envelope) error {
+	if err := s.persistErr(); err != nil {
+		return err
+	}
 	s.qmu.RLock()
 	defer s.qmu.RUnlock()
 	if s.closed {
@@ -231,26 +295,104 @@ func (s *Server) send(ctx context.Context, env envelope) error {
 	}
 }
 
+// persistErr returns the fail-stop latch, or nil.
+func (s *Server) persistErr() error {
+	if box, ok := s.persistFail.Load().(errBox); ok && box.err != nil {
+		return box.err
+	}
+	return nil
+}
+
+// failPersist latches the first persistence failure and returns the
+// latched error. Only the drain goroutine (and pre-drain recovery) calls
+// it, so the check-then-store is race-free.
+func (s *Server) failPersist(err error) error {
+	if s.persistErr() == nil {
+		s.persistFail.Store(errBox{fmt.Errorf("%w: %w", ErrPersistenceFailed, err)})
+	}
+	return s.persistErr()
+}
+
 // drain is the single consumer of the ingest queue. It owns the per-day
 // buffers; day-close work happens here so that table mutation is
 // single-writer by construction.
 func (s *Server) drain() {
 	defer s.drainWG.Done()
 	for env := range s.queue {
-		if env.done != nil {
-			env.done <- s.closeDays(env.closeThrough)
+		if env.isClose {
+			env.done <- s.drainClose(env.closeThrough)
 			continue
 		}
-		for _, e := range env.events {
-			d := e.Day()
-			if d <= s.closedThrough { // drain goroutine wrote it; no lock needed
-				s.late.Add(1)
-				continue
-			}
-			s.buffered[d] = append(s.buffered[d], e)
-			s.ingested.Add(1)
+		err := s.drainEvents(env.events)
+		if env.done != nil {
+			env.done <- err
 		}
 	}
+	if s.wal != nil {
+		if err := s.wal.close(); err != nil {
+			_ = s.failPersist(err)
+		}
+	}
+}
+
+// drainEvents buffers one batch, WAL-first when persistence is on. Late
+// events are filtered before logging so that replaying the WAL re-applies
+// exactly the accepted events, independent of the closed-through day at
+// replay time.
+func (s *Server) drainEvents(events []Event) error {
+	if err := s.persistErr(); err != nil {
+		return err
+	}
+	var fresh []Event
+	late := 0
+	for _, e := range events {
+		if e.Day() <= s.closedThrough { // drain goroutine wrote it; no lock needed
+			late++
+			continue
+		}
+		fresh = append(fresh, e)
+	}
+	if s.wal != nil && len(fresh) > 0 {
+		if err := s.wal.appendEvents(fresh); err != nil {
+			return s.failPersist(err)
+		}
+	}
+	s.late.Add(int64(late))
+	for _, e := range fresh {
+		s.buffered[e.Day()] = append(s.buffered[e.Day()], e)
+		s.ingested.Add(1)
+	}
+	return nil
+}
+
+// drainClose logs the barrier, advances the days, and snapshots on
+// cadence. The close record hits the WAL before any table mutation
+// (WAL-before-apply), and under FsyncClose/FsyncAlways the log is synced
+// at the barrier — a crash never loses a closed day.
+func (s *Server) drainClose(to cert.Day) error {
+	if err := s.persistErr(); err != nil {
+		return err
+	}
+	closing := to > s.closedThrough
+	if s.wal != nil && closing {
+		if err := s.wal.appendClose(to); err != nil {
+			return s.failPersist(err)
+		}
+		if s.pcfg.Fsync != FsyncNever {
+			if err := s.wal.sync(); err != nil {
+				return s.failPersist(err)
+			}
+		}
+	}
+	if err := s.closeDays(to); err != nil {
+		return err
+	}
+	if s.wal != nil && closing {
+		if err := s.maybeSnapshot(); err != nil {
+			return s.failPersist(err)
+		}
+	}
+	return nil
 }
 
 // closeDays advances day by day through to, including days with no
@@ -265,7 +407,21 @@ func (s *Server) closeDays(to cert.Day) error {
 		if err != nil {
 			return err
 		}
+		s.daysSinceSnap++
 	}
+	return nil
+}
+
+// maybeSnapshot writes a snapshot once enough days closed since the last
+// one.
+func (s *Server) maybeSnapshot() error {
+	if s.daysSinceSnap < s.pcfg.SnapshotEvery {
+		return nil
+	}
+	if err := s.writeSnapshot(); err != nil {
+		return err
+	}
+	s.daysSinceSnap = 0
 	return nil
 }
 
@@ -481,6 +637,9 @@ type Status struct {
 	// LastTrainError carries the most recent retrain failure ("" if the
 	// last retrain succeeded or none ran yet).
 	LastTrainError string `json:"last_train_error,omitempty"`
+	// PersistError is the fail-stop persistence failure, if any: once set,
+	// the server refuses new work rather than diverge from its log.
+	PersistError string `json:"persist_error,omitempty"`
 }
 
 // Status reports ingest and model state.
@@ -499,6 +658,9 @@ func (s *Server) Status() Status {
 	}
 	if box, ok := s.lastTrainErr.Load().(errBox); ok && box.err != nil {
 		st.LastTrainError = box.err.Error()
+	}
+	if err := s.persistErr(); err != nil {
+		st.PersistError = err.Error()
 	}
 	return st
 }

@@ -1,0 +1,379 @@
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"acobe/internal/cert"
+	"acobe/internal/persist"
+)
+
+// Snapshots bound recovery cost: a snapshot captures the server's complete
+// ingest state at a day-close barrier (measurement tables, extractor
+// first-seen trackers, streaming deviation windows, buffered open-day
+// events, counters) plus the WAL position it corresponds to, so a restart
+// loads the newest valid snapshot and replays only the WAL tail behind it.
+// Snapshots are published atomically (tmp + fsync + rename): a crash mid-
+// write leaves only a .tmp the reader ignores. The newest two are kept so
+// a corrupt latest snapshot falls back one generation, and WAL segments
+// are pruned only below the oldest retained snapshot's position.
+
+const (
+	snapMagic      = "ACSN"
+	snapTrailer    = "ACSE"
+	snapVersion    = 1
+	snapRetain     = 2
+	snapSuffix     = ".snap"
+	snapTempSuffix = ".snap.tmp"
+)
+
+func snapPath(dir string, day cert.Day) string {
+	return filepath.Join(dir, fmt.Sprintf("snapshot-%08d%s", int64(day), snapSuffix))
+}
+
+// crcWriter checksums everything written through it. The snapshot body is
+// followed by its CRC32 so silent corruption (a flipped bit in float
+// data would otherwise decode fine) is detected at load time.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+// crcReader checksums everything read through it.
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+// snapEntry is one snapshot file found on disk.
+type snapEntry struct {
+	day  cert.Day
+	path string
+}
+
+// listSnapshots returns the published snapshots, newest first.
+func listSnapshots(dir string) ([]snapEntry, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []snapEntry
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || !strings.HasPrefix(name, "snapshot-") || !strings.HasSuffix(name, snapSuffix) ||
+			strings.HasSuffix(name, snapTempSuffix) {
+			continue
+		}
+		num := strings.TrimSuffix(strings.TrimPrefix(name, "snapshot-"), snapSuffix)
+		d, err := strconv.ParseInt(num, 10, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, snapEntry{day: cert.Day(d), path: filepath.Join(dir, name)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].day > out[j].day })
+	return out, nil
+}
+
+// listSegments returns the WAL segment sequence numbers present in dir,
+// ascending.
+func listSegments(dir string) ([]uint64, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []uint64
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), 10, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, seq)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// encodeSnapshot writes the full server state. Runs on the drain goroutine
+// (the only writer of ingest state), so no locks are needed: rank queries
+// and retrain cloning only read.
+func (s *Server) encodeSnapshot(w io.Writer, day cert.Day, pos walPos) error {
+	ing, ok := s.ing.(StatefulIngestor)
+	if !ok {
+		return fmt.Errorf("serve: ingestor %T cannot snapshot (no SaveState)", s.ing)
+	}
+	pw := persist.NewWriter(w)
+	pw.Magic(snapMagic, snapVersion)
+	pw.I64(int64(day))
+	pw.U64(pos.seg)
+	pw.I64(pos.off)
+	pw.I64(s.ingested.Load())
+	pw.I64(s.late.Load())
+	pw.Strings(s.cfg.Users)
+	pw.Strings(s.cfg.Groups)
+	pw.I64(int64(s.cfg.Start))
+	pw.Int(s.cfg.Deviation.Window)
+	if err := pw.Err(); err != nil {
+		return err
+	}
+	if err := ing.SaveState(w); err != nil {
+		return err
+	}
+	if err := s.ind.SaveState(w); err != nil {
+		return err
+	}
+	pw.Bool(s.grp != nil)
+	if s.grp != nil {
+		if err := pw.Err(); err != nil {
+			return err
+		}
+		if err := s.grpTbl.SaveState(w); err != nil {
+			return err
+		}
+		if err := s.grp.SaveState(w); err != nil {
+			return err
+		}
+	}
+	days := make([]cert.Day, 0, len(s.buffered))
+	for d := range s.buffered {
+		days = append(days, d)
+	}
+	sort.Slice(days, func(i, j int) bool { return days[i] < days[j] })
+	pw.U64(uint64(len(days)))
+	for _, d := range days {
+		pw.I64(int64(d))
+		body, err := json.Marshal(s.buffered[d])
+		if err != nil {
+			return fmt.Errorf("serve: encode buffered events: %w", err)
+		}
+		pw.Bytes(body)
+	}
+	pw.Magic(snapTrailer, snapVersion)
+	return pw.Err()
+}
+
+// loadSnapshot restores a snapshot file into a freshly constructed server
+// core. Any decoding or validation failure leaves the caller free to fall
+// back to an older snapshot (the server's tables are only mutated after
+// the header validates, and the caller rebuilds the core per attempt).
+func (s *Server) loadSnapshot(path string) (day cert.Day, pos walPos, err error) {
+	ing, ok := s.ing.(StatefulIngestor)
+	if !ok {
+		return 0, walPos{}, fmt.Errorf("serve: ingestor %T cannot restore (no LoadState)", s.ing)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, walPos{}, err
+	}
+	defer f.Close()
+	cr := &crcReader{r: f}
+	pr := persist.NewReader(cr)
+	if v := pr.Magic(snapMagic); pr.Err() == nil && v != snapVersion {
+		return 0, walPos{}, fmt.Errorf("serve: snapshot version %d unsupported", v)
+	}
+	day = cert.Day(pr.I64())
+	pos.seg = pr.U64()
+	pos.off = pr.I64()
+	ingested := pr.I64()
+	late := pr.I64()
+	users := pr.Strings()
+	groups := pr.Strings()
+	start := cert.Day(pr.I64())
+	window := pr.Int()
+	if err := pr.Err(); err != nil {
+		return 0, walPos{}, err
+	}
+	if !equalStrings(users, s.cfg.Users) || !equalStrings(groups, s.cfg.Groups) {
+		return 0, walPos{}, fmt.Errorf("serve: snapshot users/groups do not match configuration")
+	}
+	if start != s.cfg.Start || window != s.cfg.Deviation.Window {
+		return 0, walPos{}, fmt.Errorf("serve: snapshot shape (start %v, window %d) does not match configuration (%v, %d)",
+			start, window, s.cfg.Start, s.cfg.Deviation.Window)
+	}
+	if err := ing.LoadState(cr); err != nil {
+		return 0, walPos{}, err
+	}
+	if err := s.ind.LoadState(cr); err != nil {
+		return 0, walPos{}, err
+	}
+	hasGroups := pr.Bool()
+	if pr.Err() == nil && hasGroups != (s.grp != nil) {
+		return 0, walPos{}, fmt.Errorf("serve: snapshot group presence does not match configuration")
+	}
+	if err := pr.Err(); err != nil {
+		return 0, walPos{}, err
+	}
+	if hasGroups {
+		if err := s.grpTbl.LoadState(cr); err != nil {
+			return 0, walPos{}, err
+		}
+		if err := s.grp.LoadState(cr); err != nil {
+			return 0, walPos{}, err
+		}
+	}
+	ndays := pr.Len()
+	for i := 0; i < ndays && pr.Err() == nil; i++ {
+		d := cert.Day(pr.I64())
+		body := pr.Bytes()
+		if pr.Err() != nil {
+			break
+		}
+		var evs []Event
+		if err := json.Unmarshal(body, &evs); err != nil {
+			return 0, walPos{}, fmt.Errorf("serve: snapshot buffered events: %w", err)
+		}
+		s.buffered[d] = evs
+	}
+	if v := pr.Magic(snapTrailer); pr.Err() == nil && v != snapVersion {
+		return 0, walPos{}, fmt.Errorf("serve: snapshot trailer version %d unsupported", v)
+	}
+	if err := pr.Err(); err != nil {
+		return 0, walPos{}, err
+	}
+	// The stored CRC covers everything up to and including the trailer. It
+	// is read directly from f so it does not feed the running checksum.
+	want := cr.crc
+	var stored [4]byte
+	if _, err := io.ReadFull(f, stored[:]); err != nil {
+		return 0, walPos{}, fmt.Errorf("serve: snapshot checksum missing: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(stored[:]); got != want {
+		return 0, walPos{}, fmt.Errorf("serve: snapshot checksum mismatch (stored %08x, computed %08x)", got, want)
+	}
+	s.closedThrough = day
+	s.ingested.Store(ingested)
+	s.late.Store(late)
+	return day, pos, nil
+}
+
+// readSnapshotPos reads only a snapshot's header, for pruning decisions.
+func readSnapshotPos(path string) (day cert.Day, pos walPos, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, walPos{}, err
+	}
+	defer f.Close()
+	pr := persist.NewReader(f)
+	pr.Magic(snapMagic)
+	day = cert.Day(pr.I64())
+	pos.seg = pr.U64()
+	pos.off = pr.I64()
+	return day, pos, pr.Err()
+}
+
+// writeSnapshot publishes a snapshot of the current state and prunes what
+// it obsoletes. The WAL is synced first so the recorded position is
+// durable before anything behind it may be removed.
+func (s *Server) writeSnapshot() error {
+	if err := s.wal.sync(); err != nil {
+		return err
+	}
+	pos := s.wal.pos()
+	day := s.closedThrough
+	final := snapPath(s.pcfg.Dir, day)
+	tmp := final + ".tmp"
+	f, err := s.fs.create(tmp)
+	if err != nil {
+		return err
+	}
+	cw := &crcWriter{w: f}
+	err = s.encodeSnapshot(cw, day, pos)
+	if err == nil {
+		var sum [4]byte
+		binary.LittleEndian.PutUint32(sum[:], cw.crc)
+		_, err = f.Write(sum[:])
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp) // best effort; recovery ignores .tmp files anyway
+		return err
+	}
+	if err := s.fs.rename(tmp, final); err != nil {
+		return err
+	}
+	return s.pruneAfterSnapshot(day, pos)
+}
+
+// pruneAfterSnapshot removes snapshots beyond the retention count and WAL
+// segments no retained snapshot needs. This runs after the new snapshot is
+// published — the crash window between publish and prune only leaves extra
+// files behind, never a recovery gap.
+func (s *Server) pruneAfterSnapshot(day cert.Day, pos walPos) error {
+	snaps, err := listSnapshots(s.pcfg.Dir)
+	if err != nil {
+		return err
+	}
+	minSeg := pos.seg
+	for i, e := range snaps {
+		if i >= snapRetain {
+			if err := s.fs.remove(e.path); err != nil {
+				return err
+			}
+			continue
+		}
+		if e.day == day {
+			continue
+		}
+		_, p, err := readSnapshotPos(e.path)
+		if err != nil {
+			continue // unreadable retained snapshot: prune nothing below it
+		}
+		if p.seg < minSeg {
+			minSeg = p.seg
+		}
+	}
+	walDir := filepath.Join(s.pcfg.Dir, "wal")
+	segs, err := listSegments(walDir)
+	if err != nil {
+		return err
+	}
+	for _, seq := range segs {
+		if seq < minSeg {
+			if err := s.fs.remove(walSegPath(walDir, seq)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,252 @@
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"path/filepath"
+
+	"acobe/internal/cert"
+)
+
+// Write-ahead log format. A WAL is a directory of segment files
+// wal-<seq>.log, each:
+//
+//	header  "ACWL" | version u32 LE | seq u64 LE          (16 bytes)
+//	frame*  len u32 LE | crc32(payload) u32 LE | payload
+//
+// where payload[0] is the record type (events or day-close) and the rest
+// is the record body. Records are applied to memory only after the frame
+// hit the log (WAL-before-apply), so on restart "replay every valid frame"
+// reconstructs exactly the applied state. A torn tail — a frame cut short
+// or bit-flipped by a crash — fails its length or CRC check; the reader
+// stops at the last valid frame and recovery truncates the file there.
+// Segments rotate at a size threshold so snapshots can prune whole files.
+
+const (
+	walMagic      = "ACWL"
+	walVersion    = 1
+	walHeaderSize = 16
+	// maxWALRecord caps a frame's payload length. Nothing legitimate comes
+	// close; a larger length prefix is corruption and must not turn into a
+	// giant allocation.
+	maxWALRecord = 1 << 26
+
+	recEvents byte = 1 // payload: type byte + JSON array of Event
+	recClose  byte = 2 // payload: type byte + day i64 LE
+)
+
+// walRecord is one decoded WAL record.
+type walRecord struct {
+	typ    byte
+	events []Event  // recEvents
+	day    cert.Day // recClose
+}
+
+// walFrame is one framing-valid frame located inside a segment image.
+type walFrame struct {
+	off     int // byte offset of the frame start within the segment
+	payload []byte
+}
+
+// encodeFrame frames a payload: length, CRC32-IEEE of the payload, payload.
+func encodeFrame(payload []byte) []byte {
+	buf := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[8:], payload)
+	return buf
+}
+
+// parseSegment scans a whole segment image and returns the header's
+// sequence number, every framing-valid frame in order, the byte length of
+// the valid prefix (header + whole valid frames), and whether the header
+// itself was valid. It never panics and never reads past data: scanning
+// stops at the first short, oversized, or CRC-mismatched frame, which is
+// how a torn tail is found. Frame payloads alias data.
+func parseSegment(data []byte) (seq uint64, frames []walFrame, goodLen int, hdrOK bool) {
+	if len(data) < walHeaderSize ||
+		string(data[:4]) != walMagic ||
+		binary.LittleEndian.Uint32(data[4:8]) != walVersion {
+		return 0, nil, 0, false
+	}
+	seq = binary.LittleEndian.Uint64(data[8:16])
+	goodLen = walHeaderSize
+	for {
+		rest := data[goodLen:]
+		if len(rest) < 8 {
+			return seq, frames, goodLen, true
+		}
+		n := binary.LittleEndian.Uint32(rest[0:4])
+		if n == 0 || n > maxWALRecord || uint64(n) > uint64(len(rest)-8) {
+			return seq, frames, goodLen, true
+		}
+		payload := rest[8 : 8+n]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(rest[4:8]) {
+			return seq, frames, goodLen, true
+		}
+		frames = append(frames, walFrame{off: goodLen, payload: payload})
+		goodLen += 8 + int(n)
+	}
+}
+
+// decodeRecord decodes a framing-valid payload. A CRC-valid frame whose
+// body does not decode is corruption (or a foreign format), reported as an
+// error — never a panic.
+func decodeRecord(payload []byte) (walRecord, error) {
+	if len(payload) == 0 {
+		return walRecord{}, fmt.Errorf("serve: empty WAL record")
+	}
+	switch payload[0] {
+	case recEvents:
+		var evs []Event
+		if err := json.Unmarshal(payload[1:], &evs); err != nil {
+			return walRecord{}, fmt.Errorf("serve: WAL event record: %w", err)
+		}
+		for _, e := range evs {
+			if !e.Valid() {
+				return walRecord{}, fmt.Errorf("serve: WAL event record holds invalid event")
+			}
+		}
+		return walRecord{typ: recEvents, events: evs}, nil
+	case recClose:
+		if len(payload) != 9 {
+			return walRecord{}, fmt.Errorf("serve: WAL close record has %d body bytes, want 8", len(payload)-1)
+		}
+		return walRecord{typ: recClose, day: cert.Day(int64(binary.LittleEndian.Uint64(payload[1:])))}, nil
+	default:
+		return walRecord{}, fmt.Errorf("serve: unknown WAL record type %d", payload[0])
+	}
+}
+
+// walPos addresses a frame boundary in the log: byte offset off within
+// segment seg. Snapshots record the position their state corresponds to;
+// replay resumes there.
+type walPos struct {
+	seg uint64
+	off int64
+}
+
+// wal is the appender over the current segment. It is owned by one
+// goroutine (the drain loop; the recovery path before the loop starts).
+type wal struct {
+	dir      string
+	fs       persistFS
+	segBytes int64
+	policy   FsyncPolicy
+
+	seq uint64
+	f   WritableFile
+	off int64
+}
+
+func walSegPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%08d.log", seq))
+}
+
+// openSegment starts a fresh segment with the given sequence number.
+func (w *wal) openSegment(seq uint64) error {
+	f, err := w.fs.create(walSegPath(w.dir, seq))
+	if err != nil {
+		return err
+	}
+	var hdr [walHeaderSize]byte
+	copy(hdr[:4], walMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], walVersion)
+	binary.LittleEndian.PutUint64(hdr[8:16], seq)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	w.f, w.seq, w.off = f, seq, walHeaderSize
+	return nil
+}
+
+// resumeSegment attaches the appender to an existing segment known to end
+// at a frame boundary at size bytes.
+func (w *wal) resumeSegment(seq uint64, size int64) error {
+	f, err := w.fs.appendTo(walSegPath(w.dir, seq))
+	if err != nil {
+		return err
+	}
+	w.f, w.seq, w.off = f, seq, size
+	return nil
+}
+
+// append frames one payload into the log, rotating to a new segment first
+// when the current one is full. Returns only after the frame is written
+// (and synced, under FsyncAlways).
+func (w *wal) append(payload []byte) error {
+	if len(payload) > maxWALRecord {
+		return fmt.Errorf("serve: WAL record of %d bytes exceeds cap %d", len(payload), maxWALRecord)
+	}
+	frame := encodeFrame(payload)
+	if w.off > walHeaderSize && w.off+int64(len(frame)) > w.segBytes {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+		if err := w.f.Close(); err != nil {
+			return err
+		}
+		w.f = nil
+		if err := w.openSegment(w.seq + 1); err != nil {
+			return err
+		}
+	}
+	n, err := w.f.Write(frame)
+	w.off += int64(n)
+	if err != nil {
+		return err
+	}
+	if w.policy == FsyncAlways {
+		return w.f.Sync()
+	}
+	return nil
+}
+
+// appendEvents logs one ingest batch as a single frame: the batch is
+// durable all-or-nothing, which is what lets a client treat a Submit ack
+// as "this batch survives a crash".
+func (w *wal) appendEvents(events []Event) error {
+	body, err := json.Marshal(events)
+	if err != nil {
+		return fmt.Errorf("serve: encode WAL events: %w", err)
+	}
+	payload := make([]byte, 1+len(body))
+	payload[0] = recEvents
+	copy(payload[1:], body)
+	return w.append(payload)
+}
+
+// appendClose logs a close-through-day barrier.
+func (w *wal) appendClose(d cert.Day) error {
+	var payload [9]byte
+	payload[0] = recClose
+	binary.LittleEndian.PutUint64(payload[1:], uint64(int64(d)))
+	return w.append(payload[:])
+}
+
+// pos returns the current append position (a frame boundary).
+func (w *wal) pos() walPos { return walPos{seg: w.seq, off: w.off} }
+
+// sync flushes the current segment.
+func (w *wal) sync() error {
+	if w.f == nil {
+		return nil
+	}
+	return w.f.Sync()
+}
+
+// close syncs and closes the current segment.
+func (w *wal) close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}

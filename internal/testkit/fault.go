@@ -1,0 +1,161 @@
+package testkit
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"sync"
+)
+
+// ErrInjected is the failure every tripped failpoint returns. Tests
+// assert on it with errors.Is to distinguish injected faults from real
+// ones.
+var ErrInjected = errors.New("testkit: injected fault")
+
+// SyncWriteCloser is the write surface of a file: sequential writes,
+// durability barrier, close. It structurally matches any file-like
+// interface a package under test defines for its own persistence layer,
+// so testkit stays free of repository imports.
+type SyncWriteCloser interface {
+	io.Writer
+	io.Closer
+	Sync() error
+}
+
+// FaultPlan injects exactly one fault into a stream of filesystem
+// operations, then plays dead: once tripped, every further write, sync,
+// and metadata operation fails with ErrInjected. That models a crash —
+// everything before the fault reached the disk, nothing after it does —
+// without killing the test process, which is what lets a crash-matrix
+// test drive a server to an arbitrary persistence step, "crash" it, and
+// then recover from the surviving files.
+//
+// Two fault shapes:
+//
+//   - Op "write": files whose base name contains Name are wrapped (via
+//     WrapWriter) in a budget counter. After N bytes have been written
+//     across matching files, the write in flight is cut short (a torn,
+//     partial write hits the file) and fails.
+//   - Any other Op ("create", "append", "rename", "remove", "truncate"):
+//     the first N matching operations pass (via BeforeOp), the next is
+//     vetoed.
+//
+// A FaultPlan is safe for concurrent use.
+type FaultPlan struct {
+	// Name selects files by base-name substring ("" matches every file).
+	Name string
+	// Op is "write" for a data fault, or a metadata operation name.
+	Op string
+	// After is the budget: bytes written (Op "write") or matching
+	// occurrences allowed (metadata ops) before the fault fires.
+	After int64
+
+	mu      sync.Mutex
+	used    int64
+	tripped bool
+}
+
+// Tripped reports whether the fault has fired.
+func (p *FaultPlan) Tripped() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.tripped
+}
+
+func (p *FaultPlan) matches(name string) bool {
+	return p.Name == "" || strings.Contains(name, p.Name)
+}
+
+// BeforeOp implements a metadata-operation hook. It vetoes the fault
+// point and everything after the plan tripped.
+func (p *FaultPlan) BeforeOp(op, name string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.tripped {
+		return ErrInjected
+	}
+	if p.Op == "write" || op != p.Op || !p.matches(name) {
+		return nil
+	}
+	if p.used < p.After {
+		p.used++
+		return nil
+	}
+	p.tripped = true
+	return ErrInjected
+}
+
+// WrapWriter implements a file-wrapping hook. Only write-fault plans
+// intercept data; matching files draw down the shared byte budget, and
+// the write that exhausts it is truncated (the allowed prefix reaches the
+// file) before failing.
+func (p *FaultPlan) WrapWriter(name string, f SyncWriteCloser) SyncWriteCloser {
+	if p.Op != "write" || !p.matches(name) {
+		return &deadDiskFile{plan: p, f: f}
+	}
+	return &faultFile{plan: p, f: f}
+}
+
+// faultFile enforces the byte budget on a matched file.
+type faultFile struct {
+	plan *FaultPlan
+	f    SyncWriteCloser
+}
+
+func (w *faultFile) Write(b []byte) (int, error) {
+	p := w.plan
+	p.mu.Lock()
+	if p.tripped {
+		p.mu.Unlock()
+		return 0, ErrInjected
+	}
+	allowed := p.After - p.used
+	if allowed > int64(len(b)) {
+		p.used += int64(len(b))
+		p.mu.Unlock()
+		return w.f.Write(b)
+	}
+	// The write in flight crosses the budget: land the allowed prefix (a
+	// torn write), then trip.
+	p.used = p.After
+	p.tripped = true
+	p.mu.Unlock()
+	n := 0
+	if allowed > 0 {
+		n, _ = w.f.Write(b[:allowed])
+	}
+	return n, ErrInjected
+}
+
+func (w *faultFile) Sync() error {
+	if w.plan.Tripped() {
+		return ErrInjected
+	}
+	return w.f.Sync()
+}
+
+func (w *faultFile) Close() error { return w.f.Close() }
+
+// deadDiskFile passes writes through until the plan trips anywhere, then
+// fails everything: after the simulated crash point no file makes
+// progress.
+type deadDiskFile struct {
+	plan *FaultPlan
+	f    SyncWriteCloser
+}
+
+func (w *deadDiskFile) Write(b []byte) (int, error) {
+	if w.plan.Tripped() {
+		return 0, ErrInjected
+	}
+	return w.f.Write(b)
+}
+
+func (w *deadDiskFile) Sync() error {
+	if w.plan.Tripped() {
+		return ErrInjected
+	}
+	return w.f.Sync()
+}
+
+func (w *deadDiskFile) Close() error { return w.f.Close() }

@@ -1,0 +1,92 @@
+package testkit
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// memFile is an in-memory SyncWriteCloser.
+type memFile struct {
+	buf    bytes.Buffer
+	synced int
+}
+
+func (m *memFile) Write(b []byte) (int, error) { return m.buf.Write(b) }
+func (m *memFile) Sync() error                 { m.synced++; return nil }
+func (m *memFile) Close() error                { return nil }
+
+func TestFaultPlanWriteBudget(t *testing.T) {
+	plan := &FaultPlan{Name: "wal-", Op: "write", After: 10}
+	mem := &memFile{}
+	f := plan.WrapWriter("wal-00000001.log", mem)
+
+	if n, err := f.Write(make([]byte, 6)); n != 6 || err != nil {
+		t.Fatalf("first write = (%d, %v), want (6, nil)", n, err)
+	}
+	if plan.Tripped() {
+		t.Fatal("tripped before budget exhausted")
+	}
+	// This write crosses the budget: 4 bytes land (torn), then the error.
+	n, err := f.Write(make([]byte, 6))
+	if n != 4 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("crossing write = (%d, %v), want (4, ErrInjected)", n, err)
+	}
+	if !plan.Tripped() {
+		t.Fatal("not tripped after budget exhausted")
+	}
+	if mem.buf.Len() != 10 {
+		t.Fatalf("file holds %d bytes, want 10 (torn write)", mem.buf.Len())
+	}
+	// Dead disk afterwards: writes and syncs fail, everywhere.
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Errorf("post-trip write err = %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Errorf("post-trip sync err = %v", err)
+	}
+	other := plan.WrapWriter("snapshot-1.snap", &memFile{})
+	if _, err := other.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Errorf("post-trip write to unrelated file err = %v", err)
+	}
+	if err := plan.BeforeOp("remove", "anything"); !errors.Is(err, ErrInjected) {
+		t.Errorf("post-trip op err = %v", err)
+	}
+}
+
+func TestFaultPlanWriteNameFilter(t *testing.T) {
+	plan := &FaultPlan{Name: "wal-", Op: "write", After: 0}
+	mem := &memFile{}
+	f := plan.WrapWriter("snapshot-1.snap", mem)
+	if _, err := f.Write(make([]byte, 100)); err != nil {
+		t.Fatalf("unmatched file faulted: %v", err)
+	}
+	if plan.Tripped() {
+		t.Fatal("unmatched writes consumed the budget")
+	}
+}
+
+func TestFaultPlanOpOccurrence(t *testing.T) {
+	plan := &FaultPlan{Name: "wal-", Op: "create", After: 2}
+	for i := 0; i < 2; i++ {
+		if err := plan.BeforeOp("create", "wal-00000001.log"); err != nil {
+			t.Fatalf("allowed occurrence %d vetoed: %v", i, err)
+		}
+	}
+	// Non-matching op and name do not draw down the budget.
+	if err := plan.BeforeOp("remove", "wal-00000001.log"); err != nil {
+		t.Fatalf("non-matching op vetoed: %v", err)
+	}
+	if err := plan.BeforeOp("create", "snapshot-1.snap.tmp"); err != nil {
+		t.Fatalf("non-matching name vetoed: %v", err)
+	}
+	if err := plan.BeforeOp("create", "wal-00000002.log"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("third matching create = %v, want ErrInjected", err)
+	}
+	if !plan.Tripped() {
+		t.Fatal("not tripped after veto")
+	}
+	if err := plan.BeforeOp("append", "whatever"); !errors.Is(err, ErrInjected) {
+		t.Errorf("post-trip op err = %v", err)
+	}
+}

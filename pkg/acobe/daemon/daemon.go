@@ -1,0 +1,123 @@
+// Package daemon is the public face of the online ACOBE scoring daemon
+// (internal/serve): continuous ingest over an in-process API, incremental
+// day-close window advancement, background retraining, ranked
+// investigation-list queries — and, when opened with a data directory,
+// crash-safe persistence: every acknowledged batch is written ahead to a
+// CRC-framed WAL, per-user window state is snapshotted at day-close
+// barriers, and Open recovers by loading the newest valid snapshot and
+// replaying the WAL tail.
+//
+// It lives beside pkg/acobe (rather than inside it) because the serving
+// layer builds on the detector API; a facade in pkg/acobe itself would be
+// an import cycle.
+//
+// Quick start:
+//
+//	srv, info, err := daemon.Open(daemon.Config{Users: users, Start: day0},
+//		daemon.PersistConfig{Dir: "/var/lib/acobe"})
+//	// info.ClosedThrough tells the client where to resume its stream;
+//	// info.BufferedEvents says which open-day batches already survived.
+//	err = srv.Submit(ctx, batch) // nil means: durable, survives a crash
+//	err = srv.CloseDay(ctx, day)
+//	list, err := srv.Rank(ctx, from, to)
+package daemon
+
+import (
+	"acobe/internal/cert"
+	"acobe/internal/logstore"
+	"acobe/internal/serve"
+)
+
+// Day is a calendar day index (identical to acobe.Day).
+type Day = cert.Day
+
+// Event payload types, so callers can construct ingestable events without
+// reaching into internal packages.
+type (
+	// CertEvent is a CERT-format audit event (Event.Cert).
+	CertEvent = cert.Event
+	// CertEventType enumerates the CERT log channels.
+	CertEventType = cert.EventType
+	// EnterpriseRecord is a normalized enterprise log record (Event.Record).
+	EnterpriseRecord = logstore.Record
+)
+
+// CERT log channels for CertEvent.Type.
+const (
+	EventLogon  = cert.EventLogon
+	EventDevice = cert.EventDevice
+	EventFile   = cert.EventFile
+	EventHTTP   = cert.EventHTTP
+	EventEmail  = cert.EventEmail
+)
+
+// Core serving types, re-exported verbatim.
+type (
+	// Config shapes the daemon: users, groups, deviation windows, detector
+	// options.
+	Config = serve.Config
+	// Server is the running daemon.
+	Server = serve.Server
+	// Event is one ingestable audit event (CERT or enterprise payload).
+	Event = serve.Event
+	// Status is a point-in-time snapshot of daemon state.
+	Status = serve.Status
+	// Ingestor turns closed days of events into measurements.
+	Ingestor = serve.Ingestor
+	// StatefulIngestor additionally serializes its state; persistence
+	// requires it (both built-in ingestors qualify).
+	StatefulIngestor = serve.StatefulIngestor
+)
+
+// Persistence types.
+type (
+	// PersistConfig locates and tunes the durability layer.
+	PersistConfig = serve.PersistConfig
+	// RecoverInfo reports what recovery found and replayed.
+	RecoverInfo = serve.RecoverInfo
+	// FsyncPolicy says when the WAL is fsynced.
+	FsyncPolicy = serve.FsyncPolicy
+)
+
+// Fsync policies, strictest last.
+const (
+	FsyncNever  = serve.FsyncNever
+	FsyncClose  = serve.FsyncClose
+	FsyncAlways = serve.FsyncAlways
+)
+
+// Sentinel errors, matched with errors.Is.
+var (
+	ErrNoModel           = serve.ErrNoModel
+	ErrRetrainInProgress = serve.ErrRetrainInProgress
+	ErrShuttingDown      = serve.ErrShuttingDown
+	// ErrPersistenceFailed wraps the first WAL/snapshot failure; once it is
+	// returned the daemon fail-stops (refuses new work) rather than let
+	// memory diverge from its log.
+	ErrPersistenceFailed = serve.ErrPersistenceFailed
+)
+
+// New starts an in-memory daemon: nothing survives a restart.
+func New(cfg Config) (*Server, error) { return serve.New(cfg) }
+
+// Open starts a durable daemon rooted at p.Dir, recovering whatever an
+// earlier process left there (possibly nothing). A nil error guarantees
+// the returned server's state equals the pre-crash state for every
+// acknowledged Submit and CloseDay.
+func Open(cfg Config, p PersistConfig) (*Server, *RecoverInfo, error) {
+	return serve.Open(cfg, p)
+}
+
+// ParseFsyncPolicy parses "never", "close", or "always".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) { return serve.ParseFsyncPolicy(s) }
+
+// NewCERTIngestor builds the CERT-format ingestor explicitly (Config
+// defaults to it when Ingestor is nil).
+func NewCERTIngestor(users []string, start cert.Day) (StatefulIngestor, error) {
+	return serve.NewCERTIngestor(users, start)
+}
+
+// NewEnterpriseIngestor builds the enterprise JSONL-record ingestor.
+func NewEnterpriseIngestor(users []string, start cert.Day) (StatefulIngestor, error) {
+	return serve.NewEnterpriseIngestor(users, start)
+}
