@@ -28,7 +28,8 @@ type Hooks struct {
 	// (e.g. "wal-00000001.log", "snapshot-00000072.snap.tmp").
 	WrapWriter func(name string, f WritableFile) WritableFile
 	// BeforeOp runs before a metadata operation; returning an error aborts
-	// it. op is one of "create", "append", "rename", "remove", "truncate".
+	// it. op is one of "create", "append", "rename", "remove", "truncate",
+	// "syncdir".
 	BeforeOp func(op, name string) error
 }
 
@@ -91,6 +92,25 @@ func (fs persistFS) remove(path string) error {
 		return err
 	}
 	return os.Remove(path)
+}
+
+// syncDir fsyncs a directory, making the creations, removals, and renames
+// inside it durable. File-data fsyncs alone do not cover directory
+// entries: without this, a power loss can keep a WAL prune while dropping
+// the snapshot rename (or a synced segment's entry) that justified it.
+func (fs persistFS) syncDir(dir string) error {
+	if err := fs.before("syncdir", dir); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func (fs persistFS) truncate(path string, size int64) error {

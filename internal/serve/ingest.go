@@ -52,6 +52,19 @@ type Ingestor interface {
 	ConsumeDay(d cert.Day, events []Event) error
 }
 
+// EventChecker is an optional Ingestor refinement: CheckEvent vets a
+// single event's payload type up front, so Submit can reject a batch the
+// ingestor could never consume before it is queued — and, with
+// persistence, before it is WAL-logged. An unconsumable batch in a
+// durable log would otherwise fail every replay at day-close, making the
+// data directory unrecoverable. Ingestors without it accept any valid
+// Event at submit time and rely on ConsumeDay's own checks.
+type EventChecker interface {
+	// CheckEvent returns an error when e's payload type cannot be
+	// consumed by this ingestor.
+	CheckEvent(e Event) error
+}
+
 // StatefulIngestor is an Ingestor whose cross-day state (table plus
 // first-seen trackers) can be serialized. The persistence layer requires
 // it: snapshots capture the ingestor so recovery resumes extraction
@@ -93,6 +106,14 @@ func (c *CERTIngestor) SaveState(w io.Writer) error { return c.x.SaveState(w) }
 // LoadState implements StatefulIngestor.
 func (c *CERTIngestor) LoadState(r io.Reader) error { return c.x.LoadState(r) }
 
+// CheckEvent implements EventChecker: only CERT payloads are consumable.
+func (c *CERTIngestor) CheckEvent(e Event) error {
+	if e.Cert == nil {
+		return fmt.Errorf("serve: cert ingestor accepts only CERT events")
+	}
+	return nil
+}
+
 // ConsumeDay implements Ingestor.
 func (c *CERTIngestor) ConsumeDay(d cert.Day, events []Event) error {
 	evs := make([]cert.Event, 0, len(events))
@@ -131,6 +152,15 @@ func (e *EnterpriseIngestor) SaveState(w io.Writer) error { return e.x.SaveState
 
 // LoadState implements StatefulIngestor.
 func (e *EnterpriseIngestor) LoadState(r io.Reader) error { return e.x.LoadState(r) }
+
+// CheckEvent implements EventChecker: only enterprise records are
+// consumable.
+func (e *EnterpriseIngestor) CheckEvent(ev Event) error {
+	if ev.Record == nil {
+		return fmt.Errorf("serve: enterprise ingestor accepts only record events")
+	}
+	return nil
+}
 
 // ConsumeDay implements Ingestor.
 func (e *EnterpriseIngestor) ConsumeDay(d cert.Day, events []Event) error {

@@ -1,0 +1,346 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"acobe/internal/cert"
+	"acobe/internal/logstore"
+)
+
+// These tests pin the persistence layer's guard rails: input problems
+// (wrong payload type, oversized batch) must be plain per-batch
+// rejections that never reach the WAL, while apply failures behind a
+// logged barrier must fail-stop — and recovery must refuse to replay
+// around missing history rather than silently rebuild wrong state.
+
+// recordEvent is an enterprise-payload event, which the CERT ingestor of
+// persistCfg can never consume.
+func recordEvent(d cert.Day) Event {
+	return Event{Record: &logstore.Record{Time: d.Date(), User: testUsers[0], Action: "Logon"}}
+}
+
+func TestSubmitRejectsMismatchedPayload(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	a, _, err := Open(persistCfg(), PersistConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = a.Submit(ctx, []Event{recordEvent(0)})
+	if err == nil {
+		t.Fatal("submit of an unconsumable payload succeeded")
+	}
+	if errors.Is(err, ErrPersistenceFailed) {
+		t.Fatalf("payload rejection latched the server: %v", err)
+	}
+	// The bad batch never reached the WAL; the server keeps working and a
+	// restart recovers exactly the good prefix.
+	feedDays(t, a, 0, 5)
+	want := serverStateBytes(t, a)
+	shutdown(t, a)
+
+	b, info, err := Open(persistCfg(), PersistConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, b)
+	if info.ClosedThrough != 5 || info.RejectedEvents != 0 {
+		t.Fatalf("recovered ClosedThrough=%v RejectedEvents=%d, want 5 and 0", info.ClosedThrough, info.RejectedEvents)
+	}
+	if got := serverStateBytes(t, b); !bytes.Equal(got, want) {
+		t.Fatal("recovered state differs from pre-shutdown state")
+	}
+}
+
+func TestRecoverDropsUnconsumablePayload(t *testing.T) {
+	dir := t.TempDir()
+	a, _, err := Open(persistCfg(), PersistConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedDays(t, a, 0, 5)
+	want := serverStateBytes(t, a)
+	shutdown(t, a)
+
+	// Forge a WAL written without payload vetting: append a frame holding
+	// an enterprise record to the CERT server's log.
+	walDir := filepath.Join(dir, "wal")
+	segs, err := listSegments(walDir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no WAL segments (%v)", err)
+	}
+	payload, err := encodeEventsPayload([]Event{recordEvent(6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(walSegPath(walDir, segs[len(segs)-1]), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(encodeFrame(payload)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	b, info, err := Open(persistCfg(), PersistConfig{Dir: dir})
+	if err != nil {
+		t.Fatalf("recovery over an unconsumable batch failed: %v", err)
+	}
+	defer shutdown(t, b)
+	if info.RejectedEvents != 1 {
+		t.Fatalf("RejectedEvents = %d, want 1", info.RejectedEvents)
+	}
+	if len(info.BufferedEvents) != 0 {
+		t.Fatalf("rejected event was buffered: %v", info.BufferedEvents)
+	}
+	if got := serverStateBytes(t, b); !bytes.Equal(got, want) {
+		t.Fatal("recovered state differs from pre-shutdown state")
+	}
+}
+
+func TestSubmitRejectsOversizedBatch(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	a, _, err := Open(persistCfg(), PersistConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, a)
+	huge := Event{Cert: &cert.Event{
+		Type: cert.EventHTTP, Time: cert.Day(0).Date(), User: testUsers[0],
+		Activity: cert.ActUpload, Domain: strings.Repeat("a", maxWALRecord),
+	}}
+	err = a.Submit(ctx, []Event{huge})
+	if !errors.Is(err, ErrBatchTooLarge) {
+		t.Fatalf("oversized submit = %v, want ErrBatchTooLarge", err)
+	}
+	if errors.Is(err, ErrPersistenceFailed) {
+		t.Fatalf("oversized batch latched the server: %v", err)
+	}
+	// The rejection is per-batch: normal ingest continues.
+	feedDays(t, a, 0, 2)
+	if st := a.Status(); st.PersistError != "" {
+		t.Fatalf("persist error after oversized batch: %s", st.PersistError)
+	}
+}
+
+// failingConsume wraps the CERT ingestor and fails day-close apply on one
+// day, modelling an apply error after the close barrier was WAL-logged.
+type failingConsume struct {
+	*CERTIngestor
+	failOn cert.Day
+}
+
+func (f *failingConsume) ConsumeDay(d cert.Day, events []Event) error {
+	if d == f.failOn {
+		return errors.New("synthetic apply failure")
+	}
+	return f.CERTIngestor.ConsumeDay(d, events)
+}
+
+func TestDayCloseFailureLatchesAndLogRecovers(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	const failOn = cert.Day(4)
+	cfg := persistCfg()
+	ing, err := NewCERTIngestor(cfg.Users, cfg.Start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Ingestor = &failingConsume{CERTIngestor: ing, failOn: failOn}
+	a, _, err := Open(cfg, PersistConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := cert.Day(0); d < failOn; d++ {
+		if err := a.Submit(ctx, persistDayEvents(d)); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.CloseDay(ctx, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Submit(ctx, persistDayEvents(failOn)); err != nil {
+		t.Fatal(err)
+	}
+	// The barrier is durably logged before the apply fails: the server
+	// must latch instead of serving state its log no longer describes.
+	if err := a.CloseDay(ctx, failOn); !errors.Is(err, ErrPersistenceFailed) {
+		t.Fatalf("close after apply failure = %v, want ErrPersistenceFailed", err)
+	}
+	if err := a.Submit(ctx, persistDayEvents(failOn+1)); !errors.Is(err, ErrPersistenceFailed) {
+		t.Fatalf("submit after latch = %v, want ErrPersistenceFailed", err)
+	}
+	shutdown(t, a)
+
+	// The log is the truth: a healthy ingestor replays it in full,
+	// including the barrier whose apply failed in the crashed process.
+	b, info, err := Open(persistCfg(), PersistConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, b)
+	if info.ClosedThrough != failOn {
+		t.Fatalf("recovered ClosedThrough = %v, want %v", info.ClosedThrough, failOn)
+	}
+	if got, want := serverStateBytes(t, b), referenceStateBytes(t, failOn); !bytes.Equal(got, want) {
+		t.Fatal("replayed state differs from uninterrupted run")
+	}
+}
+
+func TestRecoverRejectsSegmentGap(t *testing.T) {
+	dir := t.TempDir()
+	a, _, err := Open(persistCfg(), PersistConfig{Dir: dir, SnapshotEvery: 1000, SegmentBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedDays(t, a, 0, 10)
+	shutdown(t, a)
+
+	walDir := filepath.Join(dir, "wal")
+	segs, err := listSegments(walDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("want ≥3 segments to punch a hole, got %d", len(segs))
+	}
+	if err := os.Remove(walSegPath(walDir, segs[len(segs)/2])); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := Open(persistCfg(), PersistConfig{Dir: dir, SnapshotEvery: 1000, SegmentBytes: 2048}); err == nil {
+		t.Fatal("recovery over a missing middle segment succeeded")
+	} else if !strings.Contains(err.Error(), "history gap") {
+		t.Fatalf("gap error = %v, want a history-gap failure", err)
+	}
+}
+
+func TestRecoverRejectsMissingSnapshotSegment(t *testing.T) {
+	dir := t.TempDir()
+	pc := PersistConfig{Dir: dir, SnapshotEvery: 5, SegmentBytes: 2048}
+	a, _, err := Open(persistCfg(), pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedDays(t, a, 0, 22) // snapshots at 4, 9, 14, 19; retained: 19, 14
+	shutdown(t, a)
+
+	// Corrupt the newest snapshot so recovery falls back to day 14, then
+	// delete the segment day 14's position points into: replay must fail
+	// loudly instead of skipping the hole.
+	_, pos14, err := readSnapshotPos(snapPath(dir, 14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(snapPath(dir, 19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(snapPath(dir, 19), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(walSegPath(filepath.Join(dir, "wal"), pos14.seg)); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := Open(persistCfg(), pc); err == nil {
+		t.Fatal("recovery with the fallback snapshot's WAL segment missing succeeded")
+	} else if !strings.Contains(err.Error(), "history gap") {
+		t.Fatalf("missing-segment error = %v, want a history-gap failure", err)
+	}
+}
+
+func TestPruneKeepsSegmentsWhenRetainedSnapshotUnreadable(t *testing.T) {
+	dir := t.TempDir()
+	pc := PersistConfig{Dir: dir, SnapshotEvery: 5, SegmentBytes: 2048}
+	a, _, err := Open(persistCfg(), pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedDays(t, a, 0, 13) // snapshots at 4 and 9
+	walDir := filepath.Join(dir, "wal")
+	before, err := listSegments(walDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make the retained snapshot's header unreadable: the next prune can
+	// no longer tell which segments it needs and must keep all of them.
+	f, err := os.OpenFile(snapPath(dir, 9), os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("XXXX"), 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	feedDays(t, a, 14, 14) // publishes the day-14 snapshot and prunes
+	defer shutdown(t, a)
+	if st := a.Status(); st.PersistError != "" {
+		t.Fatalf("persist error after prune with unreadable snapshot: %s", st.PersistError)
+	}
+	after, err := listSegments(walDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seq := range before {
+		found := false
+		for _, got := range after {
+			if got == seq {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("segment %d was pruned although a retained snapshot is unreadable (before %v, after %v)", seq, before, after)
+		}
+	}
+}
+
+func TestSyncDirAfterPublishAndSegmentCreate(t *testing.T) {
+	dir := t.TempDir()
+	var (
+		mu  sync.Mutex
+		ops []string
+	)
+	pc := PersistConfig{
+		Dir: dir, SnapshotEvery: 2, SegmentBytes: 2048,
+		Hooks: Hooks{BeforeOp: func(op, name string) error {
+			mu.Lock()
+			ops = append(ops, fmt.Sprintf("%s %s", op, name))
+			mu.Unlock()
+			return nil
+		}},
+	}
+	a, _, err := Open(persistCfg(), pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedDays(t, a, 0, 3)
+	shutdown(t, a)
+
+	mu.Lock()
+	defer mu.Unlock()
+	wantWal, wantData := fmt.Sprintf("syncdir %s", filepath.Base(filepath.Join(dir, "wal"))), fmt.Sprintf("syncdir %s", filepath.Base(dir))
+	var gotWal, gotData bool
+	for _, op := range ops {
+		gotWal = gotWal || op == wantWal
+		gotData = gotData || op == wantData
+	}
+	if !gotWal {
+		t.Errorf("no WAL directory fsync after segment create (ops: %v)", ops)
+	}
+	if !gotData {
+		t.Errorf("no data directory fsync after snapshot publish (ops: %v)", ops)
+	}
+}

@@ -53,6 +53,11 @@ type RecoverInfo struct {
 	// snapshot. Bounded-recovery tests assert on ReplayedRecords.
 	ReplayedRecords int
 	ReplayedEvents  int
+	// RejectedEvents counts replayed events whose payload type the
+	// configured ingestor cannot consume (a log written before payload
+	// vetting, or under a different ingestor). They are dropped, exactly
+	// as the live path rejects them before the WAL.
+	RejectedEvents int
 	// TornBytes is how much of a torn tail was truncated from the last
 	// segment (0 after a clean shutdown).
 	TornBytes int64
@@ -157,6 +162,35 @@ func (s *Server) recover(walDir string) (*RecoverInfo, error) {
 	}
 	if !info.SnapshotLoaded && len(segs) > 0 && segs[0] != 1 {
 		return nil, fmt.Errorf("serve: WAL starts at segment %d with no snapshot — history gap", segs[0])
+	}
+	if info.SnapshotLoaded {
+		// The loaded snapshot's position must land in an existing segment:
+		// pruning never removes a retained snapshot's segment, so a
+		// missing one means manual deletion or over-pruning, and replaying
+		// around it would silently rebuild wrong state.
+		found := false
+		for _, seq := range segs {
+			if seq == pos.seg {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("serve: snapshot WAL position (segment %d) is missing from the log — history gap", pos.seg)
+		}
+	}
+	// The replayed segments must be strictly consecutive: a missing middle
+	// segment would otherwise be skipped silently and later segments would
+	// replay on top of a hole.
+	prevSeq := uint64(0)
+	for _, seq := range segs {
+		if info.SnapshotLoaded && seq < pos.seg {
+			continue // behind the snapshot; only an older snapshot needs it
+		}
+		if prevSeq != 0 && seq != prevSeq+1 {
+			return nil, fmt.Errorf("serve: WAL segment %d follows %d — history gap", seq, prevSeq)
+		}
+		prevSeq = seq
 	}
 	lastSeq, lastEnd := uint64(0), int64(0)
 	attached := false
@@ -280,6 +314,15 @@ func (s *Server) applyRecord(rec walRecord, info *RecoverInfo) error {
 	switch rec.typ {
 	case recEvents:
 		for _, e := range rec.events {
+			if s.checkEvent(e) != nil {
+				// The ingestor cannot consume this payload type (logged
+				// before payload vetting existed, or a foreign log). Drop
+				// it exactly as the live path now rejects it pre-WAL —
+				// failing recovery would make the directory permanently
+				// unrecoverable over one bad batch.
+				info.RejectedEvents++
+				continue
+			}
 			d := e.Day()
 			if d <= s.closedThrough {
 				// Cannot happen for a log the server wrote (events are

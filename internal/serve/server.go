@@ -50,6 +50,11 @@ var (
 	ErrRetrainInProgress = errors.New("serve: retrain already in progress")
 	// ErrShuttingDown is returned by Submit/CloseDay after Shutdown began.
 	ErrShuttingDown = errors.New("serve: shutting down")
+	// ErrBatchTooLarge is returned by Submit when one batch's WAL encoding
+	// exceeds the frame cap. The batch is rejected whole; the server keeps
+	// running — an input-size problem is the client's to split, not a
+	// persistence failure.
+	ErrBatchTooLarge = errors.New("serve: batch too large for one WAL frame")
 )
 
 // Config wires a Server.
@@ -244,6 +249,9 @@ func (s *Server) Submit(ctx context.Context, events []Event) error {
 		if !e.Valid() {
 			return errors.New("serve: event must carry exactly one of cert/record payloads")
 		}
+		if err := s.checkEvent(e); err != nil {
+			return err
+		}
 	}
 	env := envelope{events: events}
 	if s.wal == nil {
@@ -293,6 +301,18 @@ func (s *Server) send(ctx context.Context, env envelope) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// checkEvent vets an event's payload type against the ingestor. Submit
+// calls it so a batch the ingestor cannot consume is rejected before it
+// is queued or WAL-logged: a durable log holding an unconsumable batch
+// would fail every replay at day-close. s.ing is immutable once the drain
+// goroutine runs, so the type assertion is safe from any goroutine.
+func (s *Server) checkEvent(e Event) error {
+	if c, ok := s.ing.(EventChecker); ok {
+		return c.CheckEvent(e)
+	}
+	return nil
 }
 
 // persistErr returns the fail-stop latch, or nil.
@@ -353,7 +373,14 @@ func (s *Server) drainEvents(events []Event) error {
 		fresh = append(fresh, e)
 	}
 	if s.wal != nil && len(fresh) > 0 {
-		if err := s.wal.appendEvents(fresh); err != nil {
+		payload, err := encodeEventsPayload(fresh)
+		if err != nil {
+			return err // a batch that cannot encode is the batch's problem
+		}
+		if len(payload) > maxWALRecord {
+			return fmt.Errorf("%w (%d bytes, cap %d)", ErrBatchTooLarge, len(payload), maxWALRecord)
+		}
+		if err := s.wal.append(payload); err != nil {
 			return s.failPersist(err)
 		}
 	}
@@ -385,6 +412,13 @@ func (s *Server) drainClose(to cert.Day) error {
 		}
 	}
 	if err := s.closeDays(to); err != nil {
+		if s.wal != nil && closing {
+			// The barrier is already durably logged: an apply failure here
+			// means memory has diverged from the log (buffered events of
+			// the failed day are gone), so fail-stop rather than keep
+			// serving state the log no longer describes.
+			return s.failPersist(err)
+		}
 		return err
 	}
 	if s.wal != nil && closing {

@@ -320,6 +320,13 @@ func (s *Server) writeSnapshot() error {
 	if err := s.fs.rename(tmp, final); err != nil {
 		return err
 	}
+	// The rename must be durable before pruning anything the new snapshot
+	// obsoletes: without the directory fsync a power loss could keep the
+	// prunes while dropping the publish, leaving a pruned WAL with no (or
+	// only an older, position-dangling) snapshot.
+	if err := s.fs.syncDir(s.pcfg.Dir); err != nil {
+		return err
+	}
 	return s.pruneAfterSnapshot(day, pos)
 }
 
@@ -345,7 +352,11 @@ func (s *Server) pruneAfterSnapshot(day cert.Day, pos walPos) error {
 		}
 		_, p, err := readSnapshotPos(e.path)
 		if err != nil {
-			continue // unreadable retained snapshot: prune nothing below it
+			// Unreadable retained snapshot: its WAL needs are unknown, so
+			// keep every segment this round. Recovery may still fall back
+			// to it (or past it to the full log) and must find its tail.
+			minSeg = 0
+			continue
 		}
 		if p.seg < minSeg {
 			minSeg = p.seg

@@ -159,6 +159,13 @@ func (w *wal) openSegment(seq uint64) error {
 		f.Close()
 		return err
 	}
+	// Make the segment's directory entry durable: fsyncing frame data into
+	// a file whose entry a power loss can drop would void acknowledged
+	// barriers.
+	if err := w.fs.syncDir(w.dir); err != nil {
+		f.Close()
+		return err
+	}
 	w.f, w.seq, w.off = f, seq, walHeaderSize
 	return nil
 }
@@ -205,18 +212,21 @@ func (w *wal) append(payload []byte) error {
 	return nil
 }
 
-// appendEvents logs one ingest batch as a single frame: the batch is
-// durable all-or-nothing, which is what lets a client treat a Submit ack
-// as "this batch survives a crash".
-func (w *wal) appendEvents(events []Event) error {
+// encodeEventsPayload encodes one ingest batch as a single recEvents
+// payload: the batch is durable all-or-nothing, which is what lets a
+// client treat a Submit ack as "this batch survives a crash". The caller
+// checks the encoded size against maxWALRecord before appending, so an
+// oversized batch is a plain rejection rather than a latched persistence
+// failure.
+func encodeEventsPayload(events []Event) ([]byte, error) {
 	body, err := json.Marshal(events)
 	if err != nil {
-		return fmt.Errorf("serve: encode WAL events: %w", err)
+		return nil, fmt.Errorf("serve: encode WAL events: %w", err)
 	}
 	payload := make([]byte, 1+len(body))
 	payload[0] = recEvents
 	copy(payload[1:], body)
-	return w.append(payload)
+	return payload, nil
 }
 
 // appendClose logs a close-through-day barrier.

@@ -36,9 +36,9 @@ type SyncWriteCloser interface {
 //     WrapWriter) in a budget counter. After N bytes have been written
 //     across matching files, the write in flight is cut short (a torn,
 //     partial write hits the file) and fails.
-//   - Any other Op ("create", "append", "rename", "remove", "truncate"):
-//     the first N matching operations pass (via BeforeOp), the next is
-//     vetoed.
+//   - Any other Op ("create", "append", "rename", "remove", "truncate",
+//     "syncdir"): the first N matching operations pass (via BeforeOp), the
+//     next is vetoed.
 //
 // A FaultPlan is safe for concurrent use.
 type FaultPlan struct {
