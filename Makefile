@@ -23,7 +23,9 @@ FUZZ_TARGETS = \
 	./internal/dga:FuzzDomains \
 	./internal/logstore:FuzzReadJSONL \
 	./internal/deviation:FuzzSigma \
-	./internal/serve:FuzzWALDecode
+	./internal/serve:FuzzWALDecode \
+	./internal/serve:FuzzShardRouter \
+	./internal/serve:FuzzManifestDecode
 
 .PHONY: build test test-short test-race bench fuzz-smoke serve-smoke vet golden-update
 
@@ -39,10 +41,10 @@ test-short:
 	$(GO) test -short ./...
 
 test-race:
-	$(GO) test -race -timeout 40m ./...
+	$(GO) test -race -timeout 90m ./...
 
 bench:
-	$(GO) test -run '^$$' -bench '^(BenchmarkNNMatMul|BenchmarkMatMulATB|BenchmarkMatMulABT|BenchmarkTrainStep|BenchmarkScoreBatch|BenchmarkServeRank)$$' -benchmem -count=1 -timeout 60m .
+	$(GO) test -run '^$$' -bench '^(BenchmarkNNMatMul|BenchmarkMatMulATB|BenchmarkMatMulABT|BenchmarkTrainStep|BenchmarkScoreBatch|BenchmarkServeRank|BenchmarkServeIngest)$$' -benchmem -count=1 -timeout 60m .
 	$(GO) test ./internal/nn -run '^$$' -bench '^BenchmarkMatMulDirectDispatch$$' -benchmem -count=1
 
 fuzz-smoke:
@@ -53,9 +55,12 @@ fuzz-smoke:
 	done
 
 serve-smoke:
-	@echo "--- acobed selftest (online serving smoke)"
+	@echo "--- acobed selftest (online serving smoke, unsharded)"
 	@$(GO) run ./cmd/acobed -selftest | diff -u cmd/acobed/testdata/golden/selftest.csv - \
 		&& echo "serve-smoke: ranked list matches golden"
+	@echo "--- acobed selftest (online serving smoke, -shards 4)"
+	@$(GO) run ./cmd/acobed -selftest -shards 4 | diff -u cmd/acobed/testdata/golden/selftest.csv - \
+		&& echo "serve-smoke: sharded ranked list matches golden"
 
 vet:
 	$(GO) vet ./...

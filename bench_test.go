@@ -737,6 +737,96 @@ func rankBenchServer(b *testing.B) (*serve.Server, cert.Day, cert.Day) {
 	return rankBenchSrv, rankBenchFrom, rankBenchTo
 }
 
+// ingestBenchUsers builds the fixed organization for the ingest
+// benchmark: 48 users across three peer groups.
+func ingestBenchUsers() (users []string, membership []int) {
+	for i := 0; i < 48; i++ {
+		users = append(users, fmt.Sprintf("ING%04d", i))
+		membership = append(membership, i%3)
+	}
+	return users, membership
+}
+
+// ingestBenchDay synthesizes one day of CERT events for every user —
+// logons, device sessions, file touches, and HTTP traffic — so a day
+// cycle exercises the full extraction surface, not just the queues.
+func ingestBenchDay(users []string, d cert.Day) []serve.Event {
+	at := func(h int) time.Time { return d.Date().Add(time.Duration(h) * time.Hour) }
+	evs := make([]serve.Event, 0, 6*len(users))
+	for i, u := range users {
+		evs = append(evs,
+			serve.Event{Cert: &cert.Event{Type: cert.EventLogon, Time: at(7 + i%4), User: u, Activity: cert.ActLogon}},
+			serve.Event{Cert: &cert.Event{Type: cert.EventDevice, Time: at(9), User: u,
+				PC: fmt.Sprintf("PC-%d", (int(d)+i)%7), Activity: cert.ActConnect}},
+			serve.Event{Cert: &cert.Event{Type: cert.EventFile, Time: at(11), User: u,
+				Activity: cert.ActFileOpen, Direction: cert.DirLocal, FileID: fmt.Sprintf("F%d", (int(d)+3*i)%11)}},
+			serve.Event{Cert: &cert.Event{Type: cert.EventHTTP, Time: at(13), User: u,
+				Activity: cert.ActVisit, Domain: fmt.Sprintf("d%d.com", (int(d)+i)%5)}},
+			serve.Event{Cert: &cert.Event{Type: cert.EventDevice, Time: at(16), User: u,
+				PC: fmt.Sprintf("PC-%d", (int(d)+i)%7), Activity: cert.ActDisconnect}},
+			serve.Event{Cert: &cert.Event{Type: cert.EventLogon, Time: at(18), User: u, Activity: cert.ActLogoff}},
+		)
+	}
+	return evs
+}
+
+// benchServeIngest measures the daemon's write path at a given shard
+// count: each iteration is one full day cycle — Submit all users' events,
+// then CloseDay (extraction, window slide, cross-shard merge). With
+// shards > 1 each shard extracts its user subset on its own goroutine, so
+// on a multi-core host the events/sec metric shows the scaling the shard
+// layer buys; ranked output stays byte-identical at any count.
+func benchServeIngest(b *testing.B, shards int) {
+	users, membership := ingestBenchUsers()
+	srv, err := serve.New(serve.Config{
+		Users:      users,
+		Groups:     []string{"g0", "g1", "g2"},
+		Membership: membership,
+		Start:      0,
+		Shards:     shards,
+		Deviation: deviation.Config{
+			Window: 7, MatrixDays: 3,
+			Delta: 3, Epsilon: 1, Weighted: true,
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(sctx)
+	}()
+	events := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := cert.Day(i)
+		evs := ingestBenchDay(users, d)
+		events += len(evs)
+		if err := srv.Submit(ctx, evs); err != nil {
+			b.Fatal(err)
+		}
+		if err := srv.CloseDay(ctx, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkServeIngest compares the sharded and unsharded write path;
+// `cmd/repro -bench-serve` records the same day-cycle numbers in
+// BENCH_serve.json.
+func BenchmarkServeIngest(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchServeIngest(b, shards)
+		})
+	}
+}
+
 // BenchmarkServeRank measures serve.Server.Rank — the online daemon's
 // query path, which batches all users' score matrices per aspect, runs
 // the waveform critic, and assembles the ranked list.

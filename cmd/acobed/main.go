@@ -71,6 +71,7 @@ func run(args []string, stdout io.Writer) error {
 		votes      = fs.Int("votes", 3, "critic vote count N")
 		stride     = fs.Int("stride", 2, "training matrix day stride")
 		queue      = fs.Int("queue", 64, "ingest queue bound in batches")
+		shards     = fs.Int("shards", 1, "per-user state shards; each shard ingests, extracts, and logs on its own goroutine")
 		dataDir    = fs.String("data-dir", "", "durability directory (WAL + snapshots); empty serves from memory only")
 		fsyncFlag  = fs.String("fsync", "close", "WAL fsync policy with -data-dir: close, always, or never")
 		snapEvery  = fs.Int("snapshot-interval", 30, "closed days between state snapshots with -data-dir")
@@ -86,7 +87,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	if *selftest {
-		return runSelftest(stdout)
+		return runSelftest(stdout, *shards)
 	}
 
 	users := splitList(*usersFlag)
@@ -100,6 +101,7 @@ func run(args []string, stdout io.Writer) error {
 			Delta: *delta, Epsilon: *epsilon, Weighted: *weighted,
 		},
 		QueueSize: *queue,
+		Shards:    *shards,
 	}
 	var err error
 	if cfg.Start, err = parseDayArg(*startFlag); err != nil {
@@ -117,11 +119,11 @@ func run(args []string, stdout io.Writer) error {
 		aspects = acobe.ACOBEAspects()
 	case "enterprise":
 		aspects = enterprise.Aspects()
-		ing, err := serve.NewEnterpriseIngestor(users, cfg.Start)
-		if err != nil {
-			return err
+		// A factory rather than a prebuilt ingestor: each shard extracts
+		// its own user subset (identical to one global extractor at -shards 1).
+		cfg.IngestorFactory = func(users []string, start cert.Day) (serve.Ingestor, error) {
+			return serve.NewEnterpriseIngestor(users, start)
 		}
-		cfg.Ingestor = ing
 	default:
 		return fmt.Errorf("-mode: unknown log family %q", *mode)
 	}

@@ -11,15 +11,24 @@ import (
 // real HTTP listener, close days, retrain, rank — and pins its CSV output.
 // This is the end-to-end online/offline determinism gate for the serving
 // stack; the Makefile serve-smoke target diffs the same output via the CLI.
+// The sharded run must hit the identical golden bytes.
 func TestSelftestGolden(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trains an ensemble")
 	}
 	var buf bytes.Buffer
-	if err := runSelftest(&buf); err != nil {
+	if err := runSelftest(&buf, 1); err != nil {
 		t.Fatalf("selftest: %v", err)
 	}
 	testkit.Golden(t, "selftest.csv", buf.Bytes())
+
+	var sharded bytes.Buffer
+	if err := runSelftest(&sharded, 4); err != nil {
+		t.Fatalf("selftest -shards 4: %v", err)
+	}
+	if !bytes.Equal(sharded.Bytes(), buf.Bytes()) {
+		t.Error("sharded selftest output differs from unsharded golden")
+	}
 }
 
 func TestFlagValidation(t *testing.T) {

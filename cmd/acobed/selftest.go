@@ -34,8 +34,10 @@ const (
 // synthesize a small organization, replay it day by day with anomalous
 // exfiltration injected into one user during the test period, retrain at
 // the end of the training span, and print the ranked investigation list as
-// CSV. Everything is seeded, so the output is byte-deterministic.
-func runSelftest(stdout io.Writer) error {
+// CSV. Everything is seeded, so the output is byte-deterministic — at any
+// shard count: the Makefile smoke diffs sharded and unsharded runs against
+// the same golden.
+func runSelftest(stdout io.Writer, shards int) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
 	defer cancel()
 
@@ -68,6 +70,7 @@ func runSelftest(stdout io.Writer) error {
 		Groups:     gen.Departments(),
 		Membership: membership,
 		Start:      0,
+		Shards:     shards,
 		Deviation: deviation.Config{
 			Window: stWindow, MatrixDays: stMatrixDays,
 			Delta: 3, Epsilon: 1, Weighted: true,

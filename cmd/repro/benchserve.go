@@ -1,0 +1,100 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"acobe/internal/cert"
+	"acobe/internal/deviation"
+	"acobe/internal/serve"
+)
+
+// runBenchServe measures the online daemon's write path and merges the
+// results into path under label (same JSON schema as BENCH_nn.json):
+//
+//	ServeIngestShards1 — one-day cycles (Submit every user's events, then
+//	                     CloseDay) through a single global extractor.
+//	ServeIngestShards4 — the same workload partitioned across 4 consistent-
+//	                     hashed shards, each extracting its user subset on
+//	                     its own goroutine.
+//
+// Unlike -bench-score, GOMAXPROCS is left alone: shard scaling is the
+// point, so the entry records whatever parallelism the host offers (the
+// gomaxprocs field in the JSON says how many cores the numbers used — on
+// a single core the two counts should be near parity, which is itself the
+// regression signal for shard overhead).
+func runBenchServe(path, label string) error {
+	fmt.Printf("bench-serve: %d-core host (GOMAXPROCS=%d)\n", runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	run := map[string]func(b *testing.B){
+		"ServeIngestShards1": func(b *testing.B) { benchServeIngestDays(b, 1) },
+		"ServeIngestShards4": func(b *testing.B) { benchServeIngestDays(b, 4) },
+	}
+	return mergeBenchReport(path, label, run)
+}
+
+// benchServeIngestDays mirrors BenchmarkServeIngest in the root package:
+// each iteration is one full day cycle against a 48-user organization.
+func benchServeIngestDays(b *testing.B, shards int) {
+	users := make([]string, 48)
+	membership := make([]int, len(users))
+	for i := range users {
+		users[i] = fmt.Sprintf("ING%04d", i)
+		membership[i] = i % 3
+	}
+	srv, err := serve.New(serve.Config{
+		Users:      users,
+		Groups:     []string{"g0", "g1", "g2"},
+		Membership: membership,
+		Start:      0,
+		Shards:     shards,
+		Deviation: deviation.Config{
+			Window: 7, MatrixDays: 3,
+			Delta: 3, Epsilon: 1, Weighted: true,
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(sctx)
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := cert.Day(i)
+		if err := srv.Submit(ctx, benchIngestDay(users, d)); err != nil {
+			b.Fatal(err)
+		}
+		if err := srv.CloseDay(ctx, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchIngestDay synthesizes one day of CERT events for every user so a
+// day cycle exercises the full extraction surface.
+func benchIngestDay(users []string, d cert.Day) []serve.Event {
+	at := func(h int) time.Time { return d.Date().Add(time.Duration(h) * time.Hour) }
+	evs := make([]serve.Event, 0, 6*len(users))
+	for i, u := range users {
+		evs = append(evs,
+			serve.Event{Cert: &cert.Event{Type: cert.EventLogon, Time: at(7 + i%4), User: u, Activity: cert.ActLogon}},
+			serve.Event{Cert: &cert.Event{Type: cert.EventDevice, Time: at(9), User: u,
+				PC: fmt.Sprintf("PC-%d", (int(d)+i)%7), Activity: cert.ActConnect}},
+			serve.Event{Cert: &cert.Event{Type: cert.EventFile, Time: at(11), User: u,
+				Activity: cert.ActFileOpen, Direction: cert.DirLocal, FileID: fmt.Sprintf("F%d", (int(d)+3*i)%11)}},
+			serve.Event{Cert: &cert.Event{Type: cert.EventHTTP, Time: at(13), User: u,
+				Activity: cert.ActVisit, Domain: fmt.Sprintf("d%d.com", (int(d)+i)%5)}},
+			serve.Event{Cert: &cert.Event{Type: cert.EventDevice, Time: at(16), User: u,
+				PC: fmt.Sprintf("PC-%d", (int(d)+i)%7), Activity: cert.ActDisconnect}},
+			serve.Event{Cert: &cert.Event{Type: cert.EventLogon, Time: at(18), User: u, Activity: cert.ActLogoff}},
+		)
+	}
+	return evs
+}

@@ -40,6 +40,8 @@ func run(args []string) error {
 		benchOut      = fs.String("bench-out", "BENCH_nn.json", "output file for -bench-nn results")
 		benchScore    = fs.String("bench-score", "", "run the batched-scoring benchmarks (ScoreBatch, ServeRank) and merge results into -bench-score-out under this label, then exit")
 		benchScoreOut = fs.String("bench-score-out", "BENCH_score.json", "output file for -bench-score results")
+		benchServe    = fs.String("bench-serve", "", "run the daemon ingest benchmarks (sharded vs unsharded day cycles) and merge results into -bench-serve-out under this label, then exit")
+		benchServeOut = fs.String("bench-serve-out", "BENCH_serve.json", "output file for -bench-serve results")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,6 +52,9 @@ func run(args []string) error {
 	}
 	if *benchScore != "" {
 		return runBenchScore(*benchScoreOut, *benchScore)
+	}
+	if *benchServe != "" {
+		return runBenchServe(*benchServeOut, *benchServe)
 	}
 
 	var p experiment.Preset

@@ -221,6 +221,43 @@ func (f *Field) appendDay() {
 	f.endDay++
 }
 
+// NewEmptyField builds a field over table t holding zero deviation days,
+// positioned exactly like a fresh StreamField: the first appended day will
+// be t.Span() start + Window-1. A sharded server uses one as its merged
+// view — per-shard stream fields compute deviations, and the coordinator
+// copies each closed day in with AppendCopiedDay, so the view's values are
+// bit-identical to a single unsharded field's.
+func NewEmptyField(t *features.Table, cfg Config) (*Field, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	start, _ := t.Span()
+	firstDay := start + cert.Day(cfg.Window-1)
+	return &Field{
+		cfg:      cfg,
+		table:    t,
+		firstDay: firstDay,
+		endDay:   firstDay - 1,
+		nf:       len(t.Features()),
+		frames:   t.Frames(),
+	}, nil
+}
+
+// AppendCopiedDay extends the field by one day whose values are read from
+// src(u, feat, frame) — pure copies, no arithmetic, so the merged view
+// preserves the source fields' bits exactly.
+func (f *Field) AppendCopiedDay(src func(u, feat, frame int) float64) {
+	f.appendDay()
+	at := f.days - 1
+	for u := range f.table.Users() {
+		for feat := 0; feat < f.nf; feat++ {
+			for frame := 0; frame < f.frames; frame++ {
+				f.seriesSlice(u, feat, frame)[at] = src(u, feat, frame)
+			}
+		}
+	}
+}
+
 // Clone returns an independent deep copy of the field (including its
 // source table), compacted to the logical day count. Retraining trains on
 // such a frozen snapshot while a StreamField keeps appending to the live

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"os"
 	"testing"
 	"time"
@@ -39,7 +40,7 @@ type certS1Serve struct {
 	testTo    cert.Day
 }
 
-func newCertS1Serve(t *testing.T) *certS1Serve {
+func newCertS1Serve(t *testing.T, shards int) *certS1Serve {
 	t.Helper()
 	preset := goldenPreset()
 	gcfg := cert.SmallConfig(preset.UsersPerDept)
@@ -82,6 +83,7 @@ func newCertS1Serve(t *testing.T) *certS1Serve {
 			Membership: membership,
 			Start:      start,
 			Deviation:  preset.Deviation,
+			Shards:     shards,
 			DetectorOptions: []acobe.Option{
 				acobe.WithAspects(acobe.ACOBEAspects()...),
 				acobe.WithModelConfig(preset.AEConfig),
@@ -188,7 +190,14 @@ func shutdownServe(t *testing.T, srv *serve.Server) {
 	}
 }
 
-// TestServeCrashMatrixCERTS1 runs the four-failpoint crash matrix.
+// TestServeCrashMatrixCERTS1 runs the four-failpoint crash matrix at
+// every shard count: each fault fires on whichever shard's stream crosses
+// its budget first (at Shards>1 the torn write, interrupted rotation, torn
+// snapshot, or vetoed prune hits ONE shard while its siblings stay
+// healthy), and recovery must still land on the batch golden byte for
+// byte. Per-shard segment size scales with the shard count so rotations —
+// and with them the rotation/prune failpoints — happen at roughly the same
+// point in the stream at every count.
 func TestServeCrashMatrixCERTS1(t *testing.T) {
 	if testing.Short() {
 		t.Skip("streams the CERT dataset and trains the ensemble, several times")
@@ -197,97 +206,109 @@ func TestServeCrashMatrixCERTS1(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cases := []struct {
+	type crashCase struct {
 		name string
 		pc   serve.PersistConfig
 		plan *testkit.FaultPlan
-	}{
-		{
-			// A WAL append is cut mid-frame: the torn record must be
-			// truncated on recovery and its batch resubmitted.
-			name: "mid-record-write",
-			pc:   serve.PersistConfig{SnapshotEvery: 10, SegmentBytes: 1 << 20},
-			plan: &testkit.FaultPlan{Name: "wal-", Op: "write", After: 2_000_000},
-		},
-		{
-			// The crash lands during segment rotation, after the old
-			// segment closed but before the new one exists.
-			name: "mid-rotation",
-			pc:   serve.PersistConfig{SnapshotEvery: 10, SegmentBytes: 1 << 20},
-			plan: &testkit.FaultPlan{Name: "wal-", Op: "create", After: 3},
-		},
-		{
-			// A snapshot write is torn: recovery must ignore the partial
-			// .tmp and rebuild from the WAL (no earlier snapshot exists).
-			name: "mid-snapshot",
-			pc:   serve.PersistConfig{SnapshotEvery: 10, SegmentBytes: 1 << 20},
-			plan: &testkit.FaultPlan{Name: "snapshot-", Op: "write", After: 20_000},
-		},
-		{
-			// The crash lands after the snapshot published but before the
-			// WAL segments behind it were pruned: recovery must prefer the
-			// snapshot and tolerate the stale segments.
-			name: "post-snapshot-pre-truncate",
-			pc:   serve.PersistConfig{SnapshotEvery: 10, SegmentBytes: 1 << 20},
-			plan: &testkit.FaultPlan{Name: "wal-", Op: "remove", After: 0},
-		},
 	}
-	for _, tc := range cases {
-		tc := tc
-		t.Run(tc.name, func(t *testing.T) {
-			s1 := newCertS1Serve(t)
-			dir := t.TempDir()
-			pc := tc.pc
-			pc.Dir = dir
-			pc.Hooks = serve.Hooks{
-				WrapWriter: func(name string, f serve.WritableFile) serve.WritableFile {
-					return tc.plan.WrapWriter(name, f)
-				},
-				BeforeOp: tc.plan.BeforeOp,
-			}
-			srv, _, err := serve.Open(s1.cfg, pc)
-			if err != nil {
-				t.Fatal(err)
-			}
-			failedAt, ferr := s1.stream(t, srv, s1.cfg.Start-1, nil)
-			if ferr == nil {
-				t.Fatal("fault never fired; the failpoint budget no longer matches the stream")
-			}
-			if !errors.Is(ferr, serve.ErrPersistenceFailed) || !errors.Is(ferr, testkit.ErrInjected) {
-				t.Fatalf("failure = %v, want ErrPersistenceFailed wrapping ErrInjected", ferr)
-			}
-			if !tc.plan.Tripped() {
-				t.Fatal("stream failed before the failpoint tripped")
-			}
-			t.Logf("crashed at day %v: %v", failedAt, ferr)
-			// The dead disk already holds exactly the pre-crash bytes;
-			// shutting down just reaps the goroutines.
-			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-			_ = srv.Shutdown(ctx)
-			cancel()
+	cases := func(shards int) []crashCase {
+		segBytes := int64(1<<20) / int64(shards)
+		return []crashCase{
+			{
+				// A WAL append is cut mid-frame: the torn record must be
+				// truncated on recovery and its batch resubmitted (at
+				// Shards>1, the whole cross-shard batch is dropped and
+				// resubmitted — durability is all-or-nothing).
+				name: "mid-record-write",
+				pc:   serve.PersistConfig{SnapshotEvery: 10, SegmentBytes: segBytes},
+				plan: &testkit.FaultPlan{Name: "wal-", Op: "write", After: 2_000_000},
+			},
+			{
+				// The crash lands during segment rotation, after the old
+				// segment closed but before the new one exists. The first
+				// `shards` creates are the initial segments; two rotations
+				// pass, the next dies.
+				name: "mid-rotation",
+				pc:   serve.PersistConfig{SnapshotEvery: 10, SegmentBytes: segBytes},
+				plan: &testkit.FaultPlan{Name: "wal-", Op: "create", After: int64(shards) + 2},
+			},
+			{
+				// A snapshot write is torn: recovery must ignore the partial
+				// .tmp — and at Shards>1 the whole generation, whose manifest
+				// never published — and rebuild from the WAL.
+				name: "mid-snapshot",
+				pc:   serve.PersistConfig{SnapshotEvery: 10, SegmentBytes: segBytes},
+				plan: &testkit.FaultPlan{Name: "snapshot-", Op: "write", After: 20_000},
+			},
+			{
+				// The crash lands after the snapshot published but before the
+				// WAL segments behind it were pruned: recovery must prefer the
+				// snapshot and tolerate the stale segments.
+				name: "post-snapshot-pre-truncate",
+				pc:   serve.PersistConfig{SnapshotEvery: 10, SegmentBytes: segBytes},
+				plan: &testkit.FaultPlan{Name: "wal-", Op: "remove", After: 0},
+			},
+		}
+	}
+	for _, shards := range []int{1, 3, 8} {
+		shards := shards
+		for _, tc := range cases(shards) {
+			tc := tc
+			t.Run(fmt.Sprintf("shards=%d/%s", shards, tc.name), func(t *testing.T) {
+				s1 := newCertS1Serve(t, shards)
+				dir := t.TempDir()
+				pc := tc.pc
+				pc.Dir = dir
+				pc.Hooks = serve.Hooks{
+					WrapWriter: func(name string, f serve.WritableFile) serve.WritableFile {
+						return tc.plan.WrapWriter(name, f)
+					},
+					BeforeOp: tc.plan.BeforeOp,
+				}
+				srv, _, err := serve.Open(s1.cfg, pc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				failedAt, ferr := s1.stream(t, srv, s1.cfg.Start-1, nil)
+				if ferr == nil {
+					t.Fatal("fault never fired; the failpoint budget no longer matches the stream")
+				}
+				if !errors.Is(ferr, serve.ErrPersistenceFailed) || !errors.Is(ferr, testkit.ErrInjected) {
+					t.Fatalf("failure = %v, want ErrPersistenceFailed wrapping ErrInjected", ferr)
+				}
+				if !tc.plan.Tripped() {
+					t.Fatal("stream failed before the failpoint tripped")
+				}
+				t.Logf("crashed at day %v: %v", failedAt, ferr)
+				// The dead disk already holds exactly the pre-crash bytes;
+				// shutting down just reaps the goroutines.
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				_ = srv.Shutdown(ctx)
+				cancel()
 
-			rec, info, err := serve.Open(s1.cfg, serve.PersistConfig{
-				Dir: dir, SnapshotEvery: tc.pc.SnapshotEvery, SegmentBytes: tc.pc.SegmentBytes,
+				rec, info, err := serve.Open(s1.cfg, serve.PersistConfig{
+					Dir: dir, SnapshotEvery: tc.pc.SnapshotEvery, SegmentBytes: tc.pc.SegmentBytes,
+				})
+				if err != nil {
+					t.Fatalf("recovery after %s: %v", tc.name, err)
+				}
+				defer shutdownServe(t, rec)
+				// Recovery may include the crash day itself: when the fault hit
+				// post-close maintenance (snapshot publish, WAL prune), the close
+				// record was already durably in the WAL before the error.
+				if info.ClosedThrough > failedAt {
+					t.Fatalf("recovered ClosedThrough %v past the crash day %v", info.ClosedThrough, failedAt)
+				}
+				t.Logf("recovered: snapshot=%v(day %v) replayed=%d records torn=%d bytes closed=%v",
+					info.SnapshotLoaded, info.SnapshotDay, info.ReplayedRecords, info.TornBytes, info.ClosedThrough)
+				if _, err := s1.stream(t, rec, info.ClosedThrough, info.BufferedEvents); err != nil {
+					t.Fatalf("resume after %s: %v", tc.name, err)
+				}
+				if got := s1.rankedList(t, rec); !bytes.Equal(got, want) {
+					t.Errorf("recovered ranking differs from the uninterrupted batch golden")
+				}
 			})
-			if err != nil {
-				t.Fatalf("recovery after %s: %v", tc.name, err)
-			}
-			defer shutdownServe(t, rec)
-			// Recovery may include the crash day itself: when the fault hit
-			// post-close maintenance (snapshot publish, WAL prune), the close
-			// record was already durably in the WAL before the error.
-			if info.ClosedThrough > failedAt {
-				t.Fatalf("recovered ClosedThrough %v past the crash day %v", info.ClosedThrough, failedAt)
-			}
-			t.Logf("recovered: snapshot=%v(day %v) replayed=%d records torn=%d bytes closed=%v",
-				info.SnapshotLoaded, info.SnapshotDay, info.ReplayedRecords, info.TornBytes, info.ClosedThrough)
-			if _, err := s1.stream(t, rec, info.ClosedThrough, info.BufferedEvents); err != nil {
-				t.Fatalf("resume after %s: %v", tc.name, err)
-			}
-			if got := s1.rankedList(t, rec); !bytes.Equal(got, want) {
-				t.Errorf("recovered ranking differs from the uninterrupted batch golden")
-			}
-		})
+		}
 	}
 }
 
@@ -300,7 +321,7 @@ func TestServeRecoverGoldenCERTS1(t *testing.T) {
 	if testing.Short() {
 		t.Skip("streams the CERT dataset and trains the ensemble")
 	}
-	s1 := newCertS1Serve(t)
+	s1 := newCertS1Serve(t, 1)
 	dir := t.TempDir()
 	pc := serve.PersistConfig{Dir: dir, SnapshotEvery: 30, SegmentBytes: 1 << 22}
 	srv, _, err := serve.Open(s1.cfg, pc)

@@ -24,11 +24,22 @@ import (
 // bytes of the committed batch-pipeline snapshot (cert_s1_list.csv). Any
 // drift between the incremental sliding-window path and the batch
 // deviation computation — in extraction, group averaging, window math,
-// training, or ranking — fails this test.
+// training, or ranking — fails this test. The whole flow runs at every
+// shard count in the matrix: partitioning the per-user state must leave
+// the ranked bytes untouched.
 func TestServeHTTPGoldenCERTS1(t *testing.T) {
 	if testing.Short() {
 		t.Skip("golden pipeline trains the ensemble")
 	}
+	for _, shards := range []int{1, 3, 8} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			serveHTTPGoldenCERTS1(t, shards)
+		})
+	}
+}
+
+func serveHTTPGoldenCERTS1(t *testing.T, shards int) {
 	preset := goldenPreset()
 	gcfg := cert.SmallConfig(preset.UsersPerDept)
 	gcfg.Seed = preset.Seed
@@ -69,6 +80,7 @@ func TestServeHTTPGoldenCERTS1(t *testing.T) {
 		Membership: membership,
 		Start:      start,
 		Deviation:  preset.Deviation,
+		Shards:     shards,
 		DetectorOptions: []acobe.Option{
 			acobe.WithAspects(acobe.ACOBEAspects()...),
 			acobe.WithModelConfig(preset.AEConfig),

@@ -31,6 +31,26 @@ func fuzzSegmentSeed() []byte {
 	return buf.Bytes()
 }
 
+// fuzzShardSegmentSeed builds a segment image holding a cross-shard batch
+// part (the sharded server's WAL shape) for the fuzz corpus.
+func fuzzShardSegmentSeed() []byte {
+	var buf bytes.Buffer
+	var hdr [walHeaderSize]byte
+	copy(hdr[:4], walMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], walVersion)
+	binary.LittleEndian.PutUint64(hdr[8:16], 1)
+	buf.Write(hdr[:])
+	evs := []Event{{Cert: &cert.Event{
+		Type: cert.EventLogon, Time: time.Date(2010, 1, 4, 9, 0, 0, 0, time.UTC),
+		User: "u1", Activity: cert.ActLogon,
+	}}}
+	payload, _ := encodePartPayload(7, 3, evs)
+	buf.Write(encodeFrame(payload))
+	empty, _ := encodePartPayload(8, 2, nil) // fully late-filtered slice
+	buf.Write(encodeFrame(empty))
+	return buf.Bytes()
+}
+
 // FuzzWALDecode throws arbitrary bytes at the WAL segment parser and record
 // decoder — the exact code path recovery runs over whatever a crash left on
 // disk. Nothing may panic or over-allocate, and the parse must be
@@ -51,6 +71,15 @@ func FuzzWALDecode(f *testing.F) {
 	huge := bytes.Clone(seed[:walHeaderSize+8])
 	binary.LittleEndian.PutUint32(huge[walHeaderSize:], 1<<30)
 	f.Add(huge) // oversized length prefix
+	shardSeed := fuzzShardSegmentSeed()
+	f.Add(shardSeed)                    // multi-shard batch parts
+	f.Add(shardSeed[:len(shardSeed)-7]) // torn part frame
+	// A CRC-valid frame declaring zero parts: framing passes, decode must
+	// report corruption.
+	badPart, _ := encodePartPayload(7, 3, nil)
+	binary.LittleEndian.PutUint32(badPart[9:13], 0)
+	zeroParts := append(bytes.Clone(shardSeed[:walHeaderSize]), encodeFrame(badPart)...)
+	f.Add(zeroParts)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		seq, frames, goodLen, hdrOK := parseSegment(data)
 		if !hdrOK {
@@ -74,6 +103,10 @@ func FuzzWALDecode(f *testing.F) {
 			if rec, err := decodeRecord(fr.payload); err == nil {
 				switch rec.typ {
 				case recEvents, recClose:
+				case recEventsPart:
+					if rec.parts == 0 {
+						t.Fatal("decoded a part record declaring zero parts")
+					}
 				default:
 					t.Fatalf("decoded record of unknown type %d", rec.typ)
 				}

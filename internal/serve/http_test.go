@@ -95,7 +95,7 @@ func TestHTTPAPI(t *testing.T) {
 	} else if !strings.Contains(body, `"closed_through":0`) {
 		t.Fatalf("close body: %q", body)
 	}
-	if got := srv.ingested.Load(); got != 1 {
+	if got := srv.shards[0].ingested.Load(); got != 1 {
 		t.Fatalf("ingested = %d, want 1", got)
 	}
 

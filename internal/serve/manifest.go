@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"acobe/internal/cert"
+	"acobe/internal/persist"
+)
+
+// A manifest pins one consistent snapshot cut of a sharded server:
+// manifest-<day>.mf says "every shard published snapshot-shard<k>-<day>
+// for this barrier". It is written strictly after all shard snapshots are
+// durable, so recovery can trust that a manifest's referenced snapshots
+// exist (a missing or corrupt one falls back a generation, and a cut with
+// no loadable generation fails loudly). Each shard snapshot carries its
+// own WAL position; the cut is consistent because every shard's state was
+// captured at the same closed-through barrier with no closes in between.
+//
+//	"ACMF" | version u32 LE | shard count | day i64 | "ACMF" trailer | crc32
+const (
+	manifestMagic   = "ACMF"
+	manifestVersion = 1
+	manifestPrefix  = "manifest-"
+	manifestSuffix  = ".mf"
+)
+
+func manifestPath(dir string, day cert.Day) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%08d%s", manifestPrefix, int64(day), manifestSuffix))
+}
+
+// listManifests returns the published manifests, newest first.
+func listManifests(dir string) ([]snapEntry, error) {
+	out, err := listNumbered(dir, manifestPrefix, manifestSuffix, manifestSuffix+".tmp")
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].day > out[j].day })
+	return out, nil
+}
+
+// decodeManifest parses a manifest image: shard count, pinned day. The
+// trailing 4 bytes are the CRC32 of everything before them.
+func decodeManifest(data []byte) (shards int, day cert.Day, err error) {
+	if len(data) < 4 {
+		return 0, 0, fmt.Errorf("serve: manifest too short for checksum")
+	}
+	body, stored := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.ChecksumIEEE(body); got != stored {
+		return 0, 0, fmt.Errorf("serve: manifest checksum mismatch (stored %08x, computed %08x)", stored, got)
+	}
+	pr := persist.NewReader(bytes.NewReader(body))
+	if v := pr.Magic(manifestMagic); pr.Err() == nil && v != manifestVersion {
+		return 0, 0, fmt.Errorf("serve: manifest version %d unsupported", v)
+	}
+	shards = pr.Int()
+	day = cert.Day(pr.I64())
+	if v := pr.Magic(manifestMagic); pr.Err() == nil && v != manifestVersion {
+		return 0, 0, fmt.Errorf("serve: manifest trailer version %d unsupported", v)
+	}
+	if err := pr.Err(); err != nil {
+		return 0, 0, err
+	}
+	if shards < 1 {
+		return 0, 0, fmt.Errorf("serve: manifest declares %d shards", shards)
+	}
+	return shards, day, nil
+}
+
+// loadManifest reads and decodes one manifest file.
+func loadManifest(path string) (shards int, day cert.Day, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	return decodeManifest(data)
+}
+
+// writeManifest publishes the manifest for a snapshot cut at day,
+// atomically (tmp + fsync + rename + directory fsync). The shard
+// snapshots it references are already durable.
+func (s *Server) writeManifest(day cert.Day) error {
+	var body bytes.Buffer
+	pw := persist.NewWriter(&body)
+	pw.Magic(manifestMagic, manifestVersion)
+	pw.Int(len(s.shards))
+	pw.I64(int64(day))
+	pw.Magic(manifestMagic, manifestVersion)
+	if err := pw.Err(); err != nil {
+		return err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.ChecksumIEEE(body.Bytes()))
+
+	final := manifestPath(s.pcfg.Dir, day)
+	tmp := final + ".tmp"
+	f, err := s.fs.create(tmp)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(body.Bytes())
+	if err == nil {
+		_, err = f.Write(sum[:])
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := s.fs.rename(tmp, final); err != nil {
+		return err
+	}
+	return s.fs.syncDir(s.pcfg.Dir)
+}
+
+// pruneSharded removes manifests beyond the retention count, shard
+// snapshots no retained manifest references, and per-shard WAL segments
+// no retained shard snapshot needs. Runs after the new manifest is
+// published, so a crash mid-prune only leaves extra files behind.
+func (s *Server) pruneSharded() error {
+	mans, err := listManifests(s.pcfg.Dir)
+	if err != nil {
+		return err
+	}
+	retained := make(map[cert.Day]bool, snapRetain)
+	for i, m := range mans {
+		if i >= snapRetain {
+			if err := s.fs.remove(m.path); err != nil {
+				return err
+			}
+			continue
+		}
+		retained[m.day] = true
+	}
+	walDir := filepath.Join(s.pcfg.Dir, "wal")
+	for k := range s.shards {
+		snaps, err := listSnapshots(s.pcfg.Dir, snapShardPrefix(k))
+		if err != nil {
+			return err
+		}
+		// minSeg is the oldest WAL segment any retained generation of this
+		// shard still needs; an unreadable (or unexpectedly absent)
+		// retained snapshot pins the whole log (recovery may fall back to
+		// it, or past it to a full replay).
+		minSeg := uint64(1 << 62)
+		kept := 0
+		for _, e := range snaps {
+			if !retained[e.day] {
+				if err := s.fs.remove(e.path); err != nil {
+					return err
+				}
+				continue
+			}
+			kept++
+			_, p, err := readSnapshotPos(e.path)
+			if err != nil {
+				minSeg = 0
+				continue
+			}
+			if p.seg < minSeg {
+				minSeg = p.seg
+			}
+		}
+		if kept < len(retained) {
+			minSeg = 0
+		}
+		segs, err := listSegments(walDir, walShardPrefix(k))
+		if err != nil {
+			return err
+		}
+		for _, seq := range segs {
+			if seq < minSeg {
+				if err := s.fs.remove(walSegPath(walDir, walShardPrefix(k), seq)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

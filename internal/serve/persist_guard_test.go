@@ -73,7 +73,7 @@ func TestRecoverDropsUnconsumablePayload(t *testing.T) {
 	// Forge a WAL written without payload vetting: append a frame holding
 	// an enterprise record to the CERT server's log.
 	walDir := filepath.Join(dir, "wal")
-	segs, err := listSegments(walDir)
+	segs, err := listSegments(walDir, walPrefix)
 	if err != nil || len(segs) == 0 {
 		t.Fatalf("no WAL segments (%v)", err)
 	}
@@ -81,7 +81,7 @@ func TestRecoverDropsUnconsumablePayload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f, err := os.OpenFile(walSegPath(walDir, segs[len(segs)-1]), os.O_WRONLY|os.O_APPEND, 0)
+	f, err := os.OpenFile(walSegPath(walDir, walPrefix, segs[len(segs)-1]), os.O_WRONLY|os.O_APPEND, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,14 +206,14 @@ func TestRecoverRejectsSegmentGap(t *testing.T) {
 	shutdown(t, a)
 
 	walDir := filepath.Join(dir, "wal")
-	segs, err := listSegments(walDir)
+	segs, err := listSegments(walDir, walPrefix)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(segs) < 3 {
 		t.Fatalf("want ≥3 segments to punch a hole, got %d", len(segs))
 	}
-	if err := os.Remove(walSegPath(walDir, segs[len(segs)/2])); err != nil {
+	if err := os.Remove(walSegPath(walDir, walPrefix, segs[len(segs)/2])); err != nil {
 		t.Fatal(err)
 	}
 
@@ -237,19 +237,19 @@ func TestRecoverRejectsMissingSnapshotSegment(t *testing.T) {
 	// Corrupt the newest snapshot so recovery falls back to day 14, then
 	// delete the segment day 14's position points into: replay must fail
 	// loudly instead of skipping the hole.
-	_, pos14, err := readSnapshotPos(snapPath(dir, 14))
+	_, pos14, err := readSnapshotPos(snapPath(dir, snapPrefix, 14))
 	if err != nil {
 		t.Fatal(err)
 	}
-	data, err := os.ReadFile(snapPath(dir, 19))
+	data, err := os.ReadFile(snapPath(dir, snapPrefix, 19))
 	if err != nil {
 		t.Fatal(err)
 	}
 	data[len(data)/2] ^= 0xff
-	if err := os.WriteFile(snapPath(dir, 19), data, 0o644); err != nil {
+	if err := os.WriteFile(snapPath(dir, snapPrefix, 19), data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.Remove(walSegPath(filepath.Join(dir, "wal"), pos14.seg)); err != nil {
+	if err := os.Remove(walSegPath(filepath.Join(dir, "wal"), walPrefix, pos14.seg)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -269,13 +269,13 @@ func TestPruneKeepsSegmentsWhenRetainedSnapshotUnreadable(t *testing.T) {
 	}
 	feedDays(t, a, 0, 13) // snapshots at 4 and 9
 	walDir := filepath.Join(dir, "wal")
-	before, err := listSegments(walDir)
+	before, err := listSegments(walDir, walPrefix)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Make the retained snapshot's header unreadable: the next prune can
 	// no longer tell which segments it needs and must keep all of them.
-	f, err := os.OpenFile(snapPath(dir, 9), os.O_WRONLY, 0)
+	f, err := os.OpenFile(snapPath(dir, snapPrefix, 9), os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +289,7 @@ func TestPruneKeepsSegmentsWhenRetainedSnapshotUnreadable(t *testing.T) {
 	if st := a.Status(); st.PersistError != "" {
 		t.Fatalf("persist error after prune with unreadable snapshot: %s", st.PersistError)
 	}
-	after, err := listSegments(walDir)
+	after, err := listSegments(walDir, walPrefix)
 	if err != nil {
 		t.Fatal(err)
 	}

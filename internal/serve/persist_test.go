@@ -67,11 +67,16 @@ func feedDays(t *testing.T, s *Server, from, to cert.Day) {
 func serverStateBytes(t *testing.T, s *Server) []byte {
 	t.Helper()
 	var buf bytes.Buffer
-	if err := s.ing.(StatefulIngestor).SaveState(&buf); err != nil {
-		t.Fatal(err)
-	}
-	if err := s.ind.SaveState(&buf); err != nil {
-		t.Fatal(err)
+	for _, sh := range s.shards {
+		if sh.ing == nil {
+			continue
+		}
+		if err := sh.ing.(StatefulIngestor).SaveState(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := sh.ind.SaveState(&buf); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if s.grp != nil {
 		if err := s.grpTbl.SaveState(&buf); err != nil {
@@ -126,7 +131,7 @@ func TestPersistCleanShutdownRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	wantState := serverStateBytes(t, a)
-	wantIngested := a.ingested.Load()
+	wantIngested := a.Status().Ingested
 	shutdown(t, a)
 
 	b, info, err := Open(persistCfg(), PersistConfig{Dir: dir})
@@ -147,7 +152,7 @@ func TestPersistCleanShutdownRecovery(t *testing.T) {
 	if got := serverStateBytes(t, b); !bytes.Equal(got, wantState) {
 		t.Fatal("recovered state differs from pre-shutdown state")
 	}
-	if got := b.ingested.Load(); got != wantIngested {
+	if got := b.Status().Ingested; got != wantIngested {
 		t.Fatalf("recovered ingested counter = %d, want %d", got, wantIngested)
 	}
 
@@ -177,7 +182,7 @@ func TestPersistBoundedReplay(t *testing.T) {
 	shutdown(t, a)
 
 	// Snapshots landed at days 9, 19, 29; only the newest two survive.
-	snaps, err := listSnapshots(dir)
+	snaps, err := listSnapshots(dir, snapPrefix)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,11 +219,11 @@ func TestPersistTornTailTruncated(t *testing.T) {
 	shutdown(t, a)
 
 	// Simulate a crash mid-append: garbage half-frame at the tail.
-	segs, err := listSegments(filepath.Join(dir, "wal"))
+	segs, err := listSegments(filepath.Join(dir, "wal"), walPrefix)
 	if err != nil || len(segs) == 0 {
 		t.Fatalf("no WAL segments (%v)", err)
 	}
-	last := walSegPath(filepath.Join(dir, "wal"), segs[len(segs)-1])
+	last := walSegPath(filepath.Join(dir, "wal"), walPrefix, segs[len(segs)-1])
 	f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -317,12 +322,12 @@ func TestPersistSnapshotFallback(t *testing.T) {
 
 	// Corrupt the newest snapshot in the middle; recovery must fall back
 	// to the previous one and replay the longer tail.
-	data, err := os.ReadFile(snapPath(dir, 19))
+	data, err := os.ReadFile(snapPath(dir, snapPrefix, 19))
 	if err != nil {
 		t.Fatal(err)
 	}
 	data[len(data)/2] ^= 0xff
-	if err := os.WriteFile(snapPath(dir, 19), data, 0o644); err != nil {
+	if err := os.WriteFile(snapPath(dir, snapPrefix, 19), data, 0o644); err != nil {
 		t.Fatal(err)
 	}
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"acobe/internal/cert"
 )
@@ -18,8 +19,9 @@ var ErrPersistenceFailed = errors.New("serve: persistence failed")
 
 // PersistConfig enables the crash-safe persistence layer.
 type PersistConfig struct {
-	// Dir is the data directory. Snapshots live at its top level, WAL
-	// segments under Dir/wal. Created if missing.
+	// Dir is the data directory. Snapshots (and, when sharded, manifests)
+	// live at its top level, WAL segments under Dir/wal. Created if
+	// missing.
 	Dir string
 	// Fsync says when the WAL syncs (default FsyncClose).
 	Fsync FsyncPolicy
@@ -45,12 +47,15 @@ func (p *PersistConfig) withDefaults() PersistConfig {
 // RecoverInfo reports what Open reconstructed, so operators (and the
 // crash-matrix tests) can see exactly how a restart resumed.
 type RecoverInfo struct {
-	// SnapshotLoaded is false on a fresh start or full-WAL replay.
+	// SnapshotLoaded is false on a fresh start or full-WAL replay. For a
+	// sharded server it means a full manifest generation (every shard's
+	// snapshot) loaded.
 	SnapshotLoaded bool
-	// SnapshotDay is the closed-through day of the loaded snapshot.
+	// SnapshotDay is the closed-through day of the loaded snapshot (cut).
 	SnapshotDay cert.Day
 	// ReplayedRecords and ReplayedEvents count the WAL tail behind the
-	// snapshot. Bounded-recovery tests assert on ReplayedRecords.
+	// snapshot, summed over shards. Bounded-recovery tests assert on
+	// ReplayedRecords.
 	ReplayedRecords int
 	ReplayedEvents  int
 	// RejectedEvents counts replayed events whose payload type the
@@ -58,24 +63,35 @@ type RecoverInfo struct {
 	// vetting, or under a different ingestor). They are dropped, exactly
 	// as the live path rejects them before the WAL.
 	RejectedEvents int
+	// DroppedPartialBatches counts cross-shard batches discarded because
+	// not every declared part reached its shard's log before the crash.
+	// Such batches were never acknowledged to the submitter, so dropping
+	// them whole restores the all-or-nothing Submit contract.
+	DroppedPartialBatches int
 	// TornBytes is how much of a torn tail was truncated from the last
-	// segment (0 after a clean shutdown).
+	// segment(s) (0 after a clean shutdown), summed over shards.
 	TornBytes int64
-	// ClosedThrough is the last closed day after recovery.
+	// ClosedThrough is the last closed day after recovery. For a sharded
+	// server this is the consistent cut: the maximum barrier any shard
+	// durably logged, with lagging shards rolled forward (a logged
+	// barrier was acknowledged only after every shard logged it, so a
+	// laggard's missing suffix is always re-derivable from its own log).
 	ClosedThrough cert.Day
-	// BufferedEvents counts the recovered not-yet-closed events per day.
-	// A client resuming a stream uses it to know which submissions were
-	// durable (batches are logged all-or-nothing).
+	// BufferedEvents counts the recovered not-yet-closed events per day,
+	// summed over shards. A client resuming a stream uses it to know
+	// which submissions were durable (batches are logged all-or-nothing).
 	BufferedEvents map[cert.Day]int
 }
 
 // Open builds a Server with persistence: it recovers any prior state from
-// p.Dir (newest valid snapshot + WAL tail replay, truncating a torn tail
-// at the last valid frame), attaches the WAL appender, and only then
-// starts accepting work. An empty directory is a fresh start. The
+// p.Dir (newest valid snapshot cut + WAL tail replay, truncating torn
+// tails at the last valid frame), attaches the WAL appenders, and only
+// then starts accepting work. An empty directory is a fresh start. The
 // configuration must match the one the directory was written with (users,
-// groups, start day, window) — snapshots refuse to load into a reshaped
-// server.
+// groups, start day, window, shard count) — snapshots refuse to load into
+// a reshaped server, and the directory layout itself is checked against
+// the shard count so an unsharded directory is never misread as sharded
+// (or vice versa).
 func Open(cfg Config, p PersistConfig) (*Server, *RecoverInfo, error) {
 	p = p.withDefaults()
 	if p.Dir == "" {
@@ -89,13 +105,26 @@ func Open(cfg Config, p PersistConfig) (*Server, *RecoverInfo, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	if _, ok := s.ing.(StatefulIngestor); !ok {
-		return nil, nil, fmt.Errorf("serve: ingestor %T does not support persistence (no SaveState/LoadState)", s.ing)
+	for _, sh := range s.shards {
+		if sh.ing == nil {
+			continue
+		}
+		if _, ok := sh.ing.(StatefulIngestor); !ok {
+			return nil, nil, fmt.Errorf("serve: ingestor %T does not support persistence (no SaveState/LoadState)", sh.ing)
+		}
 	}
 	s.pcfg = &p
 	s.fs = persistFS{hooks: p.Hooks}
 
-	info, err := s.recover(walDir)
+	if err := checkLayout(p.Dir, walDir, len(s.shards)); err != nil {
+		return nil, nil, err
+	}
+	var info *RecoverInfo
+	if len(s.shards) == 1 {
+		info, err = s.recover(walDir)
+	} else {
+		info, err = s.recoverSharded(walDir)
+	}
 	if err != nil {
 		return nil, nil, err
 	}
@@ -104,66 +133,118 @@ func Open(cfg Config, p PersistConfig) (*Server, *RecoverInfo, error) {
 	return s, info, nil
 }
 
-// recover restores state from the data directory and leaves the WAL
-// appender positioned at the end of the last valid frame.
-func (s *Server) recover(walDir string) (*RecoverInfo, error) {
-	info := &RecoverInfo{}
+// checkLayout verifies the data directory's shard layout matches the
+// configured shard count. A directory written with a different count must
+// fail loudly: silently ignoring another layout's snapshots or WAL
+// segments would serve a partial (or empty) state as if it were complete.
+func checkLayout(dir, walDir string, nshards int) error {
+	shardIdx := func(name, base string) (int, bool) {
+		// base<k>-rest, e.g. "wal-shard3-00000001.log" against "wal-shard".
+		rest := strings.TrimPrefix(name, base)
+		if rest == name {
+			return 0, false
+		}
+		dash := strings.IndexByte(rest, '-')
+		if dash <= 0 {
+			return 0, false
+		}
+		k := 0
+		for _, c := range rest[:dash] {
+			if c < '0' || c > '9' {
+				return 0, false
+			}
+			k = k*10 + int(c-'0')
+		}
+		return k, true
+	}
+	check := func(d, base, legacyPrefix, suffix string) error {
+		des, err := os.ReadDir(d)
+		if err != nil {
+			return err
+		}
+		for _, de := range des {
+			name := de.Name()
+			if de.IsDir() || !strings.HasSuffix(name, suffix) {
+				continue
+			}
+			if k, ok := shardIdx(name, base); ok {
+				if nshards == 1 {
+					return fmt.Errorf("serve: %s belongs to a sharded data directory; configure the matching shard count", name)
+				}
+				if k >= nshards {
+					return fmt.Errorf("serve: %s belongs to shard %d but only %d shards are configured", name, k, nshards)
+				}
+				continue
+			}
+			if nshards > 1 && strings.HasPrefix(name, legacyPrefix) {
+				// Purely numeric middle = unsharded artifact.
+				num := strings.TrimSuffix(strings.TrimPrefix(name, legacyPrefix), suffix)
+				numeric := len(num) > 0
+				for _, c := range num {
+					if c < '0' || c > '9' {
+						numeric = false
+						break
+					}
+				}
+				if numeric {
+					return fmt.Errorf("serve: %s belongs to an unsharded data directory; configure Shards=1 (or migrate the directory)", name)
+				}
+			}
+		}
+		return nil
+	}
+	if nshards == 1 {
+		mans, err := listManifests(dir)
+		if err != nil {
+			return err
+		}
+		if len(mans) > 0 {
+			return fmt.Errorf("serve: %s is a sharded data directory (manifests present); configure the matching shard count", dir)
+		}
+	}
+	if err := check(dir, "snapshot-shard", snapPrefix, snapSuffix); err != nil {
+		return err
+	}
+	return check(walDir, "wal-shard", walPrefix, ".log")
+}
 
-	// 1. Newest valid snapshot wins; a corrupt one falls back a
-	// generation (state is rebuilt from scratch per attempt so a
-	// half-loaded corrupt snapshot can't leak into the next try).
-	snaps, err := listSnapshots(s.pcfg.Dir)
+// walScan is the outcome of scanning one WAL stream: the decoded records
+// in log order, how much torn tail was truncated, and where the appender
+// should attach.
+type walScan struct {
+	recs    []walRecord
+	torn    int64
+	hasSegs bool
+	// attached says the last surviving segment can be resumed at
+	// (lastSeq, lastEnd); otherwise a fresh segment must be opened past
+	// maxSeq (and past the snapshot position).
+	attached bool
+	lastSeq  uint64
+	lastEnd  int64
+	maxSeq   uint64
+}
+
+// scanWAL reads one WAL stream (one name prefix) from walDir, enforcing
+// the layout invariants — consecutive segments, snapshot position on a
+// frame boundary inside an existing segment, corruption only tolerated at
+// the tail — and truncating any torn tail on disk. It returns the decoded
+// records past pos in log order; the caller applies them (the split lets
+// a sharded recovery check cross-shard batch completeness before applying
+// anything).
+func (s *Server) scanWAL(walDir, prefix string, pos walPos, snapLoaded bool) (*walScan, error) {
+	sc := &walScan{}
+	segs, err := listSegments(walDir, prefix)
 	if err != nil {
 		return nil, err
 	}
-	var pos walPos
-	loadErrs := make([]error, 0, len(snaps))
-	for i, e := range snaps {
-		if i > 0 {
-			if s.cfg.Ingestor != nil {
-				// A caller-provided ingestor may have been half-mutated
-				// by the failed load and cannot be rebuilt here.
-				break
-			}
-			fresh, err := newCore(s.cfg)
-			if err != nil {
-				return nil, err
-			}
-			s.adoptCore(fresh)
-		}
-		day, p, err := s.loadSnapshot(e.path)
-		if err != nil {
-			loadErrs = append(loadErrs, fmt.Errorf("%s: %w", filepath.Base(e.path), err))
-			continue
-		}
-		info.SnapshotLoaded = true
-		info.SnapshotDay = day
-		pos = p
-		break
+	sc.hasSegs = len(segs) > 0
+	if len(segs) > 0 {
+		sc.maxSeq = segs[len(segs)-1]
 	}
-	if len(snaps) > 0 && !info.SnapshotLoaded {
-		// Snapshots exist but none load, and the WAL behind them is
-		// pruned: recovering from the WAL alone would silently rebuild
-		// wrong state. Fail loudly instead.
-		return nil, fmt.Errorf("serve: no usable snapshot in %s: %w", s.pcfg.Dir, errors.Join(loadErrs...))
-	}
-	if !info.SnapshotLoaded && len(loadErrs) > 0 {
-		fresh, err := newCore(s.cfg)
-		if err != nil {
-			return nil, err
-		}
-		s.adoptCore(fresh)
-	}
-
-	// 2. Replay the WAL tail behind the snapshot position.
-	segs, err := listSegments(walDir)
-	if err != nil {
-		return nil, err
-	}
-	if !info.SnapshotLoaded && len(segs) > 0 && segs[0] != 1 {
+	if !snapLoaded && len(segs) > 0 && segs[0] != 1 {
 		return nil, fmt.Errorf("serve: WAL starts at segment %d with no snapshot — history gap", segs[0])
 	}
-	if info.SnapshotLoaded {
+	if snapLoaded {
 		// The loaded snapshot's position must land in an existing segment:
 		// pruning never removes a retained snapshot's segment, so a
 		// missing one means manual deletion or over-pruning, and replaying
@@ -176,7 +257,7 @@ func (s *Server) recover(walDir string) (*RecoverInfo, error) {
 			}
 		}
 		if !found {
-			return nil, fmt.Errorf("serve: snapshot WAL position (segment %d) is missing from the log — history gap", pos.seg)
+			return nil, fmt.Errorf("serve: snapshot WAL position (segment %s%d) is missing from the log — history gap", prefix, pos.seg)
 		}
 	}
 	// The replayed segments must be strictly consecutive: a missing middle
@@ -184,7 +265,7 @@ func (s *Server) recover(walDir string) (*RecoverInfo, error) {
 	// replay on top of a hole.
 	prevSeq := uint64(0)
 	for _, seq := range segs {
-		if info.SnapshotLoaded && seq < pos.seg {
+		if snapLoaded && seq < pos.seg {
 			continue // behind the snapshot; only an older snapshot needs it
 		}
 		if prevSeq != 0 && seq != prevSeq+1 {
@@ -192,11 +273,9 @@ func (s *Server) recover(walDir string) (*RecoverInfo, error) {
 		}
 		prevSeq = seq
 	}
-	lastSeq, lastEnd := uint64(0), int64(0)
-	attached := false
 	for i, seq := range segs {
-		path := walSegPath(walDir, seq)
-		if info.SnapshotLoaded && seq < pos.seg {
+		path := walSegPath(walDir, prefix, seq)
+		if snapLoaded && seq < pos.seg {
 			continue // behind the snapshot; kept only for the older snapshot
 		}
 		data, err := os.ReadFile(path)
@@ -206,19 +285,19 @@ func (s *Server) recover(walDir string) (*RecoverInfo, error) {
 		gotSeq, frames, goodLen, hdrOK := parseSegment(data)
 		last := i == len(segs)-1
 		if !hdrOK || gotSeq != seq {
-			if last && hdrOK == false {
+			if last && !hdrOK {
 				// Crash during rotation: the new segment's header never
 				// finished. Nothing in it was acknowledged; drop it.
 				if err := s.fs.remove(path); err != nil {
 					return nil, err
 				}
-				info.TornBytes += int64(len(data))
+				sc.torn += int64(len(data))
 				break
 			}
 			return nil, fmt.Errorf("serve: WAL segment %s is corrupt (not the last segment — unrecoverable)", filepath.Base(path))
 		}
 		from := int64(walHeaderSize)
-		if info.SnapshotLoaded && seq == pos.seg {
+		if snapLoaded && seq == pos.seg {
 			from = pos.off
 			if from > int64(goodLen) || !frameBoundary(frames, goodLen, from) {
 				return nil, fmt.Errorf("serve: snapshot WAL position %d not on a frame boundary of %s", from, filepath.Base(path))
@@ -238,10 +317,7 @@ func (s *Server) recover(walDir string) (*RecoverInfo, error) {
 				goodLen = fr.off
 				break
 			}
-			if err := s.applyRecord(rec, info); err != nil {
-				return nil, err
-			}
-			info.ReplayedRecords++
+			sc.recs = append(sc.recs, rec)
 		}
 		if torn := int64(len(data)) - int64(goodLen); torn > 0 {
 			if !last {
@@ -250,30 +326,108 @@ func (s *Server) recover(walDir string) (*RecoverInfo, error) {
 			if err := s.fs.truncate(path, int64(goodLen)); err != nil {
 				return nil, err
 			}
-			info.TornBytes += torn
+			sc.torn += torn
 		}
-		lastSeq, lastEnd = seq, int64(goodLen)
-		attached = last
+		sc.lastSeq, sc.lastEnd = seq, int64(goodLen)
+		sc.attached = last
+	}
+	return sc, nil
+}
+
+// attachWAL positions one appender at the end of its scanned stream:
+// continue the last surviving segment, or start a new one past everything
+// seen.
+func (s *Server) attachWAL(walDir, prefix string, sc *walScan, pos walPos) (*wal, error) {
+	w := &wal{dir: walDir, prefix: prefix, fs: s.fs, segBytes: s.pcfg.SegmentBytes, policy: s.pcfg.Fsync}
+	if sc.attached {
+		if err := w.resumeSegment(sc.lastSeq, sc.lastEnd); err != nil {
+			return nil, err
+		}
+		return w, nil
+	}
+	next := uint64(1)
+	if sc.maxSeq >= next {
+		next = sc.maxSeq + 1
+	}
+	if pos.seg >= next {
+		next = pos.seg + 1
+	}
+	if err := w.openSegment(next); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// recover restores an unsharded (Shards=1) server from the data directory
+// and leaves the WAL appender positioned at the end of the last valid
+// frame.
+func (s *Server) recover(walDir string) (*RecoverInfo, error) {
+	info := &RecoverInfo{}
+
+	// 1. Newest valid snapshot wins; a corrupt one falls back a
+	// generation (state is rebuilt from scratch per attempt so a
+	// half-loaded corrupt snapshot can't leak into the next try).
+	snaps, err := listSnapshots(s.pcfg.Dir, snapPrefix)
+	if err != nil {
+		return nil, err
+	}
+	var pos walPos
+	loadErrs := make([]error, 0, len(snaps))
+	for i, e := range snaps {
+		if i > 0 {
+			if s.cfg.Ingestor != nil {
+				// A caller-provided ingestor may have been half-mutated
+				// by the failed load and cannot be rebuilt here.
+				break
+			}
+			fresh, err := newCore(s.cfg)
+			if err != nil {
+				return nil, err
+			}
+			s.adoptCore(fresh)
+		}
+		day, p, err := s.loadSnapshot(e.path, s.shards[0], s.grp != nil)
+		if err != nil {
+			loadErrs = append(loadErrs, fmt.Errorf("%s: %w", filepath.Base(e.path), err))
+			continue
+		}
+		info.SnapshotLoaded = true
+		info.SnapshotDay = day
+		s.closedThrough = day
+		pos = p
+		break
+	}
+	if len(snaps) > 0 && !info.SnapshotLoaded {
+		// Snapshots exist but none load, and the WAL behind them is
+		// pruned: recovering from the WAL alone would silently rebuild
+		// wrong state. Fail loudly instead.
+		return nil, fmt.Errorf("serve: no usable snapshot in %s: %w", s.pcfg.Dir, errors.Join(loadErrs...))
+	}
+	if !info.SnapshotLoaded && len(loadErrs) > 0 {
+		fresh, err := newCore(s.cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.adoptCore(fresh)
 	}
 
-	// 3. Attach the appender: continue the last surviving segment, or
-	// start a new one past everything seen.
-	s.wal = &wal{dir: walDir, fs: s.fs, segBytes: s.pcfg.SegmentBytes, policy: s.pcfg.Fsync}
-	if attached {
-		if err := s.wal.resumeSegment(lastSeq, lastEnd); err != nil {
+	// 2. Replay the WAL tail behind the snapshot position.
+	sc, err := s.scanWAL(walDir, walPrefix, pos, info.SnapshotLoaded)
+	if err != nil {
+		return nil, err
+	}
+	info.TornBytes = sc.torn
+	for _, rec := range sc.recs {
+		if err := s.applyRecord(rec, info); err != nil {
 			return nil, err
 		}
-	} else {
-		next := uint64(1)
-		if len(segs) > 0 && segs[len(segs)-1] >= next {
-			next = segs[len(segs)-1] + 1
-		}
-		if pos.seg >= next {
-			next = pos.seg + 1
-		}
-		if err := s.wal.openSegment(next); err != nil {
-			return nil, err
-		}
+		info.ReplayedRecords++
+	}
+
+	// 3. Attach the appender.
+	s.shards[0].wal, err = s.attachWAL(walDir, walPrefix, sc, pos)
+	if err != nil {
+		return nil, err
 	}
 
 	// 4. Snapshot cadence resumes from what is already covered.
@@ -284,9 +438,241 @@ func (s *Server) recover(walDir string) (*RecoverInfo, error) {
 	s.daysSinceSnap = int(s.closedThrough - base)
 
 	info.ClosedThrough = s.closedThrough
-	info.BufferedEvents = make(map[cert.Day]int, len(s.buffered))
-	for d, evs := range s.buffered {
+	info.BufferedEvents = make(map[cert.Day]int, len(s.shards[0].buffered))
+	for d, evs := range s.shards[0].buffered {
 		info.BufferedEvents[d] = len(evs)
+	}
+	return info, nil
+}
+
+// recoverSharded restores a sharded server: newest manifest whose every
+// shard snapshot loads, per-shard WAL tail scans, a cross-shard batch
+// completeness check, per-shard replay, a roll-forward of lagging shards
+// to the consistent cut, and a rebuild of the merged view and group state.
+func (s *Server) recoverSharded(walDir string) (*RecoverInfo, error) {
+	info := &RecoverInfo{}
+
+	// 1. Newest manifest whose full generation loads wins. The shard
+	// snapshots of one generation load all-or-nothing: mixing generations
+	// would mix cuts.
+	mans, err := listManifests(s.pcfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	base := s.cfg.Start - 1
+	basePos := make([]walPos, len(s.shards))
+	loadErrs := make([]error, 0, len(mans))
+	for i, m := range mans {
+		if i > 0 {
+			fresh, err := newCore(s.cfg)
+			if err != nil {
+				return nil, err
+			}
+			s.adoptCore(fresh)
+		}
+		nshards, day, err := loadManifest(m.path)
+		if err != nil {
+			loadErrs = append(loadErrs, fmt.Errorf("%s: %w", filepath.Base(m.path), err))
+			continue
+		}
+		if nshards != len(s.shards) {
+			// A config/layout mismatch, not corruption: falling back would
+			// silently recover an older cut of a differently-sharded
+			// directory.
+			return nil, fmt.Errorf("serve: manifest %s pins %d shards, %d configured", filepath.Base(m.path), nshards, len(s.shards))
+		}
+		if day != m.day {
+			loadErrs = append(loadErrs, fmt.Errorf("%s: pinned day %d does not match its name", filepath.Base(m.path), int64(day)))
+			continue
+		}
+		ok := true
+		for k, sh := range s.shards {
+			path := snapPath(s.pcfg.Dir, snapShardPrefix(k), day)
+			d, p, err := s.loadSnapshot(path, sh, k == 0 && s.grp != nil)
+			if err != nil {
+				loadErrs = append(loadErrs, fmt.Errorf("%s: %w", filepath.Base(path), err))
+				ok = false
+				break
+			}
+			if d != day {
+				loadErrs = append(loadErrs, fmt.Errorf("%s: snapshot day %d does not match manifest day %d", filepath.Base(path), int64(d), int64(day)))
+				ok = false
+				break
+			}
+			basePos[k] = p
+		}
+		if !ok {
+			continue
+		}
+		info.SnapshotLoaded = true
+		info.SnapshotDay = day
+		base = day
+		s.closedThrough = day
+		break
+	}
+	if len(mans) > 0 && !info.SnapshotLoaded {
+		return nil, fmt.Errorf("serve: no usable snapshot cut in %s: %w", s.pcfg.Dir, errors.Join(loadErrs...))
+	}
+	if !info.SnapshotLoaded && len(loadErrs) > 0 {
+		fresh, err := newCore(s.cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.adoptCore(fresh)
+	}
+
+	// 2. Scan every shard's WAL tail. A shard whose entire stream is
+	// missing while a sibling has history is a loud failure: replaying
+	// around it would silently serve a partial state.
+	scans := make([]*walScan, len(s.shards))
+	anySegs := false
+	for k := range s.shards {
+		pos := walPos{}
+		if info.SnapshotLoaded {
+			pos = basePos[k]
+		}
+		sc, err := s.scanWAL(walDir, walShardPrefix(k), pos, info.SnapshotLoaded)
+		if err != nil {
+			return nil, err
+		}
+		scans[k] = sc
+		anySegs = anySegs || sc.hasSegs
+		info.TornBytes += sc.torn
+	}
+	if !info.SnapshotLoaded && anySegs {
+		for k, sc := range scans {
+			if !sc.hasSegs {
+				return nil, fmt.Errorf("serve: shard %d WAL is missing while other shards have history — history gap", k)
+			}
+		}
+	}
+
+	// 3. Cross-shard batch completeness: a batch is durable only when all
+	// of its declared parts are on disk. Incomplete batches (a crash
+	// mid-fan-out) were never acknowledged; drop every surviving part.
+	type batchCount struct {
+		parts uint32
+		seen  uint32
+	}
+	counts := make(map[uint64]*batchCount)
+	maxBatch := uint64(0)
+	for k, sc := range scans {
+		for _, rec := range sc.recs {
+			switch rec.typ {
+			case recEvents:
+				return nil, fmt.Errorf("serve: shard %d WAL holds an unsharded event record — layout mismatch", k)
+			case recEventsPart:
+				c := counts[rec.batchID]
+				if c == nil {
+					c = &batchCount{parts: rec.parts}
+					counts[rec.batchID] = c
+				} else if c.parts != rec.parts {
+					return nil, fmt.Errorf("serve: batch %d declares conflicting part counts (%d vs %d)", rec.batchID, c.parts, rec.parts)
+				}
+				c.seen++
+				if c.seen > c.parts {
+					return nil, fmt.Errorf("serve: batch %d has more parts than its declared %d", rec.batchID, c.parts)
+				}
+				if rec.batchID > maxBatch {
+					maxBatch = rec.batchID
+				}
+			}
+		}
+	}
+	dropped := make(map[uint64]bool)
+	for id, c := range counts {
+		if c.seen != c.parts {
+			dropped[id] = true
+		}
+	}
+	info.DroppedPartialBatches = len(dropped)
+	s.nextBatch.Store(maxBatch)
+
+	// 4. Apply each shard's records in its own log order.
+	for k, sh := range s.shards {
+		for _, rec := range scans[k].recs {
+			switch rec.typ {
+			case recEventsPart:
+				if dropped[rec.batchID] {
+					continue
+				}
+				s.shardApplyEvents(sh, rec.events, info)
+			case recClose:
+				if err := s.shardCloseDays(sh, rec.day); err != nil {
+					return nil, err
+				}
+			default:
+				return nil, fmt.Errorf("serve: unknown WAL record type %d", rec.typ)
+			}
+			info.ReplayedRecords++
+		}
+	}
+
+	// 5. The consistent cut is the maximum barrier any shard logged: a
+	// close is acknowledged only after every shard durably logged it, so
+	// a lagging shard's missing barrier was either unacknowledged (safe
+	// to apply — its events for those days are all on its own log) or
+	// lost with an acknowledged barrier's sync, which the fsync-at-
+	// barrier policy rules out. Rolling laggards forward is idempotent:
+	// a later recovery replays the same records to the same cut.
+	cut := s.cfg.Start - 1
+	for _, sh := range s.shards {
+		if sh.closedThrough > cut {
+			cut = sh.closedThrough
+		}
+	}
+	for _, sh := range s.shards {
+		if err := s.shardCloseDays(sh, cut); err != nil {
+			return nil, err
+		}
+	}
+
+	// 6. Rebuild the global group state (from the snapshot's base day
+	// forward — the exact per-day operation order of the live merge) and
+	// the merged view (pure bit-copies of the shard deviations).
+	for d := base + 1; d <= cut; d++ {
+		if s.grpTbl != nil {
+			if err := s.grpTbl.EnsureDay(d); err != nil {
+				return nil, err
+			}
+			s.fillGroupDay(d)
+		}
+		if s.grp != nil {
+			if err := s.grp.Advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for d := s.view.FirstDay(); d <= cut; d++ {
+		day := d
+		s.view.AppendCopiedDay(func(u, feat, frame int) float64 {
+			return s.shards[s.userShard[u]].sigma(s.userLocal[u], feat, frame, day)
+		})
+	}
+	s.closedThrough = cut
+
+	// 7. Attach the appenders.
+	for k, sh := range s.shards {
+		pos := walPos{}
+		if info.SnapshotLoaded {
+			pos = basePos[k]
+		}
+		var err error
+		sh.wal, err = s.attachWAL(walDir, walShardPrefix(k), scans[k], pos)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// 8. Snapshot cadence resumes from what is already covered.
+	s.daysSinceSnap = int(cut - base)
+
+	info.ClosedThrough = cut
+	info.BufferedEvents = make(map[cert.Day]int)
+	for _, sh := range s.shards {
+		for d, evs := range sh.buffered {
+			info.BufferedEvents[d] += len(evs)
+		}
 	}
 	return info, nil
 }
@@ -305,36 +691,44 @@ func frameBoundary(frames []walFrame, goodLen int, off int64) bool {
 	return false
 }
 
+// shardApplyEvents buffers replayed events into one shard through the
+// same filters the live path uses.
+func (s *Server) shardApplyEvents(sh *shard, events []Event, info *RecoverInfo) {
+	for _, e := range events {
+		if s.checkEvent(e) != nil {
+			// The ingestor cannot consume this payload type (logged
+			// before payload vetting existed, or a foreign log). Drop
+			// it exactly as the live path now rejects it pre-WAL —
+			// failing recovery would make the directory permanently
+			// unrecoverable over one bad batch.
+			info.RejectedEvents++
+			continue
+		}
+		d := e.Day()
+		if d <= sh.closedThrough {
+			// Cannot happen for a log the server wrote (events are
+			// filtered before logging); tolerate it the same way.
+			sh.late.Add(1)
+			continue
+		}
+		sh.buffered[d] = append(sh.buffered[d], e)
+		sh.ingested.Add(1)
+		info.ReplayedEvents++
+	}
+}
+
 // applyRecord re-applies one WAL record through the same code paths the
-// live drain loop uses — minus the re-append. Replay is deterministic:
-// events were logged post-late-filter, and close barriers advance
-// closedThrough in the same order, so the rebuilt state matches the
-// pre-crash state bit for bit.
+// live drain loop uses — minus the re-append (unsharded replay). Replay
+// is deterministic: events were logged post-late-filter, and close
+// barriers advance closedThrough in the same order, so the rebuilt state
+// matches the pre-crash state bit for bit.
 func (s *Server) applyRecord(rec walRecord, info *RecoverInfo) error {
 	switch rec.typ {
 	case recEvents:
-		for _, e := range rec.events {
-			if s.checkEvent(e) != nil {
-				// The ingestor cannot consume this payload type (logged
-				// before payload vetting existed, or a foreign log). Drop
-				// it exactly as the live path now rejects it pre-WAL —
-				// failing recovery would make the directory permanently
-				// unrecoverable over one bad batch.
-				info.RejectedEvents++
-				continue
-			}
-			d := e.Day()
-			if d <= s.closedThrough {
-				// Cannot happen for a log the server wrote (events are
-				// filtered before logging); tolerate it the same way.
-				s.late.Add(1)
-				continue
-			}
-			s.buffered[d] = append(s.buffered[d], e)
-			s.ingested.Add(1)
-			info.ReplayedEvents++
-		}
+		s.shardApplyEvents(s.shards[0], rec.events, info)
 		return nil
+	case recEventsPart:
+		return errors.New("serve: WAL holds a sharded batch part in an unsharded log — layout mismatch")
 	case recClose:
 		return s.closeDays(rec.day)
 	default:

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+)
+
+// router maps user IDs to shards with a consistent-hash ring: every shard
+// contributes vnodesPerShard points hashed from a stable label, the points
+// are sorted, and a user lands on the first point clockwise of the user's
+// hash. The placement depends only on (user ID, shard count), never on the
+// user list or its order, so two servers configured alike route alike —
+// which is what lets recovery re-derive a shard's user subset from the
+// config and check it against the shard's snapshot.
+type router struct {
+	shards int
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+const vnodesPerShard = 64
+
+// fnv64a is FNV-1a over a string, inlined so the router and its fuzz
+// target share one definition with no allocation.
+func fnv64a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// newRouter builds the ring for n shards. n ≤ 1 degenerates to a direct
+// map to shard 0.
+func newRouter(n int) *router {
+	r := &router{shards: n}
+	if n <= 1 {
+		return r
+	}
+	r.points = make([]ringPoint, 0, n*vnodesPerShard)
+	for s := 0; s < n; s++ {
+		for v := 0; v < vnodesPerShard; v++ {
+			h := fnv64a(fmt.Sprintf("shard-%d-vnode-%d", s, v))
+			r.points = append(r.points, ringPoint{hash: h, shard: s})
+		}
+	}
+	// Ties on hash (astronomically unlikely but cheap to pin down) break by
+	// shard index so the ring order is fully deterministic.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// shardOf returns the shard owning a user ID.
+func (r *router) shardOf(user string) int {
+	if r.shards <= 1 {
+		return 0
+	}
+	h := fnv64a(user)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}

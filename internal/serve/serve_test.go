@@ -287,7 +287,7 @@ func TestBackpressure(t *testing.T) {
 	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
 		t.Fatalf("submit returned after %v without blocking for the context", elapsed)
 	}
-	if depth := len(srv.queue); depth > 2 {
+	if depth := len(srv.shards[0].queue); depth > 2 {
 		t.Fatalf("queue grew past its bound: %d", depth)
 	}
 
@@ -367,7 +367,7 @@ func TestShutdownCancelsRetrain(t *testing.T) {
 	}
 	// First model: train quickly by temporarily overriding nothing — use a
 	// detector trained out of band and swapped in through the same path.
-	quick, err := acobe.NewDetectorFromFields(srv.ind.Field().Clone(), srv.grp.Field().Clone(), testMember,
+	quick, err := acobe.NewDetectorFromFields(srv.indField().Clone(), srv.grp.Field().Clone(), testMember,
 		append(testDetOpts(), acobe.WithGroupDeviations(true))...)
 	if err != nil {
 		t.Fatal(err)

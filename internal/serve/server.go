@@ -15,16 +15,30 @@
 //
 // Concurrency model:
 //
-//   - One drain goroutine owns the day buffers; producers hand it event
-//     batches through a bounded queue (Submit blocks when full —
-//     backpressure instead of unbounded growth).
-//   - Day-close mutates tables and fields under a writer lock; rank
+//   - Per-user state is partitioned across Config.Shards consistent-hashed
+//     shards. Each shard owns a goroutine, a bounded ingest queue, its own
+//     extractor + streaming deviation state, and (with persistence) its
+//     own WAL segment stream — so ingest parallelizes across shards.
+//   - With Shards=1 (the default) the single shard's goroutine is the
+//     classic drain loop: it owns the day buffers and day-close end to
+//     end, and on-disk artifacts are byte-identical to the historical
+//     unsharded format.
+//   - With Shards>1 a coordinator goroutine serializes day-closes: it
+//     broadcasts a close barrier to every shard, waits for all of them to
+//     extract their users' days, then merges the per-shard deviations
+//     into one global view field and group table in deterministic global
+//     user order. The merge copies float64 values bit-for-bit and sums
+//     group members in ascending global user index — the batch pipeline's
+//     exact operation order — so rankings are byte-identical regardless
+//     of the shard count.
+//   - Day-close mutates the merged view under a writer lock; rank
 //     queries score under a reader lock, so queries never observe a
 //     half-advanced day.
-//   - Retraining clones the fields under a reader lock and trains on the
-//     frozen snapshot without any lock, so ingest and queries continue
-//     while a new ensemble fits; the trained weights are swapped in
-//     atomically (old detector answers until the instant of the swap).
+//   - Retraining clones the merged fields under a reader lock and fits
+//     the per-aspect models in parallel (core.Detector.Fit's ensemble
+//     concurrency) on the frozen snapshot without any lock; the trained
+//     weights are swapped in atomically (old detector answers until the
+//     instant of the swap).
 package serve
 
 import (
@@ -71,35 +85,102 @@ type Config struct {
 	// Deviation carries ω, 𝒟, Δ, ε and weighting.
 	Deviation deviation.Config
 	// Ingestor fills the measurement table from closed days' events.
-	// Defaults to a CERTIngestor over Users starting at Start.
+	// Defaults to a CERTIngestor over Users starting at Start. Only valid
+	// with Shards ≤ 1: a prebuilt ingestor spans all users and cannot be
+	// partitioned — sharded servers build per-shard ingestors through
+	// IngestorFactory.
 	Ingestor Ingestor
+	// IngestorFactory builds one ingestor per shard over that shard's
+	// user subset. Defaults to NewCERTIngestor. Mutually exclusive with
+	// Ingestor.
+	IngestorFactory func(users []string, start cert.Day) (Ingestor, error)
 	// DetectorOptions configure the ensemble built at each retrain
 	// (aspects, model size, seed, votes, train stride, ...). Group
 	// deviation inclusion is derived from Groups and must not be set here.
 	DetectorOptions []acobe.Option
-	// QueueSize bounds the ingest queue in batches (default 64). When the
+	// QueueSize bounds each ingest queue in batches (default 64). When a
 	// queue is full, Submit blocks — backpressure, not buffering.
 	QueueSize int
+	// Shards partitions the per-user state (default 1). Users are placed
+	// on a consistent-hash ring keyed by user ID, so placement depends
+	// only on (user ID, shard count). Rankings are byte-identical across
+	// any shard count; Shards=1 additionally keeps the on-disk WAL and
+	// snapshot artifacts byte-identical to the historical unsharded
+	// layout.
+	Shards int
 }
 
-// envelope is one unit of drain-goroutine work: an event batch or (with
-// isClose) a close-through-day control item. done, when non-nil, receives
-// the outcome — always set for closes, and set for event batches when
+// envelope is one unit of shard/coordinator work: an event batch, a
+// close-through-day barrier (isClose), or a snapshot request (isSnap —
+// sharded servers only). done, when non-nil, receives the outcome —
+// always set for closes and snapshots, and set for event batches when
 // persistence is on (Submit acks only after the batch hit the WAL).
 type envelope struct {
 	events       []Event
+	batchID      uint64 // cross-shard batch identity (Shards>1 with WAL)
+	parts        uint32 // how many shard logs carry a slice of the batch
 	closeThrough cert.Day
 	isClose      bool
+	isSnap       bool
 	done         chan error
+}
+
+// shard owns one consistent-hash partition of the per-user state. Its
+// fields other than the queue and counters are owned by the shard's drain
+// goroutine (and by recovery, which runs before it starts).
+type shard struct {
+	idx int
+	// users is the shard's user subset in global index order; global maps
+	// a local index back to the configured global index.
+	users  []string
+	global []int
+
+	ing Ingestor               // nil when the shard holds no users
+	ind *deviation.StreamField // nil when ing is nil
+
+	// closedThrough is the shard's own applied close barrier. It equals
+	// the server's closedThrough except transiently inside a close.
+	closedThrough cert.Day
+
+	// buffered holds events of not-yet-closed days routed to this shard.
+	buffered map[cert.Day][]Event
+
+	queue chan envelope
+
+	ingested atomic.Int64
+	late     atomic.Int64
+
+	wal *wal // nil without persistence
+}
+
+// sigma reads the shard's deviation of local user lu on day d.
+func (sh *shard) sigma(lu, feat, frame int, d cert.Day) float64 {
+	return sh.ind.Field().Sigma(lu, feat, frame, d)
 }
 
 // Server is the online scoring daemon's engine, independent of its HTTP
 // shell (cmd/acobed).
 type Server struct {
-	cfg     Config
-	ing     Ingestor
+	cfg    Config
+	router *router
+	shards []*shard
+	// userShard and userLocal map a global user index to its owning shard
+	// and its index inside that shard.
+	userShard []int
+	userLocal []int
+	// checker is any shard's ingestor, used for payload-type vetting
+	// (every shard runs the same ingestor type).
+	checker Ingestor
+	feats   []string
+	frames  int
+
+	// view is the merged global deviation field (Shards>1 only): day by
+	// day, closed per-shard deviations are copied in at their global user
+	// rows, bit-for-bit. With Shards=1 the single shard's live field is
+	// the view. Rank and Retrain always read through indField().
+	view *deviation.Field
+
 	grpTbl  *features.Table
-	ind     *deviation.StreamField
 	grp     *deviation.StreamField // nil without groups
 	invSize []float64              // 1/|group|, GroupTable's exact factor
 
@@ -108,28 +189,26 @@ type Server struct {
 	mu            sync.RWMutex
 	closedThrough cert.Day
 
-	// buffered holds events of not-yet-closed days; owned by the drain
-	// goroutine exclusively.
-	buffered map[cert.Day][]Event
+	qmu    sync.RWMutex  // guards queue sends against close(queue)
+	queue  chan envelope // coordinator close queue (Shards>1 only)
+	closed bool          // under qmu
 
-	qmu    sync.RWMutex // guards queue sends against close(queue)
-	queue  chan envelope
-	closed bool // under qmu
-
-	ingested atomic.Int64
-	late     atomic.Int64
+	// nextBatch numbers cross-shard batches; recovery advances it past
+	// every batch ID seen in the logs.
+	nextBatch atomic.Uint64
 
 	det          atomic.Pointer[acobe.Detector]
 	retraining   atomic.Bool
 	lastTrainErr atomic.Value // error from the most recent retrain, or nil
 
-	// Persistence (nil pcfg = disabled). The WAL appender and snapshot
-	// cadence are owned by the drain goroutine (and by recovery, which
-	// runs before it starts). persistFail is the fail-stop latch: set
-	// once, read by every later Submit/CloseDay.
+	// Persistence (nil pcfg = disabled). Each shard's WAL appender is
+	// owned by that shard's goroutine; snapshot cadence is owned by the
+	// closing goroutine (the single drain loop, or the coordinator).
+	// persistFail is the fail-stop latch: set once, read by every later
+	// Submit/CloseDay.
 	pcfg          *PersistConfig
 	fs            persistFS
-	wal           *wal
+	failMu        sync.Mutex
 	persistFail   atomic.Value // errBox
 	daysSinceSnap int
 	recovery      *RecoverInfo
@@ -140,7 +219,7 @@ type Server struct {
 	retrainWG sync.WaitGroup
 }
 
-// New validates the configuration and starts the drain goroutine. The
+// New validates the configuration and starts the shard goroutines. The
 // server is purely in-memory; use Open for crash-safe persistence.
 func New(cfg Config) (*Server, error) {
 	s, err := newCore(cfg)
@@ -163,31 +242,90 @@ func newCore(cfg Config) (*Server, error) {
 	if cfg.QueueSize <= 0 {
 		cfg.QueueSize = 64
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Ingestor != nil && cfg.IngestorFactory != nil {
+		return nil, errors.New("serve: configure either Ingestor or IngestorFactory, not both")
+	}
+	if cfg.Shards > 1 && cfg.Ingestor != nil {
+		return nil, errors.New("serve: a prebuilt Ingestor cannot be partitioned; use IngestorFactory with Shards > 1")
+	}
 	s := &Server{
 		cfg:           cfg,
-		ing:           cfg.Ingestor,
+		router:        newRouter(cfg.Shards),
 		closedThrough: cfg.Start - 1,
-		buffered:      make(map[cert.Day][]Event),
-		queue:         make(chan envelope, cfg.QueueSize),
 	}
-	if s.ing == nil {
-		ing, err := NewCERTIngestor(cfg.Users, cfg.Start)
-		if err != nil {
-			return nil, err
+
+	// Partition the users. Placement depends only on (user ID, shard
+	// count); each shard's subset keeps the global relative order, which
+	// is what lets the merge walk shards in ascending global index.
+	shardUsers := make([][]string, cfg.Shards)
+	shardGlobal := make([][]int, cfg.Shards)
+	s.userShard = make([]int, len(cfg.Users))
+	s.userLocal = make([]int, len(cfg.Users))
+	for u, name := range cfg.Users {
+		k := s.router.shardOf(name)
+		s.userShard[u] = k
+		s.userLocal[u] = len(shardUsers[k])
+		shardUsers[k] = append(shardUsers[k], name)
+		shardGlobal[k] = append(shardGlobal[k], u)
+	}
+
+	factory := cfg.IngestorFactory
+	if factory == nil {
+		factory = func(users []string, start cert.Day) (Ingestor, error) {
+			return NewCERTIngestor(users, start)
 		}
-		s.ing = ing
 	}
+	for k := 0; k < cfg.Shards; k++ {
+		sh := &shard{
+			idx:           k,
+			users:         shardUsers[k],
+			global:        shardGlobal[k],
+			closedThrough: cfg.Start - 1,
+			buffered:      make(map[cert.Day][]Event),
+			queue:         make(chan envelope, cfg.QueueSize),
+		}
+		if cfg.Shards == 1 && cfg.Ingestor != nil {
+			sh.ing = cfg.Ingestor
+		} else if len(sh.users) > 0 {
+			ing, err := factory(sh.users, cfg.Start)
+			if err != nil {
+				return nil, fmt.Errorf("serve: shard %d ingestor: %w", k, err)
+			}
+			sh.ing = ing
+		}
+		if sh.ing != nil {
+			t := sh.ing.Table()
+			if cfg.Shards > 1 && !equalStrings(t.Users(), sh.users) {
+				return nil, fmt.Errorf("serve: shard %d ingestor table does not cover the shard's users", k)
+			}
+			ind, err := deviation.NewStreamField(t, cfg.Deviation)
+			if err != nil {
+				return nil, fmt.Errorf("serve: %w", err)
+			}
+			sh.ind = ind
+			if s.checker == nil {
+				s.checker = sh.ing
+				s.feats = t.Features()
+				s.frames = t.Frames()
+			} else if len(t.Features()) != len(s.feats) || t.Frames() != s.frames {
+				return nil, fmt.Errorf("serve: shard %d ingestor shape differs from shard 0's", k)
+			}
+		}
+		s.shards = append(s.shards, sh)
+	}
+	if s.checker == nil {
+		return nil, errors.New("serve: every shard is empty")
+	}
+
 	var err error
-	s.ind, err = deviation.NewStreamField(s.ing.Table(), cfg.Deviation)
-	if err != nil {
-		return nil, fmt.Errorf("serve: %w", err)
-	}
 	if len(cfg.Groups) > 0 {
 		if len(cfg.Membership) != len(cfg.Users) {
 			return nil, fmt.Errorf("serve: membership has %d entries for %d users", len(cfg.Membership), len(cfg.Users))
 		}
-		t := s.ing.Table()
-		s.grpTbl, err = features.NewTable(cfg.Groups, t.Features(), t.Frames(), cfg.Start, cfg.Start)
+		s.grpTbl, err = features.NewTable(cfg.Groups, s.feats, s.frames, cfg.Start, cfg.Start)
 		if err != nil {
 			return nil, fmt.Errorf("serve: group table: %w", err)
 		}
@@ -212,38 +350,91 @@ func newCore(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("serve: %w", err)
 		}
 	}
+	if cfg.Shards > 1 {
+		// The merged view's table holds only metadata (user/feature/frame
+		// shape): the detector's matrix builders read deviations, never
+		// raw measurements, so the per-day measurement copies stay inside
+		// the shard tables.
+		viewTbl, err := features.NewTable(cfg.Users, s.feats, s.frames, cfg.Start, cfg.Start)
+		if err != nil {
+			return nil, fmt.Errorf("serve: view table: %w", err)
+		}
+		s.view, err = deviation.NewEmptyField(viewTbl, cfg.Deviation)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		s.queue = make(chan envelope, cfg.QueueSize)
+	}
 	return s, nil
 }
 
-// start launches the drain goroutine; no envelopes are processed before it.
+// start launches the shard goroutines (and, when sharded, the close
+// coordinator); no envelopes are processed before it.
 func (s *Server) start() {
 	s.lifeCtx, s.cancel = context.WithCancel(context.Background())
-	s.drainWG.Add(1)
-	go s.drain()
+	for _, sh := range s.shards {
+		s.drainWG.Add(1)
+		go s.shardDrain(sh)
+	}
+	if len(s.shards) > 1 {
+		s.drainWG.Add(1)
+		go s.coordinate()
+	}
 }
 
 // adoptCore replaces this server's ingest state with a freshly built
 // core's. Recovery uses it to retry a snapshot load from scratch: a
 // half-loaded corrupt snapshot must not leak into the next attempt.
 func (s *Server) adoptCore(c *Server) {
-	s.ing = c.ing
+	s.router = c.router
+	s.shards = c.shards
+	s.userShard = c.userShard
+	s.userLocal = c.userLocal
+	s.checker = c.checker
+	s.feats = c.feats
+	s.frames = c.frames
+	s.view = c.view
 	s.grpTbl = c.grpTbl
-	s.ind = c.ind
 	s.grp = c.grp
 	s.invSize = c.invSize
 	s.closedThrough = c.closedThrough
-	s.buffered = c.buffered
-	s.ingested.Store(0)
-	s.late.Store(0)
+	s.queue = c.queue
 }
 
-// Submit hands a batch of events to the drain goroutine. It blocks while
-// the bounded queue is full (backpressure) until ctx is canceled or
+// indField returns the field Rank and Retrain read: the merged view when
+// sharded, the single shard's live field otherwise.
+func (s *Server) indField() *deviation.Field {
+	if s.view != nil {
+		return s.view
+	}
+	return s.shards[0].ind.Field()
+}
+
+// persistent reports whether the persistence layer is enabled.
+func (s *Server) persistent() bool { return s.pcfg != nil }
+
+// eventUser returns the user ID an event is attributed to, for shard
+// routing. Valid events always carry one.
+func eventUser(e Event) string {
+	switch {
+	case e.Cert != nil:
+		return e.Cert.User
+	case e.Record != nil:
+		return e.Record.User
+	}
+	return ""
+}
+
+// Submit hands a batch of events to the shard goroutines. It blocks while
+// a bounded queue is full (backpressure) until ctx is canceled or
 // shutdown begins. Events for already-closed days are counted as late and
 // dropped at drain time. With persistence enabled Submit additionally
-// blocks until the batch is appended to the WAL: a nil return means the
-// whole batch survives a restart (batches are logged as a single frame,
-// all-or-nothing).
+// blocks until the batch is appended to the WAL(s): a nil return means
+// the whole batch survives a restart. A single-shard server logs the
+// batch as one frame; a sharded one logs one part per involved shard and
+// recovery discards batches with missing parts — all-or-nothing either
+// way. A ctx error leaves the batch's durability (and, when sharded, its
+// in-memory buffering) unknown, exactly like a crash mid-call.
 func (s *Server) Submit(ctx context.Context, events []Event) error {
 	for _, e := range events {
 		if !e.Valid() {
@@ -253,28 +444,110 @@ func (s *Server) Submit(ctx context.Context, events []Event) error {
 			return err
 		}
 	}
-	env := envelope{events: events}
-	if s.wal == nil {
-		return s.send(ctx, env)
+	if len(s.shards) == 1 {
+		env := envelope{events: events}
+		sh := s.shards[0]
+		if sh.wal == nil {
+			return s.send(ctx, sh.queue, env)
+		}
+		env.done = make(chan error, 1)
+		if err := s.send(ctx, sh.queue, env); err != nil {
+			return err
+		}
+		select {
+		case err := <-env.done:
+			return err
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
-	env.done = make(chan error, 1)
-	if err := s.send(ctx, env); err != nil {
+	return s.submitSharded(ctx, events)
+}
+
+// submitSharded splits one batch by shard and fans the slices out to the
+// shard queues, then (with persistence) waits for every involved shard's
+// WAL ack.
+func (s *Server) submitSharded(ctx context.Context, events []Event) error {
+	if s.persistent() {
+		// Check the whole batch's encoded size up front, on the caller's
+		// goroutine: an oversized batch is rejected before any shard
+		// buffers or logs a slice of it, keeping the rejection whole. Any
+		// per-shard slice encodes smaller than the full batch.
+		payload, err := encodeEventsPayload(events)
+		if err != nil {
+			return err
+		}
+		if len(payload)+partHeaderSize > maxWALRecord {
+			return fmt.Errorf("%w (%d bytes, cap %d)", ErrBatchTooLarge, len(payload), maxWALRecord)
+		}
+	}
+	split := make([][]Event, len(s.shards))
+	parts := uint32(0)
+	for _, e := range events {
+		k := s.router.shardOf(eventUser(e))
+		if len(split[k]) == 0 {
+			parts++
+		}
+		split[k] = append(split[k], e)
+	}
+
+	if err := s.persistErr(); err != nil {
 		return err
 	}
-	select {
-	case err := <-env.done:
-		return err
-	case <-ctx.Done():
-		return ctx.Err()
+	var dones []chan error
+	s.qmu.RLock()
+	if s.closed {
+		s.qmu.RUnlock()
+		return ErrShuttingDown
 	}
+	if parts > 0 {
+		batchID := s.nextBatch.Add(1)
+		for k, evs := range split {
+			if len(evs) == 0 {
+				continue
+			}
+			env := envelope{events: evs, batchID: batchID, parts: parts}
+			if s.persistent() {
+				env.done = make(chan error, 1)
+			}
+			select {
+			case s.shards[k].queue <- env:
+				if env.done != nil {
+					dones = append(dones, env.done)
+				}
+			case <-ctx.Done():
+				s.qmu.RUnlock()
+				return ctx.Err()
+			}
+		}
+	}
+	s.qmu.RUnlock()
+
+	var firstErr error
+	for _, done := range dones {
+		select {
+		case err := <-done:
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return firstErr
 }
 
 // CloseDay declares that every day up to and including d is complete,
 // extracts the buffered events into measurements, and advances the
-// deviation windows. It blocks until the advance finished (or failed).
+// deviation windows (across every shard, then merges). It blocks until
+// the advance finished (or failed).
 func (s *Server) CloseDay(ctx context.Context, d cert.Day) error {
 	done := make(chan error, 1)
-	if err := s.send(ctx, envelope{closeThrough: d, isClose: true, done: done}); err != nil {
+	front := s.queue
+	if len(s.shards) == 1 {
+		front = s.shards[0].queue
+	}
+	if err := s.send(ctx, front, envelope{closeThrough: d, isClose: true, done: done}); err != nil {
 		return err
 	}
 	select {
@@ -286,7 +559,7 @@ func (s *Server) CloseDay(ctx context.Context, d cert.Day) error {
 }
 
 // send enqueues one envelope with backpressure.
-func (s *Server) send(ctx context.Context, env envelope) error {
+func (s *Server) send(ctx context.Context, ch chan envelope, env envelope) error {
 	if err := s.persistErr(); err != nil {
 		return err
 	}
@@ -296,7 +569,7 @@ func (s *Server) send(ctx context.Context, env envelope) error {
 		return ErrShuttingDown
 	}
 	select {
-	case s.queue <- env:
+	case ch <- env:
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -306,10 +579,11 @@ func (s *Server) send(ctx context.Context, env envelope) error {
 // checkEvent vets an event's payload type against the ingestor. Submit
 // calls it so a batch the ingestor cannot consume is rejected before it
 // is queued or WAL-logged: a durable log holding an unconsumable batch
-// would fail every replay at day-close. s.ing is immutable once the drain
-// goroutine runs, so the type assertion is safe from any goroutine.
+// would fail every replay at day-close. Shard ingestors are immutable
+// once the drain goroutines run and all share one type, so probing any
+// one of them is safe from any goroutine.
 func (s *Server) checkEvent(e Event) error {
-	if c, ok := s.ing.(EventChecker); ok {
+	if c, ok := s.checker.(EventChecker); ok {
 		return c.CheckEvent(e)
 	}
 	return nil
@@ -324,95 +598,117 @@ func (s *Server) persistErr() error {
 }
 
 // failPersist latches the first persistence failure and returns the
-// latched error. Only the drain goroutine (and pre-drain recovery) calls
-// it, so the check-then-store is race-free.
+// latched error. Shard goroutines may race here; the mutex keeps the
+// first failure the latched one.
 func (s *Server) failPersist(err error) error {
+	s.failMu.Lock()
+	defer s.failMu.Unlock()
 	if s.persistErr() == nil {
 		s.persistFail.Store(errBox{fmt.Errorf("%w: %w", ErrPersistenceFailed, err)})
 	}
 	return s.persistErr()
 }
 
-// drain is the single consumer of the ingest queue. It owns the per-day
-// buffers; day-close work happens here so that table mutation is
-// single-writer by construction.
-func (s *Server) drain() {
+// shardDrain is one shard's consumer goroutine. It owns the shard's day
+// buffers, extractor, and WAL appender; in a single-shard server it also
+// owns day-close end to end (the classic drain loop), while in a sharded
+// one closes and snapshots arrive as coordinator-broadcast barriers.
+func (s *Server) shardDrain(sh *shard) {
 	defer s.drainWG.Done()
-	for env := range s.queue {
-		if env.isClose {
-			env.done <- s.drainClose(env.closeThrough)
-			continue
-		}
-		err := s.drainEvents(env.events)
-		if env.done != nil {
-			env.done <- err
+	single := len(s.shards) == 1
+	for env := range sh.queue {
+		switch {
+		case env.isClose:
+			if single {
+				env.done <- s.drainClose(env.closeThrough)
+			} else {
+				env.done <- s.shardClose(sh, env.closeThrough)
+			}
+		case env.isSnap:
+			env.done <- s.shardSnapshot(sh)
+		default:
+			err := s.shardEvents(sh, env)
+			if env.done != nil {
+				env.done <- err
+			}
 		}
 	}
-	if s.wal != nil {
-		if err := s.wal.close(); err != nil {
+	if sh.wal != nil {
+		if err := sh.wal.close(); err != nil {
 			_ = s.failPersist(err)
 		}
 	}
 }
 
-// drainEvents buffers one batch, WAL-first when persistence is on. Late
-// events are filtered before logging so that replaying the WAL re-applies
-// exactly the accepted events, independent of the closed-through day at
-// replay time.
-func (s *Server) drainEvents(events []Event) error {
+// shardEvents buffers one batch (or batch slice), WAL-first when
+// persistence is on. Late events are filtered before logging so that
+// replaying the WAL re-applies exactly the accepted events, independent
+// of the closed-through day at replay time.
+func (s *Server) shardEvents(sh *shard, env envelope) error {
 	if err := s.persistErr(); err != nil {
 		return err
 	}
 	var fresh []Event
 	late := 0
-	for _, e := range events {
-		if e.Day() <= s.closedThrough { // drain goroutine wrote it; no lock needed
+	for _, e := range env.events {
+		if e.Day() <= sh.closedThrough { // the shard goroutine wrote it; no lock needed
 			late++
 			continue
 		}
 		fresh = append(fresh, e)
 	}
-	if s.wal != nil && len(fresh) > 0 {
-		payload, err := encodeEventsPayload(fresh)
+	if sh.wal != nil && (len(fresh) > 0 || env.parts > 0) {
+		var payload []byte
+		var err error
+		if env.parts > 0 {
+			// A slice of a cross-shard batch logs even when empty: the
+			// batch is durable only when all its parts are on disk, and
+			// every involved shard must be able to account for its part.
+			payload, err = encodePartPayload(env.batchID, env.parts, fresh)
+		} else {
+			payload, err = encodeEventsPayload(fresh)
+		}
 		if err != nil {
 			return err // a batch that cannot encode is the batch's problem
 		}
 		if len(payload) > maxWALRecord {
 			return fmt.Errorf("%w (%d bytes, cap %d)", ErrBatchTooLarge, len(payload), maxWALRecord)
 		}
-		if err := s.wal.append(payload); err != nil {
+		if err := sh.wal.append(payload); err != nil {
 			return s.failPersist(err)
 		}
 	}
-	s.late.Add(int64(late))
+	sh.late.Add(int64(late))
 	for _, e := range fresh {
-		s.buffered[e.Day()] = append(s.buffered[e.Day()], e)
-		s.ingested.Add(1)
+		sh.buffered[e.Day()] = append(sh.buffered[e.Day()], e)
+		sh.ingested.Add(1)
 	}
 	return nil
 }
 
-// drainClose logs the barrier, advances the days, and snapshots on
-// cadence. The close record hits the WAL before any table mutation
-// (WAL-before-apply), and under FsyncClose/FsyncAlways the log is synced
-// at the barrier — a crash never loses a closed day.
+// drainClose is the single-shard close path: it logs the barrier,
+// advances the days, and snapshots on cadence. The close record hits the
+// WAL before any table mutation (WAL-before-apply), and under
+// FsyncClose/FsyncAlways the log is synced at the barrier — a crash never
+// loses a closed day.
 func (s *Server) drainClose(to cert.Day) error {
 	if err := s.persistErr(); err != nil {
 		return err
 	}
+	sh := s.shards[0]
 	closing := to > s.closedThrough
-	if s.wal != nil && closing {
-		if err := s.wal.appendClose(to); err != nil {
+	if sh.wal != nil && closing {
+		if err := sh.wal.appendClose(to); err != nil {
 			return s.failPersist(err)
 		}
 		if s.pcfg.Fsync != FsyncNever {
-			if err := s.wal.sync(); err != nil {
+			if err := sh.wal.sync(); err != nil {
 				return s.failPersist(err)
 			}
 		}
 	}
 	if err := s.closeDays(to); err != nil {
-		if s.wal != nil && closing {
+		if sh.wal != nil && closing {
 			// The barrier is already durably logged: an apply failure here
 			// means memory has diverged from the log (buffered events of
 			// the failed day are gone), so fail-stop rather than keep
@@ -421,7 +717,7 @@ func (s *Server) drainClose(to cert.Day) error {
 		}
 		return err
 	}
-	if s.wal != nil && closing {
+	if sh.wal != nil && closing {
 		if err := s.maybeSnapshot(); err != nil {
 			return s.failPersist(err)
 		}
@@ -430,11 +726,13 @@ func (s *Server) drainClose(to cert.Day) error {
 }
 
 // closeDays advances day by day through to, including days with no
-// buffered events (zero activity is a real measurement).
+// buffered events (zero activity is a real measurement). Single-shard
+// path (and its recovery replay).
 func (s *Server) closeDays(to cert.Day) error {
+	sh := s.shards[0]
 	for d := s.closedThrough + 1; d <= to; d++ {
-		evs := s.buffered[d]
-		delete(s.buffered, d)
+		evs := sh.buffered[d]
+		delete(sh.buffered, d)
 		s.mu.Lock()
 		err := s.advanceDay(d, evs)
 		s.mu.Unlock()
@@ -447,7 +745,7 @@ func (s *Server) closeDays(to cert.Day) error {
 }
 
 // maybeSnapshot writes a snapshot once enough days closed since the last
-// one.
+// one (single-shard path).
 func (s *Server) maybeSnapshot() error {
 	if s.daysSinceSnap < s.pcfg.SnapshotEvery {
 		return nil
@@ -461,13 +759,16 @@ func (s *Server) maybeSnapshot() error {
 
 // advanceDay extracts one closed day and slides every deviation window
 // forward — O(users·features·frames) total, O(1) per cell. Caller holds
-// the write lock.
+// the write lock. Single-shard path: the exact historical operation
+// order, so measurements, group averages, and deviations are
+// bit-identical to the unsharded implementation's.
 func (s *Server) advanceDay(d cert.Day, evs []Event) error {
-	t := s.ing.Table()
+	sh := s.shards[0]
+	t := sh.ing.Table()
 	if err := t.EnsureDay(d); err != nil {
 		return err
 	}
-	if err := s.ing.ConsumeDay(d, evs); err != nil {
+	if err := sh.ing.ConsumeDay(d, evs); err != nil {
 		return err
 	}
 	if s.grpTbl != nil {
@@ -476,8 +777,154 @@ func (s *Server) advanceDay(d cert.Day, evs []Event) error {
 		}
 		s.fillGroupDay(d)
 	}
-	if err := s.ind.Advance(); err != nil {
+	if err := sh.ind.Advance(); err != nil {
 		return err
+	}
+	if s.grp != nil {
+		if err := s.grp.Advance(); err != nil {
+			return err
+		}
+	}
+	s.closedThrough = d
+	sh.closedThrough = d
+	return nil
+}
+
+// coordinate serializes day-closes for a sharded server: one barrier at a
+// time, broadcast to every shard, merged after all of them ack. When the
+// front queue closes (Shutdown), it closes the shard queues — it is their
+// only other sender, so the close is safe.
+func (s *Server) coordinate() {
+	defer s.drainWG.Done()
+	for env := range s.queue {
+		env.done <- s.coordClose(env.closeThrough)
+	}
+	for _, sh := range s.shards {
+		close(sh.queue)
+	}
+}
+
+// coordClose runs one close barrier across every shard, then merges the
+// closed days into the global view/group state and snapshots on cadence.
+func (s *Server) coordClose(to cert.Day) error {
+	if err := s.persistErr(); err != nil {
+		return err
+	}
+	if to <= s.closedThrough {
+		return nil
+	}
+	acks := make([]chan error, len(s.shards))
+	for i, sh := range s.shards {
+		acks[i] = make(chan error, 1)
+		sh.queue <- envelope{closeThrough: to, isClose: true, done: acks[i]}
+	}
+	var firstErr error
+	for _, ack := range acks {
+		if err := <-ack; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if err := s.mergeDays(to); err != nil {
+		if s.persistent() {
+			// Every shard durably logged the barrier; a merge failure
+			// means the global view diverged from what replay would
+			// rebuild, so fail-stop.
+			return s.failPersist(err)
+		}
+		return err
+	}
+	if s.persistent() {
+		if err := s.maybeSnapshotSharded(); err != nil {
+			return s.failPersist(err)
+		}
+	}
+	return nil
+}
+
+// shardClose applies one close barrier inside a shard: WAL the barrier,
+// sync it, and extract the shard's users' days. The global group/view
+// merge happens afterwards on the coordinator.
+func (s *Server) shardClose(sh *shard, to cert.Day) error {
+	if err := s.persistErr(); err != nil {
+		return err
+	}
+	closing := to > sh.closedThrough
+	if sh.wal != nil && closing {
+		if err := sh.wal.appendClose(to); err != nil {
+			return s.failPersist(err)
+		}
+		if s.pcfg.Fsync != FsyncNever {
+			if err := sh.wal.sync(); err != nil {
+				return s.failPersist(err)
+			}
+		}
+	}
+	if err := s.shardCloseDays(sh, to); err != nil {
+		if sh.wal != nil && closing {
+			return s.failPersist(err)
+		}
+		return err
+	}
+	return nil
+}
+
+// shardCloseDays consumes the shard's buffered events day by day and
+// advances the shard's deviation windows. No server lock is needed: rank
+// queries read only the merged view, which the coordinator updates under
+// the write lock strictly after every shard acked.
+func (s *Server) shardCloseDays(sh *shard, to cert.Day) error {
+	for d := sh.closedThrough + 1; d <= to; d++ {
+		evs := sh.buffered[d]
+		delete(sh.buffered, d)
+		if sh.ing != nil {
+			if err := sh.ing.Table().EnsureDay(d); err != nil {
+				return err
+			}
+			if err := sh.ing.ConsumeDay(d, evs); err != nil {
+				return err
+			}
+			if err := sh.ind.Advance(); err != nil {
+				return err
+			}
+		}
+		sh.closedThrough = d
+	}
+	return nil
+}
+
+// mergeDays folds freshly closed days into the global group table and
+// merged view, one day at a time under the write lock.
+func (s *Server) mergeDays(to cert.Day) error {
+	for d := s.closedThrough + 1; d <= to; d++ {
+		s.mu.Lock()
+		err := s.mergeDay(d)
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		s.daysSinceSnap++
+	}
+	return nil
+}
+
+// mergeDay merges one closed day: group averages are recomputed from the
+// shard tables in ascending global user order (GroupTable's exact
+// operation order), and the day's per-user deviations are copied into the
+// view bit-for-bit. Caller holds the write lock.
+func (s *Server) mergeDay(d cert.Day) error {
+	if s.grpTbl != nil {
+		if err := s.grpTbl.EnsureDay(d); err != nil {
+			return err
+		}
+		s.fillGroupDay(d)
+	}
+	if d >= s.view.FirstDay() {
+		s.view.AppendCopiedDay(func(u, feat, frame int) float64 {
+			return s.shards[s.userShard[u]].sigma(s.userLocal[u], feat, frame, d)
+		})
 	}
 	if s.grp != nil {
 		if err := s.grp.Advance(); err != nil {
@@ -488,15 +935,22 @@ func (s *Server) advanceDay(d cert.Day, evs []Event) error {
 	return nil
 }
 
+// measure reads one user's measurement for a closed day from the owning
+// shard's table.
+func (s *Server) measure(u, feat, frame int, d cert.Day) float64 {
+	sh := s.shards[s.userShard[u]]
+	return sh.ing.Table().At(s.userLocal[u], feat, frame, d)
+}
+
 // fillGroupDay computes every group's member-average measurements for one
 // day, sharded across free compute workers. Each cell sums its members in
-// ascending user order and multiplies by 1/size — the exact operation
-// order of features.Table.GroupTable, so streamed group measurements are
-// bit-identical to the batch group table's.
+// ascending global user order and multiplies by 1/size — the exact
+// operation order of features.Table.GroupTable, regardless of how the
+// members are distributed over shards — so streamed group measurements
+// are bit-identical to the batch group table's.
 func (s *Server) fillGroupDay(d cert.Day) {
-	t := s.ing.Table()
-	nf := len(t.Features())
-	frames := t.Frames()
+	nf := len(s.feats)
+	frames := s.frames
 	cells := len(s.cfg.Groups) * nf * frames
 
 	fill := func(lo, hi int) {
@@ -508,7 +962,7 @@ func (s *Server) fillGroupDay(d cert.Day) {
 			var sum float64
 			for u, grp := range s.cfg.Membership {
 				if grp == g {
-					sum += t.At(u, f, fr, d)
+					sum += s.measure(u, f, fr, d)
 				}
 			}
 			s.grpTbl.Add(g, f, fr, d, sum*s.invSize[g])
@@ -561,17 +1015,18 @@ func (s *Server) newDetector(ind, grp *acobe.Field) (*acobe.Detector, error) {
 
 // Retrain fits a fresh ensemble on the training days [from, to] and swaps
 // it in atomically; the previous detector keeps serving Rank until the
-// swap. Training runs on a snapshot of the deviation fields cloned under a
-// read lock, so ingest and queries proceed concurrently. With wait=false
-// the fit continues in the background (tied to the server's lifetime
-// context); with wait=true it is additionally tied to ctx and the call
-// blocks until the swap or an error.
+// swap. Training runs on a snapshot of the merged deviation fields cloned
+// under a read lock, so ingest and queries proceed concurrently; the
+// per-aspect models fit in parallel under the compute worker budget. With
+// wait=false the fit continues in the background (tied to the server's
+// lifetime context); with wait=true it is additionally tied to ctx and
+// the call blocks until the swap or an error.
 func (s *Server) Retrain(ctx context.Context, from, to cert.Day, wait bool) error {
 	if !s.retraining.CompareAndSwap(false, true) {
 		return ErrRetrainInProgress
 	}
 	s.mu.RLock()
-	indSnap := s.ind.Field().Clone()
+	indSnap := s.indField().Clone()
 	var grpSnap *acobe.Field
 	if s.grp != nil {
 		grpSnap = s.grp.Field().Clone()
@@ -627,7 +1082,7 @@ func (s *Server) swapIn(trained *acobe.Detector) error {
 		return fmt.Errorf("serve: snapshot models: %w", err)
 	}
 	s.mu.RLock()
-	live, err := s.newDetector(s.ind.Field(), s.liveGroupField())
+	live, err := s.newDetector(s.indField(), s.liveGroupField())
 	s.mu.RUnlock()
 	if err != nil {
 		return err
@@ -649,6 +1104,8 @@ func (s *Server) liveGroupField() *acobe.Field {
 // Rank scores [from, to] with the current ensemble and returns the
 // ordered investigation list. It holds the read lock for the duration of
 // scoring so a concurrent day-close cannot shift the window mid-query.
+// The ranking runs over the merged global view, so its order (including
+// tie handling) is independent of the shard count.
 func (s *Server) Rank(ctx context.Context, from, to cert.Day) ([]acobe.Ranked, error) {
 	det := s.det.Load()
 	if det == nil {
@@ -662,6 +1119,7 @@ func (s *Server) Rank(ctx context.Context, from, to cert.Day) ([]acobe.Ranked, e
 // Status is a point-in-time snapshot of the daemon's state.
 type Status struct {
 	Users         int      `json:"users"`
+	Shards        int      `json:"shards"`
 	ClosedThrough cert.Day `json:"closed_through"`
 	Ingested      int64    `json:"ingested"`
 	Late          int64    `json:"late"`
@@ -683,12 +1141,18 @@ func (s *Server) Status() Status {
 	s.mu.RUnlock()
 	st := Status{
 		Users:         len(s.cfg.Users),
+		Shards:        len(s.shards),
 		ClosedThrough: closed,
-		Ingested:      s.ingested.Load(),
-		Late:          s.late.Load(),
-		QueueDepth:    len(s.queue),
 		Fitted:        s.det.Load() != nil,
 		Retraining:    s.retraining.Load(),
+	}
+	for _, sh := range s.shards {
+		st.Ingested += sh.ingested.Load()
+		st.Late += sh.late.Load()
+		st.QueueDepth += len(sh.queue)
+	}
+	if s.queue != nil {
+		st.QueueDepth += len(s.queue)
 	}
 	if box, ok := s.lastTrainErr.Load().(errBox); ok && box.err != nil {
 		st.LastTrainError = box.err.Error()
@@ -699,7 +1163,7 @@ func (s *Server) Status() Status {
 	return st
 }
 
-// ClosedThrough returns the last closed (fully extracted) day.
+// ClosedThrough returns the last closed (fully extracted and merged) day.
 func (s *Server) ClosedThrough() cert.Day {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -712,12 +1176,18 @@ func (s *Server) Detector() *acobe.Detector { return s.det.Load() }
 
 // Shutdown stops accepting work, cancels any in-flight retrain, drains
 // every already-queued batch and day-close to completion, and waits for
-// the workers to exit (bounded by ctx).
+// the workers to exit (bounded by ctx). Only the front queue is closed
+// here; the coordinator closes the shard queues after its own loop
+// drains, so no goroutine ever sends on a closed channel.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.qmu.Lock()
 	if !s.closed {
 		s.closed = true
-		close(s.queue)
+		if len(s.shards) > 1 {
+			close(s.queue)
+		} else {
+			close(s.shards[0].queue)
+		}
 		s.cancel()
 	}
 	s.qmu.Unlock()

@@ -1,0 +1,391 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"acobe/internal/cert"
+	"acobe/internal/testkit"
+)
+
+// These tests extend the crash matrix to the sharded layout: faults that
+// hit ONE shard's WAL or snapshot stream while its siblings stay healthy.
+// The recovery invariants under test: a consistent cut is restored (never
+// a mix of shard states from different barriers), cross-shard batches are
+// durable all-or-nothing, and any hole in a single shard's history fails
+// loudly instead of silently serving a partial state.
+
+func shardPersistCfg(shards int) Config {
+	cfg := persistCfg()
+	cfg.Shards = shards // default factory: one CERT ingestor per shard
+	return cfg
+}
+
+// shardStateBytes is serverStateBytes plus the merged-view probe, so a
+// recovered sharded server is compared on both its per-shard state and the
+// cross-shard merge.
+func shardStateBytes(t *testing.T, s *Server) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.Write(serverStateBytes(t, s))
+	to := s.ClosedThrough()
+	if to >= 0 {
+		for _, bits := range probeState(t, s, 0, to) {
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], bits)
+			buf.Write(b[:])
+		}
+	}
+	return buf.Bytes()
+}
+
+// referenceShardState runs an uninterrupted sharded server over days
+// [0, to] and returns its state probe.
+func referenceShardState(t *testing.T, shards int, to cert.Day) []byte {
+	t.Helper()
+	srv, err := New(shardPersistCfg(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	feedDays(t, srv, 0, to)
+	return shardStateBytes(t, srv)
+}
+
+// TestShardTornTailTruncated: garbage appended to a single shard's last
+// WAL segment (a torn write on one disk stripe) is truncated on recovery;
+// every other shard replays in full and the merged state matches the
+// pre-crash state exactly.
+func TestShardTornTailTruncated(t *testing.T) {
+	for _, shards := range []int{3, 8} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			dir := t.TempDir()
+			a, _, err := Open(shardPersistCfg(shards), PersistConfig{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			feedDays(t, a, 0, 10)
+			want := shardStateBytes(t, a)
+			shutdown(t, a)
+
+			// Tear one shard's tail: half a frame of garbage.
+			walDir := filepath.Join(dir, "wal")
+			victim := 1
+			segs, err := listSegments(walDir, walShardPrefix(victim))
+			if err != nil || len(segs) == 0 {
+				t.Fatalf("no WAL segments for shard %d (%v)", victim, err)
+			}
+			f, err := os.OpenFile(walSegPath(walDir, walShardPrefix(victim), segs[len(segs)-1]), os.O_WRONLY|os.O_APPEND, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write([]byte{0x40, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, 1, 2, 3}); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+
+			b, info, err := Open(shardPersistCfg(shards), PersistConfig{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer shutdown(t, b)
+			if info.TornBytes != 11 {
+				t.Fatalf("TornBytes = %d, want 11", info.TornBytes)
+			}
+			if info.ClosedThrough != 10 {
+				t.Fatalf("recovered cut %v, want 10", info.ClosedThrough)
+			}
+			if got := shardStateBytes(t, b); !bytes.Equal(got, want) {
+				t.Fatal("recovered state differs from pre-crash state")
+			}
+		})
+	}
+}
+
+// TestShardPartialBatchDropped: a crash mid-fan-out leaves a batch's part
+// on some shards but not all. Recovery must drop every surviving part —
+// the batch was never acknowledged — and restore exactly the acknowledged
+// prefix.
+func TestShardPartialBatchDropped(t *testing.T) {
+	const shards = 3
+	dir := t.TempDir()
+	a, _, err := Open(shardPersistCfg(shards), PersistConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedDays(t, a, 0, 8)
+	want := shardStateBytes(t, a)
+	shutdown(t, a)
+
+	// Forge the crash artifact: one shard holds a part of a 2-part batch
+	// whose sibling frame never hit its own log.
+	payload, err := encodePartPayload(9999, 2, []Event{
+		{Cert: &cert.Event{Type: cert.EventLogon, Time: cert.Day(9).Date(), User: testUsers[0], Activity: cert.ActLogon}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	walDir := filepath.Join(dir, "wal")
+	segs, err := listSegments(walDir, walShardPrefix(0))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no WAL segments for shard 0 (%v)", err)
+	}
+	f, err := os.OpenFile(walSegPath(walDir, walShardPrefix(0), segs[len(segs)-1]), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(encodeFrame(payload)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	b, info, err := Open(shardPersistCfg(shards), PersistConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, b)
+	if info.DroppedPartialBatches != 1 {
+		t.Fatalf("DroppedPartialBatches = %d, want 1", info.DroppedPartialBatches)
+	}
+	if n := info.BufferedEvents[9]; n != 0 {
+		t.Fatalf("partial batch leaked %d buffered events", n)
+	}
+	if got := shardStateBytes(t, b); !bytes.Equal(got, want) {
+		t.Fatal("recovered state differs from the acknowledged prefix")
+	}
+}
+
+// TestShardDeadDiskFailStopAndRecover: a dead disk on one shard's WAL
+// latches the whole server (no shard may run ahead of a sibling's log),
+// and a restart over the surviving files recovers a consistent cut from
+// which the stream resumes to exactly the uninterrupted state.
+func TestShardDeadDiskFailStopAndRecover(t *testing.T) {
+	const shards, lastDay = 3, cert.Day(14)
+	dir := t.TempDir()
+	ctx := context.Background()
+	plan := &testkit.FaultPlan{Name: walShardPrefix(1), Op: "write", After: 6_000}
+	a, _, err := Open(shardPersistCfg(shards), PersistConfig{
+		Dir: dir,
+		Hooks: Hooks{
+			WrapWriter: func(name string, f WritableFile) WritableFile { return plan.WrapWriter(name, f) },
+			BeforeOp:   plan.BeforeOp,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acked := make(map[cert.Day]bool)
+	var ferr error
+	for d := cert.Day(0); d <= lastDay; d++ {
+		if err := a.Submit(ctx, persistDayEvents(d)); err != nil {
+			ferr = err
+			break
+		}
+		acked[d] = true
+		if err := a.CloseDay(ctx, d); err != nil {
+			ferr = err
+			break
+		}
+	}
+	if ferr == nil {
+		t.Fatal("fault never fired; the byte budget no longer matches the stream")
+	}
+	if !errors.Is(ferr, ErrPersistenceFailed) || !errors.Is(ferr, testkit.ErrInjected) {
+		t.Fatalf("failure = %v, want ErrPersistenceFailed wrapping ErrInjected", ferr)
+	}
+	shutdown(t, a)
+
+	b, info, err := Open(shardPersistCfg(shards), PersistConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, b)
+	// Resume: resubmit every day the crashed run did not get acknowledged
+	// or that recovery does not hold buffered, then close through lastDay.
+	for d := info.ClosedThrough + 1; d <= lastDay; d++ {
+		if !acked[d] && info.BufferedEvents[d] == 0 {
+			if err := b.Submit(ctx, persistDayEvents(d)); err != nil {
+				t.Fatalf("resubmit day %v: %v", d, err)
+			}
+		} else if acked[d] && info.BufferedEvents[d] != len(persistDayEvents(d)) {
+			t.Fatalf("acknowledged day %v recovered torn: %d of %d events",
+				d, info.BufferedEvents[d], len(persistDayEvents(d)))
+		}
+	}
+	if err := b.CloseDay(ctx, lastDay); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := shardStateBytes(t, b), referenceShardState(t, shards, lastDay); !bytes.Equal(got, want) {
+		t.Fatal("resumed state differs from uninterrupted run")
+	}
+}
+
+// TestShardSnapshotFaultFallsBack: a torn write during ONE shard's
+// snapshot publish must not poison the cut — the manifest for that round
+// never publishes, and recovery falls back to the previous complete
+// generation (or a full replay) and still reaches the right state.
+func TestShardSnapshotFaultFallsBack(t *testing.T) {
+	const shards, lastDay = 3, cert.Day(17)
+	dir := t.TempDir()
+	ctx := context.Background()
+	// Budget tears shard 2's snapshot on its first written byte.
+	plan := &testkit.FaultPlan{Name: strings.TrimSuffix(snapShardPrefix(2), "-"), Op: "write", After: 1}
+	pc := PersistConfig{
+		Dir: dir, SnapshotEvery: 5,
+		Hooks: Hooks{
+			WrapWriter: func(name string, f WritableFile) WritableFile { return plan.WrapWriter(name, f) },
+			BeforeOp:   plan.BeforeOp,
+		},
+	}
+	a, _, err := Open(shardPersistCfg(shards), pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acked := make(map[cert.Day]bool)
+	var ferr error
+	for d := cert.Day(0); d <= lastDay; d++ {
+		if err := a.Submit(ctx, persistDayEvents(d)); err != nil {
+			ferr = err
+			break
+		}
+		acked[d] = true
+		if err := a.CloseDay(ctx, d); err != nil {
+			ferr = err
+			break
+		}
+	}
+	if ferr == nil {
+		t.Fatal("snapshot fault never fired")
+	}
+	if !plan.Tripped() {
+		t.Fatal("stream failed before the failpoint tripped")
+	}
+	shutdown(t, a)
+
+	b, info, err := Open(shardPersistCfg(shards), PersistConfig{Dir: dir, SnapshotEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, b)
+	for d := info.ClosedThrough + 1; d <= lastDay; d++ {
+		if !acked[d] && info.BufferedEvents[d] == 0 {
+			if err := b.Submit(ctx, persistDayEvents(d)); err != nil {
+				t.Fatalf("resubmit day %v: %v", d, err)
+			}
+		}
+	}
+	if err := b.CloseDay(ctx, lastDay); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := shardStateBytes(t, b), referenceShardState(t, shards, lastDay); !bytes.Equal(got, want) {
+		t.Fatal("resumed state differs from uninterrupted run")
+	}
+}
+
+// TestShardMissingSegmentFailsLoudly: deleting one shard's WAL segment —
+// either its whole stream or a middle segment — must fail recovery with a
+// history-gap error, never silently serve the surviving shards.
+func TestShardMissingSegmentFailsLoudly(t *testing.T) {
+	const shards = 3
+	build := func(t *testing.T) string {
+		dir := t.TempDir()
+		a, _, err := Open(shardPersistCfg(shards), PersistConfig{Dir: dir, SegmentBytes: 2048, SnapshotEvery: 1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		feedDays(t, a, 0, 10)
+		shutdown(t, a)
+		return dir
+	}
+	t.Run("whole-stream", func(t *testing.T) {
+		dir := build(t)
+		walDir := filepath.Join(dir, "wal")
+		segs, err := listSegments(walDir, walShardPrefix(1))
+		if err != nil || len(segs) == 0 {
+			t.Fatalf("no segments for shard 1 (%v)", err)
+		}
+		for _, seq := range segs {
+			if err := os.Remove(walSegPath(walDir, walShardPrefix(1), seq)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_, _, err = Open(shardPersistCfg(shards), PersistConfig{Dir: dir, SegmentBytes: 2048, SnapshotEvery: 1000})
+		if err == nil {
+			t.Fatal("recovery with a shard's whole WAL missing succeeded")
+		}
+		if !strings.Contains(err.Error(), "history gap") {
+			t.Fatalf("error = %v, want a history-gap failure", err)
+		}
+	})
+	t.Run("middle-segment", func(t *testing.T) {
+		dir := build(t)
+		walDir := filepath.Join(dir, "wal")
+		segs, err := listSegments(walDir, walShardPrefix(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(segs) < 3 {
+			t.Fatalf("want ≥3 segments to punch a hole, got %d", len(segs))
+		}
+		if err := os.Remove(walSegPath(walDir, walShardPrefix(1), segs[len(segs)/2])); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err = Open(shardPersistCfg(shards), PersistConfig{Dir: dir, SegmentBytes: 2048, SnapshotEvery: 1000})
+		if err == nil {
+			t.Fatal("recovery over a missing middle segment succeeded")
+		}
+		if !strings.Contains(err.Error(), "history gap") {
+			t.Fatalf("error = %v, want a history-gap failure", err)
+		}
+	})
+}
+
+// TestShardLayoutMismatchFailsLoudly: opening a data directory with the
+// wrong shard count — in either direction, or with a count that disagrees
+// with the manifests — must be a loud configuration error.
+func TestShardLayoutMismatchFailsLoudly(t *testing.T) {
+	t.Run("sharded-dir-unsharded-config", func(t *testing.T) {
+		dir := t.TempDir()
+		a, _, err := Open(shardPersistCfg(3), PersistConfig{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		feedDays(t, a, 0, 3)
+		shutdown(t, a)
+		if _, _, err := Open(shardPersistCfg(1), PersistConfig{Dir: dir}); err == nil {
+			t.Fatal("unsharded open of a sharded directory succeeded")
+		}
+	})
+	t.Run("unsharded-dir-sharded-config", func(t *testing.T) {
+		dir := t.TempDir()
+		a, _, err := Open(shardPersistCfg(1), PersistConfig{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		feedDays(t, a, 0, 3)
+		shutdown(t, a)
+		if _, _, err := Open(shardPersistCfg(3), PersistConfig{Dir: dir}); err == nil {
+			t.Fatal("sharded open of an unsharded directory succeeded")
+		}
+	})
+	t.Run("manifest-shard-count-mismatch", func(t *testing.T) {
+		dir := t.TempDir()
+		a, _, err := Open(shardPersistCfg(3), PersistConfig{Dir: dir, SnapshotEvery: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		feedDays(t, a, 0, 5) // publishes at least one manifest
+		shutdown(t, a)
+		if _, _, err := Open(shardPersistCfg(4), PersistConfig{Dir: dir, SnapshotEvery: 2}); err == nil {
+			t.Fatal("open with a different shard count than the manifest succeeded")
+		}
+	})
+}

@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"acobe/internal/cert"
+	"acobe/pkg/acobe"
+)
+
+// TestShardConcurrentLifecycle hammers a sharded, persistent server with
+// everything at once — concurrent multi-writer ingest, staggered day
+// closes, rank queries against a live detector, snapshot rounds riding the
+// close cadence, and a shutdown racing the tail of the load. Its job is to
+// give the race detector (make test-race) every cross-shard edge:
+// coordinator fan-out, per-shard WAL appends, the merge barrier, detector
+// swap, and the snapshot broadcast.
+func TestShardConcurrentLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Users:      testUsers,
+		Groups:     testGroups,
+		Membership: testMember,
+		Start:      0,
+		Deviation:  testDevCfg(),
+		Shards:     4, // real CERT ingestor per shard via the default factory
+		DetectorOptions: []acobe.Option{
+			acobe.WithAspects(acobe.ACOBEAspects()[:1]...),
+			acobe.WithSeed(11),
+			acobe.WithVotes(1),
+			acobe.WithTrainStride(4),
+			acobe.WithModelConfig(func(dim int) acobe.ModelConfig {
+				mc := acobe.FastModelConfig(dim)
+				mc.Hidden = []int{8}
+				mc.Epochs = 4
+				return mc
+			}),
+		},
+		QueueSize: 32,
+	}
+	srv, _, err := Open(cfg, PersistConfig{Dir: dir, SnapshotEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Warm up enough closed days for a model, then train it so Rank runs
+	// for real during the storm.
+	for d := cert.Day(0); d <= 30; d++ {
+		if err := srv.Submit(ctx, persistDayEvents(d)); err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.CloseDay(ctx, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.Retrain(ctx, 0, 25, true); err != nil {
+		t.Fatal(err)
+	}
+
+	const lastDay = cert.Day(50)
+	var wg sync.WaitGroup
+
+	// Writers: several goroutines push slices of each open day's events.
+	// A batch may race past its day's close and be late-filtered — that is
+	// the point; nothing may tear.
+	dayCh := make(chan cert.Day, 64)
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for d := range dayCh {
+				evs := persistDayEvents(d)
+				// Each writer submits an interleaved quarter of the day.
+				var part []Event
+				for i := w; i < len(evs); i += 4 {
+					part = append(part, evs[i])
+				}
+				if err := srv.Submit(ctx, part); err != nil &&
+					!errors.Is(err, ErrShuttingDown) && !errors.Is(err, context.Canceled) {
+					t.Errorf("submit day %v: %v", d, err)
+					return
+				}
+			}
+		}()
+	}
+
+	// Readers: rank and status polls against whatever is closed.
+	stopRead := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stopRead:
+					return
+				default:
+				}
+				to := srv.ClosedThrough()
+				if to >= 20 {
+					if _, err := srv.Rank(ctx, to-5, to); err != nil && !errors.Is(err, ErrNoModel) {
+						t.Errorf("rank through %v: %v", to, err)
+						return
+					}
+				}
+				_ = srv.Status()
+			}
+		}()
+	}
+
+	// Closer: staggered day closes chasing the writers.
+	for d := cert.Day(31); d <= lastDay; d++ {
+		for w := 0; w < 4; w++ {
+			dayCh <- d
+		}
+		if d%3 == 0 {
+			time.Sleep(time.Millisecond) // let writers race the barrier
+		}
+		if err := srv.CloseDay(ctx, d); err != nil {
+			t.Fatalf("close day %v: %v", d, err)
+		}
+	}
+	close(dayCh)
+	close(stopRead)
+	wg.Wait()
+
+	if got := srv.ClosedThrough(); got != lastDay {
+		t.Fatalf("closed through %v, want %v", got, lastDay)
+	}
+	st := srv.Status()
+	if st.Shards != 4 {
+		t.Fatalf("status reports %d shards, want 4", st.Shards)
+	}
+	sctx, cancel := context.WithTimeout(ctx, 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The directory the storm left behind must recover to the same cut.
+	re, info, err := Open(cfg, PersistConfig{Dir: dir, SnapshotEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, re)
+	if info.ClosedThrough != lastDay {
+		t.Fatalf("recovered cut %v, want %v", info.ClosedThrough, lastDay)
+	}
+	if !info.SnapshotLoaded {
+		t.Error("snapshot cadence of 5 over 50 days left no loadable manifest")
+	}
+}
+
+// TestShardShutdownRacesSubmitters: shutdown racing a pack of submitters
+// must neither deadlock nor panic; every submitter gets either an ack or
+// ErrShuttingDown.
+func TestShardShutdownRacesSubmitters(t *testing.T) {
+	for _, n := range []int{1, 4} {
+		n := n
+		t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) {
+			srv, err := New(Config{
+				Users:      testUsers,
+				Groups:     testGroups,
+				Membership: testMember,
+				Start:      0,
+				Deviation:  testDevCfg(),
+				Shards:     n,
+				QueueSize:  4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := context.Background()
+			var wg sync.WaitGroup
+			start := make(chan struct{})
+			for w := 0; w < 8; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					<-start
+					for i := 0; i < 50; i++ {
+						err := srv.Submit(ctx, persistDayEvents(cert.Day(w*50+i)))
+						if err != nil {
+							if !errors.Is(err, ErrShuttingDown) {
+								t.Errorf("submit: %v", err)
+							}
+							return
+						}
+					}
+				}()
+			}
+			close(start)
+			time.Sleep(2 * time.Millisecond)
+			sctx, cancel := context.WithTimeout(ctx, 15*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(sctx); err != nil {
+				t.Fatal(err)
+			}
+			wg.Wait()
+		})
+	}
+}

@@ -16,15 +16,20 @@ import (
 	"acobe/internal/persist"
 )
 
-// Snapshots bound recovery cost: a snapshot captures the server's complete
-// ingest state at a day-close barrier (measurement tables, extractor
+// Snapshots bound recovery cost: a snapshot captures one shard's complete
+// ingest state at a day-close barrier (measurement table, extractor
 // first-seen trackers, streaming deviation windows, buffered open-day
 // events, counters) plus the WAL position it corresponds to, so a restart
 // loads the newest valid snapshot and replays only the WAL tail behind it.
-// Snapshots are published atomically (tmp + fsync + rename): a crash mid-
-// write leaves only a .tmp the reader ignores. The newest two are kept so
-// a corrupt latest snapshot falls back one generation, and WAL segments
-// are pruned only below the oldest retained snapshot's position.
+// An unsharded server writes snapshot-<day>.snap — byte-identical to the
+// historical single-file format. A sharded server writes one
+// snapshot-shard<k>-<day>.snap per shard plus a manifest (see manifest.go)
+// pinning the cut; shard 0's snapshot additionally carries the global
+// group state. Snapshots are published atomically (tmp + fsync + rename):
+// a crash mid-write leaves only a .tmp the reader ignores. The newest two
+// generations are kept so a corrupt latest snapshot falls back one
+// generation, and WAL segments are pruned only below the oldest retained
+// snapshot's position.
 
 const (
 	snapMagic      = "ACSN"
@@ -33,10 +38,16 @@ const (
 	snapRetain     = 2
 	snapSuffix     = ".snap"
 	snapTempSuffix = ".snap.tmp"
+
+	// snapPrefix is the unsharded (legacy, Shards=1) snapshot-name prefix.
+	snapPrefix = "snapshot-"
 )
 
-func snapPath(dir string, day cert.Day) string {
-	return filepath.Join(dir, fmt.Sprintf("snapshot-%08d%s", int64(day), snapSuffix))
+// snapShardPrefix names shard k's snapshot series.
+func snapShardPrefix(k int) string { return fmt.Sprintf("snapshot-shard%d-", k) }
+
+func snapPath(dir, prefix string, day cert.Day) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%08d%s", prefix, int64(day), snapSuffix))
 }
 
 // crcWriter checksums everything written through it. The snapshot body is
@@ -65,14 +76,16 @@ func (c *crcReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// snapEntry is one snapshot file found on disk.
+// snapEntry is one snapshot (or manifest) file found on disk.
 type snapEntry struct {
 	day  cert.Day
 	path string
 }
 
-// listSnapshots returns the published snapshots, newest first.
-func listSnapshots(dir string) ([]snapEntry, error) {
+// listNumbered returns dir's prefix<number>suffix files, parsed; files
+// whose middle part is not purely numeric (e.g. a shard-prefixed name
+// against the unsharded prefix, or vice versa) are skipped.
+func listNumbered(dir, prefix, suffix, skipSuffix string) ([]snapEntry, error) {
 	des, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -80,24 +93,34 @@ func listSnapshots(dir string) ([]snapEntry, error) {
 	var out []snapEntry
 	for _, de := range des {
 		name := de.Name()
-		if de.IsDir() || !strings.HasPrefix(name, "snapshot-") || !strings.HasSuffix(name, snapSuffix) ||
-			strings.HasSuffix(name, snapTempSuffix) {
+		if de.IsDir() || !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) ||
+			(skipSuffix != "" && strings.HasSuffix(name, skipSuffix)) {
 			continue
 		}
-		num := strings.TrimSuffix(strings.TrimPrefix(name, "snapshot-"), snapSuffix)
+		num := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
 		d, err := strconv.ParseInt(num, 10, 64)
 		if err != nil {
 			continue
 		}
 		out = append(out, snapEntry{day: cert.Day(d), path: filepath.Join(dir, name)})
 	}
+	return out, nil
+}
+
+// listSnapshots returns the published snapshots with the given name
+// prefix, newest first.
+func listSnapshots(dir, prefix string) ([]snapEntry, error) {
+	out, err := listNumbered(dir, prefix, snapSuffix, snapTempSuffix)
+	if err != nil {
+		return nil, err
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].day > out[j].day })
 	return out, nil
 }
 
-// listSegments returns the WAL segment sequence numbers present in dir,
-// ascending.
-func listSegments(dir string) ([]uint64, error) {
+// listSegments returns the WAL segment sequence numbers present in dir
+// under the given name prefix, ascending.
+func listSegments(dir, prefix string) ([]uint64, error) {
 	des, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -105,10 +128,10 @@ func listSegments(dir string) ([]uint64, error) {
 	var out []uint64
 	for _, de := range des {
 		name := de.Name()
-		if de.IsDir() || !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		if de.IsDir() || !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ".log") {
 			continue
 		}
-		seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), 10, 64)
+		seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, prefix), ".log"), 10, 64)
 		if err != nil {
 			continue
 		}
@@ -118,36 +141,44 @@ func listSegments(dir string) ([]uint64, error) {
 	return out, nil
 }
 
-// encodeSnapshot writes the full server state. Runs on the drain goroutine
-// (the only writer of ingest state), so no locks are needed: rank queries
-// and retrain cloning only read.
-func (s *Server) encodeSnapshot(w io.Writer, day cert.Day, pos walPos) error {
-	ing, ok := s.ing.(StatefulIngestor)
-	if !ok {
-		return fmt.Errorf("serve: ingestor %T cannot snapshot (no SaveState)", s.ing)
+// encodeSnapshot writes one shard's state (the full server state when
+// Shards=1). Runs on the shard's goroutine (the only writer of its ingest
+// state), so no locks are needed: rank queries and retrain cloning only
+// read the merged view. withGroups says whether this snapshot carries the
+// global group state — true for shard 0 of a grouped server.
+func (s *Server) encodeSnapshot(w io.Writer, sh *shard, withGroups bool, day cert.Day, pos walPos) error {
+	var ing StatefulIngestor
+	if sh.ing != nil {
+		var ok bool
+		ing, ok = sh.ing.(StatefulIngestor)
+		if !ok {
+			return fmt.Errorf("serve: ingestor %T cannot snapshot (no SaveState)", sh.ing)
+		}
 	}
 	pw := persist.NewWriter(w)
 	pw.Magic(snapMagic, snapVersion)
 	pw.I64(int64(day))
 	pw.U64(pos.seg)
 	pw.I64(pos.off)
-	pw.I64(s.ingested.Load())
-	pw.I64(s.late.Load())
-	pw.Strings(s.cfg.Users)
+	pw.I64(sh.ingested.Load())
+	pw.I64(sh.late.Load())
+	pw.Strings(sh.users)
 	pw.Strings(s.cfg.Groups)
 	pw.I64(int64(s.cfg.Start))
 	pw.Int(s.cfg.Deviation.Window)
 	if err := pw.Err(); err != nil {
 		return err
 	}
-	if err := ing.SaveState(w); err != nil {
-		return err
+	if ing != nil {
+		if err := ing.SaveState(w); err != nil {
+			return err
+		}
+		if err := sh.ind.SaveState(w); err != nil {
+			return err
+		}
 	}
-	if err := s.ind.SaveState(w); err != nil {
-		return err
-	}
-	pw.Bool(s.grp != nil)
-	if s.grp != nil {
+	pw.Bool(withGroups)
+	if withGroups {
 		if err := pw.Err(); err != nil {
 			return err
 		}
@@ -158,15 +189,15 @@ func (s *Server) encodeSnapshot(w io.Writer, day cert.Day, pos walPos) error {
 			return err
 		}
 	}
-	days := make([]cert.Day, 0, len(s.buffered))
-	for d := range s.buffered {
+	days := make([]cert.Day, 0, len(sh.buffered))
+	for d := range sh.buffered {
 		days = append(days, d)
 	}
 	sort.Slice(days, func(i, j int) bool { return days[i] < days[j] })
 	pw.U64(uint64(len(days)))
 	for _, d := range days {
 		pw.I64(int64(d))
-		body, err := json.Marshal(s.buffered[d])
+		body, err := json.Marshal(sh.buffered[d])
 		if err != nil {
 			return fmt.Errorf("serve: encode buffered events: %w", err)
 		}
@@ -176,14 +207,19 @@ func (s *Server) encodeSnapshot(w io.Writer, day cert.Day, pos walPos) error {
 	return pw.Err()
 }
 
-// loadSnapshot restores a snapshot file into a freshly constructed server
-// core. Any decoding or validation failure leaves the caller free to fall
-// back to an older snapshot (the server's tables are only mutated after
-// the header validates, and the caller rebuilds the core per attempt).
-func (s *Server) loadSnapshot(path string) (day cert.Day, pos walPos, err error) {
-	ing, ok := s.ing.(StatefulIngestor)
-	if !ok {
-		return 0, walPos{}, fmt.Errorf("serve: ingestor %T cannot restore (no LoadState)", s.ing)
+// loadSnapshot restores a snapshot file into a freshly constructed
+// shard (and, with withGroups, the server's group state). Any decoding or
+// validation failure leaves the caller free to fall back to an older
+// snapshot (the state is only mutated after the header validates, and the
+// caller rebuilds the core per attempt).
+func (s *Server) loadSnapshot(path string, sh *shard, withGroups bool) (day cert.Day, pos walPos, err error) {
+	var ing StatefulIngestor
+	if sh.ing != nil {
+		var ok bool
+		ing, ok = sh.ing.(StatefulIngestor)
+		if !ok {
+			return 0, walPos{}, fmt.Errorf("serve: ingestor %T cannot restore (no LoadState)", sh.ing)
+		}
 	}
 	f, err := os.Open(path)
 	if err != nil {
@@ -207,21 +243,23 @@ func (s *Server) loadSnapshot(path string) (day cert.Day, pos walPos, err error)
 	if err := pr.Err(); err != nil {
 		return 0, walPos{}, err
 	}
-	if !equalStrings(users, s.cfg.Users) || !equalStrings(groups, s.cfg.Groups) {
+	if !equalStrings(users, sh.users) || !equalStrings(groups, s.cfg.Groups) {
 		return 0, walPos{}, fmt.Errorf("serve: snapshot users/groups do not match configuration")
 	}
 	if start != s.cfg.Start || window != s.cfg.Deviation.Window {
 		return 0, walPos{}, fmt.Errorf("serve: snapshot shape (start %v, window %d) does not match configuration (%v, %d)",
 			start, window, s.cfg.Start, s.cfg.Deviation.Window)
 	}
-	if err := ing.LoadState(cr); err != nil {
-		return 0, walPos{}, err
-	}
-	if err := s.ind.LoadState(cr); err != nil {
-		return 0, walPos{}, err
+	if ing != nil {
+		if err := ing.LoadState(cr); err != nil {
+			return 0, walPos{}, err
+		}
+		if err := sh.ind.LoadState(cr); err != nil {
+			return 0, walPos{}, err
+		}
 	}
 	hasGroups := pr.Bool()
-	if pr.Err() == nil && hasGroups != (s.grp != nil) {
+	if pr.Err() == nil && hasGroups != withGroups {
 		return 0, walPos{}, fmt.Errorf("serve: snapshot group presence does not match configuration")
 	}
 	if err := pr.Err(); err != nil {
@@ -246,7 +284,7 @@ func (s *Server) loadSnapshot(path string) (day cert.Day, pos walPos, err error)
 		if err := json.Unmarshal(body, &evs); err != nil {
 			return 0, walPos{}, fmt.Errorf("serve: snapshot buffered events: %w", err)
 		}
-		s.buffered[d] = evs
+		sh.buffered[d] = evs
 	}
 	if v := pr.Magic(snapTrailer); pr.Err() == nil && v != snapVersion {
 		return 0, walPos{}, fmt.Errorf("serve: snapshot trailer version %d unsupported", v)
@@ -264,9 +302,9 @@ func (s *Server) loadSnapshot(path string) (day cert.Day, pos walPos, err error)
 	if got := binary.LittleEndian.Uint32(stored[:]); got != want {
 		return 0, walPos{}, fmt.Errorf("serve: snapshot checksum mismatch (stored %08x, computed %08x)", got, want)
 	}
-	s.closedThrough = day
-	s.ingested.Store(ingested)
-	s.late.Store(late)
+	sh.closedThrough = day
+	sh.ingested.Store(ingested)
+	sh.late.Store(late)
 	return day, pos, nil
 }
 
@@ -285,23 +323,16 @@ func readSnapshotPos(path string) (day cert.Day, pos walPos, err error) {
 	return day, pos, pr.Err()
 }
 
-// writeSnapshot publishes a snapshot of the current state and prunes what
-// it obsoletes. The WAL is synced first so the recorded position is
-// durable before anything behind it may be removed.
-func (s *Server) writeSnapshot() error {
-	if err := s.wal.sync(); err != nil {
-		return err
-	}
-	pos := s.wal.pos()
-	day := s.closedThrough
-	final := snapPath(s.pcfg.Dir, day)
+// publishSnapshot writes one snapshot file atomically: tmp + CRC + fsync
+// + rename + directory fsync.
+func (s *Server) publishSnapshot(final string, sh *shard, withGroups bool, day cert.Day, pos walPos) error {
 	tmp := final + ".tmp"
 	f, err := s.fs.create(tmp)
 	if err != nil {
 		return err
 	}
 	cw := &crcWriter{w: f}
-	err = s.encodeSnapshot(cw, day, pos)
+	err = s.encodeSnapshot(cw, sh, withGroups, day, pos)
 	if err == nil {
 		var sum [4]byte
 		binary.LittleEndian.PutUint32(sum[:], cw.crc)
@@ -324,18 +355,85 @@ func (s *Server) writeSnapshot() error {
 	// obsoletes: without the directory fsync a power loss could keep the
 	// prunes while dropping the publish, leaving a pruned WAL with no (or
 	// only an older, position-dangling) snapshot.
-	if err := s.fs.syncDir(s.pcfg.Dir); err != nil {
+	return s.fs.syncDir(s.pcfg.Dir)
+}
+
+// writeSnapshot publishes an unsharded (Shards=1) snapshot of the current
+// state and prunes what it obsoletes. The WAL is synced first so the
+// recorded position is durable before anything behind it may be removed.
+func (s *Server) writeSnapshot() error {
+	sh := s.shards[0]
+	if err := sh.wal.sync(); err != nil {
+		return err
+	}
+	pos := sh.wal.pos()
+	day := s.closedThrough
+	if err := s.publishSnapshot(snapPath(s.pcfg.Dir, snapPrefix, day), sh, s.grp != nil, day, pos); err != nil {
 		return err
 	}
 	return s.pruneAfterSnapshot(day, pos)
 }
 
+// shardSnapshot publishes one shard's snapshot at the current barrier. It
+// runs on the shard's goroutine (isSnap envelope), so the shard state is
+// quiescent; the coordinator writes the manifest only after every shard
+// acked.
+func (s *Server) shardSnapshot(sh *shard) error {
+	if err := s.persistErr(); err != nil {
+		return err
+	}
+	if err := sh.wal.sync(); err != nil {
+		return s.failPersist(err)
+	}
+	pos := sh.wal.pos()
+	day := sh.closedThrough
+	withGroups := sh.idx == 0 && s.grp != nil
+	if err := s.publishSnapshot(snapPath(s.pcfg.Dir, snapShardPrefix(sh.idx), day), sh, withGroups, day, pos); err != nil {
+		return s.failPersist(err)
+	}
+	return nil
+}
+
+// maybeSnapshotSharded runs a coordinated snapshot round once enough days
+// closed since the last one: every shard publishes its own snapshot at
+// the barrier, and only then the manifest pins the cut — a crash anywhere
+// in between leaves the previous manifest (and its snapshots, still
+// retained) authoritative.
+func (s *Server) maybeSnapshotSharded() error {
+	if s.daysSinceSnap < s.pcfg.SnapshotEvery {
+		return nil
+	}
+	acks := make([]chan error, len(s.shards))
+	for i, sh := range s.shards {
+		acks[i] = make(chan error, 1)
+		sh.queue <- envelope{isSnap: true, done: acks[i]}
+	}
+	var firstErr error
+	for _, ack := range acks {
+		if err := <-ack; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	day := s.closedThrough
+	if err := s.writeManifest(day); err != nil {
+		return err
+	}
+	if err := s.pruneSharded(); err != nil {
+		return err
+	}
+	s.daysSinceSnap = 0
+	return nil
+}
+
 // pruneAfterSnapshot removes snapshots beyond the retention count and WAL
-// segments no retained snapshot needs. This runs after the new snapshot is
-// published — the crash window between publish and prune only leaves extra
-// files behind, never a recovery gap.
+// segments no retained snapshot needs (unsharded layout). This runs after
+// the new snapshot is published — the crash window between publish and
+// prune only leaves extra files behind, never a recovery gap.
 func (s *Server) pruneAfterSnapshot(day cert.Day, pos walPos) error {
-	snaps, err := listSnapshots(s.pcfg.Dir)
+	snaps, err := listSnapshots(s.pcfg.Dir, snapPrefix)
 	if err != nil {
 		return err
 	}
@@ -363,13 +461,13 @@ func (s *Server) pruneAfterSnapshot(day cert.Day, pos walPos) error {
 		}
 	}
 	walDir := filepath.Join(s.pcfg.Dir, "wal")
-	segs, err := listSegments(walDir)
+	segs, err := listSegments(walDir, walPrefix)
 	if err != nil {
 		return err
 	}
 	for _, seq := range segs {
 		if seq < minSeg {
-			if err := s.fs.remove(walSegPath(walDir, seq)); err != nil {
+			if err := s.fs.remove(walSegPath(walDir, walPrefix, seq)); err != nil {
 				return err
 			}
 		}

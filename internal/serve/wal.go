@@ -11,7 +11,8 @@ import (
 )
 
 // Write-ahead log format. A WAL is a directory of segment files
-// wal-<seq>.log, each:
+// wal-<seq>.log (wal-shard<k>-<seq>.log when the server runs more than
+// one shard — each shard appends to its own segment stream), each:
 //
 //	header  "ACWL" | version u32 LE | seq u64 LE          (16 bytes)
 //	frame*  len u32 LE | crc32(payload) u32 LE | payload
@@ -35,13 +36,28 @@ const (
 
 	recEvents byte = 1 // payload: type byte + JSON array of Event
 	recClose  byte = 2 // payload: type byte + day i64 LE
+	// recEventsPart is one shard's slice of a cross-shard ingest batch:
+	// type byte + batch ID u64 LE + part count u32 LE + JSON array of
+	// Event. A batch split across N shard logs is durable only when all
+	// `parts` frames exist; recovery drops batches with missing parts
+	// (they were never acknowledged), which restores the all-or-nothing
+	// Submit contract across shards. A part is logged even when the
+	// shard's slice was entirely late-filtered, so the count is always
+	// reachable for a batch that completed.
+	recEventsPart byte = 3
+
+	// partHeaderSize is recEventsPart's fixed prefix: type + batch ID +
+	// part count.
+	partHeaderSize = 1 + 8 + 4
 )
 
 // walRecord is one decoded WAL record.
 type walRecord struct {
-	typ    byte
-	events []Event  // recEvents
-	day    cert.Day // recClose
+	typ     byte
+	events  []Event  // recEvents, recEventsPart
+	day     cert.Day // recClose
+	batchID uint64   // recEventsPart
+	parts   uint32   // recEventsPart
 }
 
 // walFrame is one framing-valid frame located inside a segment image.
@@ -110,6 +126,27 @@ func decodeRecord(payload []byte) (walRecord, error) {
 			}
 		}
 		return walRecord{typ: recEvents, events: evs}, nil
+	case recEventsPart:
+		if len(payload) < partHeaderSize {
+			return walRecord{}, fmt.Errorf("serve: WAL part record has %d bytes, want ≥ %d", len(payload), partHeaderSize)
+		}
+		rec := walRecord{
+			typ:     recEventsPart,
+			batchID: binary.LittleEndian.Uint64(payload[1:9]),
+			parts:   binary.LittleEndian.Uint32(payload[9:13]),
+		}
+		if rec.parts == 0 {
+			return walRecord{}, fmt.Errorf("serve: WAL part record declares zero parts")
+		}
+		if err := json.Unmarshal(payload[partHeaderSize:], &rec.events); err != nil {
+			return walRecord{}, fmt.Errorf("serve: WAL part record: %w", err)
+		}
+		for _, e := range rec.events {
+			if !e.Valid() {
+				return walRecord{}, fmt.Errorf("serve: WAL part record holds invalid event")
+			}
+		}
+		return rec, nil
 	case recClose:
 		if len(payload) != 9 {
 			return walRecord{}, fmt.Errorf("serve: WAL close record has %d body bytes, want 8", len(payload)-1)
@@ -131,7 +168,11 @@ type walPos struct {
 // wal is the appender over the current segment. It is owned by one
 // goroutine (the drain loop; the recovery path before the loop starts).
 type wal struct {
-	dir      string
+	dir string
+	// prefix is the segment-name prefix: walPrefix for an unsharded
+	// server (and shard 0 of a Shards=1 server — identical on-disk
+	// artifacts), or "wal-shard<k>-" for shard k of a sharded one.
+	prefix   string
 	fs       persistFS
 	segBytes int64
 	policy   FsyncPolicy
@@ -141,13 +182,19 @@ type wal struct {
 	off int64
 }
 
-func walSegPath(dir string, seq uint64) string {
-	return filepath.Join(dir, fmt.Sprintf("wal-%08d.log", seq))
+// walPrefix is the unsharded (legacy, Shards=1) segment-name prefix.
+const walPrefix = "wal-"
+
+// walShardPrefix names shard k's segment stream.
+func walShardPrefix(k int) string { return fmt.Sprintf("wal-shard%d-", k) }
+
+func walSegPath(dir, prefix string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%08d.log", prefix, seq))
 }
 
 // openSegment starts a fresh segment with the given sequence number.
 func (w *wal) openSegment(seq uint64) error {
-	f, err := w.fs.create(walSegPath(w.dir, seq))
+	f, err := w.fs.create(walSegPath(w.dir, w.prefix, seq))
 	if err != nil {
 		return err
 	}
@@ -173,7 +220,7 @@ func (w *wal) openSegment(seq uint64) error {
 // resumeSegment attaches the appender to an existing segment known to end
 // at a frame boundary at size bytes.
 func (w *wal) resumeSegment(seq uint64, size int64) error {
-	f, err := w.fs.appendTo(walSegPath(w.dir, seq))
+	f, err := w.fs.appendTo(walSegPath(w.dir, w.prefix, seq))
 	if err != nil {
 		return err
 	}
@@ -226,6 +273,23 @@ func encodeEventsPayload(events []Event) ([]byte, error) {
 	payload := make([]byte, 1+len(body))
 	payload[0] = recEvents
 	copy(payload[1:], body)
+	return payload, nil
+}
+
+// encodePartPayload encodes one shard's slice of a cross-shard batch as a
+// recEventsPart payload. events may be empty (a slice the late filter
+// consumed entirely): the frame still ships so the batch's part count
+// stays reachable on replay.
+func encodePartPayload(batchID uint64, parts uint32, events []Event) ([]byte, error) {
+	body, err := json.Marshal(events)
+	if err != nil {
+		return nil, fmt.Errorf("serve: encode WAL events: %w", err)
+	}
+	payload := make([]byte, partHeaderSize+len(body))
+	payload[0] = recEventsPart
+	binary.LittleEndian.PutUint64(payload[1:9], batchID)
+	binary.LittleEndian.PutUint32(payload[9:13], parts)
+	copy(payload[partHeaderSize:], body)
 	return payload, nil
 }
 

@@ -54,7 +54,12 @@ const (
 // Core serving types, re-exported verbatim.
 type (
 	// Config shapes the daemon: users, groups, deviation windows, detector
-	// options.
+	// options. Config.Shards partitions per-user state (extraction,
+	// deviation windows, WAL streams) across consistent-hashed shards, each
+	// on its own goroutine; ranked output is byte-identical at every shard
+	// count, and 1 (the default) is the exact unsharded path and on-disk
+	// format. Sharded configs take Config.IngestorFactory (each shard
+	// extracts its own user subset) rather than a prebuilt Ingestor.
 	Config = serve.Config
 	// Server is the running daemon.
 	Server = serve.Server
