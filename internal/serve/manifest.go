@@ -21,8 +21,14 @@ import (
 // no loadable generation fails loudly). Each shard snapshot carries its
 // own WAL position; the cut is consistent because every shard's state was
 // captured at the same closed-through barrier with no closes in between.
+// The manifest additionally records the cross-shard batch-ID high-water
+// mark at the cut, so a restart over empty WAL tails resumes numbering
+// past every ID already baked behind the snapshot positions instead of
+// reissuing them (a reissued ID would collide with the stale frames the
+// moment a later recovery falls back a generation and scans both).
 //
-//	"ACMF" | version u32 LE | shard count | day i64 | "ACMF" trailer | crc32
+//	"ACMF" | version u32 LE | shard count | day i64 | batch HWM u64 |
+//	"ACMF" trailer | crc32
 const (
 	manifestMagic   = "ACMF"
 	manifestVersion = 1
@@ -44,39 +50,41 @@ func listManifests(dir string) ([]snapEntry, error) {
 	return out, nil
 }
 
-// decodeManifest parses a manifest image: shard count, pinned day. The
-// trailing 4 bytes are the CRC32 of everything before them.
-func decodeManifest(data []byte) (shards int, day cert.Day, err error) {
+// decodeManifest parses a manifest image: shard count, pinned day, batch
+// high-water mark. The trailing 4 bytes are the CRC32 of everything
+// before them.
+func decodeManifest(data []byte) (shards int, day cert.Day, batchHWM uint64, err error) {
 	if len(data) < 4 {
-		return 0, 0, fmt.Errorf("serve: manifest too short for checksum")
+		return 0, 0, 0, fmt.Errorf("serve: manifest too short for checksum")
 	}
 	body, stored := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
 	if got := crc32.ChecksumIEEE(body); got != stored {
-		return 0, 0, fmt.Errorf("serve: manifest checksum mismatch (stored %08x, computed %08x)", stored, got)
+		return 0, 0, 0, fmt.Errorf("serve: manifest checksum mismatch (stored %08x, computed %08x)", stored, got)
 	}
 	pr := persist.NewReader(bytes.NewReader(body))
 	if v := pr.Magic(manifestMagic); pr.Err() == nil && v != manifestVersion {
-		return 0, 0, fmt.Errorf("serve: manifest version %d unsupported", v)
+		return 0, 0, 0, fmt.Errorf("serve: manifest version %d unsupported", v)
 	}
 	shards = pr.Int()
 	day = cert.Day(pr.I64())
+	batchHWM = pr.U64()
 	if v := pr.Magic(manifestMagic); pr.Err() == nil && v != manifestVersion {
-		return 0, 0, fmt.Errorf("serve: manifest trailer version %d unsupported", v)
+		return 0, 0, 0, fmt.Errorf("serve: manifest trailer version %d unsupported", v)
 	}
 	if err := pr.Err(); err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	if shards < 1 {
-		return 0, 0, fmt.Errorf("serve: manifest declares %d shards", shards)
+		return 0, 0, 0, fmt.Errorf("serve: manifest declares %d shards", shards)
 	}
-	return shards, day, nil
+	return shards, day, batchHWM, nil
 }
 
 // loadManifest reads and decodes one manifest file.
-func loadManifest(path string) (shards int, day cert.Day, err error) {
+func loadManifest(path string) (shards int, day cert.Day, batchHWM uint64, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	return decodeManifest(data)
 }
@@ -90,6 +98,12 @@ func (s *Server) writeManifest(day cert.Day) error {
 	pw.Magic(manifestMagic, manifestVersion)
 	pw.Int(len(s.shards))
 	pw.I64(int64(day))
+	// Batch-ID high-water mark: every part frame behind this cut's shard
+	// WAL positions carries an ID allocated before those positions were
+	// recorded, hence ≤ nextBatch here (IDs are monotonic and this runs
+	// after every shard acked its snapshot). Recovery seeds numbering from
+	// it so a restart over empty tails never reissues a baked-in ID.
+	pw.U64(s.nextBatch.Load())
 	pw.Magic(manifestMagic, manifestVersion)
 	if err := pw.Err(); err != nil {
 		return err

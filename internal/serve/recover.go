@@ -461,6 +461,7 @@ func (s *Server) recoverSharded(walDir string) (*RecoverInfo, error) {
 	}
 	base := s.cfg.Start - 1
 	basePos := make([]walPos, len(s.shards))
+	baseHWM := uint64(0)
 	loadErrs := make([]error, 0, len(mans))
 	for i, m := range mans {
 		if i > 0 {
@@ -470,7 +471,7 @@ func (s *Server) recoverSharded(walDir string) (*RecoverInfo, error) {
 			}
 			s.adoptCore(fresh)
 		}
-		nshards, day, err := loadManifest(m.path)
+		nshards, day, hwm, err := loadManifest(m.path)
 		if err != nil {
 			loadErrs = append(loadErrs, fmt.Errorf("%s: %w", filepath.Base(m.path), err))
 			continue
@@ -507,6 +508,7 @@ func (s *Server) recoverSharded(walDir string) (*RecoverInfo, error) {
 		info.SnapshotLoaded = true
 		info.SnapshotDay = day
 		base = day
+		baseHWM = hwm
 		s.closedThrough = day
 		break
 	}
@@ -586,6 +588,17 @@ func (s *Server) recoverSharded(walDir string) (*RecoverInfo, error) {
 		}
 	}
 	info.DroppedPartialBatches = len(dropped)
+	// Seed batch numbering past everything ever issued. The tails' max
+	// alone is not enough: after a clean shutdown right behind a snapshot
+	// the tails are empty, and restarting IDs at 1 would collide with IDs
+	// baked behind the snapshot positions — a later recovery forced to
+	// fall back a manifest generation would scan frames from both boots
+	// under one ID and die on the part-count conflict, making an otherwise
+	// recoverable directory unrecoverable. The manifest's high-water mark
+	// covers every ID behind the cut.
+	if baseHWM > maxBatch {
+		maxBatch = baseHWM
+	}
 	s.nextBatch.Store(maxBatch)
 
 	// 4. Apply each shard's records in its own log order.

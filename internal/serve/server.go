@@ -193,8 +193,24 @@ type Server struct {
 	queue  chan envelope // coordinator close queue (Shards>1 only)
 	closed bool          // under qmu
 
+	// snapMu serializes cross-shard Submit fan-out against sharded
+	// snapshot rounds. A snapshot cut is consistent only if every batch
+	// sits wholly behind or wholly ahead of it: were the isSnap broadcast
+	// to interleave with a fan-out, one shard could bake its part into its
+	// snapshot (frame behind the recorded WAL position) while a sibling
+	// logs its part past its own — recovery's completeness check would
+	// then see a lone tail part, count the batch as partial, and drop half
+	// of an acknowledged batch. The fan-out holds the read side across the
+	// enqueue loop; the coordinator holds the write side from the isSnap
+	// broadcast until every shard acked, so a batch's parts sit either all
+	// before or all after the snap envelope in every shard's FIFO queue.
+	snapMu sync.RWMutex
+
 	// nextBatch numbers cross-shard batches; recovery advances it past
-	// every batch ID seen in the logs.
+	// both the manifest's persisted high-water mark and every batch ID
+	// seen in the WAL tails, so IDs never collide across restarts (stale
+	// and fresh frames with one ID would poison a recovery that falls
+	// back a manifest generation and scans frames from both boots).
 	nextBatch atomic.Uint64
 
 	det          atomic.Pointer[acobe.Detector]
@@ -464,9 +480,16 @@ func (s *Server) Submit(ctx context.Context, events []Event) error {
 	return s.submitSharded(ctx, events)
 }
 
+// testHookPartSent, when non-nil, runs after each part of a cross-shard
+// fan-out lands in its shard queue — still inside the fan-out's snapMu
+// read section. Tests use it to hold a fan-out open between two parts
+// and prove a snapshot round cannot cut through the middle of a batch.
+var testHookPartSent func(shard int)
+
 // submitSharded splits one batch by shard and fans the slices out to the
 // shard queues, then (with persistence) waits for every involved shard's
-// WAL ack.
+// WAL ack. The enqueue loop runs under snapMu's read side so a snapshot
+// round can never cut through the middle of a batch's fan-out.
 func (s *Server) submitSharded(ctx context.Context, events []Event) error {
 	if s.persistent() {
 		// Check the whole batch's encoded size up front, on the caller's
@@ -495,9 +518,11 @@ func (s *Server) submitSharded(ctx context.Context, events []Event) error {
 		return err
 	}
 	var dones []chan error
+	s.snapMu.RLock()
 	s.qmu.RLock()
 	if s.closed {
 		s.qmu.RUnlock()
+		s.snapMu.RUnlock()
 		return ErrShuttingDown
 	}
 	if parts > 0 {
@@ -515,13 +540,18 @@ func (s *Server) submitSharded(ctx context.Context, events []Event) error {
 				if env.done != nil {
 					dones = append(dones, env.done)
 				}
+				if testHookPartSent != nil {
+					testHookPartSent(k)
+				}
 			case <-ctx.Done():
 				s.qmu.RUnlock()
+				s.snapMu.RUnlock()
 				return ctx.Err()
 			}
 		}
 	}
 	s.qmu.RUnlock()
+	s.snapMu.RUnlock()
 
 	var firstErr error
 	for _, done := range dones {

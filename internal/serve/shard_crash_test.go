@@ -9,7 +9,9 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"acobe/internal/cert"
 	"acobe/internal/testkit"
@@ -346,6 +348,209 @@ func TestShardMissingSegmentFailsLoudly(t *testing.T) {
 			t.Fatalf("error = %v, want a history-gap failure", err)
 		}
 	})
+}
+
+// spanningUsers picks nPer users per shard by probing the ring — the
+// fixture testUsers all happen to hash onto ONE shard of 3, which would
+// make every batch single-part and a cross-shard atomicity scenario
+// vacuous (a single-part batch cannot straddle anything).
+func spanningUsers(t *testing.T, shards, nPer int) []string {
+	t.Helper()
+	r := newRouter(shards)
+	need := make([]int, shards)
+	for k := range need {
+		need[k] = nPer
+	}
+	var users []string
+	for i := 0; len(users) < shards*nPer; i++ {
+		if i > 10000 {
+			t.Fatal("could not find users spanning every shard")
+		}
+		u := fmt.Sprintf("w%04d", i)
+		if k := r.shardOf(u); need[k] > 0 {
+			need[k]--
+			users = append(users, u)
+		}
+	}
+	return users
+}
+
+// TestShardSnapshotCutBatchAtomicity: a snapshot round must never cut
+// through the middle of a cross-shard batch's fan-out — one part baked
+// into its shard's snapshot (behind the recorded WAL position) while a
+// sibling part lands in another shard's tail would make recovery count
+// the batch partial and drop the tail side, half-applying an
+// acknowledged batch.
+//
+// The straddling schedule needs a writer preempted between two part
+// sends for exactly the instant the coordinator's snap broadcast runs,
+// so stress cannot reach it reliably; instead the test forces the
+// schedule: testHookPartSent holds the fan-out open after its first
+// part, a full close + snapshot round is given every chance to run
+// across the held-open batch, and only then the remaining parts go out.
+// With fan-out quiescence the round waits for the batch to finish and
+// bakes all of it; without it the round cuts the batch in half, which
+// recovery reports as a dropped partial batch and missing events.
+func TestShardSnapshotCutBatchAtomicity(t *testing.T) {
+	const (
+		shards  = 3
+		openDay = cert.Day(1000) // never closed: every event stays buffered
+	)
+	dir := t.TempDir()
+	ctx := context.Background()
+	users := spanningUsers(t, shards, 2)
+	member := make([]int, len(users))
+	for i := range member {
+		member[i] = i % len(testGroups)
+	}
+	mkCfg := func() Config {
+		return Config{
+			Users:      users,
+			Groups:     testGroups,
+			Membership: member,
+			Start:      0,
+			Deviation:  testDevCfg(),
+			Shards:     shards,
+			QueueSize:  4,
+		}
+	}
+	a, _, err := Open(mkCfg(), PersistConfig{Dir: dir, SnapshotEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]Event, 0, 2*len(users)) // one part on every shard
+	for i, u := range users {
+		at := openDay.Date().Add(time.Duration(8+i%3) * time.Hour)
+		batch = append(batch,
+			Event{Cert: &cert.Event{Type: cert.EventLogon, Time: at, User: u, Activity: cert.ActLogon}},
+			Event{Cert: &cert.Event{Type: cert.EventDevice, Time: at.Add(time.Hour), User: u, PC: fmt.Sprintf("PC-%d", i%4), Activity: cert.ActConnect}},
+		)
+	}
+
+	paused := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	testHookPartSent = func(int) {
+		once.Do(func() {
+			close(paused)
+			<-release
+		})
+	}
+	t.Cleanup(func() { testHookPartSent = nil })
+
+	subErr := make(chan error, 1)
+	go func() { subErr <- a.Submit(ctx, batch) }()
+	<-paused // first part is in its shard queue; fan-out is held open
+
+	closeErr := make(chan error, 1)
+	go func() { closeErr <- a.CloseDay(ctx, 0) }()
+	// Give the close barrier and its snapshot round every chance to run
+	// over the held-open batch, then let the fan-out finish. Under
+	// quiescence the round is parked right before the snap broadcast
+	// until the batch completes; the sleep cannot make this flake — it
+	// only bounds how long the broken schedule has to materialize.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	if err := <-closeErr; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-subErr; err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	shutdown(t, a)
+
+	b, info, err := Open(mkCfg(), PersistConfig{Dir: dir, SnapshotEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, b)
+	if !info.SnapshotLoaded || info.SnapshotDay != 0 {
+		t.Fatalf("snapshot round never ran (loaded=%v day=%v) — the scenario is vacuous", info.SnapshotLoaded, info.SnapshotDay)
+	}
+	if info.DroppedPartialBatches != 0 {
+		t.Fatalf("recovery dropped %d batches; the batch was acknowledged", info.DroppedPartialBatches)
+	}
+	if got, want := info.BufferedEvents[openDay], len(batch); got != want {
+		t.Fatalf("recovered %d buffered events, want %d (the acknowledged batch whole)", got, want)
+	}
+	if info.ClosedThrough != 0 {
+		t.Fatalf("recovered cut %v, want 0", info.ClosedThrough)
+	}
+}
+
+// TestShardBatchIDsNoCollisionAcrossRestart: batch IDs must keep rising
+// across restarts. Without the manifest's high-water mark, a restart over
+// empty WAL tails (a clean shutdown right behind a snapshot) restarted
+// IDs at 1; the stale and fresh frames sharing an ID sat on opposite
+// sides of the newest cut, and a recovery forced to fall back one
+// manifest generation scanned both and died on the part-count conflict —
+// an otherwise recoverable directory became unrecoverable.
+func TestShardBatchIDsNoCollisionAcrossRestart(t *testing.T) {
+	const shards = 3
+	ctx := context.Background()
+	dir := t.TempDir()
+	pc := PersistConfig{Dir: dir, SnapshotEvery: 1}
+
+	a, _, err := Open(shardPersistCfg(shards), pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manifest generation day 0 first, then one batch: its parts land
+	// between generation day 0's WAL positions and generation day 1's.
+	if err := a.CloseDay(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Submit(ctx, persistDayEvents(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CloseDay(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	shutdown(t, a)
+
+	// Restart over empty tails; numbering must continue past every ID the
+	// first boot issued.
+	b, _, err := Open(shardPersistCfg(shards), pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.nextBatch.Load(); got < 1 {
+		t.Fatalf("recovered nextBatch = %d, want ≥ 1 (the first boot's high-water mark)", got)
+	}
+	if err := b.Submit(ctx, persistDayEvents(2)); err != nil {
+		t.Fatal(err)
+	}
+	shutdown(t, b)
+
+	// Corrupt the newest manifest: recovery falls back to generation day
+	// 0 and scans tails holding both boots' frames. With colliding IDs
+	// this scan used to fail with a part-count conflict.
+	data, err := os.ReadFile(manifestPath(dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(manifestPath(dir, 1), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c, info, err := Open(shardPersistCfg(shards), pc)
+	if err != nil {
+		t.Fatalf("fallback recovery failed: %v", err)
+	}
+	defer shutdown(t, c)
+	if !info.SnapshotLoaded || info.SnapshotDay != 0 {
+		t.Fatalf("fell back to snapshot day %v (loaded=%v), want day 0", info.SnapshotDay, info.SnapshotLoaded)
+	}
+	if info.DroppedPartialBatches != 0 {
+		t.Fatalf("fallback recovery dropped %d complete batches", info.DroppedPartialBatches)
+	}
+	if info.ClosedThrough != 1 {
+		t.Fatalf("recovered ClosedThrough = %v, want 1", info.ClosedThrough)
+	}
+	if got, want := info.BufferedEvents[2], len(persistDayEvents(2)); got != want {
+		t.Fatalf("recovered %d buffered events for day 2, want %d", got, want)
+	}
 }
 
 // TestShardLayoutMismatchFailsLoudly: opening a data directory with the

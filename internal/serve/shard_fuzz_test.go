@@ -44,12 +44,13 @@ func FuzzShardRouter(f *testing.F) {
 }
 
 // fuzzManifestSeed encodes a valid manifest image.
-func fuzzManifestSeed(shards int, day cert.Day) []byte {
+func fuzzManifestSeed(shards int, day cert.Day, hwm uint64) []byte {
 	var body bytes.Buffer
 	pw := persist.NewWriter(&body)
 	pw.Magic(manifestMagic, manifestVersion)
 	pw.Int(shards)
 	pw.I64(int64(day))
+	pw.U64(hwm)
 	pw.Magic(manifestMagic, manifestVersion)
 	var sum [4]byte
 	binary.LittleEndian.PutUint32(sum[:], crc32.ChecksumIEEE(body.Bytes()))
@@ -61,10 +62,10 @@ func fuzzManifestSeed(shards int, day cert.Day) []byte {
 // anything it accepts must survive an exact re-encode/re-decode round trip
 // (the decoder's acceptance set is exactly the encoder's image).
 func FuzzManifestDecode(f *testing.F) {
-	f.Add(fuzzManifestSeed(3, 29))
-	f.Add(fuzzManifestSeed(1, 0))
-	f.Add(fuzzManifestSeed(8, 1<<40))
-	good := fuzzManifestSeed(4, 100)
+	f.Add(fuzzManifestSeed(3, 29, 0))
+	f.Add(fuzzManifestSeed(1, 0, 7))
+	f.Add(fuzzManifestSeed(8, 1<<40, 1<<50))
+	good := fuzzManifestSeed(4, 100, 12)
 	torn := good[:len(good)-3]
 	f.Add(torn)
 	flipped := bytes.Clone(good)
@@ -73,18 +74,18 @@ func FuzzManifestDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("ACMF"))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		shards, day, err := decodeManifest(data)
+		shards, day, hwm, err := decodeManifest(data)
 		if err != nil {
 			return
 		}
 		if shards < 1 {
 			t.Fatalf("decoder accepted %d shards", shards)
 		}
-		re := fuzzManifestSeed(shards, day)
-		s2, d2, err := decodeManifest(re)
-		if err != nil || s2 != shards || d2 != day {
-			t.Fatalf("round trip of accepted manifest (%d, %v) failed: (%d, %v, %v)",
-				shards, day, s2, d2, err)
+		re := fuzzManifestSeed(shards, day, hwm)
+		s2, d2, h2, err := decodeManifest(re)
+		if err != nil || s2 != shards || d2 != day || h2 != hwm {
+			t.Fatalf("round trip of accepted manifest (%d, %v, %d) failed: (%d, %v, %d, %v)",
+				shards, day, hwm, s2, d2, h2, err)
 		}
 	})
 }

@@ -403,6 +403,14 @@ func (s *Server) maybeSnapshotSharded() error {
 	if s.daysSinceSnap < s.pcfg.SnapshotEvery {
 		return nil
 	}
+	// Quiesce cross-shard Submit fan-out for the round: snapMu held
+	// exclusively from the broadcast until every shard acked means each
+	// batch's parts are enqueued either entirely before every shard's
+	// isSnap envelope or entirely after it, so the recorded WAL positions
+	// agree about which batches the snapshots bake in. Without this a
+	// batch could straddle the cut and recovery would drop the tail-side
+	// half of an acknowledged batch (see snapMu in server.go).
+	s.snapMu.Lock()
 	acks := make([]chan error, len(s.shards))
 	for i, sh := range s.shards {
 		acks[i] = make(chan error, 1)
@@ -414,6 +422,7 @@ func (s *Server) maybeSnapshotSharded() error {
 			firstErr = err
 		}
 	}
+	s.snapMu.Unlock()
 	if firstErr != nil {
 		return firstErr
 	}
