@@ -9,6 +9,10 @@
 #   bench       — scoring + kernel benchmarks with alloc stats (one run
 #                 each; BENCH_nn.json / BENCH_score.json hold the numbers
 #                 `cmd/repro -bench-nn` / `-bench-score` commit)
+#   bench-serve — rewrite BENCH_serve.json: daemon ingest benchmarks with
+#                 the observer on/off overhead comparison (cmd/repro
+#                 -bench-serve) plus a 100k-user acobeload run (closed-loop
+#                 concurrency sweep + ranks/s during retrain)
 #   vet         — static checks
 #   golden-update — regenerate testdata/golden snapshots after an intended
 #                   behavior change; run twice and `git diff` to prove the
@@ -27,7 +31,7 @@ FUZZ_TARGETS = \
 	./internal/serve:FuzzShardRouter \
 	./internal/serve:FuzzManifestDecode
 
-.PHONY: build test test-short test-race bench fuzz-smoke serve-smoke vet golden-update
+.PHONY: build test test-short test-race bench bench-serve fuzz-smoke serve-smoke vet golden-update
 
 build:
 	$(GO) build ./...
@@ -47,6 +51,10 @@ bench:
 	$(GO) test -run '^$$' -bench '^(BenchmarkNNMatMul|BenchmarkMatMulATB|BenchmarkMatMulABT|BenchmarkTrainStep|BenchmarkScoreBatch|BenchmarkServeRank|BenchmarkServeIngest)$$' -benchmem -count=1 -timeout 60m .
 	$(GO) test ./internal/nn -run '^$$' -bench '^BenchmarkMatMulDirectDispatch$$' -benchmem -count=1
 
+bench-serve:
+	$(GO) run ./cmd/repro -bench-serve after
+	$(GO) run ./cmd/acobeload -self -users 100000 -shards 4 -days 2 -concurrency 2,4 -batch 5000 -out BENCH_serve.json
+
 fuzz-smoke:
 	@set -e; for t in $(FUZZ_TARGETS); do \
 		pkg=$${t%%:*}; fn=$${t##*:}; \
@@ -61,6 +69,9 @@ serve-smoke:
 	@echo "--- acobed selftest (online serving smoke, -shards 4)"
 	@$(GO) run ./cmd/acobed -selftest -shards 4 | diff -u cmd/acobed/testdata/golden/selftest.csv - \
 		&& echo "serve-smoke: sharded ranked list matches golden"
+	@echo "--- acobeload smoke (small closed-loop sweep + retrain against an in-process daemon)"
+	@$(GO) run ./cmd/acobeload -self -users 100 -shards 2 -days 2 -concurrency 1,2 -batch 500 >/dev/null \
+		&& echo "serve-smoke: acobeload sweep + retrain phase ok"
 
 vet:
 	$(GO) vet ./...

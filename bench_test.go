@@ -28,6 +28,7 @@ import (
 	"acobe/internal/mathx"
 	"acobe/internal/metrics"
 	"acobe/internal/nn"
+	"acobe/internal/obs"
 	"acobe/internal/serve"
 	pubacobe "acobe/pkg/acobe"
 )
@@ -776,14 +777,19 @@ func ingestBenchDay(users []string, d cert.Day) []serve.Event {
 // shards > 1 each shard extracts its user subset on its own goroutine, so
 // on a multi-core host the events/sec metric shows the scaling the shard
 // layer buys; ranked output stays byte-identical at any count.
-func benchServeIngest(b *testing.B, shards int) {
+func benchServeIngest(b *testing.B, shards int, instrumented bool) {
 	users, membership := ingestBenchUsers()
+	var observer *obs.Observer
+	if instrumented {
+		observer = obs.NewObserver()
+	}
 	srv, err := serve.New(serve.Config{
 		Users:      users,
 		Groups:     []string{"g0", "g1", "g2"},
 		Membership: membership,
 		Start:      0,
 		Shards:     shards,
+		Observer:   observer,
 		Deviation: deviation.Config{
 			Window: 7, MatrixDays: 3,
 			Delta: 3, Epsilon: 1, Weighted: true,
@@ -816,14 +822,27 @@ func benchServeIngest(b *testing.B, shards int) {
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 }
 
-// BenchmarkServeIngest compares the sharded and unsharded write path;
-// `cmd/repro -bench-serve` records the same day-cycle numbers in
-// BENCH_serve.json.
+// BenchmarkServeIngest compares the sharded and unsharded write path,
+// each with and without an attached Observer. The obs=on/off allocs/op
+// must be identical (the hooks are a clock read plus a few atomic adds
+// per batch, nothing per event). Compare timings across -count runs, not
+// across the on/off variants of one run: a day cycle's cost depends on
+// how many days preceded it, so the different iteration counts the
+// harness picks per variant skew single-run deltas. The authoritative
+// paired comparison (fixed cycle counts, min over alternating reps)
+// is `cmd/repro -bench-serve`, recorded in BENCH_serve.json's
+// observer_overhead section.
 func BenchmarkServeIngest(b *testing.B) {
 	for _, shards := range []int{1, 4} {
-		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			benchServeIngest(b, shards)
-		})
+		for _, instrumented := range []bool{false, true} {
+			label := "off"
+			if instrumented {
+				label = "on"
+			}
+			b.Run(fmt.Sprintf("shards=%d/obs=%s", shards, label), func(b *testing.B) {
+				benchServeIngest(b, shards, instrumented)
+			})
+		}
 	}
 }
 

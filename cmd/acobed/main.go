@@ -31,7 +31,6 @@ import (
 	"io"
 	"net"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -42,8 +41,8 @@ import (
 	"acobe/internal/cert"
 	"acobe/internal/deviation"
 	"acobe/internal/enterprise"
-	"acobe/internal/serve"
 	"acobe/pkg/acobe"
+	"acobe/pkg/acobe/daemon"
 )
 
 func main() {
@@ -75,14 +74,15 @@ func run(args []string, stdout io.Writer) error {
 		dataDir    = fs.String("data-dir", "", "durability directory (WAL + snapshots); empty serves from memory only")
 		fsyncFlag  = fs.String("fsync", "close", "WAL fsync policy with -data-dir: close, always, or never")
 		snapEvery  = fs.Int("snapshot-interval", 30, "closed days between state snapshots with -data-dir")
-		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
+		pprofFlag  = fs.String("pprof", "", "net/http/pprof: 'self' mounts /debug/pprof/ on the API listener, an address (e.g. localhost:6060) serves it separately, empty disables")
 		selftest   = fs.Bool("selftest", false, "run the built-in end-to-end smoke over real HTTP and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *pprofAddr != "" {
-		if err := startPprof(*pprofAddr, stdout); err != nil {
+	pprofSelf := *pprofFlag == "self"
+	if *pprofFlag != "" && !pprofSelf {
+		if err := startPprof(*pprofFlag, stdout); err != nil {
 			return err
 		}
 	}
@@ -94,14 +94,12 @@ func run(args []string, stdout io.Writer) error {
 	if len(users) == 0 {
 		return errors.New("-users is required (comma-separated IDs)")
 	}
-	cfg := serve.Config{
+	cfg := daemon.Config{
 		Users: users,
 		Deviation: deviation.Config{
 			Window: *window, MatrixDays: *matrixDays,
 			Delta: *delta, Epsilon: *epsilon, Weighted: *weighted,
 		},
-		QueueSize: *queue,
-		Shards:    *shards,
 	}
 	var err error
 	if cfg.Start, err = parseDayArg(*startFlag); err != nil {
@@ -113,6 +111,13 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("-membership: %w", err)
 		}
 	}
+	opts := []daemon.Option{
+		daemon.WithShards(*shards),
+		daemon.WithQueueSize(*queue),
+		// Instrumentation is always on: the hooks are allocation-free and
+		// a daemon without /metrics is blind in production.
+		daemon.WithObserver(daemon.NewObserver()),
+	}
 	var aspects []acobe.Aspect
 	switch *mode {
 	case "cert":
@@ -121,9 +126,9 @@ func run(args []string, stdout io.Writer) error {
 		aspects = enterprise.Aspects()
 		// A factory rather than a prebuilt ingestor: each shard extracts
 		// its own user subset (identical to one global extractor at -shards 1).
-		cfg.IngestorFactory = func(users []string, start cert.Day) (serve.Ingestor, error) {
-			return serve.NewEnterpriseIngestor(users, start)
-		}
+		opts = append(opts, daemon.WithIngestorFactory(func(users []string, start daemon.Day) (daemon.Ingestor, error) {
+			return daemon.NewEnterpriseIngestor(users, start)
+		}))
 	default:
 		return fmt.Errorf("-mode: unknown log family %q", *mode)
 	}
@@ -133,66 +138,56 @@ func run(args []string, stdout io.Writer) error {
 		acobe.WithVotes(*votes),
 		acobe.WithTrainStride(*stride),
 	}
-
-	var srv *serve.Server
 	if *dataDir != "" {
-		policy, err := serve.ParseFsyncPolicy(*fsyncFlag)
+		policy, err := daemon.ParseFsyncPolicy(*fsyncFlag)
 		if err != nil {
 			return fmt.Errorf("-fsync: %w", err)
 		}
-		var info *serve.RecoverInfo
-		srv, info, err = serve.Open(cfg, serve.PersistConfig{
-			Dir:           *dataDir,
-			Fsync:         policy,
-			SnapshotEvery: *snapEvery,
-		})
-		if err != nil {
-			return err
-		}
+		opts = append(opts,
+			daemon.WithDataDir(*dataDir),
+			daemon.WithFsync(policy),
+			daemon.WithSnapshotEvery(*snapEvery),
+		)
+	}
+
+	srv, info, err := daemon.Start(cfg, opts...)
+	if err != nil {
+		return err
+	}
+	if info != nil {
 		fmt.Fprintf(stdout, "acobed: recovered %s: closed through %v, %d records replayed (snapshot=%v), %d torn bytes truncated\n",
 			*dataDir, info.ClosedThrough, info.ReplayedRecords, info.SnapshotLoaded, info.TornBytes)
-	} else {
-		srv, err = serve.New(cfg)
-		if err != nil {
-			return err
-		}
 	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "acobed: serving %d users on http://%s\n", len(users), ln.Addr())
-	return serveHTTP(srv, ln, stdout)
+	return serveHTTP(srv, ln, stdout, pprofSelf)
 }
 
-// startPprof serves the net/http/pprof handlers on their own listener and
-// mux, so profiling stays off the daemon's API surface (and off entirely
-// unless -pprof is given). The profile server is best-effort: it dies with
-// the process rather than participating in graceful shutdown.
+// startPprof serves the profiling handlers on their own listener, for
+// deployments that keep /debug/pprof/ off the public API address (the
+// in-mux alternative is -pprof self). Best-effort: it dies with the
+// process rather than participating in graceful shutdown.
 func startPprof(addr string, stdout io.Writer) error {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("-pprof: %w", err)
 	}
 	fmt.Fprintf(stdout, "acobed: pprof on http://%s/debug/pprof/\n", ln.Addr())
-	go func() { _ = http.Serve(ln, mux) }()
+	go func() { _ = http.Serve(ln, daemon.PprofHandler()) }()
 	return nil
 }
 
 // serveHTTP runs the HTTP front end until SIGINT/SIGTERM, then drains the
 // daemon: stop accepting requests, cancel any in-flight retrain, finish
 // queued day-closes, and exit.
-func serveHTTP(srv *serve.Server, ln net.Listener, stdout io.Writer) error {
+func serveHTTP(srv *daemon.Server, ln net.Listener, stdout io.Writer, pprofSelf bool) error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{Handler: srv.Handler(daemon.WithPprofEndpoint(pprofSelf))}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
 

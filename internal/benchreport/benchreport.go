@@ -1,0 +1,66 @@
+// Package benchreport reads and writes the repo's BENCH_*.json files as
+// named top-level sections. Multiple writers own different sections of
+// one file (cmd/repro -bench-serve owns "benchmarks" and
+// "observer_overhead" in BENCH_serve.json; cmd/acobeload owns
+// "acobeload"): each loads the file, replaces only its own sections, and
+// saves — every section it does not own survives byte-for-byte as raw
+// JSON.
+package benchreport
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Load parses path into its top-level sections. A missing file is an
+// empty report, not an error.
+func Load(path string) (map[string]json.RawMessage, error) {
+	sections := make(map[string]json.RawMessage)
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return sections, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("benchreport: %w", err)
+	}
+	if err := json.Unmarshal(raw, &sections); err != nil {
+		return nil, fmt.Errorf("benchreport: parse %s: %w", path, err)
+	}
+	return sections, nil
+}
+
+// Set marshals v into the named section.
+func Set(sections map[string]json.RawMessage, name string, v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("benchreport: encode section %s: %w", name, err)
+	}
+	sections[name] = raw
+	return nil
+}
+
+// Get unmarshals the named section into v; a missing section leaves v
+// untouched and returns false.
+func Get(sections map[string]json.RawMessage, name string, v any) (bool, error) {
+	raw, ok := sections[name]
+	if !ok {
+		return false, nil
+	}
+	if err := json.Unmarshal(raw, v); err != nil {
+		return false, fmt.Errorf("benchreport: parse section %s: %w", name, err)
+	}
+	return true, nil
+}
+
+// Save writes the sections to path, indented, keys in sorted order.
+func Save(path string, sections map[string]json.RawMessage) error {
+	out, err := json.MarshalIndent(sections, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return fmt.Errorf("benchreport: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package benchreport
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+)
+
+// TestSectionOwnershipRoundTrip pins the multi-writer contract: a writer
+// replacing one section must leave every other section byte-identical.
+func TestSectionOwnershipRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+
+	first, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 0 {
+		t.Fatalf("missing file loaded %d sections", len(first))
+	}
+	foreign := json.RawMessage(`{"nested":{"k":[1,2,3]},"s":"v"}`)
+	first["foreign"] = foreign
+	if err := Set(first, "mine", map[string]int{"a": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(path, first); err != nil {
+		t.Fatal(err)
+	}
+
+	second, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Set(second, "mine", map[string]int{"a": 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(path, second); err != nil {
+		t.Fatal(err)
+	}
+
+	third, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustCompact(t, third["foreign"]), mustCompact(t, foreign)) {
+		t.Fatalf("foreign section changed: %s", third["foreign"])
+	}
+	var mine map[string]int
+	if ok, err := Get(third, "mine", &mine); err != nil || !ok || mine["a"] != 2 {
+		t.Fatalf("owned section = %v ok=%v err=%v", mine, ok, err)
+	}
+	if ok, err := Get(third, "absent", &mine); err != nil || ok {
+		t.Fatalf("absent section: ok=%v err=%v", ok, err)
+	}
+}
+
+func mustCompact(t *testing.T, raw json.RawMessage) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}

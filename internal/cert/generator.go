@@ -218,6 +218,15 @@ func (g *Generator) Stream(fn func(Day, []Event) error) error {
 	return nil
 }
 
+// UserDay generates one user's events for one day — the per-user
+// granularity behind Stream, exported so load generators can partition and
+// pace generation without materializing a whole organization-day. The same
+// ordering rule as Stream applies per user (days nondecreasing, because
+// entity pools evolve), but distinct users are independent: each call
+// mutates only that user's profile, so concurrent UserDay calls are safe
+// as long as no two goroutines share a user.
+func (g *Generator) UserDay(u User, d Day) []Event { return g.userDay(u, d) }
+
 // userDay generates one user's events for one day.
 func (g *Generator) userDay(u User, d Day) []Event {
 	p := g.profiles[u.ID]

@@ -7,11 +7,46 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 
 	"acobe/internal/cert"
+	"acobe/internal/obs"
 	"acobe/pkg/acobe"
 )
+
+// handlerConfig is what the HandlerOptions assemble.
+type handlerConfig struct {
+	metrics bool
+	pprof   bool
+	healthz bool
+}
+
+// HandlerOption composes the daemon's HTTP surface. The zero set mounts
+// the /v1 API, /healthz, and GET /metrics; options add or remove the
+// operational endpoints so one mux (and one listener) serves everything.
+type HandlerOption func(*handlerConfig)
+
+// WithMetrics mounts (or, with false, removes) GET /metrics, the
+// Prometheus text exposition. Mounted by default; on a server without an
+// Observer the endpoint reports the observer as disabled rather than 404,
+// so scrapers can tell "no instrumentation" from "wrong address".
+func WithMetrics(enabled bool) HandlerOption {
+	return func(c *handlerConfig) { c.metrics = enabled }
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/ on the same mux,
+// replacing the separate pprof listener deployments used to wire by hand.
+// Off by default: profiling endpoints on a public listener are a
+// deliberate choice.
+func WithPprof(enabled bool) HandlerOption {
+	return func(c *handlerConfig) { c.pprof = enabled }
+}
+
+// WithHealthz controls GET /healthz (mounted by default).
+func WithHealthz(enabled bool) HandlerOption {
+	return func(c *handlerConfig) { c.healthz = enabled }
+}
 
 // Handler returns the daemon's HTTP API:
 //
@@ -19,22 +54,71 @@ import (
 //	POST /v1/close?day=D     close every day through D
 //	GET  /v1/rank?from=&to=&top=N
 //	POST /v1/retrain?from=&to=&wait=1
-//	GET  /v1/status
+//	GET  /v1/status          versioned status report (schema_version 1)
+//	GET  /metrics            Prometheus text exposition
 //	GET  /healthz
+//	/debug/pprof/*           with WithPprof(true)
 //
 // Days parse as YYYY-MM-DD or as a plain integer day number.
-func (s *Server) Handler() http.Handler {
+func (s *Server) Handler(opts ...HandlerOption) http.Handler {
+	cfg := handlerConfig{metrics: true, healthz: true}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	mux.HandleFunc("POST /v1/close", s.handleClose)
 	mux.HandleFunc("GET /v1/rank", s.handleRank)
 	mux.HandleFunc("POST /v1/retrain", s.handleRetrain)
 	mux.HandleFunc("GET /v1/status", s.handleStatus)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
+	if cfg.metrics {
+		mux.HandleFunc("GET /metrics", s.handleMetrics)
+	}
+	if cfg.healthz {
+		mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprintln(w, "ok")
+		})
+	}
+	if cfg.pprof {
+		mountPprof(mux)
+	}
 	return mux
+}
+
+// mountPprof registers the net/http/pprof handlers on mux.
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// PprofHandler returns a mux serving only /debug/pprof/* — the handler a
+// deployment puts on a separate, non-public listener when it wants
+// profiling off the API surface (the in-mux alternative is
+// Handler(WithPprof(true))).
+func PprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mountPprof(mux)
+	return mux
+}
+
+// handleMetrics renders one Prometheus scrape: the observer snapshot plus
+// the live gauges only the server knows.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.Status()
+	g := obs.Gauges{
+		Users:          st.Users,
+		Shards:         st.Shards,
+		ClosedThrough:  int64(st.ClosedThrough),
+		Fitted:         st.Fitted,
+		Retraining:     st.Retraining,
+		PersistEnabled: st.Persistence != nil,
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.WritePrometheus(w, st.Metrics, g)
 }
 
 // parseDay accepts 2010-06-01 or a raw integer day index.

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"acobe/internal/cert"
+	"acobe/internal/obs"
 )
 
 // ErrPersistenceFailed wraps every persistence failure. Once any WAL
@@ -337,8 +338,8 @@ func (s *Server) scanWAL(walDir, prefix string, pos walPos, snapLoaded bool) (*w
 // attachWAL positions one appender at the end of its scanned stream:
 // continue the last surviving segment, or start a new one past everything
 // seen.
-func (s *Server) attachWAL(walDir, prefix string, sc *walScan, pos walPos) (*wal, error) {
-	w := &wal{dir: walDir, prefix: prefix, fs: s.fs, segBytes: s.pcfg.SegmentBytes, policy: s.pcfg.Fsync}
+func (s *Server) attachWAL(walDir, prefix string, sc *walScan, pos walPos, stats *obs.ShardStats) (*wal, error) {
+	w := &wal{dir: walDir, prefix: prefix, fs: s.fs, segBytes: s.pcfg.SegmentBytes, policy: s.pcfg.Fsync, stats: stats}
 	if sc.attached {
 		if err := w.resumeSegment(sc.lastSeq, sc.lastEnd); err != nil {
 			return nil, err
@@ -425,7 +426,7 @@ func (s *Server) recover(walDir string) (*RecoverInfo, error) {
 	}
 
 	// 3. Attach the appender.
-	s.shards[0].wal, err = s.attachWAL(walDir, walPrefix, sc, pos)
+	s.shards[0].wal, err = s.attachWAL(walDir, walPrefix, sc, pos, s.shards[0].stats)
 	if err != nil {
 		return nil, err
 	}
@@ -671,7 +672,7 @@ func (s *Server) recoverSharded(walDir string) (*RecoverInfo, error) {
 			pos = basePos[k]
 		}
 		var err error
-		sh.wal, err = s.attachWAL(walDir, walShardPrefix(k), scans[k], pos)
+		sh.wal, err = s.attachWAL(walDir, walShardPrefix(k), scans[k], pos, sh.stats)
 		if err != nil {
 			return nil, err
 		}

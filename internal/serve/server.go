@@ -48,11 +48,13 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"acobe/internal/cert"
 	"acobe/internal/deviation"
 	"acobe/internal/features"
 	"acobe/internal/nn"
+	"acobe/internal/obs"
 	"acobe/pkg/acobe"
 )
 
@@ -108,6 +110,12 @@ type Config struct {
 	// snapshot artifacts byte-identical to the historical unsharded
 	// layout.
 	Shards int
+	// Observer, when non-nil, turns on per-stage instrumentation: latency
+	// histograms and counters recorded allocation-free on the hot path,
+	// exposed through Server.MetricsSnapshot, GET /metrics, and the
+	// status report. Leave nil to serve without recording (the hooks
+	// reduce to one branch each). One Observer serves one Server.
+	Observer *obs.Observer
 }
 
 // envelope is one unit of shard/coordinator work: an event batch, a
@@ -151,6 +159,10 @@ type shard struct {
 	late     atomic.Int64
 
 	wal *wal // nil without persistence
+
+	// stats is the shard's private recording cell (nil without an
+	// Observer): apply/fsync latency, WAL traffic, queue high-water mark.
+	stats *obs.ShardStats
 }
 
 // sigma reads the shard's deviation of local user lu on day d.
@@ -229,6 +241,11 @@ type Server struct {
 	daysSinceSnap int
 	recovery      *RecoverInfo
 
+	// obs mirrors cfg.Observer (nil = instrumentation off); startTime
+	// feeds the status report's uptime.
+	obs       *obs.Observer
+	startTime time.Time
+
 	lifeCtx   context.Context
 	cancel    context.CancelFunc
 	drainWG   sync.WaitGroup
@@ -271,6 +288,7 @@ func newCore(cfg Config) (*Server, error) {
 		cfg:           cfg,
 		router:        newRouter(cfg.Shards),
 		closedThrough: cfg.Start - 1,
+		obs:           cfg.Observer,
 	}
 
 	// Partition the users. Placement depends only on (user ID, shard
@@ -302,6 +320,7 @@ func newCore(cfg Config) (*Server, error) {
 			closedThrough: cfg.Start - 1,
 			buffered:      make(map[cert.Day][]Event),
 			queue:         make(chan envelope, cfg.QueueSize),
+			stats:         cfg.Observer.ShardStats(k, cfg.Shards),
 		}
 		if cfg.Shards == 1 && cfg.Ingestor != nil {
 			sh.ing = cfg.Ingestor
@@ -387,6 +406,7 @@ func newCore(cfg Config) (*Server, error) {
 // start launches the shard goroutines (and, when sharded, the close
 // coordinator); no envelopes are processed before it.
 func (s *Server) start() {
+	s.startTime = time.Now()
 	s.lifeCtx, s.cancel = context.WithCancel(context.Background())
 	for _, sh := range s.shards {
 		s.drainWG.Add(1)
@@ -460,14 +480,25 @@ func (s *Server) Submit(ctx context.Context, events []Event) error {
 			return err
 		}
 	}
+	start := s.obs.Clock()
+	if err := s.submit(ctx, events); err != nil {
+		return err
+	}
+	s.obs.ObserveSubmit(start, len(events))
+	return nil
+}
+
+// submit routes one validated batch: the single-shard direct path, or the
+// cross-shard fan-out.
+func (s *Server) submit(ctx context.Context, events []Event) error {
 	if len(s.shards) == 1 {
 		env := envelope{events: events}
 		sh := s.shards[0]
 		if sh.wal == nil {
-			return s.send(ctx, sh.queue, env)
+			return s.send(ctx, sh.queue, env, sh.stats)
 		}
 		env.done = make(chan error, 1)
-		if err := s.send(ctx, sh.queue, env); err != nil {
+		if err := s.send(ctx, sh.queue, env, sh.stats); err != nil {
 			return err
 		}
 		select {
@@ -526,6 +557,7 @@ func (s *Server) submitSharded(ctx context.Context, events []Event) error {
 		return ErrShuttingDown
 	}
 	if parts > 0 {
+		enq := s.obs.Clock()
 		batchID := s.nextBatch.Add(1)
 		for k, evs := range split {
 			if len(evs) == 0 {
@@ -537,6 +569,7 @@ func (s *Server) submitSharded(ctx context.Context, events []Event) error {
 			}
 			select {
 			case s.shards[k].queue <- env:
+				s.shards[k].stats.NoteQueueDepth(len(s.shards[k].queue))
 				if env.done != nil {
 					dones = append(dones, env.done)
 				}
@@ -549,6 +582,7 @@ func (s *Server) submitSharded(ctx context.Context, events []Event) error {
 				return ctx.Err()
 			}
 		}
+		s.obs.ObserveEnqueue(enq)
 	}
 	s.qmu.RUnlock()
 	s.snapMu.RUnlock()
@@ -572,24 +606,32 @@ func (s *Server) submitSharded(ctx context.Context, events []Event) error {
 // deviation windows (across every shard, then merges). It blocks until
 // the advance finished (or failed).
 func (s *Server) CloseDay(ctx context.Context, d cert.Day) error {
+	start := s.obs.Clock()
 	done := make(chan error, 1)
 	front := s.queue
+	var stats *obs.ShardStats
 	if len(s.shards) == 1 {
 		front = s.shards[0].queue
+		stats = s.shards[0].stats
 	}
-	if err := s.send(ctx, front, envelope{closeThrough: d, isClose: true, done: done}); err != nil {
+	if err := s.send(ctx, front, envelope{closeThrough: d, isClose: true, done: done}, stats); err != nil {
 		return err
 	}
 	select {
 	case err := <-done:
+		if err == nil {
+			s.obs.ObserveClose(start)
+		}
 		return err
 	case <-ctx.Done():
 		return ctx.Err()
 	}
 }
 
-// send enqueues one envelope with backpressure.
-func (s *Server) send(ctx context.Context, ch chan envelope, env envelope) error {
+// send enqueues one envelope with backpressure. stats, when non-nil, is
+// the receiving shard's recording cell (the queue high-water mark is
+// meaningless for the coordinator's front queue, whose sender passes nil).
+func (s *Server) send(ctx context.Context, ch chan envelope, env envelope, stats *obs.ShardStats) error {
 	if err := s.persistErr(); err != nil {
 		return err
 	}
@@ -598,8 +640,11 @@ func (s *Server) send(ctx context.Context, ch chan envelope, env envelope) error
 	if s.closed {
 		return ErrShuttingDown
 	}
+	enq := s.obs.Clock()
 	select {
 	case ch <- env:
+		s.obs.ObserveEnqueue(enq)
+		stats.NoteQueueDepth(len(ch))
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -678,6 +723,7 @@ func (s *Server) shardEvents(sh *shard, env envelope) error {
 	if err := s.persistErr(); err != nil {
 		return err
 	}
+	start := s.obs.Clock()
 	var fresh []Event
 	late := 0
 	for _, e := range env.events {
@@ -713,6 +759,7 @@ func (s *Server) shardEvents(sh *shard, env envelope) error {
 		sh.buffered[e.Day()] = append(sh.buffered[e.Day()], e)
 		sh.ingested.Add(1)
 	}
+	sh.stats.ObserveApply(start)
 	return nil
 }
 
@@ -780,10 +827,12 @@ func (s *Server) maybeSnapshot() error {
 	if s.daysSinceSnap < s.pcfg.SnapshotEvery {
 		return nil
 	}
+	start := s.obs.Clock()
 	if err := s.writeSnapshot(); err != nil {
 		return err
 	}
 	s.daysSinceSnap = 0
+	s.obs.ObserveSnapshot(start, int64(s.closedThrough))
 	return nil
 }
 
@@ -929,12 +978,14 @@ func (s *Server) shardCloseDays(sh *shard, to cert.Day) error {
 // merged view, one day at a time under the write lock.
 func (s *Server) mergeDays(to cert.Day) error {
 	for d := s.closedThrough + 1; d <= to; d++ {
+		start := s.obs.Clock()
 		s.mu.Lock()
 		err := s.mergeDay(d)
 		s.mu.Unlock()
 		if err != nil {
 			return err
 		}
+		s.obs.ObserveMerge(start)
 		s.daysSinceSnap++
 	}
 	return nil
@@ -1055,6 +1106,8 @@ func (s *Server) Retrain(ctx context.Context, from, to cert.Day, wait bool) erro
 	if !s.retraining.CompareAndSwap(false, true) {
 		return ErrRetrainInProgress
 	}
+	retrainStart := s.obs.Clock()
+	cloneStart := retrainStart
 	s.mu.RLock()
 	indSnap := s.indField().Clone()
 	var grpSnap *acobe.Field
@@ -1062,6 +1115,7 @@ func (s *Server) Retrain(ctx context.Context, from, to cert.Day, wait bool) erro
 		grpSnap = s.grp.Field().Clone()
 	}
 	s.mu.RUnlock()
+	s.obs.ObserveRetrainClone(cloneStart)
 
 	det, err := s.newDetector(indSnap, grpSnap)
 	if err != nil {
@@ -1087,6 +1141,7 @@ func (s *Server) Retrain(ctx context.Context, from, to cert.Day, wait bool) erro
 			return s.swapIn(det)
 		}()
 		s.lastTrainErr.Store(errBox{err})
+		s.obs.ObserveRetrain(retrainStart, err)
 		return err
 	}
 	if wait {
@@ -1141,13 +1196,42 @@ func (s *Server) Rank(ctx context.Context, from, to cert.Day) ([]acobe.Ranked, e
 	if det == nil {
 		return nil, ErrNoModel
 	}
+	start := s.obs.Clock()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return det.Rank(ctx, from, to)
+	ranked, err := det.Rank(ctx, from, to)
+	if err == nil {
+		s.obs.ObserveRank(start)
+	}
+	return ranked, err
 }
 
-// Status is a point-in-time snapshot of the daemon's state.
+// StatusSchemaVersion is the version stamped into every status report.
+// Additions bump nothing (new fields are backward compatible); a removed
+// or re-typed field bumps the version.
+const StatusSchemaVersion = 1
+
+// ShardStatus is one shard's row in the status report.
+type ShardStatus struct {
+	Shard      int   `json:"shard"`
+	Users      int   `json:"users"`
+	QueueDepth int   `json:"queue_depth"`
+	Ingested   int64 `json:"ingested"`
+	Late       int64 `json:"late"`
+}
+
+// PersistStatus describes the durability layer when it is enabled.
+type PersistStatus struct {
+	Fsync         string `json:"fsync"`
+	SnapshotEvery int    `json:"snapshot_every"`
+}
+
+// Status is a point-in-time snapshot of the daemon's state. The flat
+// fields are the v0 surface and never change; SchemaVersion, the shard
+// rows, persistence block, and metrics snapshot are additive.
 type Status struct {
+	SchemaVersion int      `json:"schema_version"`
+	UptimeSeconds float64  `json:"uptime_seconds"`
 	Users         int      `json:"users"`
 	Shards        int      `json:"shards"`
 	ClosedThrough cert.Day `json:"closed_through"`
@@ -1162,6 +1246,12 @@ type Status struct {
 	// PersistError is the fail-stop persistence failure, if any: once set,
 	// the server refuses new work rather than diverge from its log.
 	PersistError string `json:"persist_error,omitempty"`
+	// ShardStatus has one row per shard (present even without an observer).
+	ShardStatus []ShardStatus `json:"shard_status"`
+	// Persistence is nil when the server runs in-memory only.
+	Persistence *PersistStatus `json:"persistence,omitempty"`
+	// Metrics is the observer scrape, nil when no observer is attached.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // Status reports ingest and model state.
@@ -1170,19 +1260,38 @@ func (s *Server) Status() Status {
 	closed := s.closedThrough
 	s.mu.RUnlock()
 	st := Status{
+		SchemaVersion: StatusSchemaVersion,
 		Users:         len(s.cfg.Users),
 		Shards:        len(s.shards),
 		ClosedThrough: closed,
 		Fitted:        s.det.Load() != nil,
 		Retraining:    s.retraining.Load(),
 	}
-	for _, sh := range s.shards {
-		st.Ingested += sh.ingested.Load()
-		st.Late += sh.late.Load()
-		st.QueueDepth += len(sh.queue)
+	if !s.startTime.IsZero() {
+		st.UptimeSeconds = time.Since(s.startTime).Seconds()
+	}
+	st.ShardStatus = make([]ShardStatus, len(s.shards))
+	for k, sh := range s.shards {
+		row := ShardStatus{
+			Shard:      k,
+			Users:      len(sh.users),
+			QueueDepth: len(sh.queue),
+			Ingested:   sh.ingested.Load(),
+			Late:       sh.late.Load(),
+		}
+		st.ShardStatus[k] = row
+		st.Ingested += row.Ingested
+		st.Late += row.Late
+		st.QueueDepth += row.QueueDepth
 	}
 	if s.queue != nil {
 		st.QueueDepth += len(s.queue)
+	}
+	if s.persistent() {
+		st.Persistence = &PersistStatus{
+			Fsync:         s.pcfg.Fsync.String(),
+			SnapshotEvery: s.pcfg.SnapshotEvery,
+		}
 	}
 	if box, ok := s.lastTrainErr.Load().(errBox); ok && box.err != nil {
 		st.LastTrainError = box.err.Error()
@@ -1190,8 +1299,35 @@ func (s *Server) Status() Status {
 	if err := s.persistErr(); err != nil {
 		st.PersistError = err.Error()
 	}
+	st.Metrics = s.MetricsSnapshot()
 	return st
 }
+
+// MetricsSnapshot scrapes the attached observer and overlays the live
+// gauges only the server knows (per-shard user counts, current queue
+// depths, ingested/late totals). Returns nil when the server runs
+// without an observer.
+func (s *Server) MetricsSnapshot() *obs.Snapshot {
+	snap := s.obs.Snapshot()
+	if snap == nil {
+		return nil
+	}
+	for i := range snap.Shards {
+		if i >= len(s.shards) {
+			break
+		}
+		sh := s.shards[i]
+		snap.Shards[i].Users = len(sh.users)
+		snap.Shards[i].QueueDepth = len(sh.queue)
+		snap.Shards[i].Ingested = sh.ingested.Load()
+		snap.Shards[i].Late = sh.late.Load()
+	}
+	return snap
+}
+
+// Observer returns the observer the server was configured with (nil when
+// running uninstrumented).
+func (s *Server) Observer() *obs.Observer { return s.obs }
 
 // ClosedThrough returns the last closed (fully extracted and merged) day.
 func (s *Server) ClosedThrough() cert.Day {

@@ -403,6 +403,7 @@ func (s *Server) maybeSnapshotSharded() error {
 	if s.daysSinceSnap < s.pcfg.SnapshotEvery {
 		return nil
 	}
+	start := s.obs.Clock()
 	// Quiesce cross-shard Submit fan-out for the round: snapMu held
 	// exclusively from the broadcast until every shard acked means each
 	// batch's parts are enqueued either entirely before every shard's
@@ -434,6 +435,7 @@ func (s *Server) maybeSnapshotSharded() error {
 		return err
 	}
 	s.daysSinceSnap = 0
+	s.obs.ObserveSnapshot(start, int64(day))
 	return nil
 }
 

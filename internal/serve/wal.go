@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"hash/crc32"
 	"path/filepath"
+	"time"
 
 	"acobe/internal/cert"
+	"acobe/internal/obs"
 )
 
 // Write-ahead log format. A WAL is a directory of segment files
@@ -176,6 +178,9 @@ type wal struct {
 	fs       persistFS
 	segBytes int64
 	policy   FsyncPolicy
+	// stats, when non-nil, is the owning shard's recording cell: append
+	// traffic and fsync latency land there.
+	stats *obs.ShardStats
 
 	seq uint64
 	f   WritableFile
@@ -237,7 +242,7 @@ func (w *wal) append(payload []byte) error {
 	}
 	frame := encodeFrame(payload)
 	if w.off > walHeaderSize && w.off+int64(len(frame)) > w.segBytes {
-		if err := w.f.Sync(); err != nil {
+		if err := w.syncFile(); err != nil {
 			return err
 		}
 		if err := w.f.Close(); err != nil {
@@ -253,8 +258,9 @@ func (w *wal) append(payload []byte) error {
 	if err != nil {
 		return err
 	}
+	w.stats.AddWALAppend(len(frame))
 	if w.policy == FsyncAlways {
-		return w.f.Sync()
+		return w.syncFile()
 	}
 	return nil
 }
@@ -309,7 +315,21 @@ func (w *wal) sync() error {
 	if w.f == nil {
 		return nil
 	}
-	return w.f.Sync()
+	return w.syncFile()
+}
+
+// syncFile fsyncs the open segment, timing the call when a recording
+// cell is attached. The clock is read only on the instrumented path.
+func (w *wal) syncFile() error {
+	if w.stats == nil {
+		return w.f.Sync()
+	}
+	start := time.Now()
+	err := w.f.Sync()
+	if err == nil {
+		w.stats.ObserveFsync(start)
+	}
+	return err
 }
 
 // close syncs and closes the current segment.
@@ -317,7 +337,7 @@ func (w *wal) close() error {
 	if w.f == nil {
 		return nil
 	}
-	err := w.f.Sync()
+	err := w.syncFile()
 	if cerr := w.f.Close(); err == nil {
 		err = cerr
 	}

@@ -23,6 +23,8 @@
 package daemon
 
 import (
+	"net/http"
+
 	"acobe/internal/cert"
 	"acobe/internal/logstore"
 	"acobe/internal/serve"
@@ -65,8 +67,16 @@ type (
 	Server = serve.Server
 	// Event is one ingestable audit event (CERT or enterprise payload).
 	Event = serve.Event
-	// Status is a point-in-time snapshot of daemon state.
+	// Status is a point-in-time snapshot of daemon state (schema_version
+	// StatusSchemaVersion on the wire; additive fields never bump it).
 	Status = serve.Status
+	// ShardStatus is one shard's row in Status.ShardStatus.
+	ShardStatus = serve.ShardStatus
+	// PersistStatus is Status.Persistence, nil on an in-memory daemon.
+	PersistStatus = serve.PersistStatus
+	// HandlerOption composes Server.Handler's HTTP surface (see
+	// WithMetricsEndpoint, WithPprofEndpoint, WithHealthzEndpoint).
+	HandlerOption = serve.HandlerOption
 	// Ingestor turns closed days of events into measurements.
 	Ingestor = serve.Ingestor
 	// StatefulIngestor additionally serializes its state; persistence
@@ -102,16 +112,39 @@ var (
 	ErrPersistenceFailed = serve.ErrPersistenceFailed
 )
 
+// StatusSchemaVersion is the schema_version value stamped into every
+// status report the current daemon produces.
+const StatusSchemaVersion = serve.StatusSchemaVersion
+
 // New starts an in-memory daemon: nothing survives a restart.
+//
+// Deprecated: prefer Start, which covers both the in-memory and durable
+// cases through functional options. New keeps working; struct-literal
+// Config fields remain the supported base for both constructors.
 func New(cfg Config) (*Server, error) { return serve.New(cfg) }
 
 // Open starts a durable daemon rooted at p.Dir, recovering whatever an
 // earlier process left there (possibly nothing). A nil error guarantees
 // the returned server's state equals the pre-crash state for every
 // acknowledged Submit and CloseDay.
+//
+// Deprecated: prefer Start with WithDataDir (and WithFsync,
+// WithSnapshotEvery, WithSegmentBytes as needed). Open keeps working and
+// Start is a thin wrapper over it.
 func Open(cfg Config, p PersistConfig) (*Server, *RecoverInfo, error) {
 	return serve.Open(cfg, p)
 }
+
+// HTTP surface options for Server.Handler, re-exported under endpoint
+// names so they read apart from the constructor Options above.
+func WithMetricsEndpoint(enabled bool) HandlerOption { return serve.WithMetrics(enabled) }
+func WithPprofEndpoint(enabled bool) HandlerOption   { return serve.WithPprof(enabled) }
+func WithHealthzEndpoint(enabled bool) HandlerOption { return serve.WithHealthz(enabled) }
+
+// PprofHandler returns a mux serving only /debug/pprof/*, for deployments
+// that keep profiling on a separate non-public listener instead of
+// mounting it in-mux with WithPprofEndpoint.
+func PprofHandler() http.Handler { return serve.PprofHandler() }
 
 // ParseFsyncPolicy parses "never", "close", or "always".
 func ParseFsyncPolicy(s string) (FsyncPolicy, error) { return serve.ParseFsyncPolicy(s) }
