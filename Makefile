@@ -12,7 +12,9 @@
 #   bench-serve — rewrite BENCH_serve.json: daemon ingest benchmarks with
 #                 the observer on/off overhead comparison (cmd/repro
 #                 -bench-serve) plus a 100k-user acobeload run (closed-loop
-#                 concurrency sweep + ranks/s during retrain)
+#                 concurrency sweep, ranks/s during retrain, and the
+#                 rank-during-close probe; prints old-vs-new close_merge
+#                 from the previous BENCH_serve.json run)
 #   vet         — static checks
 #   golden-update — regenerate testdata/golden snapshots after an intended
 #                   behavior change; run twice and `git diff` to prove the

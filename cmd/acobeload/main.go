@@ -19,10 +19,16 @@
 // growing daemon. After the sweep, the harness fits the ensemble once
 // (timed), then launches a second retrain and hammers /v1/rank while it
 // runs, reporting ranks/s-during-retrain — the paper's "serve while
-// retraining" property under load.
+// retraining" property under load. Finally the rank-during-close probe
+// ingests -probe-days more days and forces each close while an open-loop
+// rank stream runs at -rank-rate, reporting rank stall percentiles
+// (latency from scheduled time, so a close that blocks ranking counts in
+// full) and per-close wall time.
 //
-// Results merge into the "acobeload" section of -out (BENCH_serve.json);
-// other sections are preserved byte-for-byte.
+// Results merge into the "acobeload" and "rank_during_close" sections of
+// -out (BENCH_serve.json); other sections are preserved byte-for-byte.
+// When -out already holds a previous run, the harness prints an
+// old-vs-new comparison of the daemon's close_merge stage.
 //
 // Examples:
 //
@@ -82,30 +88,36 @@ type options struct {
 	rankWorkers int
 	top         int
 	skipRetrain bool
+	probeDays   int
+	rankRate    float64
+	skipProbe   bool
 	out         string
 }
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("acobeload", flag.ContinueOnError)
 	var (
-		target   = fs.String("target", "", "base URL of a running acobed (e.g. http://127.0.0.1:8467); empty requires -self")
-		self     = fs.Bool("self", false, "start an in-process daemon on a loopback port instead of targeting a running one")
-		shards   = fs.Int("shards", 4, "shard count for -self")
-		users    = fs.Int("users", 1000, "synthetic population size (rounded up to a department multiple)")
-		start    = fs.Int("start", 2, "first replayed day index (default: first Monday of the r6 span)")
-		days     = fs.Int("days", 2, "days ingested per concurrency level")
-		concFlag = fs.String("concurrency", "1,2,4", "comma-separated closed-loop worker counts; each level replays the next -days days")
-		batch    = fs.Int("batch", 2000, "events per ingest request")
-		mode     = fs.String("mode", "closed", "driving discipline: closed or open")
-		rate     = fs.Float64("rate", 50, "open-loop batch release rate per second")
-		window   = fs.Int("window", 3, "ω for -self; with -target it must match the daemon's geometry (used to place the retrain span)")
-		mdays    = fs.Int("matrix-days", 2, "𝒟 for -self; with -target it must match the daemon's geometry")
-		epochs   = fs.Int("epochs", 2, "training epochs for -self (kept tiny: the harness measures serving, not model quality)")
-		seed     = fs.Uint64("seed", 7, "dataset + model seed")
-		rworkers = fs.Int("rank-workers", 2, "concurrent /v1/rank clients during the measured retrain")
-		top      = fs.Int("top", 10, "rank list length requested during the retrain phase")
-		skipRet  = fs.Bool("skip-retrain", false, "skip the retrain + rank-throughput phase")
-		out      = fs.String("out", "", "merge results into this BENCH_serve.json (section \"acobeload\"); empty prints JSON only")
+		target    = fs.String("target", "", "base URL of a running acobed (e.g. http://127.0.0.1:8467); empty requires -self")
+		self      = fs.Bool("self", false, "start an in-process daemon on a loopback port instead of targeting a running one")
+		shards    = fs.Int("shards", 4, "shard count for -self")
+		users     = fs.Int("users", 1000, "synthetic population size (rounded up to a department multiple)")
+		start     = fs.Int("start", 2, "first replayed day index (default: first Monday of the r6 span)")
+		days      = fs.Int("days", 2, "days ingested per concurrency level")
+		concFlag  = fs.String("concurrency", "1,2,4", "comma-separated closed-loop worker counts; each level replays the next -days days")
+		batch     = fs.Int("batch", 2000, "events per ingest request")
+		mode      = fs.String("mode", "closed", "driving discipline: closed or open")
+		rate      = fs.Float64("rate", 50, "open-loop batch release rate per second")
+		window    = fs.Int("window", 3, "ω for -self; with -target it must match the daemon's geometry (used to place the retrain span)")
+		mdays     = fs.Int("matrix-days", 2, "𝒟 for -self; with -target it must match the daemon's geometry")
+		epochs    = fs.Int("epochs", 2, "training epochs for -self (kept tiny: the harness measures serving, not model quality)")
+		seed      = fs.Uint64("seed", 7, "dataset + model seed")
+		rworkers  = fs.Int("rank-workers", 2, "concurrent /v1/rank clients during the measured retrain")
+		top       = fs.Int("top", 10, "rank list length requested during the retrain phase")
+		skipRet   = fs.Bool("skip-retrain", false, "skip the retrain + rank-throughput phase")
+		probeDays = fs.Int("probe-days", 2, "days driven by the rank-during-close probe (0 disables it)")
+		rankRate  = fs.Float64("rank-rate", 20, "open-loop rank release rate per second during the probe")
+		skipProbe = fs.Bool("skip-probe", false, "skip the rank-during-close probe")
+		out       = fs.String("out", "", "merge results into this BENCH_serve.json (sections \"acobeload\" and \"rank_during_close\"); empty prints JSON only")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -115,7 +127,8 @@ func run(args []string, stdout io.Writer) error {
 		users: *users, start: *start, days: *days, batch: *batch,
 		mode: *mode, rate: *rate, window: *window, matrixDays: *mdays,
 		epochs: *epochs, seed: *seed, rankWorkers: *rworkers, top: *top,
-		skipRetrain: *skipRet, out: *out,
+		skipRetrain: *skipRet, probeDays: *probeDays, rankRate: *rankRate,
+		skipProbe: *skipProbe, out: *out,
 	}
 	var err error
 	if opt.concurrency, err = parseInts(*concFlag); err != nil {
@@ -145,7 +158,7 @@ func drive(opt options, stdout io.Writer) error {
 		Departments:  append([]string(nil), cert.DefaultDepartments...),
 		UsersPerDept: perDept,
 		Start:        0,
-		End:          cert.Day(opt.start + opt.days*len(opt.concurrency) + 1),
+		End:          cert.Day(opt.start + opt.days*len(opt.concurrency) + opt.probeDays + 1),
 	}
 	gen, err := cert.New(gcfg)
 	if err != nil {
@@ -211,8 +224,28 @@ func drive(opt options, stdout io.Writer) error {
 		}
 	}
 
+	var probe *probeReport
+	if !opt.skipProbe && opt.probeDays > 0 && report.Retrain != nil {
+		probe, err = probePhase(ctx, client, base, gen, population, day, opt)
+		if err != nil {
+			return fmt.Errorf("rank-during-close probe: %w", err)
+		}
+		for _, c := range probe.Closes {
+			fmt.Fprintf(stdout, "acobeload: probe day %d  close %.3fs  %d ranks in flight\n", c.Day, c.CloseS, c.Ranks)
+		}
+		fmt.Fprintf(stdout, "acobeload: rank-during-close stalls p50 %s  p90 %s  p99 %s  max %s (%d ranks)\n",
+			time.Duration(probe.RankP50US)*time.Microsecond,
+			time.Duration(probe.RankP90US)*time.Microsecond,
+			time.Duration(probe.RankP99US)*time.Microsecond,
+			time.Duration(probe.RankMaxUS)*time.Microsecond,
+			probe.Ranks)
+	}
+
 	if stages, err := fetchServerStages(ctx, client, base); err == nil {
 		report.ServerStages = stages
+		if probe != nil {
+			probe.ServerStages = stages
+		}
 	} else {
 		fmt.Fprintf(stdout, "acobeload: server stage stats unavailable: %v\n", err)
 	}
@@ -227,15 +260,153 @@ func drive(opt options, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
+		printCloseMergeDelta(stdout, sections, report.ServerStages)
 		if err := benchreport.Set(sections, "acobeload", report); err != nil {
 			return err
+		}
+		wrote := `section "acobeload"`
+		if probe != nil {
+			if err := benchreport.Set(sections, "rank_during_close", probe); err != nil {
+				return err
+			}
+			wrote = `sections "acobeload" and "rank_during_close"`
 		}
 		if err := benchreport.Save(opt.out, sections); err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "acobeload: wrote section \"acobeload\" of %s\n", opt.out)
+		fmt.Fprintf(stdout, "acobeload: wrote %s of %s\n", wrote, opt.out)
 	}
 	return nil
+}
+
+// printCloseMergeDelta compares the close_merge stage the previous run
+// recorded in -out against this run's scrape, so `make bench-serve`
+// prints the before/after of the merge cost in one line.
+func printCloseMergeDelta(stdout io.Writer, sections map[string]json.RawMessage, stages []obs.StageStats) {
+	find := func(rows []obs.StageStats) *obs.StageStats {
+		for i := range rows {
+			if rows[i].Stage == obs.StageMerge && rows[i].Count > 0 {
+				return &rows[i]
+			}
+		}
+		return nil
+	}
+	cur := find(stages)
+	if cur == nil {
+		return
+	}
+	var prev struct {
+		ServerStages []obs.StageStats `json:"server_stages"`
+	}
+	if ok, err := benchreport.Get(sections, "acobeload", &prev); err != nil || !ok {
+		fmt.Fprintf(stdout, "acobeload: close_merge mean %.0fµs p99 %.0fµs (no prior run in -out to compare)\n", cur.MeanUS, cur.P99US)
+		return
+	}
+	old := find(prev.ServerStages)
+	if old == nil {
+		fmt.Fprintf(stdout, "acobeload: close_merge mean %.0fµs p99 %.0fµs (prior run recorded no close_merge)\n", cur.MeanUS, cur.P99US)
+		return
+	}
+	fmt.Fprintf(stdout, "acobeload: close_merge old mean %.0fµs p99 %.0fµs -> new mean %.0fµs p99 %.0fµs\n",
+		old.MeanUS, old.P99US, cur.MeanUS, cur.P99US)
+}
+
+// probePhase is the rank-during-close probe: for each probe day it
+// ingests the day, brings an open-loop rank stream to steady state, and
+// then forces the day close while the ranks keep being released on
+// schedule. Rank latency is measured from each rank's *scheduled* time
+// (coordinated omission counts), so a close that blocks ranking for its
+// whole merge shows up directly in the stall percentiles.
+func probePhase(ctx context.Context, client *http.Client, base string, gen *cert.Generator, population []cert.User, from int, opt options) (*probeReport, error) {
+	if opt.rankRate <= 0 {
+		return nil, errors.New("-rank-rate must be positive")
+	}
+	first := opt.start + (opt.window - 1) + (opt.matrixDays - 1)
+	rankURL := fmt.Sprintf("%s/v1/rank?from=%d&to=%d&top=%d", base, first, from-1, opt.top)
+	res := &probeReport{
+		Days: opt.probeDays, RankRatePerS: opt.rankRate, RankWorkers: opt.rankWorkers,
+	}
+	var (
+		hist    obs.Histogram
+		ranks   atomic.Int64
+		scratch obs.Histogram // ingest latencies, not part of the probe's report
+		events  atomic.Int64
+		batches atomic.Int64
+	)
+	for d := from; d < from+opt.probeDays; d++ {
+		if err := ingestDayClosed(ctx, client, base, gen, population, cert.Day(d), 2, opt.batch, &scratch, &events, &batches); err != nil {
+			return nil, err
+		}
+
+		stop := make(chan struct{})
+		errs := make(chan error, opt.rankWorkers+1)
+		type slot struct{ scheduled time.Time }
+		slots := make(chan slot, opt.rankWorkers*2)
+		var wg sync.WaitGroup
+		for w := 0; w < opt.rankWorkers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for s := range slots {
+					if err := get(ctx, client, rankURL); err != nil {
+						errs <- err
+						return
+					}
+					hist.Observe(time.Since(s.scheduled))
+					ranks.Add(1)
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(slots)
+			interval := time.Duration(float64(time.Second) / opt.rankRate)
+			t0 := time.Now()
+			for k := 0; ; k++ {
+				sched := t0.Add(time.Duration(k) * interval)
+				if wait := time.Until(sched); wait > 0 {
+					select {
+					case <-stop:
+						return
+					case <-time.After(wait):
+					}
+				}
+				select {
+				case <-stop:
+					return
+				case slots <- slot{scheduled: sched}:
+				}
+			}
+		}()
+
+		// Steady state before the close, a short tail after it so a
+		// post-close backlog drains into the stall histogram too.
+		time.Sleep(300 * time.Millisecond)
+		before := ranks.Load()
+		closeStart := time.Now()
+		err := post(ctx, client, fmt.Sprintf("%s/v1/close?day=%d", base, d))
+		closeDur := time.Since(closeStart)
+		time.Sleep(200 * time.Millisecond)
+		close(stop)
+		wg.Wait()
+		if err != nil {
+			return nil, err
+		}
+		select {
+		case err := <-errs:
+			return nil, err
+		default:
+		}
+		res.Closes = append(res.Closes, probeClose{Day: d, CloseS: closeDur.Seconds(), Ranks: ranks.Load() - before})
+	}
+	s := hist.Snapshot()
+	res.Ranks = ranks.Load()
+	res.RankP50US = s.Quantile(0.50).Microseconds()
+	res.RankP90US = s.Quantile(0.90).Microseconds()
+	res.RankP99US = s.Quantile(0.99).Microseconds()
+	res.RankMaxUS = time.Duration(s.MaxNanos).Microseconds()
+	return res, nil
 }
 
 // startSelf boots an in-process daemon on a loopback port, mirroring how
@@ -595,7 +766,7 @@ func fetchServerStages(ctx context.Context, client *http.Client, base string) ([
 	if doc.Metrics == nil {
 		return nil, errors.New("status carries no metrics snapshot (observer disabled?)")
 	}
-	keep := []string{obs.StageApply, obs.StageClose, obs.StageMerge, obs.StageSnapshot, obs.StageRank, obs.StageRetrain}
+	keep := []string{obs.StageApply, obs.StageClose, obs.StageMerge, obs.StageMergePublish, obs.StageSnapshot, obs.StageRank, obs.StageRetrain}
 	var out []obs.StageStats
 	for _, name := range keep {
 		for _, st := range doc.Metrics.Stages {
@@ -649,6 +820,30 @@ type retrainResult struct {
 	RankWorkers int     `json:"rank_workers"`
 	RankP50US   int64   `json:"rank_p50_us"`
 	RankP99US   int64   `json:"rank_p99_us"`
+}
+
+// probeReport is the "rank_during_close" section of BENCH_serve.json:
+// open-loop rank stall percentiles measured across forced day closes,
+// plus the per-close wall time and the daemon's own stage histograms
+// (close_merge now measures the off-lock shadow build; merge_publish is
+// the pointer swap ranks actually wait on).
+type probeReport struct {
+	Days         int              `json:"days"`
+	RankRatePerS float64          `json:"rank_rate_per_s"`
+	RankWorkers  int              `json:"rank_workers"`
+	Ranks        int64            `json:"ranks"`
+	RankP50US    int64            `json:"rank_p50_us"`
+	RankP90US    int64            `json:"rank_p90_us"`
+	RankP99US    int64            `json:"rank_p99_us"`
+	RankMaxUS    int64            `json:"rank_max_us"`
+	Closes       []probeClose     `json:"closes"`
+	ServerStages []obs.StageStats `json:"server_stages,omitempty"`
+}
+
+type probeClose struct {
+	Day    int     `json:"day"`
+	CloseS float64 `json:"close_s"`
+	Ranks  int64   `json:"ranks_in_flight"`
 }
 
 func postNDJSON(ctx context.Context, client *http.Client, base string, body io.Reader) error {

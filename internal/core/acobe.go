@@ -139,6 +139,36 @@ func NewDetector(cfg Config, ind, group *deviation.Field, userGroup []int) (*Det
 	return det, nil
 }
 
+// Rebind returns a detector that shares this detector's trained
+// autoencoders but builds its matrices over the given deviation fields.
+// The fields must have the same configuration and user geometry as the
+// originals (same flattened matrix width); training state is shared, not
+// copied — the models are read-only during inference, so the original and
+// the rebound detector may score concurrently. The serving layer uses this
+// to repoint a trained detector at a freshly published view generation
+// without serializing and reloading weights.
+func (d *Detector) Rebind(ind, group *deviation.Field, userGroup []int) (*Detector, error) {
+	cfg := d.cfg
+	if !cfg.IncludeGroup {
+		group = nil
+	} else if group == nil {
+		return nil, fmt.Errorf("core: IncludeGroup set but no group field given")
+	}
+	out := &Detector{cfg: cfg, users: ind.Table().Users()}
+	for _, m := range d.models {
+		b, err := deviation.NewBuilder(ind, group, userGroup, m.aspect)
+		if err != nil {
+			return nil, fmt.Errorf("core: rebind aspect %s: %w", m.aspect.Name, err)
+		}
+		if b.Dim() != m.builder.Dim() {
+			return nil, fmt.Errorf("core: rebind aspect %s: matrix width %d, model expects %d",
+				m.aspect.Name, b.Dim(), m.builder.Dim())
+		}
+		out.models = append(out.models, &aspectModel{aspect: m.aspect, builder: b, aeCfg: m.aeCfg, ae: m.ae})
+	}
+	return out, nil
+}
+
 // Users returns the user IDs the detector scores, in index order.
 func (d *Detector) Users() []string { return d.users }
 

@@ -247,12 +247,34 @@ func NewEmptyField(t *features.Table, cfg Config) (*Field, error) {
 // src(u, feat, frame) — pure copies, no arithmetic, so the merged view
 // preserves the source fields' bits exactly.
 func (f *Field) AppendCopiedDay(src func(u, feat, frame int) float64) {
+	f.AppendDay().FillUsers(0, len(f.table.Users()), src)
+}
+
+// DayFiller writes values into the most recently appended day of a Field.
+// Distinct user ranges touch disjoint memory, so callers may fill ranges
+// from concurrent goroutines as long as no other method of the field runs
+// until every range is filled.
+type DayFiller struct {
+	f  *Field
+	at int
+}
+
+// AppendDay extends the field by one zeroed day and returns a filler for
+// it. The new day's values are undefined (zero) until FillUsers covers the
+// full user range.
+func (f *Field) AppendDay() DayFiller {
 	f.appendDay()
-	at := f.days - 1
-	for u := range f.table.Users() {
+	return DayFiller{f: f, at: f.days - 1}
+}
+
+// FillUsers sets the appended day's value to src(u, feat, frame) for every
+// user in [lo, hi) — pure copies, no arithmetic, bit-preserving.
+func (df DayFiller) FillUsers(lo, hi int, src func(u, feat, frame int) float64) {
+	f := df.f
+	for u := lo; u < hi; u++ {
 		for feat := 0; feat < f.nf; feat++ {
 			for frame := 0; frame < f.frames; frame++ {
-				f.seriesSlice(u, feat, frame)[at] = src(u, feat, frame)
+				f.seriesSlice(u, feat, frame)[df.at] = src(u, feat, frame)
 			}
 		}
 	}

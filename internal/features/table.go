@@ -159,6 +159,25 @@ func (t *Table) Clone() *Table {
 	return &c
 }
 
+// CopyDayFrom bit-copies day d's column from src into t. Both tables must
+// have identical series geometry (users × features × frames) and contain
+// day d; the serving layer uses it to catch a shadow view generation up to
+// the published one without re-deriving any value.
+func (t *Table) CopyDayFrom(src *Table, d cert.Day) error {
+	series := len(t.users) * len(t.features) * t.frames
+	if s2 := len(src.users) * len(src.features) * src.frames; s2 != series {
+		return fmt.Errorf("features: CopyDayFrom geometry mismatch (%d vs %d series)", series, s2)
+	}
+	if !t.InSpan(d) || !src.InSpan(d) {
+		return fmt.Errorf("features: CopyDayFrom day %v outside span", d)
+	}
+	di, si := int(d-t.start), int(d-src.start)
+	for s := 0; s < series; s++ {
+		t.data[s*t.capDays+di] = src.data[s*src.capDays+si]
+	}
+	return nil
+}
+
 // InSpan reports whether day d lies inside the table.
 func (t *Table) InSpan(d cert.Day) bool { return d >= t.start && d <= t.end }
 

@@ -168,7 +168,8 @@ const (
 	StageEnqueue      = "ingest_enqueue" // time blocked on a full shard queue (backpressure)
 	StageApply        = "ingest_apply"   // per-shard batch drain: late filter + WAL append + buffer
 	StageClose        = "day_close"      // day-close barrier end to end, caller-observed
-	StageMerge        = "close_merge"    // cross-shard per-day merge into the global view (Shards>1)
+	StageMerge        = "close_merge"    // one closed day built into the shadow view, off-lock (Shards>1)
+	StageMergePublish = "merge_publish"  // publishing a merged generation: the write-lock pointer swap
 	StageSnapshot     = "snapshot"       // one snapshot publication (per shard round when sharded)
 	StageRank         = "rank"           // one ranked-list query
 	StageRetrain      = "retrain"        // one full retrain: clone + fit + swap
@@ -178,7 +179,7 @@ const (
 
 // stageOrder fixes the exposition order of the stage histograms.
 var stageOrder = []string{
-	StageSubmit, StageEnqueue, StageApply, StageClose, StageMerge,
+	StageSubmit, StageEnqueue, StageApply, StageClose, StageMerge, StageMergePublish,
 	StageSnapshot, StageRank, StageRetrain, StageRetrainClone, StageWALFsync,
 }
 
@@ -191,6 +192,9 @@ const (
 	CounterLastSnapshotDay  = "last_snapshot_day"
 	CounterRetrains         = "retrains_total"
 	CounterRetrainFailures  = "retrain_failures_total"
+	// CounterMergePendingDays is a last-value gauge: closed days built (or
+	// waiting to be built) into the shadow view but not yet published.
+	CounterMergePendingDays = "merge_pending_days"
 )
 
 // ShardStats is one shard's private recording cell. The owning shard
@@ -262,6 +266,7 @@ type Observer struct {
 	enqueue      Histogram
 	close        Histogram
 	merge        Histogram
+	mergePublish Histogram
 	snapshot     Histogram
 	rank         Histogram
 	retrain      Histogram
@@ -274,6 +279,7 @@ type Observer struct {
 	lastSnapshotDay  atomic.Int64
 	retrains         atomic.Int64
 	retrainFailures  atomic.Int64
+	pendingMergeDays atomic.Int64
 
 	mu     sync.Mutex
 	shards []*ShardStats
@@ -345,6 +351,25 @@ func (o *Observer) ObserveMerge(start time.Time) {
 		return
 	}
 	o.merge.Observe(time.Since(start))
+}
+
+// ObserveMergePublish records one generation publication — the write-lock
+// critical section that swaps the shadow view in (detector rebind +
+// pointer flip).
+func (o *Observer) ObserveMergePublish(start time.Time) {
+	if o == nil || start.IsZero() {
+		return
+	}
+	o.mergePublish.Observe(time.Since(start))
+}
+
+// SetPendingMergeDays sets the merge_pending_days gauge: closed days not
+// yet visible to ranks because their generation has not been published.
+func (o *Observer) SetPendingMergeDays(n int64) {
+	if o == nil {
+		return
+	}
+	o.pendingMergeDays.Store(n)
 }
 
 // ObserveSnapshot records one completed snapshot (a full round when

@@ -38,7 +38,12 @@ func WritePrometheus(w io.Writer, snap *Snapshot, g Gauges) error {
 	b.printf("# HELP acobe_persistence_enabled Whether the WAL/snapshot layer is on.\n# TYPE acobe_persistence_enabled gauge\nacobe_persistence_enabled %d\n", boolGauge(g.PersistEnabled))
 
 	for _, c := range snap.Counters {
-		b.printf("# TYPE acobe_%s counter\n", c.Name)
+		// Most counter rows are monotonic; the last-value ones are gauges.
+		typ := "counter"
+		if c.Name == CounterLastSnapshotDay || c.Name == CounterMergePendingDays {
+			typ = "gauge"
+		}
+		b.printf("# TYPE acobe_%s %s\n", c.Name, typ)
 		b.printf("acobe_%s %d\n", c.Name, c.Value)
 	}
 

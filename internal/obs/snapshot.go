@@ -103,6 +103,7 @@ func (o *Observer) Snapshot() *Snapshot {
 		StageApply:        apply,
 		StageClose:        o.close.Snapshot(),
 		StageMerge:        o.merge.Snapshot(),
+		StageMergePublish: o.mergePublish.Snapshot(),
 		StageSnapshot:     o.snapshot.Snapshot(),
 		StageRank:         o.rank.Snapshot(),
 		StageRetrain:      o.retrain.Snapshot(),
@@ -125,6 +126,7 @@ func (o *Observer) Snapshot() *Snapshot {
 			{CounterLastSnapshotDay, o.lastSnapshotDay.Load()},
 			{CounterRetrains, o.retrains.Load()},
 			{CounterRetrainFailures, o.retrainFailures.Load()},
+			{CounterMergePendingDays, o.pendingMergeDays.Load()},
 		},
 		Shards: rows,
 	}

@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"acobe/internal/cert"
+	"acobe/internal/obs"
+)
+
+// closeShardsDirect drives one close barrier into every shard queue
+// directly, bypassing the coordinator: the shards extract their days but
+// no merge (and no generation publish) ever runs.
+func closeShardsDirect(t *testing.T, srv *Server, to cert.Day) {
+	t.Helper()
+	acks := make([]chan error, len(srv.shards))
+	for i, sh := range srv.shards {
+		acks[i] = make(chan error, 1)
+		sh.queue <- envelope{closeThrough: to, isClose: true, done: acks[i]}
+	}
+	for _, ack := range acks {
+		if err := <-ack; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestShardTrainBeforeMerge proves a sharded Retrain never reads the
+// merged view: the training days are closed by barriers sent directly to
+// the shard queues — the coordinator never runs, so no day is ever
+// merged and the published view stays empty — yet the retrain must
+// succeed, because its training matrix is stitched straight from the
+// shard tables. Closing the days through the public API afterwards must
+// then serve rankings bit-identical to an unsharded server that trained
+// at the same point in its feed.
+func TestShardTrainBeforeMerge(t *testing.T) {
+	const trainTo, lastDay = cert.Day(55), cert.Day(69)
+	ctx := context.Background()
+
+	type result struct {
+		list   []rankRow
+		scores [][]float64
+	}
+	run := func(t *testing.T, shards int, bypass bool) result {
+		srv, err := New(Config{
+			Users:           testUsers,
+			Groups:          testGroups,
+			Membership:      testMember,
+			Start:           0,
+			Deviation:       testDevCfg(),
+			IngestorFactory: stubShardFactory(testUsers),
+			Shards:          shards,
+			DetectorOptions: testDetOpts(),
+			QueueSize:       16,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(sctx)
+		}()
+		if bypass {
+			closeShardsDirect(t, srv, trainTo)
+			if got := srv.ClosedThrough(); got != srv.cfg.Start-1 {
+				t.Fatalf("closed through %v after direct shard closes, want %v (no merge must have run)", got, srv.cfg.Start-1)
+			}
+		} else {
+			for d := cert.Day(0); d <= trainTo; d++ {
+				if err := srv.CloseDay(ctx, d); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := srv.Retrain(ctx, 0, trainTo, true); err != nil {
+			t.Fatalf("retrain before any merge: %v", err)
+		}
+		if bypass {
+			if got := srv.ClosedThrough(); got != srv.cfg.Start-1 {
+				t.Fatalf("retrain advanced the merged view to %v; it must not touch the merge", got)
+			}
+		}
+		if err := srv.CloseDay(ctx, lastDay); err != nil {
+			t.Fatal(err)
+		}
+		list, err := srv.Rank(ctx, 60, lastDay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		series, err := srv.Detector().Score(ctx, 60, lastDay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := result{}
+		for _, r := range list {
+			res.list = append(res.list, rankRow{user: r.User, priority: r.Priority, ranks: append([]int(nil), r.Ranks...)})
+		}
+		for _, a := range series {
+			for _, us := range a.Scores {
+				res.scores = append(res.scores, append([]float64(nil), us...))
+			}
+		}
+		return res
+	}
+
+	want := run(t, 1, false)
+	for _, n := range shardCounts[1:] {
+		t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) {
+			got := run(t, n, true)
+			if len(got.list) != len(want.list) {
+				t.Fatalf("%d ranked rows, want %d", len(got.list), len(want.list))
+			}
+			for i := range want.list {
+				g, w := got.list[i], want.list[i]
+				if g.user != w.user || g.priority != w.priority {
+					t.Errorf("list[%d]: %s/%d, want %s/%d", i, g.user, g.priority, w.user, w.priority)
+				}
+				for a := range w.ranks {
+					if g.ranks[a] != w.ranks[a] {
+						t.Errorf("list[%d] ranks %v, want %v", i, g.ranks, w.ranks)
+					}
+				}
+			}
+			for u := range want.scores {
+				for i := range want.scores[u] {
+					if math.Float64bits(got.scores[u][i]) != math.Float64bits(want.scores[u][i]) {
+						t.Fatalf("score[%d][%d] = %v, want bit-identical %v", u, i, got.scores[u][i], want.scores[u][i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRankDuringMergeSwapRace hammers the read paths — Rank, Status,
+// and metrics scrapes — while day closes force merge builds, generation
+// publishes, and detector rebinds, with background retrains swapping
+// models in at the same time. Its job is to give the race detector every
+// interleaving of the off-lock shadow build, the pointer-swap publish,
+// and the under-lock detector load; it also proves a rank can never
+// observe a half-published generation (every Rank must succeed once a
+// model is installed).
+func TestRankDuringMergeSwapRace(t *testing.T) {
+	const warmTo, lastDay = cert.Day(19), cert.Day(45)
+	srv, _ := newObsServer(t, 3)
+	ctx := context.Background()
+	for d := cert.Day(0); d <= warmTo; d++ {
+		if err := srv.CloseDay(ctx, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.Retrain(ctx, 0, 15, true); err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	rankErr := make(chan error, 1)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if _, err := srv.Rank(ctx, 10, 15); err != nil {
+					select {
+					case rankErr <- err:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			_ = srv.Status()
+			_ = obs.WritePrometheus(io.Discard, srv.MetricsSnapshot(), obs.Gauges{})
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			if err := srv.Retrain(ctx, 0, 15, true); err != nil && err != ErrRetrainInProgress {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	for d := warmTo + 1; d <= lastDay; d++ {
+		if err := srv.CloseDay(ctx, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case err := <-rankErr:
+		t.Fatalf("rank failed during merge/swap/retrain churn: %v", err)
+	default:
+	}
+
+	// The churn must settle into a consistent final state: the published
+	// generation covers every closed day and still serves.
+	if got := srv.ClosedThrough(); got != lastDay {
+		t.Fatalf("closed through %v, want %v", got, lastDay)
+	}
+	if _, err := srv.Rank(ctx, 40, lastDay); err != nil {
+		t.Fatal(err)
+	}
+}

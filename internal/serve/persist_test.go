@@ -78,11 +78,11 @@ func serverStateBytes(t *testing.T, s *Server) []byte {
 			t.Fatal(err)
 		}
 	}
-	if s.grp != nil {
-		if err := s.grpTbl.SaveState(&buf); err != nil {
+	if gs := s.groupStream(); gs != nil {
+		if err := s.groupTable().SaveState(&buf); err != nil {
 			t.Fatal(err)
 		}
-		if err := s.grp.SaveState(&buf); err != nil {
+		if err := gs.SaveState(&buf); err != nil {
 			t.Fatal(err)
 		}
 	}

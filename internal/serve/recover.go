@@ -490,7 +490,7 @@ func (s *Server) recoverSharded(walDir string) (*RecoverInfo, error) {
 		ok := true
 		for k, sh := range s.shards {
 			path := snapPath(s.pcfg.Dir, snapShardPrefix(k), day)
-			d, p, err := s.loadSnapshot(path, sh, k == 0 && s.grp != nil)
+			d, p, err := s.loadSnapshot(path, sh, k == 0 && s.hasGroups)
 			if err != nil {
 				loadErrs = append(loadErrs, fmt.Errorf("%s: %w", filepath.Base(path), err))
 				ok = false
@@ -641,28 +641,32 @@ func (s *Server) recoverSharded(walDir string) (*RecoverInfo, error) {
 		}
 	}
 
-	// 6. Rebuild the global group state (from the snapshot's base day
-	// forward — the exact per-day operation order of the live merge) and
-	// the merged view (pure bit-copies of the shard deviations).
+	// 6. Rebuild the published generation: group state from the
+	// snapshot's base day forward (the exact per-day operation order of
+	// the live merge), then the merged view (pure bit-copies of the shard
+	// deviations). The shadow generation stays empty — the first live
+	// merge catches it up from the published one by bit-copy.
+	pub := s.gen.Load()
 	for d := base + 1; d <= cut; d++ {
-		if s.grpTbl != nil {
-			if err := s.grpTbl.EnsureDay(d); err != nil {
+		if pub.grpTbl != nil {
+			if err := pub.grpTbl.EnsureDay(d); err != nil {
 				return nil, err
 			}
-			s.fillGroupDay(d)
+			s.fillGroupDayInto(pub.grpTbl, d)
 		}
-		if s.grp != nil {
-			if err := s.grp.Advance(); err != nil {
+		if pub.grp != nil {
+			if err := pub.grp.Advance(); err != nil {
 				return nil, err
 			}
 		}
 	}
-	for d := s.view.FirstDay(); d <= cut; d++ {
+	for d := pub.view.FirstDay(); d <= cut; d++ {
 		day := d
-		s.view.AppendCopiedDay(func(u, feat, frame int) float64 {
+		s.appendViewDay(pub.view, func(u, feat, frame int) float64 {
 			return s.shards[s.userShard[u]].sigma(s.userLocal[u], feat, frame, day)
 		})
 	}
+	pub.closedThrough = cut
 	s.closedThrough = cut
 
 	// 7. Attach the appenders.

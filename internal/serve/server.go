@@ -31,18 +31,31 @@
 //     group members in ascending global user index — the batch pipeline's
 //     exact operation order — so rankings are byte-identical regardless
 //     of the shard count.
-//   - Day-close mutates the merged view under a writer lock; rank
-//     queries score under a reader lock, so queries never observe a
-//     half-advanced day.
-//   - Retraining clones the merged fields under a reader lock and fits
-//     the per-aspect models in parallel (core.Detector.Fit's ensemble
-//     concurrency) on the frozen snapshot without any lock; the trained
-//     weights are swapped in atomically (old detector answers until the
-//     instant of the swap).
+//   - The merged view is double-buffered (Shards>1): the coordinator
+//     builds freshly closed days into a private shadow generation with no
+//     lock held — rank queries keep scoring the published generation —
+//     and publishes the shadow with a pointer swap. The write lock is
+//     held only for the swap (plus a detector rebind), so a day close
+//     never stalls ranking behind O(days × users) merge work. The
+//     demoted generation becomes the next shadow and is caught up by
+//     bit-copy from the published one before new days are built.
+//   - With Shards=1 day-close mutates the single live field under the
+//     writer lock (the historical path); rank queries score under a
+//     reader lock either way, so queries never observe a half-advanced
+//     day or a half-published generation.
+//   - Retraining never reads the merged view when sharded: the
+//     coordinator stitches a training measurement table straight from
+//     the quiescent shard tables (rows in global user order), and the
+//     batch pipeline derives the training fields from it — bit-identical
+//     to the view by the streamed-equals-batch invariants. Unsharded
+//     retrains clone the live fields under a reader lock as before.
+//     Models fit in parallel (core.Detector.Fit's ensemble concurrency)
+//     on the frozen snapshot without any lock; the trained weights are
+//     swapped in atomically (old detector answers until the instant of
+//     the swap).
 package serve
 
 import (
-	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -119,10 +132,13 @@ type Config struct {
 }
 
 // envelope is one unit of shard/coordinator work: an event batch, a
-// close-through-day barrier (isClose), or a snapshot request (isSnap —
-// sharded servers only). done, when non-nil, receives the outcome —
-// always set for closes and snapshots, and set for event batches when
-// persistence is on (Submit acks only after the batch hit the WAL).
+// close-through-day barrier (isClose), a snapshot request (isSnap —
+// sharded servers only), or a training-snapshot request (isTrainSnap —
+// coordinator front queue only, so it serializes against closes and the
+// shard tables are quiescent while it runs). done, when non-nil,
+// receives the outcome — always set for closes, snapshots, and training
+// snapshots, and set for event batches when persistence is on (Submit
+// acks only after the batch hit the WAL).
 type envelope struct {
 	events       []Event
 	batchID      uint64 // cross-shard batch identity (Shards>1 with WAL)
@@ -130,7 +146,18 @@ type envelope struct {
 	closeThrough cert.Day
 	isClose      bool
 	isSnap       bool
+	isTrainSnap  bool
+	train        *trainSnapReq
 	done         chan error
+}
+
+// trainSnapReq carries a shard-local training snapshot request through
+// the coordinator: the coordinator fills tbl with every shard's closed
+// measurements stitched in global user order and day with the last day
+// every shard has closed.
+type trainSnapReq struct {
+	tbl *features.Table
+	day cert.Day
 }
 
 // shard owns one consistent-hash partition of the per-user state. Its
@@ -170,6 +197,19 @@ func (sh *shard) sigma(lu, feat, frame int, d cert.Day) float64 {
 	return sh.ind.Field().Sigma(lu, feat, frame, d)
 }
 
+// viewGen is one generation of the merged global state (Shards>1 only):
+// the per-user deviation view, the group measurement table and its
+// streaming deviation state (nil without groups), and the last day
+// folded into them. Two generations double-buffer the merge: rank
+// queries read the published one while the coordinator builds freshly
+// closed days into the shadow, and publishing is a pointer swap.
+type viewGen struct {
+	view          *deviation.Field
+	grpTbl        *features.Table
+	grp           *deviation.StreamField
+	closedThrough cert.Day
+}
+
 // Server is the online scoring daemon's engine, independent of its HTTP
 // shell (cmd/acobed).
 type Server struct {
@@ -186,15 +226,25 @@ type Server struct {
 	feats   []string
 	frames  int
 
-	// view is the merged global deviation field (Shards>1 only): day by
-	// day, closed per-shard deviations are copied in at their global user
-	// rows, bit-for-bit. With Shards=1 the single shard's live field is
-	// the view. Rank and Retrain always read through indField().
-	view *deviation.Field
+	// gen is the published merged-view generation (Shards>1 only): day by
+	// day, closed per-shard deviations are copied into a generation at
+	// their global user rows, bit-for-bit. The coordinator builds new
+	// days into shadow with no lock held, then publishes it with a
+	// pointer swap under the write lock; the demoted generation becomes
+	// the next shadow. shadow is owned by the coordinator goroutine (and
+	// by recovery, which runs before it starts). With Shards=1 the single
+	// shard's live field is the view and gen stays nil. Rank and Retrain
+	// always read through indField()/groupStream().
+	gen    atomic.Pointer[viewGen]
+	shadow *viewGen
 
-	grpTbl  *features.Table
-	grp     *deviation.StreamField // nil without groups
-	invSize []float64              // 1/|group|, GroupTable's exact factor
+	// hasGroups records whether peer groups are configured; the live
+	// group state lives in grpTbl/grp (Shards=1) or in each generation
+	// (Shards>1).
+	hasGroups bool
+	grpTbl    *features.Table        // Shards=1 only
+	grp       *deviation.StreamField // Shards=1 with groups only
+	invSize   []float64              // 1/|group|, GroupTable's exact factor
 
 	// mu orders day-close writes against rank-query reads of the live
 	// tables and fields. closedThrough is published under it.
@@ -355,14 +405,9 @@ func newCore(cfg Config) (*Server, error) {
 		return nil, errors.New("serve: every shard is empty")
 	}
 
-	var err error
 	if len(cfg.Groups) > 0 {
 		if len(cfg.Membership) != len(cfg.Users) {
 			return nil, fmt.Errorf("serve: membership has %d entries for %d users", len(cfg.Membership), len(cfg.Users))
-		}
-		s.grpTbl, err = features.NewTable(cfg.Groups, s.feats, s.frames, cfg.Start, cfg.Start)
-		if err != nil {
-			return nil, fmt.Errorf("serve: group table: %w", err)
 		}
 		sizes := make([]int, len(cfg.Groups))
 		for u, g := range cfg.Membership {
@@ -380,27 +425,60 @@ func newCore(cfg Config) (*Server, error) {
 			}
 			s.invSize[g] = 1 / float64(n)
 		}
+		s.hasGroups = true
+	}
+	if cfg.Shards > 1 {
+		pub, err := s.newViewGen()
+		if err != nil {
+			return nil, err
+		}
+		sh, err := s.newViewGen()
+		if err != nil {
+			return nil, err
+		}
+		s.gen.Store(pub)
+		s.shadow = sh
+		s.queue = make(chan envelope, cfg.QueueSize)
+	} else if s.hasGroups {
+		var err error
+		s.grpTbl, err = features.NewTable(cfg.Groups, s.feats, s.frames, cfg.Start, cfg.Start)
+		if err != nil {
+			return nil, fmt.Errorf("serve: group table: %w", err)
+		}
 		s.grp, err = deviation.NewStreamField(s.grpTbl, cfg.Deviation)
 		if err != nil {
 			return nil, fmt.Errorf("serve: %w", err)
 		}
 	}
-	if cfg.Shards > 1 {
-		// The merged view's table holds only metadata (user/feature/frame
-		// shape): the detector's matrix builders read deviations, never
-		// raw measurements, so the per-day measurement copies stay inside
-		// the shard tables.
-		viewTbl, err := features.NewTable(cfg.Users, s.feats, s.frames, cfg.Start, cfg.Start)
+	return s, nil
+}
+
+// newViewGen builds one empty merged-view generation (Shards>1 only).
+func (s *Server) newViewGen() (*viewGen, error) {
+	// The merged view's table holds only metadata (user/feature/frame
+	// shape): the detector's matrix builders read deviations, never raw
+	// measurements, so the per-day measurement copies stay inside the
+	// shard tables.
+	viewTbl, err := features.NewTable(s.cfg.Users, s.feats, s.frames, s.cfg.Start, s.cfg.Start)
+	if err != nil {
+		return nil, fmt.Errorf("serve: view table: %w", err)
+	}
+	g := &viewGen{closedThrough: s.cfg.Start - 1}
+	g.view, err = deviation.NewEmptyField(viewTbl, s.cfg.Deviation)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	if s.hasGroups {
+		g.grpTbl, err = features.NewTable(s.cfg.Groups, s.feats, s.frames, s.cfg.Start, s.cfg.Start)
 		if err != nil {
-			return nil, fmt.Errorf("serve: view table: %w", err)
+			return nil, fmt.Errorf("serve: group table: %w", err)
 		}
-		s.view, err = deviation.NewEmptyField(viewTbl, cfg.Deviation)
+		g.grp, err = deviation.NewStreamField(g.grpTbl, s.cfg.Deviation)
 		if err != nil {
 			return nil, fmt.Errorf("serve: %w", err)
 		}
-		s.queue = make(chan envelope, cfg.QueueSize)
 	}
-	return s, nil
+	return g, nil
 }
 
 // start launches the shard goroutines (and, when sharded, the close
@@ -429,7 +507,9 @@ func (s *Server) adoptCore(c *Server) {
 	s.checker = c.checker
 	s.feats = c.feats
 	s.frames = c.frames
-	s.view = c.view
+	s.gen.Store(c.gen.Load())
+	s.shadow = c.shadow
+	s.hasGroups = c.hasGroups
 	s.grpTbl = c.grpTbl
 	s.grp = c.grp
 	s.invSize = c.invSize
@@ -437,13 +517,33 @@ func (s *Server) adoptCore(c *Server) {
 	s.queue = c.queue
 }
 
-// indField returns the field Rank and Retrain read: the merged view when
-// sharded, the single shard's live field otherwise.
+// indField returns the field Rank reads: the published generation's
+// merged view when sharded, the single shard's live field otherwise.
 func (s *Server) indField() *deviation.Field {
-	if s.view != nil {
-		return s.view
+	if g := s.gen.Load(); g != nil {
+		return g.view
 	}
 	return s.shards[0].ind.Field()
+}
+
+// groupTable returns the live group measurement table (nil without
+// groups): the published generation's when sharded, the server's own
+// otherwise.
+func (s *Server) groupTable() *features.Table {
+	if g := s.gen.Load(); g != nil {
+		return g.grpTbl
+	}
+	return s.grpTbl
+}
+
+// groupStream returns the live group deviation state (nil without
+// groups): the published generation's when sharded, the server's own
+// otherwise.
+func (s *Server) groupStream() *deviation.StreamField {
+	if g := s.gen.Load(); g != nil {
+		return g.grp
+	}
+	return s.grp
 }
 
 // persistent reports whether the persistence layer is enabled.
@@ -854,7 +954,7 @@ func (s *Server) advanceDay(d cert.Day, evs []Event) error {
 		if err := s.grpTbl.EnsureDay(d); err != nil {
 			return err
 		}
-		s.fillGroupDay(d)
+		s.fillGroupDayInto(s.grpTbl, d)
 	}
 	if err := sh.ind.Advance(); err != nil {
 		return err
@@ -876,6 +976,10 @@ func (s *Server) advanceDay(d cert.Day, evs []Event) error {
 func (s *Server) coordinate() {
 	defer s.drainWG.Done()
 	for env := range s.queue {
+		if env.isTrainSnap {
+			env.done <- s.buildTrainSnap(env.train)
+			continue
+		}
 		env.done <- s.coordClose(env.closeThrough)
 	}
 	for _, sh := range s.shards {
@@ -952,8 +1056,9 @@ func (s *Server) shardClose(sh *shard, to cert.Day) error {
 
 // shardCloseDays consumes the shard's buffered events day by day and
 // advances the shard's deviation windows. No server lock is needed: rank
-// queries read only the merged view, which the coordinator updates under
-// the write lock strictly after every shard acked.
+// queries read only the published merged generation, which the
+// coordinator builds off-lock strictly after every shard acked and
+// publishes with a pointer swap under the write lock.
 func (s *Server) shardCloseDays(sh *shard, to cert.Day) error {
 	for d := sh.closedThrough + 1; d <= to; d++ {
 		evs := sh.buffered[d]
@@ -974,46 +1079,147 @@ func (s *Server) shardCloseDays(sh *shard, to cert.Day) error {
 	return nil
 }
 
-// mergeDays folds freshly closed days into the global group table and
-// merged view, one day at a time under the write lock.
+// mergeDays folds freshly closed days into the shadow generation with no
+// lock held, then publishes it: rank queries keep scoring the current
+// generation for the whole build, and the write lock is held only for
+// the pointer swap plus a detector rebind. The demoted generation
+// becomes the next shadow.
 func (s *Server) mergeDays(to cert.Day) error {
-	for d := s.closedThrough + 1; d <= to; d++ {
+	pub := s.gen.Load()
+	if to <= pub.closedThrough {
+		return nil
+	}
+	sh := s.shadow
+	// Catch the shadow up to the published generation by bit-copy (it is
+	// one publish behind, or freshly empty after recovery), then build
+	// the newly closed days from the quiescent shard state.
+	if err := s.catchUpGen(sh, pub); err != nil {
+		return err
+	}
+	for d := sh.closedThrough + 1; d <= to; d++ {
 		start := s.obs.Clock()
-		s.mu.Lock()
-		err := s.mergeDay(d)
-		s.mu.Unlock()
-		if err != nil {
+		if err := s.buildGenDay(sh, d); err != nil {
 			return err
 		}
 		s.obs.ObserveMerge(start)
+		s.obs.SetPendingMergeDays(int64(to - d))
 		s.daysSinceSnap++
+	}
+	pubStart := s.obs.Clock()
+	s.mu.Lock()
+	if det := s.det.Load(); det != nil {
+		var grpF *acobe.Field
+		var membership []int
+		if sh.grp != nil {
+			grpF = sh.grp.Field()
+			membership = s.cfg.Membership
+		}
+		rebound, err := det.Rebind(sh.view, grpF, membership)
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		s.det.Store(rebound)
+	}
+	s.gen.Store(sh)
+	s.closedThrough = to
+	s.mu.Unlock()
+	s.shadow = pub
+	s.obs.ObserveMergePublish(pubStart)
+	return nil
+}
+
+// catchUpGen replays the days src holds beyond dst into dst by pure
+// bit-copy: the group measurements are copied day by day and the
+// deterministic window advance replays over them (bit-identical by the
+// streamed-equals-batch invariants), and the view days are copied
+// directly. It also covers the freshly recovered case, where the shadow
+// is empty and src carries the whole recovered span.
+func (s *Server) catchUpGen(dst, src *viewGen) error {
+	for d := dst.closedThrough + 1; d <= src.closedThrough; d++ {
+		if dst.grpTbl != nil {
+			if err := dst.grpTbl.EnsureDay(d); err != nil {
+				return err
+			}
+			if err := dst.grpTbl.CopyDayFrom(src.grpTbl, d); err != nil {
+				return err
+			}
+		}
+		if d >= dst.view.FirstDay() {
+			day := d
+			s.appendViewDay(dst.view, func(u, feat, frame int) float64 {
+				return src.view.Sigma(u, feat, frame, day)
+			})
+		}
+		if dst.grp != nil {
+			if err := dst.grp.Advance(); err != nil {
+				return err
+			}
+		}
+		dst.closedThrough = d
 	}
 	return nil
 }
 
-// mergeDay merges one closed day: group averages are recomputed from the
-// shard tables in ascending global user order (GroupTable's exact
-// operation order), and the day's per-user deviations are copied into the
-// view bit-for-bit. Caller holds the write lock.
-func (s *Server) mergeDay(d cert.Day) error {
-	if s.grpTbl != nil {
-		if err := s.grpTbl.EnsureDay(d); err != nil {
+// buildGenDay folds one freshly closed day into a generation: group
+// averages are recomputed from the shard tables in ascending global user
+// order (GroupTable's exact operation order), and the day's per-user
+// deviations are copied in bit-for-bit. Runs off-lock: the generation is
+// not yet published and the shard state is quiescent between envelopes.
+func (s *Server) buildGenDay(g *viewGen, d cert.Day) error {
+	if g.grpTbl != nil {
+		if err := g.grpTbl.EnsureDay(d); err != nil {
 			return err
 		}
-		s.fillGroupDay(d)
+		s.fillGroupDayInto(g.grpTbl, d)
 	}
-	if d >= s.view.FirstDay() {
-		s.view.AppendCopiedDay(func(u, feat, frame int) float64 {
+	if d >= g.view.FirstDay() {
+		s.appendViewDay(g.view, func(u, feat, frame int) float64 {
 			return s.shards[s.userShard[u]].sigma(s.userLocal[u], feat, frame, d)
 		})
 	}
-	if s.grp != nil {
-		if err := s.grp.Advance(); err != nil {
+	if g.grp != nil {
+		if err := g.grp.Advance(); err != nil {
 			return err
 		}
 	}
-	s.closedThrough = d
+	g.closedThrough = d
 	return nil
+}
+
+// appendViewDay appends one day to a view field, filling user rows in
+// parallel across free compute workers. Each cell is a single assigned
+// float64, so splitting by user rows cannot change any value.
+func (s *Server) appendViewDay(view *deviation.Field, src func(u, feat, frame int) float64) {
+	users := len(s.cfg.Users)
+	df := view.AppendDay()
+	workers := nn.WorkerBudget()
+	if workers > users {
+		workers = users
+	}
+	if workers <= 1 {
+		df.FillUsers(0, users, src)
+		return
+	}
+	chunk := (users + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < users; lo += chunk {
+		hi := lo + chunk
+		if hi > users {
+			hi = users
+		}
+		if hi < users && nn.TryAcquireWorker() {
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				defer nn.ReleaseWorker()
+				df.FillUsers(lo, hi, src)
+			}(lo, hi)
+		} else {
+			df.FillUsers(lo, hi, src)
+		}
+	}
+	wg.Wait()
 }
 
 // measure reads one user's measurement for a closed day from the owning
@@ -1023,49 +1229,62 @@ func (s *Server) measure(u, feat, frame int, d cert.Day) float64 {
 	return sh.ing.Table().At(s.userLocal[u], feat, frame, d)
 }
 
-// fillGroupDay computes every group's member-average measurements for one
-// day, sharded across free compute workers. Each cell sums its members in
-// ascending global user order and multiplies by 1/size — the exact
-// operation order of features.Table.GroupTable, regardless of how the
-// members are distributed over shards — so streamed group measurements
-// are bit-identical to the batch group table's.
-func (s *Server) fillGroupDay(d cert.Day) {
+// fillGroupDayInto computes every group's member-average measurements
+// for one day into tbl, parallelized over (feature, frame) planes across
+// free compute workers. The member scan is loop-inverted: each worker
+// walks the membership once in ascending global user order and
+// accumulates that user's measurement into its planes' per-group sums —
+// O(users × planes) total instead of the naive per-cell membership scan's
+// O(groups × users × planes). Per cell the additions still happen in
+// ascending global user order with a single multiply by 1/size at the
+// end — the exact operation order of features.Table.GroupTable,
+// regardless of how the members are distributed over shards — so
+// streamed group measurements are bit-identical to the batch group
+// table's.
+func (s *Server) fillGroupDayInto(tbl *features.Table, d cert.Day) {
 	nf := len(s.feats)
 	frames := s.frames
-	cells := len(s.cfg.Groups) * nf * frames
+	groups := len(s.cfg.Groups)
+	planes := nf * frames
 
-	fill := func(lo, hi int) {
-		for c := lo; c < hi; c++ {
-			g := c / (nf * frames)
-			rem := c % (nf * frames)
-			f := rem / frames
-			fr := rem % frames
-			var sum float64
-			for u, grp := range s.cfg.Membership {
-				if grp == g {
-					sum += s.measure(u, f, fr, d)
-				}
+	fill := func(plo, phi int) {
+		sums := make([]float64, (phi-plo)*groups)
+		for u, grp := range s.cfg.Membership {
+			if grp < 0 {
+				continue
 			}
-			s.grpTbl.Add(g, f, fr, d, sum*s.invSize[g])
+			sh := s.shards[s.userShard[u]]
+			t := sh.ing.Table()
+			lu := s.userLocal[u]
+			for p := plo; p < phi; p++ {
+				sums[(p-plo)*groups+grp] += t.At(lu, p/frames, p%frames, d)
+			}
+		}
+		for p := plo; p < phi; p++ {
+			f := p / frames
+			fr := p % frames
+			for g := 0; g < groups; g++ {
+				tbl.Add(g, f, fr, d, sums[(p-plo)*groups+g]*s.invSize[g])
+			}
 		}
 	}
 
 	workers := nn.WorkerBudget()
-	if workers > cells {
-		workers = cells
+	if workers > planes {
+		workers = planes
 	}
 	if workers <= 1 {
-		fill(0, cells)
+		fill(0, planes)
 		return
 	}
-	chunk := (cells + workers - 1) / workers
+	chunk := (planes + workers - 1) / workers
 	var wg sync.WaitGroup
-	for lo := 0; lo < cells; lo += chunk {
+	for lo := 0; lo < planes; lo += chunk {
 		hi := lo + chunk
-		if hi > cells {
-			hi = cells
+		if hi > planes {
+			hi = planes
 		}
-		if hi < cells && nn.TryAcquireWorker() {
+		if hi < planes && nn.TryAcquireWorker() {
 			wg.Add(1)
 			go func(lo, hi int) {
 				defer wg.Done()
@@ -1082,7 +1301,63 @@ func (s *Server) fillGroupDay(d cert.Day) {
 // detectorOptions assembles the facade options for a (re)build.
 func (s *Server) detectorOptions() []acobe.Option {
 	opts := append([]acobe.Option(nil), s.cfg.DetectorOptions...)
-	return append(opts, acobe.WithGroupDeviations(s.grp != nil))
+	return append(opts, acobe.WithGroupDeviations(s.hasGroups))
+}
+
+// buildTrainSnap stitches a training measurement table straight from the
+// shard tables, rows in global user order. It runs on the coordinator
+// (serialized against closes), so every shard's state is quiescent; the
+// span is capped at the last day every shard has closed — which may be
+// ahead of the published merged view, so retraining never waits for (or
+// reads) a merge. Row copies parallelize across free compute workers;
+// each cell is a single copied float64, so the split cannot change any
+// value.
+func (s *Server) buildTrainSnap(req *trainSnapReq) error {
+	day := cert.Day(0)
+	for i, sh := range s.shards {
+		if i == 0 || sh.closedThrough < day {
+			day = sh.closedThrough
+		}
+	}
+	if day < s.cfg.Start {
+		return errors.New("serve: no closed days to train on")
+	}
+	tbl, err := features.NewTable(s.cfg.Users, s.feats, s.frames, s.cfg.Start, day)
+	if err != nil {
+		return fmt.Errorf("serve: training table: %w", err)
+	}
+	days := int(day-s.cfg.Start) + 1
+	nf := len(s.feats)
+	copyShard := func(sh *shard) {
+		if sh.ing == nil {
+			return
+		}
+		st := sh.ing.Table()
+		for lu, gu := range sh.global {
+			for f := 0; f < nf; f++ {
+				for fr := 0; fr < s.frames; fr++ {
+					copy(tbl.Series(gu, f, fr), st.Series(lu, f, fr)[:days])
+				}
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		if i < len(s.shards)-1 && nn.TryAcquireWorker() {
+			wg.Add(1)
+			go func(sh *shard) {
+				defer wg.Done()
+				defer nn.ReleaseWorker()
+				copyShard(sh)
+			}(sh)
+		} else {
+			copyShard(sh)
+		}
+	}
+	wg.Wait()
+	req.tbl = tbl
+	req.day = day
+	return nil
 }
 
 // newDetector builds an untrained detector over the given fields.
@@ -1096,28 +1371,26 @@ func (s *Server) newDetector(ind, grp *acobe.Field) (*acobe.Detector, error) {
 
 // Retrain fits a fresh ensemble on the training days [from, to] and swaps
 // it in atomically; the previous detector keeps serving Rank until the
-// swap. Training runs on a snapshot of the merged deviation fields cloned
-// under a read lock, so ingest and queries proceed concurrently; the
-// per-aspect models fit in parallel under the compute worker budget. With
-// wait=false the fit continues in the background (tied to the server's
-// lifetime context); with wait=true it is additionally tied to ctx and
-// the call blocks until the swap or an error.
+// swap. A sharded server assembles its training fields straight from the
+// shard measurement tables (never the merged view); an unsharded one
+// clones the live fields under a read lock. Either way ingest and
+// queries proceed concurrently and the per-aspect models fit in parallel
+// under the compute worker budget. With wait=false the fit continues in
+// the background (tied to the server's lifetime context); with wait=true
+// it is additionally tied to ctx and the call blocks until the swap or
+// an error.
 func (s *Server) Retrain(ctx context.Context, from, to cert.Day, wait bool) error {
 	if !s.retraining.CompareAndSwap(false, true) {
 		return ErrRetrainInProgress
 	}
 	retrainStart := s.obs.Clock()
-	cloneStart := retrainStart
-	s.mu.RLock()
-	indSnap := s.indField().Clone()
-	var grpSnap *acobe.Field
-	if s.grp != nil {
-		grpSnap = s.grp.Field().Clone()
+	var det *acobe.Detector
+	var err error
+	if len(s.shards) > 1 {
+		det, err = s.shardTrainDetector(ctx)
+	} else {
+		det, err = s.cloneTrainDetector()
 	}
-	s.mu.RUnlock()
-	s.obs.ObserveRetrainClone(cloneStart)
-
-	det, err := s.newDetector(indSnap, grpSnap)
 	if err != nil {
 		s.retraining.Store(false)
 		return err
@@ -1155,35 +1428,93 @@ func (s *Server) Retrain(ctx context.Context, from, to cert.Day, wait bool) erro
 	return nil
 }
 
+// cloneTrainDetector builds an untrained detector over clones of the
+// live fields taken under the read lock (the unsharded training path).
+func (s *Server) cloneTrainDetector() (*acobe.Detector, error) {
+	cloneStart := s.obs.Clock()
+	s.mu.RLock()
+	indSnap := s.indField().Clone()
+	var grpSnap *acobe.Field
+	if gs := s.groupStream(); gs != nil {
+		grpSnap = gs.Field().Clone()
+	}
+	s.mu.RUnlock()
+	s.obs.ObserveRetrainClone(cloneStart)
+	return s.newDetector(indSnap, grpSnap)
+}
+
+// shardTrainDetector builds an untrained detector for a sharded server
+// without reading the merged view: the coordinator stitches a training
+// measurement table from the quiescent shard tables, and the batch
+// pipeline derives the deviation fields from it — bit-identical to the
+// streamed view by the streamed-equals-batch invariants. No server lock
+// is taken at any point, and the training span is whatever every shard
+// has closed, merged or not.
+func (s *Server) shardTrainDetector(ctx context.Context) (*acobe.Detector, error) {
+	snapStart := s.obs.Clock()
+	req := &trainSnapReq{}
+	done := make(chan error, 1)
+	if err := s.send(ctx, s.queue, envelope{isTrainSnap: true, train: req, done: done}, nil); err != nil {
+		return nil, err
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			return nil, err
+		}
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	s.obs.ObserveRetrainClone(snapStart)
+
+	ind, err := deviation.ComputeField(req.tbl, s.cfg.Deviation)
+	if err != nil {
+		return nil, fmt.Errorf("serve: training field: %w", err)
+	}
+	var grpField *acobe.Field
+	if s.hasGroups {
+		gt, err := req.tbl.GroupTable(s.cfg.Groups, s.cfg.Membership)
+		if err != nil {
+			return nil, fmt.Errorf("serve: training group table: %w", err)
+		}
+		grpField, err = deviation.ComputeField(gt, s.cfg.Deviation)
+		if err != nil {
+			return nil, fmt.Errorf("serve: training group field: %w", err)
+		}
+	}
+	return s.newDetector(ind, grpField)
+}
+
 // errBox lets atomic.Value hold nil errors uniformly.
 type errBox struct{ err error }
 
 // swapIn rebinds the snapshot-trained models onto the live fields and
-// publishes the resulting detector. The weight transfer goes through the
-// model serializer, which round-trips float64 bits exactly.
+// publishes the resulting detector. Bind and publish happen under one
+// continuous read lock so a concurrent generation publish cannot slip a
+// newer view between them (the publish rebinds the serving detector
+// itself under the write lock, which excludes this section).
 func (s *Server) swapIn(trained *acobe.Detector) error {
-	var buf bytes.Buffer
-	if err := trained.SaveModels(&buf); err != nil {
-		return fmt.Errorf("serve: snapshot models: %w", err)
-	}
 	s.mu.RLock()
-	live, err := s.newDetector(s.indField(), s.liveGroupField())
-	s.mu.RUnlock()
+	defer s.mu.RUnlock()
+	var membership []int
+	grpF := s.liveGroupField()
+	if grpF != nil {
+		membership = s.cfg.Membership
+	}
+	live, err := trained.Rebind(s.indField(), grpF, membership)
 	if err != nil {
 		return err
-	}
-	if err := live.LoadModels(&buf); err != nil {
-		return fmt.Errorf("serve: rebind models: %w", err)
 	}
 	s.det.Store(live)
 	return nil
 }
 
 func (s *Server) liveGroupField() *acobe.Field {
-	if s.grp == nil {
+	gs := s.groupStream()
+	if gs == nil {
 		return nil
 	}
-	return s.grp.Field()
+	return gs.Field()
 }
 
 // Rank scores [from, to] with the current ensemble and returns the
@@ -1192,13 +1523,16 @@ func (s *Server) liveGroupField() *acobe.Field {
 // The ranking runs over the merged global view, so its order (including
 // tie handling) is independent of the shard count.
 func (s *Server) Rank(ctx context.Context, from, to cert.Day) ([]acobe.Ranked, error) {
+	start := s.obs.Clock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	// Load the detector under the lock: a generation publish rebinds and
+	// stores the serving detector under the write lock, so a detector
+	// loaded here is bound to the generation it will score.
 	det := s.det.Load()
 	if det == nil {
 		return nil, ErrNoModel
 	}
-	start := s.obs.Clock()
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	ranked, err := det.Rank(ctx, from, to)
 	if err == nil {
 		s.obs.ObserveRank(start)

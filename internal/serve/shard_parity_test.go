@@ -77,13 +77,14 @@ func probeState(t *testing.T, s *Server, from, to cert.Day) []uint64 {
 			}
 		}
 	}
-	if s.grp != nil {
-		gf := s.grp.Field()
+	if gs := s.groupStream(); gs != nil {
+		gf := gs.Field()
+		gt := s.groupTable()
 		for d := from; d <= to; d++ {
 			for g := range s.cfg.Groups {
 				for f := range s.feats {
 					for fr := 0; fr < s.frames; fr++ {
-						add(s.grpTbl.At(g, f, fr, d))
+						add(gt.At(g, f, fr, d))
 						add(gf.Sigma(g, f, fr, d))
 					}
 				}

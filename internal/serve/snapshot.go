@@ -182,10 +182,10 @@ func (s *Server) encodeSnapshot(w io.Writer, sh *shard, withGroups bool, day cer
 		if err := pw.Err(); err != nil {
 			return err
 		}
-		if err := s.grpTbl.SaveState(w); err != nil {
+		if err := s.groupTable().SaveState(w); err != nil {
 			return err
 		}
-		if err := s.grp.SaveState(w); err != nil {
+		if err := s.groupStream().SaveState(w); err != nil {
 			return err
 		}
 	}
@@ -266,10 +266,10 @@ func (s *Server) loadSnapshot(path string, sh *shard, withGroups bool) (day cert
 		return 0, walPos{}, err
 	}
 	if hasGroups {
-		if err := s.grpTbl.LoadState(cr); err != nil {
+		if err := s.groupTable().LoadState(cr); err != nil {
 			return 0, walPos{}, err
 		}
-		if err := s.grp.LoadState(cr); err != nil {
+		if err := s.groupStream().LoadState(cr); err != nil {
 			return 0, walPos{}, err
 		}
 	}
@@ -387,7 +387,7 @@ func (s *Server) shardSnapshot(sh *shard) error {
 	}
 	pos := sh.wal.pos()
 	day := sh.closedThrough
-	withGroups := sh.idx == 0 && s.grp != nil
+	withGroups := sh.idx == 0 && s.hasGroups
 	if err := s.publishSnapshot(snapPath(s.pcfg.Dir, snapShardPrefix(sh.idx), day), sh, withGroups, day, pos); err != nil {
 		return s.failPersist(err)
 	}

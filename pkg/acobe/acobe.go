@@ -344,6 +344,20 @@ func newFromFields(o *options, ind, group *Field, userGroup []int) (*Detector, e
 	return &Detector{det: det}, nil
 }
 
+// Rebind returns a detector that shares this detector's trained models
+// but builds its compound matrices over the given deviation fields (which
+// must match the originals' configuration and matrix width). No weights
+// are copied or retrained: the rebound detector is fitted exactly when the
+// receiver is, and both may score concurrently. Online servers use this to
+// repoint a trained detector at a newer snapshot of the deviation state.
+func (d *Detector) Rebind(ind, group *Field, userGroup []int) (*Detector, error) {
+	det, err := d.det.Rebind(ind, group, userGroup)
+	if err != nil {
+		return nil, fmt.Errorf("acobe: %w", err)
+	}
+	return &Detector{det: det, fitted: d.fitted}, nil
+}
+
 // wrapErr maps context cancellation onto ErrCanceled so callers can test
 // one sentinel regardless of which layer noticed the cancellation.
 func wrapErr(err error) error {

@@ -62,6 +62,10 @@ type (
 	// count, and 1 (the default) is the exact unsharded path and on-disk
 	// format. Sharded configs take Config.IngestorFactory (each shard
 	// extracts its own user subset) rather than a prebuilt Ingestor.
+	// Sharded day closes never block queries: the merged view is built
+	// off-lock into a shadow generation and published by pointer swap,
+	// and Retrain fits from matrices stitched directly off the shard
+	// tables, so ranking stays responsive through closes and retrains.
 	Config = serve.Config
 	// Server is the running daemon.
 	Server = serve.Server
