@@ -6,6 +6,10 @@
 #   serve-smoke — boot the acobed daemon selftest (real HTTP listener:
 #                 ingest → close days → retrain → rank) and diff its ranked
 #                 CSV against the committed golden copy
+#   audit-smoke — tiny audited ingest via acobed (-audit-smoke), offline
+#                 -verify must pass, then flip one sealed byte and -verify
+#                 must exit non-zero (the CLI face of the tamper matrix in
+#                 internal/serve/audit_tamper_test.go)
 #   bench       — scoring + kernel benchmarks with alloc stats (one run
 #                 each; BENCH_nn.json / BENCH_score.json hold the numbers
 #                 `cmd/repro -bench-nn` / `-bench-score` commit)
@@ -31,9 +35,11 @@ FUZZ_TARGETS = \
 	./internal/deviation:FuzzSigma \
 	./internal/serve:FuzzWALDecode \
 	./internal/serve:FuzzShardRouter \
-	./internal/serve:FuzzManifestDecode
+	./internal/serve:FuzzManifestDecode \
+	./internal/audit:FuzzProofDecode \
+	./internal/audit:FuzzAuditTrailerDecode
 
-.PHONY: build test test-short test-race bench bench-serve fuzz-smoke serve-smoke vet golden-update
+.PHONY: build test test-short test-race bench bench-serve fuzz-smoke serve-smoke audit-smoke vet golden-update
 
 build:
 	$(GO) build ./...
@@ -41,6 +47,7 @@ build:
 test: build vet
 	$(GO) test ./...
 	$(MAKE) serve-smoke
+	$(MAKE) audit-smoke
 
 test-short:
 	$(GO) vet ./...
@@ -52,6 +59,7 @@ test-race:
 bench:
 	$(GO) test -run '^$$' -bench '^(BenchmarkNNMatMul|BenchmarkMatMulATB|BenchmarkMatMulABT|BenchmarkTrainStep|BenchmarkScoreBatch|BenchmarkServeRank|BenchmarkServeIngest)$$' -benchmem -count=1 -timeout 60m .
 	$(GO) test ./internal/nn -run '^$$' -bench '^BenchmarkMatMulDirectDispatch$$' -benchmem -count=1
+	$(GO) test ./internal/audit -run '^$$' -bench '^BenchmarkChainFold' -benchmem -count=1
 
 bench-serve:
 	$(GO) run ./cmd/repro -bench-serve after
@@ -74,6 +82,18 @@ serve-smoke:
 	@echo "--- acobeload smoke (small closed-loop sweep + retrain against an in-process daemon)"
 	@$(GO) run ./cmd/acobeload -self -users 100 -shards 2 -days 2 -concurrency 1,2 -batch 500 >/dev/null \
 		&& echo "serve-smoke: acobeload sweep + retrain phase ok"
+
+audit-smoke:
+	@set -e; dir=$$(mktemp -d); trap "rm -rf $$dir" EXIT; \
+	echo "--- acobed audit smoke (provable ingest -> verify; tamper -> verify fails)"; \
+	$(GO) run ./cmd/acobed -audit-smoke -data-dir $$dir >/dev/null; \
+	$(GO) run ./cmd/acobed -verify -data-dir $$dir >/dev/null \
+		&& echo "audit-smoke: untampered chain verifies"; \
+	seg=$$(ls $$dir/wal/wal-*.log | head -1); \
+	printf '\377' | dd of=$$seg bs=1 seek=0 count=1 conv=notrunc status=none; \
+	if $(GO) run ./cmd/acobed -verify -data-dir $$dir >/dev/null 2>&1; then \
+		echo "audit-smoke: FAIL: tampered chain verified"; exit 1; \
+	else echo "audit-smoke: tamper detected, -verify exits non-zero"; fi
 
 vet:
 	$(GO) vet ./...

@@ -11,16 +11,28 @@
 //	POST /v1/retrain?from=&to=&wait=1
 //	GET  /v1/status
 //	GET  /healthz
+//	GET  /v1/proof?batch=&event=   (-audit) inclusion proof for an ingested event
+//	POST /v1/receipt?from=&to=     (-audit) ranked list with a signed receipt
 //
 // Usage:
 //
 //	acobed -listen :8467 -users alice,bob,carol -groups eng -membership 0,0,0
+//	acobed -data-dir /var/lib/acobe -audit -users ...
+//	acobed -verify -data-dir /var/lib/acobe
 //	acobed -selftest
+//
+// -audit (with -data-dir) seals every WAL frame into a per-segment SHA-256
+// hash chain, commits per-batch Merkle roots, and signs snapshots and rank
+// receipts with the directory's ed25519 audit key. -verify walks such a
+// directory offline and exits non-zero with a segment/offset diagnostic if
+// any sealed byte was modified after the fact.
 //
 // -selftest synthesizes a small organization, replays it day by day through
 // a real HTTP listener (ingest → close → retrain → rank), and prints the
 // resulting investigation list as CSV. The output is deterministic; the
 // Makefile's serve-smoke target diffs it against a committed golden copy.
+// The selftest ends with an audited leg: a second daemon with -audit on,
+// proving and verifying an ingested batch end to end.
 package main
 
 import (
@@ -33,6 +45,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -75,7 +88,11 @@ func run(args []string, stdout io.Writer) error {
 		fsyncFlag  = fs.String("fsync", "close", "WAL fsync policy with -data-dir: close, always, or never")
 		snapEvery  = fs.Int("snapshot-interval", 30, "closed days between state snapshots with -data-dir")
 		pprofFlag  = fs.String("pprof", "", "net/http/pprof: 'self' mounts /debug/pprof/ on the API listener, an address (e.g. localhost:6060) serves it separately, empty disables")
+		auditFlag  = fs.Bool("audit", false, "with -data-dir: tamper-evident audit trail (hash-chained WAL, signed snapshots, /v1/proof + /v1/receipt)")
+		verify     = fs.Bool("verify", false, "offline: verify an audited -data-dir's full chain and exit (non-zero on tampering)")
+		pubFlag    = fs.String("pub", "", "audit public key for -verify (default <data-dir>/"+daemon.AuditPubFileName+")")
 		selftest   = fs.Bool("selftest", false, "run the built-in end-to-end smoke over real HTTP and exit")
+		smokeFlag  = fs.Bool("audit-smoke", false, "build a tiny audited -data-dir (provable ingest → proof → clean shutdown → offline verify) and exit; the Makefile audit-smoke target tampers it afterwards")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,8 +103,20 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 	}
+	if *verify {
+		return runVerify(stdout, *dataDir, *pubFlag)
+	}
+	if *smokeFlag {
+		if *dataDir == "" {
+			return errors.New("-audit-smoke requires -data-dir")
+		}
+		return runAuditSmoke(stdout, *dataDir)
+	}
 	if *selftest {
 		return runSelftest(stdout, *shards)
+	}
+	if *auditFlag && *dataDir == "" {
+		return errors.New("-audit requires -data-dir (the chain lives in the WAL)")
 	}
 
 	users := splitList(*usersFlag)
@@ -148,6 +177,9 @@ func run(args []string, stdout io.Writer) error {
 			daemon.WithFsync(policy),
 			daemon.WithSnapshotEvery(*snapEvery),
 		)
+		if *auditFlag {
+			opts = append(opts, daemon.WithAudit())
+		}
 	}
 
 	srv, info, err := daemon.Start(cfg, opts...)
@@ -158,12 +190,40 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "acobed: recovered %s: closed through %v, %d records replayed (snapshot=%v), %d torn bytes truncated\n",
 			*dataDir, info.ClosedThrough, info.ReplayedRecords, info.SnapshotLoaded, info.TornBytes)
 	}
+	if *auditFlag {
+		fmt.Fprintf(stdout, "acobed: audit trail on, key fingerprint %s (share %s for offline -verify)\n",
+			srv.AuditFingerprint(), *dataDir+"/"+daemon.AuditPubFileName)
+	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "acobed: serving %d users on http://%s\n", len(users), ln.Addr())
-	return serveHTTP(srv, ln, stdout, pprofSelf)
+	return serveHTTP(srv, ln, stdout, pprofSelf, *auditFlag)
+}
+
+// runVerify is the offline chain verifier: load the audit public key,
+// walk the directory, and report either the verified surface or the first
+// divergence (the process exit code is the verdict).
+func runVerify(stdout io.Writer, dir, pubPath string) error {
+	if dir == "" {
+		return errors.New("-verify requires -data-dir")
+	}
+	if pubPath == "" {
+		pubPath = filepath.Join(dir, daemon.AuditPubFileName)
+	}
+	pub, err := daemon.LoadAuditPublicKey(pubPath)
+	if err != nil {
+		return fmt.Errorf("-verify: %w", err)
+	}
+	fmt.Fprintf(stdout, "acobed: verifying %s against key %s\n", dir, daemon.AuditKeyFingerprint(pub))
+	rep, err := daemon.VerifyAudit(dir, pub)
+	if err != nil {
+		return fmt.Errorf("-verify: %w", err)
+	}
+	fmt.Fprintf(stdout, "acobed: chain intact: %d shard(s), %d segments, %d frames, %d batches (%d events), %d seals, %d receipts, %d snapshots, %d manifests\n",
+		rep.Shards, rep.Segments, rep.Frames, rep.Batches, rep.Events, rep.Seals, rep.Receipts, rep.Snapshots, rep.Manifests)
+	return nil
 }
 
 // startPprof serves the profiling handlers on their own listener, for
@@ -183,11 +243,11 @@ func startPprof(addr string, stdout io.Writer) error {
 // serveHTTP runs the HTTP front end until SIGINT/SIGTERM, then drains the
 // daemon: stop accepting requests, cancel any in-flight retrain, finish
 // queued day-closes, and exit.
-func serveHTTP(srv *daemon.Server, ln net.Listener, stdout io.Writer, pprofSelf bool) error {
+func serveHTTP(srv *daemon.Server, ln net.Listener, stdout io.Writer, pprofSelf, auditOn bool) error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	hs := &http.Server{Handler: srv.Handler(daemon.WithPprofEndpoint(pprofSelf))}
+	hs := &http.Server{Handler: srv.Handler(daemon.WithPprofEndpoint(pprofSelf), daemon.WithAuditEndpoint(auditOn))}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
 

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"time"
 
 	"acobe/internal/cert"
@@ -138,6 +139,18 @@ func runSelftest(stdout io.Writer, shards int) error {
 	}
 	if len(resp.List) == 0 || resp.List[0].User != insider {
 		return fmt.Errorf("selftest: insider %s not ranked first", insider)
+	}
+
+	// Audit leg: the same serving stack with the tamper-evident trail on,
+	// against a throwaway directory — provable ingest, an HTTP inclusion
+	// proof, and an offline chain walk of the shut-down directory.
+	auditDir, err := os.MkdirTemp("", "acobed-selftest-audit-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(auditDir)
+	if err := runAuditSmoke(stdout, auditDir); err != nil {
+		return fmt.Errorf("selftest audit leg: %w", err)
 	}
 	return nil
 }

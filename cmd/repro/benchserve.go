@@ -4,11 +4,13 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
 	"testing"
 	"time"
 
+	"acobe/internal/audit"
 	"acobe/internal/benchreport"
 	"acobe/internal/cert"
 	"acobe/internal/deviation"
@@ -34,6 +36,25 @@ type observerOverhead struct {
 	HookSetPctShards1 float64 `json:"hook_set_pct_of_shards1_cycle"`
 	HookSetAllocs     int64   `json:"hook_set_allocs_per_cycle"`
 	Note              string  `json:"note"`
+}
+
+// auditOverhead is BENCH_serve.json's "audit_overhead" section: what the
+// tamper-evident trail (PersistConfig.Audit) costs the durable write
+// path. Two measurements, same philosophy as observer_overhead: a
+// deterministic tight-loop bound on the per-append hashing (Merkle leaves
+// + batch root + chain fold — the obs wal_hash stage), and paired
+// fixed-work durable day-cycle runs with audit off vs on. The acceptance
+// bar for the hot path is 0 allocs per append.
+type auditOverhead struct {
+	ChainAppendNsPerOp int64   `json:"chain_append_ns_per_op"`
+	ChainAppendAllocs  int64   `json:"chain_append_allocs_per_op"`
+	Shards1OffNsPerOp  int64   `json:"shards1_audit_off_ns_per_op"`
+	Shards1OnNsPerOp   int64   `json:"shards1_audit_on_ns_per_op"`
+	Shards1DeltaPct    float64 `json:"shards1_delta_pct"`
+	Shards4OffNsPerOp  int64   `json:"shards4_audit_off_ns_per_op"`
+	Shards4OnNsPerOp   int64   `json:"shards4_audit_on_ns_per_op"`
+	Shards4DeltaPct    float64 `json:"shards4_delta_pct"`
+	Note               string  `json:"note"`
 }
 
 // runBenchServe measures the online daemon's write path and merges the
@@ -133,6 +154,28 @@ func runBenchServe(path, label string) error {
 	fmt.Printf("observer hook set: %d ns/cycle (%d allocs), %.3f%% of a shards=1 cycle\n",
 		overhead.HookSetNsPerCycle, overhead.HookSetAllocs, overhead.HookSetPctShards1)
 
+	audOver := auditOverhead{
+		Note: "chain_append is the tight-loop per-frame audit surface (Merkle leaves over " +
+			"an 8-event batch, batch root, chain fold — the wal_hash obs stage) and must " +
+			"stay 0 allocs/op; the paired numbers are identical durable " +
+			fmt.Sprintf("%d-cycle", auditMeasuredCycles) + " 48-user day-cycle windows (WAL + fsync-on-close + " +
+			"snapshots off) with PersistConfig.Audit off vs on, min of " +
+			fmt.Sprintf("%d", auditOverheadReps) + " alternating reps",
+	}
+	audOver.ChainAppendNsPerOp, audOver.ChainAppendAllocs = timeChainAppend()
+	if audOver.Shards1OffNsPerOp, audOver.Shards1OnNsPerOp, err = timeAuditPair(1); err != nil {
+		return err
+	}
+	if audOver.Shards4OffNsPerOp, audOver.Shards4OnNsPerOp, err = timeAuditPair(4); err != nil {
+		return err
+	}
+	audOver.Shards1DeltaPct = deltaPct(audOver.Shards1OffNsPerOp, audOver.Shards1OnNsPerOp)
+	audOver.Shards4DeltaPct = deltaPct(audOver.Shards4OffNsPerOp, audOver.Shards4OnNsPerOp)
+	fmt.Printf("audit chain append: %d ns/op (%d allocs)\n", audOver.ChainAppendNsPerOp, audOver.ChainAppendAllocs)
+	fmt.Printf("audit overhead: shards=1 %+.2f%% (%d → %d ns/cycle), shards=4 %+.2f%% (%d → %d ns/cycle)\n",
+		audOver.Shards1DeltaPct, audOver.Shards1OffNsPerOp, audOver.Shards1OnNsPerOp,
+		audOver.Shards4DeltaPct, audOver.Shards4OffNsPerOp, audOver.Shards4OnNsPerOp)
+
 	sections, err := benchreport.Load(path)
 	if err != nil {
 		return err
@@ -158,6 +201,9 @@ func runBenchServe(path, label string) error {
 		return err
 	}
 	if err := benchreport.Set(sections, "observer_overhead", overhead); err != nil {
+		return err
+	}
+	if err := benchreport.Set(sections, "audit_overhead", audOver); err != nil {
 		return err
 	}
 	if err := benchreport.Save(path, sections); err != nil {
@@ -289,6 +335,125 @@ func runFixedCycles(shards int, instrumented bool) (int64, error) {
 		}
 	}
 	return time.Since(start).Nanoseconds() / measuredCycles, nil
+}
+
+// Audit-pair geometry: durable cycles fsync at every close, so the same
+// measured window costs more wall clock than the in-memory observer pair;
+// fewer reps keep the total run bounded while min-of-reps still strips
+// the noise.
+const (
+	auditOverheadReps   = 5
+	auditMeasuredCycles = 256
+)
+
+// timeChainAppend bounds the per-append audit hashing deterministically:
+// the identical work internal/audit's BenchmarkChainFoldAppend measures
+// (Merkle leaves over an 8-event batch, batch root, chain fold over a
+// 1 KiB frame), timed in-process so the number lands in the JSON.
+func timeChainAppend() (nsPerOp, allocsPerOp int64) {
+	c := audit.NewChain(audit.Head{})
+	tr := audit.NewTree()
+	frame := make([]byte, 1024)
+	for i := range frame {
+		frame[i] = 0xAB
+	}
+	events := make([][]byte, 8)
+	for i := range events {
+		events[i] = []byte(fmt.Sprintf(`{"type":1,"user":"U%04d","activity":"logon"}`, i))
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr.Reset()
+			for _, e := range events {
+				tr.AddLeaf(e)
+			}
+			c.FoldWithRoot(frame, tr.Root())
+		}
+	})
+	return res.NsPerOp(), res.AllocsPerOp()
+}
+
+// timeAuditPair measures ns per steady-state durable day cycle with
+// PersistConfig.Audit off and on, interleaved like timeOverheadPair.
+func timeAuditPair(shards int) (offNs, onNs int64, err error) {
+	min := func(cur, v int64) int64 {
+		if cur == 0 || v < cur {
+			return v
+		}
+		return cur
+	}
+	for rep := 0; rep < auditOverheadReps; rep++ {
+		off, err := runFixedCyclesDurable(shards, false)
+		if err != nil {
+			return 0, 0, err
+		}
+		on, err := runFixedCyclesDurable(shards, true)
+		if err != nil {
+			return 0, 0, err
+		}
+		offNs = min(offNs, off)
+		onNs = min(onNs, on)
+	}
+	return offNs, onNs, nil
+}
+
+// runFixedCyclesDurable is runFixedCycles against a throwaway data
+// directory: every cycle writes ahead to the WAL and fsyncs at the close
+// barrier, with the audit chain off or on. Snapshots stay off so the pair
+// isolates the append-path delta.
+func runFixedCyclesDurable(shards int, auditOn bool) (int64, error) {
+	dir, err := os.MkdirTemp("", "acobe-bench-audit-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	users := make([]string, 48)
+	membership := make([]int, len(users))
+	for i := range users {
+		users[i] = fmt.Sprintf("ING%04d", i)
+		membership[i] = i % 3
+	}
+	srv, _, err := serve.Open(serve.Config{
+		Users:      users,
+		Groups:     []string{"g0", "g1", "g2"},
+		Membership: membership,
+		Start:      0,
+		Shards:     shards,
+		Deviation: deviation.Config{
+			Window: 7, MatrixDays: 3,
+			Delta: 3, Epsilon: 1, Weighted: true,
+		},
+	}, serve.PersistConfig{Dir: dir, Audit: auditOn, SnapshotEvery: 1 << 20})
+	if err != nil {
+		return 0, err
+	}
+	ctx := context.Background()
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(sctx)
+	}()
+	cycle := func(i int) error {
+		d := cert.Day(i)
+		if err := srv.Submit(ctx, benchIngestDay(users, d)); err != nil {
+			return err
+		}
+		return srv.CloseDay(ctx, d)
+	}
+	for i := 0; i < warmupCycles; i++ {
+		if err := cycle(i); err != nil {
+			return 0, err
+		}
+	}
+	runtime.GC()
+	start := time.Now()
+	for i := warmupCycles; i < warmupCycles+auditMeasuredCycles; i++ {
+		if err := cycle(i); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start).Nanoseconds() / auditMeasuredCycles, nil
 }
 
 // benchServeIngestDays mirrors BenchmarkServeIngest in the root package:

@@ -1,0 +1,88 @@
+// Package audit is the cryptographic tamper-evidence layer under the
+// serving daemon's persistence: a per-segment SHA-256 hash chain over WAL
+// frames (sealed into segment trailers and chained through segment
+// headers), per-batch Merkle roots over event payloads with inclusion
+// proofs, and ed25519 signatures over snapshots, manifests, and emitted
+// rank receipts.
+//
+// The CRC32 framing from the persistence layer defends against
+// *accidents* — torn writes, bit rot. It defends against nothing else: a
+// CRC is recomputable by anyone who can touch the disk. This package adds
+// evidence against *adversaries who touch the log after the fact*: every
+// appended frame folds into a running SHA-256 chain, so rewriting any
+// sealed byte (even with the CRC fixed up) breaks either a seal, the next
+// segment's header link, or a signed snapshot/manifest attestation.
+//
+// Threat model (see DESIGN.md §15): the chain detects post-hoc
+// modification of sealed data by a party without the signing key. It does
+// NOT defend against a live root on the serving host, who holds the key
+// and can re-seal a rewritten history. Verifiers must therefore obtain
+// the public key out of band and pin its fingerprint.
+package audit
+
+import (
+	"crypto/sha256"
+	"hash"
+)
+
+// HeadSize is the byte width of a chain head (SHA-256).
+const HeadSize = 32
+
+// Head is a hash-chain head: the SHA-256 fold of everything appended so
+// far. The zero Head is the chain's genesis value (first segment, empty
+// prefix).
+type Head [HeadSize]byte
+
+// Chain is the running fold over appended WAL frames:
+//
+//	head' = SHA256(head || frame)           for plain frames
+//	head' = SHA256(head || frame || root)   for event frames, committing
+//	                                        the batch Merkle root
+//
+// where frame is the full encoded frame (length, CRC, payload). The
+// digest and output buffer are retained across folds, so the append-path
+// cost is 0 allocs/op.
+//
+// A Chain is not safe for concurrent use; each WAL stream owns one.
+type Chain struct {
+	head Head
+	h    hash.Hash
+	sum  [HeadSize]byte
+	// rt stages FoldWithRoot's root in a field: slicing the [32]byte
+	// parameter for the interface Write call would make it escape (one
+	// heap allocation per fold).
+	rt [HeadSize]byte
+}
+
+// NewChain starts a chain at prev — the zero Head for a fresh log, or
+// the previous segment's sealed head when continuing across a rotation.
+func NewChain(prev Head) *Chain {
+	return &Chain{head: prev, h: sha256.New()}
+}
+
+// Head returns the current chain head.
+func (c *Chain) Head() Head { return c.head }
+
+// Reset rewinds the chain to prev, reusing the digest.
+func (c *Chain) Reset(prev Head) { c.head = prev }
+
+// Fold absorbs one encoded frame.
+func (c *Chain) Fold(frame []byte) {
+	c.h.Reset()
+	c.h.Write(c.head[:])
+	c.h.Write(frame)
+	c.h.Sum(c.sum[:0])
+	c.head = c.sum
+}
+
+// FoldWithRoot absorbs one encoded event frame together with the Merkle
+// root of its batch, committing the root into the chain at append time.
+func (c *Chain) FoldWithRoot(frame []byte, root Head) {
+	c.rt = root
+	c.h.Reset()
+	c.h.Write(c.head[:])
+	c.h.Write(frame)
+	c.h.Write(c.rt[:])
+	c.h.Sum(c.sum[:0])
+	c.head = c.sum
+}

@@ -1,0 +1,394 @@
+package audit
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestChainFoldDeterministicAndOrderSensitive(t *testing.T) {
+	a := NewChain(Head{})
+	b := NewChain(Head{})
+	a.Fold([]byte("one"))
+	a.Fold([]byte("two"))
+	b.Fold([]byte("one"))
+	b.Fold([]byte("two"))
+	if a.Head() != b.Head() {
+		t.Fatal("same folds must give the same head")
+	}
+	c := NewChain(Head{})
+	c.Fold([]byte("two"))
+	c.Fold([]byte("one"))
+	if c.Head() == a.Head() {
+		t.Fatal("fold order must matter")
+	}
+	d := NewChain(Head{})
+	d.Fold([]byte("onetwo"))
+	if d.Head() == a.Head() {
+		t.Fatal("frame boundaries must matter")
+	}
+}
+
+func TestChainFoldWithRootCommitsRoot(t *testing.T) {
+	frame := []byte("frame-bytes")
+	r1, r2 := LeafHash([]byte("x")), LeafHash([]byte("y"))
+	a := NewChain(Head{})
+	a.FoldWithRoot(frame, r1)
+	b := NewChain(Head{})
+	b.FoldWithRoot(frame, r2)
+	if a.Head() == b.Head() {
+		t.Fatal("different roots over the same frame must give different heads")
+	}
+	c := NewChain(Head{})
+	c.Fold(frame)
+	if c.Head() == a.Head() {
+		t.Fatal("FoldWithRoot must differ from plain Fold")
+	}
+}
+
+func TestChainFoldZeroAllocs(t *testing.T) {
+	c := NewChain(Head{})
+	frame := bytes.Repeat([]byte{0xAB}, 512)
+	root := LeafHash(frame)
+	if n := testing.AllocsPerRun(1000, func() { c.Fold(frame) }); n != 0 {
+		t.Fatalf("Fold allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { c.FoldWithRoot(frame, root) }); n != 0 {
+		t.Fatalf("FoldWithRoot allocates %v/op, want 0", n)
+	}
+}
+
+func TestTreeSteadyStateZeroAllocs(t *testing.T) {
+	tr := NewTree()
+	payloads := make([][]byte, 64)
+	for i := range payloads {
+		payloads[i] = []byte(fmt.Sprintf("event-payload-%d", i))
+	}
+	// Warm the scratch capacity, then require the batch cycle to be free.
+	for i := 0; i < 3; i++ {
+		tr.Reset()
+		for _, p := range payloads {
+			tr.AddLeaf(p)
+		}
+		tr.Root()
+	}
+	n := testing.AllocsPerRun(100, func() {
+		tr.Reset()
+		for _, p := range payloads {
+			tr.AddLeaf(p)
+		}
+		tr.Root()
+	})
+	if n != 0 {
+		t.Fatalf("warm tree batch cycle allocates %v/op, want 0", n)
+	}
+}
+
+func TestMerkleRootShapes(t *testing.T) {
+	if EmptyRoot() != MerkleRoot(nil) {
+		t.Fatal("empty root mismatch")
+	}
+	one := []Head{LeafHash([]byte("a"))}
+	if MerkleRoot(one) != one[0] {
+		t.Fatal("single-leaf root must be the leaf")
+	}
+	// Tree and MerkleRoot agree for many sizes, and roots are distinct
+	// across sizes (promoted odd nodes must not collide with pairs).
+	seen := map[Head]int{}
+	tr := NewTree()
+	for n := 0; n <= 33; n++ {
+		tr.Reset()
+		var leaves []Head
+		for i := 0; i < n; i++ {
+			p := []byte(fmt.Sprintf("n%d-i%d", n, i))
+			tr.AddLeaf(p)
+			leaves = append(leaves, LeafHash(p))
+		}
+		got := tr.Root()
+		if got != MerkleRoot(leaves) {
+			t.Fatalf("n=%d: Tree.Root != MerkleRoot", n)
+		}
+		if prev, dup := seen[got]; dup {
+			t.Fatalf("root collision between n=%d and n=%d", prev, n)
+		}
+		seen[got] = n
+	}
+}
+
+func TestProveVerifyAllIndices(t *testing.T) {
+	for n := 1; n <= 17; n++ {
+		var leaves []Head
+		for i := 0; i < n; i++ {
+			leaves = append(leaves, LeafHash([]byte(fmt.Sprintf("n%d-i%d", n, i))))
+		}
+		root := MerkleRoot(leaves)
+		for i := 0; i < n; i++ {
+			p, err := Prove(leaves, i)
+			if err != nil {
+				t.Fatalf("n=%d i=%d: %v", n, i, err)
+			}
+			if !p.Verify(root) {
+				t.Fatalf("n=%d i=%d: proof does not verify", n, i)
+			}
+		}
+	}
+	if _, err := Prove([]Head{LeafHash([]byte("x"))}, 1); err == nil {
+		t.Fatal("out-of-range index must fail")
+	}
+	if _, err := Prove(nil, 0); err == nil {
+		t.Fatal("empty batch must fail")
+	}
+}
+
+func TestMutatedProofsFail(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 13
+	var leaves []Head
+	for i := 0; i < n; i++ {
+		leaves = append(leaves, LeafHash([]byte(fmt.Sprintf("leaf-%d", i))))
+	}
+	root := MerkleRoot(leaves)
+	for i := 0; i < n; i++ {
+		p, err := Prove(leaves, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Wrong leaf.
+		bad := p
+		bad.Leaf = LeafHash([]byte("impostor"))
+		if bad.Verify(root) {
+			t.Fatalf("i=%d: wrong-leaf proof verified", i)
+		}
+		// Truncated path.
+		if len(p.Path) > 0 {
+			bad = p
+			bad.Path = p.Path[:len(p.Path)-1]
+			if bad.Verify(root) {
+				t.Fatalf("i=%d: truncated proof verified", i)
+			}
+			// Flipped side bit.
+			bad = p
+			bad.Path = append([]ProofStep(nil), p.Path...)
+			k := rng.Intn(len(bad.Path))
+			bad.Path[k].Left = !bad.Path[k].Left
+			if bad.Verify(root) {
+				t.Fatalf("i=%d: side-flipped proof verified", i)
+			}
+			// Corrupted sibling hash.
+			bad.Path = append([]ProofStep(nil), p.Path...)
+			bad.Path[k].Left = p.Path[k].Left
+			bad.Path[k].Hash[0] ^= 0x01
+			if bad.Verify(root) {
+				t.Fatalf("i=%d: sibling-corrupted proof verified", i)
+			}
+		}
+		// Sibling swap: two adjacent leaves exchange proofs.
+		if i+1 < n {
+			q, err := Prove(leaves, i+1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bad = p
+			bad.Path = q.Path
+			if bad.Verify(root) && p.Leaf != q.Leaf {
+				t.Fatalf("i=%d: swapped-path proof verified", i)
+			}
+		}
+	}
+}
+
+func TestSealCodecRoundTrip(t *testing.T) {
+	s := Seal{Head: LeafHash([]byte("seg")), Seq: 42, Frames: 7}
+	enc := s.Encode()
+	got, err := DecodeSeal(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Fatalf("round trip mismatch: %+v != %+v", got, s)
+	}
+	if _, err := DecodeSeal(append(enc, 0)); err == nil {
+		t.Fatal("trailing byte must be rejected")
+	}
+	if _, err := DecodeSeal(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncation must be rejected")
+	}
+	if _, err := DecodeSeal(nil); err == nil {
+		t.Fatal("empty input must be rejected")
+	}
+}
+
+func TestProofCodecRoundTrip(t *testing.T) {
+	var leaves []Head
+	for i := 0; i < 9; i++ {
+		leaves = append(leaves, LeafHash([]byte(fmt.Sprintf("l%d", i))))
+	}
+	p, err := Prove(leaves, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.BatchID = 99
+	enc := p.Encode()
+	got, err := DecodeProof(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BatchID != p.BatchID || got.Index != p.Index || got.Leaf != p.Leaf || len(got.Path) != len(p.Path) {
+		t.Fatalf("round trip mismatch: %+v != %+v", got, p)
+	}
+	for i := range p.Path {
+		if got.Path[i] != p.Path[i] {
+			t.Fatalf("path step %d mismatch", i)
+		}
+	}
+	if got.Root() != p.Root() {
+		t.Fatal("decoded proof computes a different root")
+	}
+	if _, err := DecodeProof(append(enc, 0)); err == nil {
+		t.Fatal("trailing byte must be rejected")
+	}
+	if _, err := DecodeProof(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncation must be rejected")
+	}
+}
+
+func TestReceiptCodecAndSignature(t *testing.T) {
+	dir := t.TempDir()
+	priv, err := LoadOrCreateKey(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := priv.Public().(ed25519.PublicKey)
+	rc := Receipt{From: 3, To: 60, ListHash: LeafHash([]byte("list")), Head: LeafHash([]byte("head"))}
+	rc.Sign(priv)
+	if !rc.VerifySig(pub) {
+		t.Fatal("signed receipt must verify")
+	}
+	enc := rc.Encode()
+	got, err := DecodeReceipt(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != rc {
+		t.Fatal("receipt round trip mismatch")
+	}
+	if !got.VerifySig(pub) {
+		t.Fatal("decoded receipt must verify")
+	}
+	for _, mutate := range []func(*Receipt){
+		func(r *Receipt) { r.From++ },
+		func(r *Receipt) { r.To-- },
+		func(r *Receipt) { r.ListHash[0] ^= 1 },
+		func(r *Receipt) { r.Head[31] ^= 1 },
+		func(r *Receipt) { r.Sig[0] ^= 1 },
+	} {
+		bad := rc
+		mutate(&bad)
+		if bad.VerifySig(pub) {
+			t.Fatal("mutated receipt must not verify")
+		}
+	}
+	if _, err := DecodeReceipt(append(enc, 0)); err == nil {
+		t.Fatal("trailing byte must be rejected")
+	}
+}
+
+func TestKeyPersistenceAndFingerprint(t *testing.T) {
+	dir := t.TempDir()
+	k1, err := LoadOrCreateKey(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := LoadOrCreateKey(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k1.Equal(k2) {
+		t.Fatal("key must be stable across loads")
+	}
+	pub, err := LoadPublicKey(filepath.Join(dir, PubFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pub.Equal(k1.Public().(ed25519.PublicKey)) {
+		t.Fatal("published public key must match the private key")
+	}
+	if fp := Fingerprint(pub); len(fp) != 16 {
+		t.Fatalf("fingerprint %q, want 16 hex digits", fp)
+	}
+	if err := os.WriteFile(filepath.Join(dir, KeyFileName), []byte("zz-not-hex"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadOrCreateKey(dir); err == nil {
+		t.Fatal("malformed key file must be rejected, not overwritten")
+	}
+}
+
+func TestContextSeparation(t *testing.T) {
+	dir := t.TempDir()
+	priv, err := LoadOrCreateKey(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := priv.Public().(ed25519.PublicKey)
+	body := []byte("attested bytes")
+	sig := SignContext(priv, ContextSnapshot, body)
+	if !VerifyContext(pub, sig, ContextSnapshot, body) {
+		t.Fatal("snapshot signature must verify in its own context")
+	}
+	if VerifyContext(pub, sig, ContextManifest, body) {
+		t.Fatal("snapshot signature must not verify as a manifest signature")
+	}
+	// Part framing: ("ab","c") and ("a","bc") must not collide.
+	s1 := SignContext(priv, ContextSnapshot, []byte("ab"), []byte("c"))
+	if VerifyContext(pub, s1, ContextSnapshot, []byte("a"), []byte("bc")) {
+		t.Fatal("part boundaries must be framed into the digest")
+	}
+}
+
+// BenchmarkChainFoldAppend is the tight-loop cost of sealing one WAL
+// frame into the chain: Merkle leaves over a representative 8-event
+// batch, the batch root, and the chain fold committing frame and root.
+// This is the whole per-append audit surface on the serving hot path; the
+// acceptance bar is 0 allocs/op (cmd/repro -bench-serve pins ns/append
+// into BENCH_serve.json's audit_overhead section).
+func BenchmarkChainFoldAppend(b *testing.B) {
+	c := NewChain(Head{})
+	tr := NewTree()
+	frame := bytes.Repeat([]byte{0xAB}, 1024)
+	events := make([][]byte, 8)
+	for i := range events {
+		events[i] = []byte(fmt.Sprintf(`{"type":1,"user":"U%04d","activity":"logon"}`, i))
+	}
+	// Warm the scratch capacity so the measured cycle is steady state.
+	tr.Reset()
+	for _, e := range events {
+		tr.AddLeaf(e)
+	}
+	tr.Root()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Reset()
+		for _, e := range events {
+			tr.AddLeaf(e)
+		}
+		c.FoldWithRoot(frame, tr.Root())
+	}
+}
+
+// BenchmarkChainFoldOnly isolates the fold itself (no Merkle work): the
+// incremental cost per already-rooted frame, e.g. seals and receipts.
+func BenchmarkChainFoldOnly(b *testing.B) {
+	c := NewChain(Head{})
+	frame := bytes.Repeat([]byte{0xAB}, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Fold(frame)
+	}
+}

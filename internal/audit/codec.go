@@ -1,0 +1,190 @@
+package audit
+
+import (
+	"bytes"
+	"fmt"
+
+	"acobe/internal/persist"
+)
+
+// Binary codecs for the three audit artifacts that cross a trust
+// boundary: segment seals (the "audit trailer" embedded in the WAL),
+// inclusion proofs (served over HTTP, pasted into evidence bundles), and
+// rank receipts (signed records of an emitted ranking). All three use the
+// shared persist framing so decoding is defensive by construction; both
+// decoders are fuzz targets.
+const (
+	sealMagic    = "ACSL"
+	sealVersion  = 1
+	proofMagic   = "ACPF"
+	proofVersion = 1
+	rcptMagic    = "ACRR"
+	rcptVersion  = 1
+)
+
+// SigSize is the byte width of an ed25519 signature.
+const SigSize = 64
+
+// Seal is a segment trailer: the chain head over every prior frame of
+// the segment, written as the segment's final frame and folded into the
+// chain itself (so the next segment's header link covers the seal too).
+type Seal struct {
+	// Head is the chain head after folding every frame of the segment
+	// before this seal.
+	Head Head
+	// Seq is the segment's sequence number.
+	Seq uint64
+	// Frames counts the frames sealed (excluding the seal frame itself).
+	Frames uint32
+}
+
+// Encode serializes the seal.
+func (s *Seal) Encode() []byte {
+	var buf bytes.Buffer
+	pw := persist.NewWriter(&buf)
+	pw.Magic(sealMagic, sealVersion)
+	pw.Bytes(s.Head[:])
+	pw.U64(s.Seq)
+	pw.U32(s.Frames)
+	return buf.Bytes()
+}
+
+// DecodeSeal parses a seal, rejecting trailing garbage.
+func DecodeSeal(b []byte) (Seal, error) {
+	r := bytes.NewReader(b)
+	pr := persist.NewReader(r)
+	var s Seal
+	if v := pr.Magic(sealMagic); pr.Err() == nil && v != sealVersion {
+		return Seal{}, fmt.Errorf("%w: seal version %d, want %d", persist.ErrCorrupt, v, sealVersion)
+	}
+	head := pr.Bytes()
+	s.Seq = pr.U64()
+	s.Frames = pr.U32()
+	if err := pr.Err(); err != nil {
+		return Seal{}, err
+	}
+	if len(head) != HeadSize {
+		return Seal{}, fmt.Errorf("%w: seal head is %d bytes, want %d", persist.ErrCorrupt, len(head), HeadSize)
+	}
+	copy(s.Head[:], head)
+	if r.Len() != 0 {
+		return Seal{}, fmt.Errorf("%w: %d trailing bytes after seal", persist.ErrCorrupt, r.Len())
+	}
+	return s, nil
+}
+
+// Encode serializes the proof.
+func (p *Proof) Encode() []byte {
+	var buf bytes.Buffer
+	pw := persist.NewWriter(&buf)
+	pw.Magic(proofMagic, proofVersion)
+	pw.U64(p.BatchID)
+	pw.U32(p.Index)
+	pw.Bytes(p.Leaf[:])
+	pw.U32(uint32(len(p.Path)))
+	for _, s := range p.Path {
+		pw.Bool(s.Left)
+		pw.Bytes(s.Hash[:])
+	}
+	return buf.Bytes()
+}
+
+// DecodeProof parses an inclusion proof, rejecting oversize paths and
+// trailing garbage.
+func DecodeProof(b []byte) (*Proof, error) {
+	r := bytes.NewReader(b)
+	pr := persist.NewReader(r)
+	if v := pr.Magic(proofMagic); pr.Err() == nil && v != proofVersion {
+		return nil, fmt.Errorf("%w: proof version %d, want %d", persist.ErrCorrupt, v, proofVersion)
+	}
+	var p Proof
+	p.BatchID = pr.U64()
+	p.Index = pr.U32()
+	leaf := pr.Bytes()
+	n := pr.U32()
+	if err := pr.Err(); err != nil {
+		return nil, err
+	}
+	if len(leaf) != HeadSize {
+		return nil, fmt.Errorf("%w: proof leaf is %d bytes, want %d", persist.ErrCorrupt, len(leaf), HeadSize)
+	}
+	copy(p.Leaf[:], leaf)
+	if n > MaxProofSteps {
+		return nil, fmt.Errorf("%w: proof path has %d steps, cap %d", persist.ErrCorrupt, n, MaxProofSteps)
+	}
+	for i := uint32(0); i < n; i++ {
+		var s ProofStep
+		s.Left = pr.Bool()
+		h := pr.Bytes()
+		if err := pr.Err(); err != nil {
+			return nil, err
+		}
+		if len(h) != HeadSize {
+			return nil, fmt.Errorf("%w: proof step %d hash is %d bytes, want %d", persist.ErrCorrupt, i, len(h), HeadSize)
+		}
+		copy(s.Hash[:], h)
+		p.Path = append(p.Path, s)
+	}
+	if err := pr.Err(); err != nil {
+		return nil, err
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after proof", persist.ErrCorrupt, r.Len())
+	}
+	return &p, nil
+}
+
+// Receipt is a signed record that a ranking over [From, To] was emitted
+// while the WAL chain stood at Head: ListHash commits the exact ranked
+// list, Head anchors it to the sealed log prefix, and Sig binds both
+// under the daemon's audit key. Receipts are appended to the WAL as
+// their own record type, so the chain in turn covers the receipt.
+type Receipt struct {
+	From     int64
+	To       int64
+	ListHash Head
+	Head     Head
+	Sig      [SigSize]byte
+}
+
+// Encode serializes the receipt.
+func (rc *Receipt) Encode() []byte {
+	var buf bytes.Buffer
+	pw := persist.NewWriter(&buf)
+	pw.Magic(rcptMagic, rcptVersion)
+	pw.I64(rc.From)
+	pw.I64(rc.To)
+	pw.Bytes(rc.ListHash[:])
+	pw.Bytes(rc.Head[:])
+	pw.Bytes(rc.Sig[:])
+	return buf.Bytes()
+}
+
+// DecodeReceipt parses a receipt, rejecting trailing garbage.
+func DecodeReceipt(b []byte) (Receipt, error) {
+	r := bytes.NewReader(b)
+	pr := persist.NewReader(r)
+	if v := pr.Magic(rcptMagic); pr.Err() == nil && v != rcptVersion {
+		return Receipt{}, fmt.Errorf("%w: receipt version %d, want %d", persist.ErrCorrupt, v, rcptVersion)
+	}
+	var rc Receipt
+	rc.From = pr.I64()
+	rc.To = pr.I64()
+	lh := pr.Bytes()
+	hd := pr.Bytes()
+	sig := pr.Bytes()
+	if err := pr.Err(); err != nil {
+		return Receipt{}, err
+	}
+	if len(lh) != HeadSize || len(hd) != HeadSize || len(sig) != SigSize {
+		return Receipt{}, fmt.Errorf("%w: receipt field sizes %d/%d/%d, want %d/%d/%d",
+			persist.ErrCorrupt, len(lh), len(hd), len(sig), HeadSize, HeadSize, SigSize)
+	}
+	copy(rc.ListHash[:], lh)
+	copy(rc.Head[:], hd)
+	copy(rc.Sig[:], sig)
+	if r.Len() != 0 {
+		return Receipt{}, fmt.Errorf("%w: %d trailing bytes after receipt", persist.ErrCorrupt, r.Len())
+	}
+	return rc, nil
+}

@@ -1,0 +1,78 @@
+package audit
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// FuzzProofDecode drives arbitrary bytes through the inclusion-proof
+// decoder: it must never panic or over-allocate, and anything it accepts
+// must re-encode byte-identically (decode is the inverse of encode on
+// its accepted set).
+func FuzzProofDecode(f *testing.F) {
+	var leaves []Head
+	for i := 0; i < 9; i++ {
+		leaves = append(leaves, LeafHash([]byte(fmt.Sprintf("l%d", i))))
+	}
+	for _, i := range []int{0, 3, 8} {
+		p, err := Prove(leaves, i)
+		if err != nil {
+			f.Fatal(err)
+		}
+		p.BatchID = uint64(i + 1)
+		f.Add(p.Encode())
+	}
+	single, _ := Prove(leaves[:1], 0)
+	f.Add(single.Encode())
+	// Truncated, bit-rotted, and oversize-path variants.
+	enc := single.Encode()
+	f.Add(enc[:len(enc)/2])
+	rot := append([]byte(nil), enc...)
+	rot[9] ^= 0x40
+	f.Add(rot)
+	f.Add([]byte("ACPF"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeProof(data)
+		if err != nil {
+			return
+		}
+		if len(p.Path) > MaxProofSteps {
+			t.Fatalf("accepted proof with %d steps, cap %d", len(p.Path), MaxProofSteps)
+		}
+		re := p.Encode()
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted proof is not a fixpoint: %x != %x", re, data)
+		}
+		p.Root() // must not panic for any accepted proof
+	})
+}
+
+// FuzzAuditTrailerDecode drives arbitrary bytes through the segment-seal
+// ("audit trailer") decoder with the same contract: no panics, and every
+// accepted seal is an encode fixpoint.
+func FuzzAuditTrailerDecode(f *testing.F) {
+	s := Seal{Head: LeafHash([]byte("seg")), Seq: 3, Frames: 17}
+	f.Add(s.Encode())
+	zero := Seal{}
+	f.Add(zero.Encode())
+	enc := s.Encode()
+	f.Add(enc[:len(enc)-3])
+	rot := append([]byte(nil), enc...)
+	rot[12] ^= 0x01
+	f.Add(rot)
+	f.Add([]byte("ACSL"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeSeal(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(got.Encode(), data) {
+			t.Fatalf("accepted seal is not a fixpoint")
+		}
+	})
+}

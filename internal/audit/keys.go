@@ -1,0 +1,130 @@
+package audit
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Key files live beside the data they attest. The private seed never
+// leaves the serving host; verifiers need only the public half, pinned
+// out of band by fingerprint.
+const (
+	// KeyFileName holds the hex-encoded 32-byte ed25519 seed (mode 0600).
+	KeyFileName = "audit.key"
+	// PubFileName holds the hex-encoded 32-byte ed25519 public key.
+	PubFileName = "audit.pub"
+)
+
+// Signing contexts give each signed artifact its own domain, so a
+// signature over one kind of object can never be replayed as another.
+const (
+	ContextSnapshot = "acobe/audit/snapshot/v1"
+	ContextManifest = "acobe/audit/manifest/v1"
+	ContextReceipt  = "acobe/audit/receipt/v1"
+)
+
+// LoadOrCreateKey returns the data directory's audit key, generating and
+// persisting a fresh one (plus its public half) on first use.
+func LoadOrCreateKey(dir string) (ed25519.PrivateKey, error) {
+	keyPath := filepath.Join(dir, KeyFileName)
+	if b, err := os.ReadFile(keyPath); err == nil {
+		seed, err := hex.DecodeString(strings.TrimSpace(string(b)))
+		if err != nil || len(seed) != ed25519.SeedSize {
+			return nil, fmt.Errorf("audit: malformed key file %s", keyPath)
+		}
+		return ed25519.NewKeyFromSeed(seed), nil
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	seed := make([]byte, ed25519.SeedSize)
+	if _, err := rand.Read(seed); err != nil {
+		return nil, err
+	}
+	priv := ed25519.NewKeyFromSeed(seed)
+	if err := os.WriteFile(keyPath, []byte(hex.EncodeToString(seed)+"\n"), 0o600); err != nil {
+		return nil, err
+	}
+	pub := priv.Public().(ed25519.PublicKey)
+	if err := os.WriteFile(filepath.Join(dir, PubFileName), []byte(hex.EncodeToString(pub)+"\n"), 0o644); err != nil {
+		return nil, err
+	}
+	return priv, nil
+}
+
+// LoadPublicKey reads a hex-encoded ed25519 public key file (the
+// dir/audit.pub a daemon wrote, or an out-of-band pinned copy).
+func LoadPublicKey(path string) (ed25519.PublicKey, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	pub, err := hex.DecodeString(strings.TrimSpace(string(b)))
+	if err != nil || len(pub) != ed25519.PublicKeySize {
+		return nil, fmt.Errorf("audit: malformed public key file %s", path)
+	}
+	return ed25519.PublicKey(pub), nil
+}
+
+// Fingerprint is a short, human-checkable identity for a public key:
+// the first 16 hex digits of SHA256(pub). Operators pin this out of
+// band; acobed -verify prints it so a swapped key is visible.
+func Fingerprint(pub ed25519.PublicKey) string {
+	sum := sha256.Sum256(pub)
+	return hex.EncodeToString(sum[:8])
+}
+
+// contextDigest hashes (context, parts...) with unambiguous framing:
+// each part is length-prefixed, so no two distinct part lists collide.
+func contextDigest(context string, parts ...[]byte) [32]byte {
+	h := sha256.New()
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(context)))
+	h.Write(n[:])
+	h.Write([]byte(context))
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write(p)
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// SignContext signs the framed digest of (context, parts...).
+func SignContext(priv ed25519.PrivateKey, context string, parts ...[]byte) [SigSize]byte {
+	d := contextDigest(context, parts...)
+	var sig [SigSize]byte
+	copy(sig[:], ed25519.Sign(priv, d[:]))
+	return sig
+}
+
+// VerifyContext checks a SignContext signature.
+func VerifyContext(pub ed25519.PublicKey, sig [SigSize]byte, context string, parts ...[]byte) bool {
+	d := contextDigest(context, parts...)
+	return ed25519.Verify(pub, d[:], sig[:])
+}
+
+// Sign stamps rc.Sig over (From, To, ListHash, Head) under the receipt
+// context.
+func (rc *Receipt) Sign(priv ed25519.PrivateKey) {
+	rc.Sig = SignContext(priv, ContextReceipt, i64le(rc.From), i64le(rc.To), rc.ListHash[:], rc.Head[:])
+}
+
+// VerifySig checks the receipt's signature.
+func (rc *Receipt) VerifySig(pub ed25519.PublicKey) bool {
+	return VerifyContext(pub, rc.Sig, ContextReceipt, i64le(rc.From), i64le(rc.To), rc.ListHash[:], rc.Head[:])
+}
+
+func i64le(v int64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	return b[:]
+}

@@ -1,0 +1,203 @@
+package audit
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"hash"
+)
+
+// Merkle tree over batch event payloads. Domain-separated hashing:
+//
+//	leaf  = SHA256(0x00 || payload)
+//	node  = SHA256(0x01 || left || right)
+//	empty = SHA256(0x02)
+//
+// An odd trailing node at any level is promoted unchanged to the next
+// level (no duplication), so a proof path records an explicit side bit
+// per step and may be shorter than ceil(log2(n)) levels would suggest.
+var (
+	leafPrefix  = [1]byte{0x00}
+	nodePrefix  = [1]byte{0x01}
+	emptyPrefix = [1]byte{0x02}
+)
+
+// EmptyRoot is the Merkle root of a zero-event batch.
+func EmptyRoot() Head {
+	return sha256.Sum256(emptyPrefix[:])
+}
+
+// LeafHash hashes one event payload into its leaf.
+func LeafHash(payload []byte) Head {
+	h := sha256.New()
+	h.Write(leafPrefix[:])
+	h.Write(payload)
+	var out Head
+	h.Sum(out[:0])
+	return out
+}
+
+// Tree accumulates leaves for one batch and computes the root with
+// retained scratch buffers: after capacity warms up, a Reset / AddLeaf* /
+// Root cycle performs zero allocations, keeping the WAL append path
+// alloc-free.
+//
+// Not safe for concurrent use; each WAL stream owns one.
+type Tree struct {
+	leaves []Head
+	level  []Head
+	h      hash.Hash
+	sum    [HeadSize]byte
+	// nl/nr stage node children in fields: slicing a [32]byte parameter
+	// for the interface Write call would make it escape (one heap
+	// allocation per node), while struct fields are already on the heap.
+	nl, nr [HeadSize]byte
+}
+
+// NewTree returns an empty tree.
+func NewTree() *Tree { return &Tree{h: sha256.New()} }
+
+// Reset clears the tree for the next batch, keeping capacity.
+func (t *Tree) Reset() { t.leaves = t.leaves[:0] }
+
+// Len returns the number of accumulated leaves.
+func (t *Tree) Len() int { return len(t.leaves) }
+
+// AddLeaf hashes one event payload and appends its leaf.
+func (t *Tree) AddLeaf(payload []byte) {
+	t.h.Reset()
+	t.h.Write(leafPrefix[:])
+	t.h.Write(payload)
+	t.h.Sum(t.sum[:0])
+	t.leaves = append(t.leaves, t.sum)
+}
+
+// Leaves returns the accumulated leaf hashes. The slice aliases the
+// tree's scratch; callers that outlive the next Reset must copy it.
+func (t *Tree) Leaves() []Head { return t.leaves }
+
+func (t *Tree) node(l, r Head) Head {
+	t.nl, t.nr = l, r
+	t.h.Reset()
+	t.h.Write(nodePrefix[:])
+	t.h.Write(t.nl[:])
+	t.h.Write(t.nr[:])
+	t.h.Sum(t.sum[:0])
+	return t.sum
+}
+
+// Root computes the Merkle root of the accumulated leaves. The leaves
+// themselves are preserved (the reduction runs in a scratch level).
+func (t *Tree) Root() Head {
+	if len(t.leaves) == 0 {
+		t.h.Reset()
+		t.h.Write(emptyPrefix[:])
+		t.h.Sum(t.sum[:0])
+		return t.sum
+	}
+	t.level = append(t.level[:0], t.leaves...)
+	lv := t.level
+	for len(lv) > 1 {
+		j := 0
+		for i := 0; i+1 < len(lv); i += 2 {
+			lv[j] = t.node(lv[i], lv[i+1])
+			j++
+		}
+		if len(lv)%2 == 1 {
+			lv[j] = lv[len(lv)-1]
+			j++
+		}
+		lv = lv[:j]
+	}
+	return lv[0]
+}
+
+// MerkleRoot computes the root over a leaf slice (convenience for
+// verification paths that already hold leaves).
+func MerkleRoot(leaves []Head) Head {
+	t := NewTree()
+	t.leaves = append(t.leaves, leaves...)
+	return t.Root()
+}
+
+// ProofStep is one level of an inclusion proof: the sibling hash and
+// which side of the running hash it sits on.
+type ProofStep struct {
+	// Left reports that the sibling is the LEFT child at this level (the
+	// running hash is the right child).
+	Left bool
+	Hash Head
+}
+
+// Proof shows that event Index of batch BatchID — whose payload hashes
+// to Leaf — is under the batch's Merkle root, which the WAL chain
+// committed at append time.
+type Proof struct {
+	BatchID uint64
+	Index   uint32
+	Leaf    Head
+	Path    []ProofStep
+}
+
+// MaxProofSteps caps a decoded proof path; 64 levels covers 2^64 leaves,
+// far past any real batch.
+const MaxProofSteps = 64
+
+// ErrProofInvalid is wrapped by proof construction/verification
+// failures that are about the proof itself (bad index, oversize path),
+// as opposed to codec-level corruption.
+var ErrProofInvalid = errors.New("audit: invalid proof")
+
+// Prove builds the inclusion proof for leaf index within leaves. The
+// caller stamps BatchID. Cold path: allocates freely.
+func Prove(leaves []Head, index int) (Proof, error) {
+	if index < 0 || index >= len(leaves) {
+		return Proof{}, fmt.Errorf("%w: index %d out of range (batch has %d events)", ErrProofInvalid, index, len(leaves))
+	}
+	p := Proof{Index: uint32(index), Leaf: leaves[index]}
+	t := NewTree()
+	lv := append([]Head(nil), leaves...)
+	j := index
+	for len(lv) > 1 {
+		if j%2 == 0 {
+			if j+1 < len(lv) {
+				p.Path = append(p.Path, ProofStep{Left: false, Hash: lv[j+1]})
+			}
+			// else: promoted odd node, no step at this level
+		} else {
+			p.Path = append(p.Path, ProofStep{Left: true, Hash: lv[j-1]})
+		}
+		// Reduce one level in place.
+		k := 0
+		for i := 0; i+1 < len(lv); i += 2 {
+			lv[k] = t.node(lv[i], lv[i+1])
+			k++
+		}
+		if len(lv)%2 == 1 {
+			lv[k] = lv[len(lv)-1]
+			k++
+		}
+		lv = lv[:k]
+		j /= 2
+	}
+	return p, nil
+}
+
+// Root recomputes the Merkle root this proof commits to. Verification is
+// comparing the result against the root the chain sealed: a proof is
+// valid iff p.Root() == committed root.
+func (p *Proof) Root() Head {
+	t := NewTree()
+	h := p.Leaf
+	for _, s := range p.Path {
+		if s.Left {
+			h = t.node(s.Hash, h)
+		} else {
+			h = t.node(h, s.Hash)
+		}
+	}
+	return h
+}
+
+// Verify checks the proof against the committed batch root.
+func (p *Proof) Verify(root Head) bool { return p.Root() == root }

@@ -175,12 +175,13 @@ const (
 	StageRetrain      = "retrain"        // one full retrain: clone + fit + swap
 	StageRetrainClone = "retrain_clone"  // the deviation-field clone a retrain starts from
 	StageWALFsync     = "wal_fsync"      // one WAL fsync (per shard)
+	StageWALHash      = "wal_hash"       // audit hashing per WAL append: Merkle leaves + root + chain fold (per shard)
 )
 
 // stageOrder fixes the exposition order of the stage histograms.
 var stageOrder = []string{
 	StageSubmit, StageEnqueue, StageApply, StageClose, StageMerge, StageMergePublish,
-	StageSnapshot, StageRank, StageRetrain, StageRetrainClone, StageWALFsync,
+	StageSnapshot, StageRank, StageRetrain, StageRetrainClone, StageWALFsync, StageWALHash,
 }
 
 // Counter names exposed in Snapshot.Counters and /metrics.
@@ -203,6 +204,7 @@ const (
 type ShardStats struct {
 	Apply Histogram // per-batch apply latency on this shard
 	Fsync Histogram // WAL fsync latency on this shard
+	Hash  Histogram // audit hashing per WAL append on this shard
 
 	queueHWM  atomic.Int64
 	walBytes  atomic.Int64
@@ -240,6 +242,15 @@ func (ss *ShardStats) ObserveFsync(start time.Time) {
 	}
 	ss.walFsyncs.Add(1)
 	ss.Fsync.Observe(time.Since(start))
+}
+
+// ObserveWALHash records one append's audit hashing (Merkle leaves +
+// root + chain fold) and its duration.
+func (ss *ShardStats) ObserveWALHash(start time.Time) {
+	if ss == nil || start.IsZero() {
+		return
+	}
+	ss.Hash.Observe(time.Since(start))
 }
 
 // ObserveApply records one batch apply.

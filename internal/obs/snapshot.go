@@ -83,11 +83,12 @@ func (o *Observer) Snapshot() *Snapshot {
 	shards := append([]*ShardStats(nil), o.shards...)
 	o.mu.Unlock()
 
-	var apply, fsync HistogramSnapshot
+	var apply, fsync, walHash HistogramSnapshot
 	rows := make([]ShardSnapshot, len(shards))
 	for i, ss := range shards {
 		apply.Merge(ss.Apply.Snapshot())
 		fsync.Merge(ss.Fsync.Snapshot())
+		walHash.Merge(ss.Hash.Snapshot())
 		rows[i] = ShardSnapshot{
 			Shard:     i,
 			QueueHWM:  ss.queueHWM.Load(),
@@ -109,6 +110,7 @@ func (o *Observer) Snapshot() *Snapshot {
 		StageRetrain:      o.retrain.Snapshot(),
 		StageRetrainClone: o.retrainClone.Snapshot(),
 		StageWALFsync:     fsync,
+		StageWALHash:      walHash,
 	}
 	stages := make([]StageStats, 0, len(stageOrder))
 	for _, name := range stageOrder {

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"acobe/internal/audit"
 	"acobe/internal/cert"
 )
 
@@ -51,6 +52,31 @@ func fuzzShardSegmentSeed() []byte {
 	return buf.Bytes()
 }
 
+// fuzzAuditSegmentSeed builds an audited (version-2) segment image: the
+// wider header carrying a previous chain head, an events frame, and a
+// seal frame — the stream shape PersistConfig.Audit writes.
+func fuzzAuditSegmentSeed() []byte {
+	var buf bytes.Buffer
+	var hdr [walAuditHeaderSize]byte
+	copy(hdr[:4], walMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], walAuditVersion)
+	binary.LittleEndian.PutUint64(hdr[8:16], 2)
+	for i := walHeaderSize; i < walAuditHeaderSize; i++ {
+		hdr[i] = byte(i)
+	}
+	buf.Write(hdr[:])
+	evs := []Event{{Cert: &cert.Event{
+		Type: cert.EventLogon, Time: time.Date(2010, 1, 4, 9, 0, 0, 0, time.UTC),
+		User: "u1", Activity: cert.ActLogon,
+	}}}
+	body, _ := json.Marshal(evs)
+	buf.Write(encodeFrame(append([]byte{recEvents}, body...)))
+	seal := audit.Seal{Seq: 2, Frames: 1}
+	seal.Head[0] = 0xA5
+	buf.Write(encodeFrame(append([]byte{recSeal}, seal.Encode()...)))
+	return buf.Bytes()
+}
+
 // FuzzWALDecode throws arbitrary bytes at the WAL segment parser and record
 // decoder — the exact code path recovery runs over whatever a crash left on
 // disk. Nothing may panic or over-allocate, and the parse must be
@@ -80,6 +106,10 @@ func FuzzWALDecode(f *testing.F) {
 	binary.LittleEndian.PutUint32(badPart[9:13], 0)
 	zeroParts := append(bytes.Clone(shardSeed[:walHeaderSize]), encodeFrame(badPart)...)
 	f.Add(zeroParts)
+	auditSeed := fuzzAuditSegmentSeed()
+	f.Add(auditSeed)                        // audited (v2) stream shape
+	f.Add(auditSeed[:walAuditHeaderSize])   // audited header only
+	f.Add(auditSeed[:walAuditHeaderSize-3]) // torn audited header
 	f.Fuzz(func(t *testing.T, data []byte) {
 		seq, frames, goodLen, hdrOK := parseSegment(data)
 		if !hdrOK {
@@ -88,10 +118,17 @@ func FuzzWALDecode(f *testing.F) {
 			}
 			return
 		}
-		if goodLen < walHeaderSize || goodLen > len(data) {
-			t.Fatalf("goodLen %d outside [header, len(data)=%d]", goodLen, len(data))
+		// The header length depends on the parsed version: 16 bytes for
+		// version 1, 48 (with the previous chain head) for audited
+		// version-2 streams.
+		_, _, _, hdrLen, ok := parseSegHeader(data)
+		if !ok || (hdrLen != walHeaderSize && hdrLen != walAuditHeaderSize) {
+			t.Fatalf("parseSegment accepted a header parseSegHeader rejects (ok=%v hdrLen=%d)", ok, hdrLen)
 		}
-		end := walHeaderSize
+		if goodLen < hdrLen || goodLen > len(data) {
+			t.Fatalf("goodLen %d outside [header=%d, len(data)=%d]", goodLen, hdrLen, len(data))
+		}
+		end := hdrLen
 		for _, fr := range frames {
 			if fr.off != end {
 				t.Fatalf("frame at offset %d, expected contiguous at %d", fr.off, end)
@@ -102,7 +139,7 @@ func FuzzWALDecode(f *testing.F) {
 			end += 8 + len(fr.payload)
 			if rec, err := decodeRecord(fr.payload); err == nil {
 				switch rec.typ {
-				case recEvents, recClose:
+				case recEvents, recClose, recSeal, recReceipt:
 				case recEventsPart:
 					if rec.parts == 0 {
 						t.Fatal("decoded a part record declaring zero parts")

@@ -3,6 +3,7 @@ package serve
 import (
 	"bufio"
 	"context"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -20,6 +21,7 @@ type handlerConfig struct {
 	metrics bool
 	pprof   bool
 	healthz bool
+	audit   bool
 }
 
 // HandlerOption composes the daemon's HTTP surface. The zero set mounts
@@ -48,6 +50,14 @@ func WithHealthz(enabled bool) HandlerOption {
 	return func(c *handlerConfig) { c.healthz = enabled }
 }
 
+// WithAudit mounts the tamper-evidence endpoints — GET /v1/proof (batch
+// inclusion proofs) and POST /v1/receipt (signed rank receipts). Off by
+// default; mounting them on a server opened without PersistConfig.Audit
+// yields 501 Not Implemented per request.
+func WithAudit(enabled bool) HandlerOption {
+	return func(c *handlerConfig) { c.audit = enabled }
+}
+
 // Handler returns the daemon's HTTP API:
 //
 //	POST /v1/ingest          body: one JSON Event per line (JSONL)
@@ -71,6 +81,10 @@ func (s *Server) Handler(opts ...HandlerOption) http.Handler {
 	mux.HandleFunc("GET /v1/rank", s.handleRank)
 	mux.HandleFunc("POST /v1/retrain", s.handleRetrain)
 	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	if cfg.audit {
+		mux.HandleFunc("GET /v1/proof", s.handleProof)
+		mux.HandleFunc("POST /v1/receipt", s.handleReceipt)
+	}
 	if cfg.metrics {
 		mux.HandleFunc("GET /metrics", s.handleMetrics)
 	}
@@ -139,6 +153,10 @@ func httpError(w http.ResponseWriter, err error) {
 		code = http.StatusServiceUnavailable
 	case errors.Is(err, ErrRetrainInProgress):
 		code = http.StatusConflict
+	case errors.Is(err, ErrAuditDisabled):
+		code = http.StatusNotImplemented
+	case errors.Is(err, ErrUnknownBatch), errors.Is(err, ErrUnknownEvent):
+		code = http.StatusNotFound
 	case errors.Is(err, ErrShuttingDown):
 		code = http.StatusServiceUnavailable
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded),
@@ -182,6 +200,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := sc.Err(); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if s.auditOn() {
+		id, err := s.SubmitProvable(r.Context(), events)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, map[string]any{"accepted": len(events), "batch_id": id})
 		return
 	}
 	if err := s.Submit(r.Context(), events); err != nil {
@@ -265,4 +292,125 @@ func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.Status())
+}
+
+// proofStepJSON is one inclusion-proof path element on the wire.
+type proofStepJSON struct {
+	// Side is "left" when the sibling hash sits left of the running hash.
+	Side string `json:"side"`
+	Hash string `json:"hash"`
+}
+
+// proofResponse is the GET /v1/proof wire format. Root, Leaf, and Path
+// hashes are lowercase hex; Encoded is the proof's binary codec form
+// (hex), which audit.DecodeProof accepts for offline verification.
+type proofResponse struct {
+	BatchID     uint64          `json:"batch_id"`
+	Event       int             `json:"event"`
+	Events      int             `json:"events"`
+	Shard       int             `json:"shard"`
+	Segment     uint64          `json:"segment"`
+	Offset      int64           `json:"offset"`
+	Root        string          `json:"root"`
+	Leaf        string          `json:"leaf"`
+	Path        []proofStepJSON `json:"path"`
+	Encoded     string          `json:"encoded"`
+	Fingerprint string          `json:"fingerprint"`
+}
+
+// handleProof serves an inclusion proof for one ingested event:
+// /v1/proof?batch=<id>&event=<i> (event defaults to 0).
+func (s *Server) handleProof(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	batch, err := strconv.ParseUint(q.Get("batch"), 10, 64)
+	if err != nil {
+		http.Error(w, "batch: must be a batch ID", http.StatusBadRequest)
+		return
+	}
+	event := 0
+	if es := q.Get("event"); es != "" {
+		event, err = strconv.Atoi(es)
+		if err != nil || event < 0 {
+			http.Error(w, "event: must be a non-negative event index", http.StatusBadRequest)
+			return
+		}
+	}
+	res, err := s.Proof(batch, event)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	n, err := s.BatchEvents(batch)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	resp := proofResponse{
+		BatchID: res.BatchID, Event: res.Event, Events: n,
+		Shard: res.Shard, Segment: res.Seg, Offset: res.Off,
+		Root:        hex.EncodeToString(res.Root[:]),
+		Leaf:        hex.EncodeToString(res.Proof.Leaf[:]),
+		Encoded:     hex.EncodeToString(res.Proof.Encode()),
+		Fingerprint: s.AuditFingerprint(),
+	}
+	for _, st := range res.Proof.Path {
+		side := "right"
+		if st.Left {
+			side = "left"
+		}
+		resp.Path = append(resp.Path, proofStepJSON{Side: side, Hash: hex.EncodeToString(st.Hash[:])})
+	}
+	writeJSON(w, resp)
+}
+
+// receiptResponse is the POST /v1/receipt wire format: the ranked list
+// plus the signed receipt binding its hash to the audit chain.
+type receiptResponse struct {
+	rankResponse
+	Receipt receiptJSON `json:"receipt"`
+}
+
+type receiptJSON struct {
+	From        cert.Day `json:"from"`
+	To          cert.Day `json:"to"`
+	ListHash    string   `json:"list_hash"`
+	Head        string   `json:"head"`
+	Sig         string   `json:"sig"`
+	Encoded     string   `json:"encoded"`
+	Fingerprint string   `json:"fingerprint"`
+}
+
+// handleReceipt ranks [from, to] and logs a signed rank receipt into the
+// audit stream: /v1/receipt?from=&to=. The response carries the full
+// ranked list the receipt's list_hash covers (no top truncation — the
+// hash binds the whole list).
+func (s *Server) handleReceipt(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	from, err := parseDay(q.Get("from"))
+	if err != nil {
+		http.Error(w, "from: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	to, err := parseDay(q.Get("to"))
+	if err != nil {
+		http.Error(w, "to: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	list, rc, err := s.RankReceipt(r.Context(), from, to)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	det := s.Detector()
+	writeJSON(w, receiptResponse{
+		rankResponse: rankResponse{From: from, To: to, Aspects: det.AspectNames(), List: list},
+		Receipt: receiptJSON{
+			From: cert.Day(rc.From), To: cert.Day(rc.To),
+			ListHash:    hex.EncodeToString(rc.ListHash[:]),
+			Head:        hex.EncodeToString(rc.Head[:]),
+			Sig:         hex.EncodeToString(rc.Sig[:]),
+			Encoded:     hex.EncodeToString(rc.Encode()),
+			Fingerprint: s.AuditFingerprint(),
+		},
+	})
 }

@@ -2,6 +2,8 @@ package serve
 
 import (
 	"bytes"
+	"crypto/ed25519"
+	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -9,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"acobe/internal/audit"
 	"acobe/internal/cert"
 	"acobe/internal/persist"
 )
@@ -28,12 +31,20 @@ import (
 // moment a later recovery falls back a generation and scans both).
 //
 //	"ACMF" | version u32 LE | shard count | day i64 | batch HWM u64 |
-//	"ACMF" trailer | crc32
+//	[v2: per-shard chain head, length-prefixed ×shards] |
+//	"ACMF" trailer | [v2: ed25519 sig over SHA-256(body)] | crc32
 const (
 	manifestMagic   = "ACMF"
 	manifestVersion = 1
-	manifestPrefix  = "manifest-"
-	manifestSuffix  = ".mf"
+	// manifestAuditVersion marks an audit-attesting manifest: after the
+	// batch high-water mark it pins every shard's WAL chain head at the
+	// cut (each equal to the same-day shard snapshot's attested head), and
+	// the body is followed by an ed25519 signature over its SHA-256. The
+	// trailing CRC32 covers body and signature both, so the CRC stays the
+	// file's last 4 bytes in both versions.
+	manifestAuditVersion = 2
+	manifestPrefix       = "manifest-"
+	manifestSuffix       = ".mf"
 )
 
 func manifestPath(dir string, day cert.Day) string {
@@ -50,41 +61,86 @@ func listManifests(dir string) ([]snapEntry, error) {
 	return out, nil
 }
 
-// decodeManifest parses a manifest image: shard count, pinned day, batch
-// high-water mark. The trailing 4 bytes are the CRC32 of everything
-// before them.
-func decodeManifest(data []byte) (shards int, day cert.Day, batchHWM uint64, err error) {
-	if len(data) < 4 {
-		return 0, 0, 0, fmt.Errorf("serve: manifest too short for checksum")
+// manifestInfo is one decoded manifest.
+type manifestInfo struct {
+	version  uint32
+	shards   int
+	day      cert.Day
+	batchHWM uint64
+	// heads and sig are present for manifestAuditVersion only. signed is
+	// the exact body span the signature covers (aliases the file image).
+	heads  []audit.Head
+	sig    [audit.SigSize]byte
+	signed []byte
+}
+
+// verifySig checks an audit manifest's signature (false for version 1).
+func (m *manifestInfo) verifySig(pub ed25519.PublicKey) bool {
+	if m.version != manifestAuditVersion {
+		return false
+	}
+	d := sha256.Sum256(m.signed)
+	return audit.VerifyContext(pub, m.sig, audit.ContextManifest, d[:])
+}
+
+// decodeManifest parses a manifest image. The trailing 4 bytes are the
+// CRC32 of everything before them (body plus, in version 2, signature).
+func decodeManifest(data []byte) (m manifestInfo, err error) {
+	if len(data) < 4+8 {
+		return m, fmt.Errorf("serve: manifest too short for checksum")
 	}
 	body, stored := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
 	if got := crc32.ChecksumIEEE(body); got != stored {
-		return 0, 0, 0, fmt.Errorf("serve: manifest checksum mismatch (stored %08x, computed %08x)", stored, got)
+		return m, fmt.Errorf("serve: manifest checksum mismatch (stored %08x, computed %08x)", stored, got)
 	}
-	pr := persist.NewReader(bytes.NewReader(body))
-	if v := pr.Magic(manifestMagic); pr.Err() == nil && v != manifestVersion {
-		return 0, 0, 0, fmt.Errorf("serve: manifest version %d unsupported", v)
+	m.version = binary.LittleEndian.Uint32(body[4:8])
+	signed := body
+	switch m.version {
+	case manifestVersion:
+	case manifestAuditVersion:
+		if len(body) < audit.SigSize {
+			return m, fmt.Errorf("serve: audit manifest too short for signature")
+		}
+		signed = body[:len(body)-audit.SigSize]
+		copy(m.sig[:], body[len(body)-audit.SigSize:])
+		m.signed = signed
+	default:
+		return m, fmt.Errorf("serve: manifest version %d unsupported", m.version)
 	}
-	shards = pr.Int()
-	day = cert.Day(pr.I64())
-	batchHWM = pr.U64()
-	if v := pr.Magic(manifestMagic); pr.Err() == nil && v != manifestVersion {
-		return 0, 0, 0, fmt.Errorf("serve: manifest trailer version %d unsupported", v)
+	pr := persist.NewReader(bytes.NewReader(signed))
+	if v := pr.Magic(manifestMagic); pr.Err() == nil && v != m.version {
+		return m, fmt.Errorf("serve: manifest version %d unsupported", v)
+	}
+	m.shards = pr.Int()
+	m.day = cert.Day(pr.I64())
+	m.batchHWM = pr.U64()
+	if pr.Err() == nil && (m.shards < 1 || m.shards > 1<<16) {
+		return m, fmt.Errorf("serve: manifest declares %d shards", m.shards)
+	}
+	if m.version == manifestAuditVersion {
+		m.heads = make([]audit.Head, m.shards)
+		for k := 0; k < m.shards && pr.Err() == nil; k++ {
+			hb := pr.Bytes()
+			if pr.Err() == nil && len(hb) != audit.HeadSize {
+				return m, fmt.Errorf("serve: manifest shard %d head is %d bytes, want %d", k, len(hb), audit.HeadSize)
+			}
+			copy(m.heads[k][:], hb)
+		}
+	}
+	if v := pr.Magic(manifestMagic); pr.Err() == nil && v != m.version {
+		return m, fmt.Errorf("serve: manifest trailer version %d unsupported", v)
 	}
 	if err := pr.Err(); err != nil {
-		return 0, 0, 0, err
+		return m, err
 	}
-	if shards < 1 {
-		return 0, 0, 0, fmt.Errorf("serve: manifest declares %d shards", shards)
-	}
-	return shards, day, batchHWM, nil
+	return m, nil
 }
 
-// loadManifest reads and decodes one manifest file.
-func loadManifest(path string) (shards int, day cert.Day, batchHWM uint64, err error) {
+// loadManifestInfo reads and decodes one manifest file.
+func loadManifestInfo(path string) (manifestInfo, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return 0, 0, 0, err
+		return manifestInfo{}, err
 	}
 	return decodeManifest(data)
 }
@@ -93,9 +149,13 @@ func loadManifest(path string) (shards int, day cert.Day, batchHWM uint64, err e
 // atomically (tmp + fsync + rename + directory fsync). The shard
 // snapshots it references are already durable.
 func (s *Server) writeManifest(day cert.Day) error {
+	ver := uint32(manifestVersion)
+	if s.auditOn() {
+		ver = manifestAuditVersion
+	}
 	var body bytes.Buffer
 	pw := persist.NewWriter(&body)
-	pw.Magic(manifestMagic, manifestVersion)
+	pw.Magic(manifestMagic, ver)
 	pw.Int(len(s.shards))
 	pw.I64(int64(day))
 	// Batch-ID high-water mark: every part frame behind this cut's shard
@@ -104,9 +164,24 @@ func (s *Server) writeManifest(day cert.Day) error {
 	// after every shard acked its snapshot). Recovery seeds numbering from
 	// it so a restart over empty tails never reissues a baked-in ID.
 	pw.U64(s.nextBatch.Load())
-	pw.Magic(manifestMagic, manifestVersion)
+	if ver == manifestAuditVersion {
+		// Pin every shard's chain head at this cut. Each equals the attested
+		// head inside the same-day shard snapshot; the manifest cross-signs
+		// them so a tampered snapshot and a tampered manifest must agree to
+		// go unnoticed — and both carry signatures over their own bodies.
+		for k := range s.shards {
+			h := s.shards[k].snapHead
+			pw.Bytes(h[:])
+		}
+	}
+	pw.Magic(manifestMagic, ver)
 	if err := pw.Err(); err != nil {
 		return err
+	}
+	if ver == manifestAuditVersion {
+		d := sha256.Sum256(body.Bytes())
+		sig := audit.SignContext(s.auditPriv, audit.ContextManifest, d[:])
+		body.Write(sig[:])
 	}
 	var sum [4]byte
 	binary.LittleEndian.PutUint32(sum[:], crc32.ChecksumIEEE(body.Bytes()))

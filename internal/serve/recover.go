@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"acobe/internal/audit"
 	"acobe/internal/cert"
 	"acobe/internal/obs"
 )
@@ -30,6 +31,16 @@ type PersistConfig struct {
 	SnapshotEvery int
 	// SegmentBytes rotates WAL segments at this size (default 8 MiB).
 	SegmentBytes int64
+	// Audit enables the tamper-evident audit trail: version-2 WAL segments
+	// carrying a SHA-256 hash chain over every frame (sealed at rotation
+	// and clean shutdown, linked across segments and into signed snapshots
+	// and manifests), per-batch Merkle roots committed at append time, and
+	// the Proof/RankReceipt/VerifyAudit APIs. The ed25519 signing key lives
+	// at Dir/audit.key (created on first open; public half in Dir/audit.pub).
+	// A directory must be opened with the same Audit setting it was written
+	// with — the segment format version is checked, so a mismatch fails
+	// loudly instead of silently dropping (or inventing) the chain.
+	Audit bool
 	// Hooks intercept filesystem operations; tests inject faults here.
 	Hooks Hooks
 }
@@ -116,6 +127,14 @@ func Open(cfg Config, p PersistConfig) (*Server, *RecoverInfo, error) {
 	}
 	s.pcfg = &p
 	s.fs = persistFS{hooks: p.Hooks}
+	if p.Audit {
+		priv, err := audit.LoadOrCreateKey(p.Dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		s.auditPriv = priv
+		s.auditIdx = make(map[uint64][]partAudit)
+	}
 
 	if err := checkLayout(p.Dir, walDir, len(s.shards)); err != nil {
 		return nil, nil, err
@@ -288,19 +307,34 @@ func (s *Server) scanWAL(walDir, prefix string, pos walPos, snapLoaded bool) (*w
 		if !hdrOK || gotSeq != seq {
 			if last && !hdrOK {
 				// Crash during rotation: the new segment's header never
-				// finished. Nothing in it was acknowledged; drop it.
+				// finished. Nothing in it was acknowledged; drop it — and
+				// reuse its sequence number for the fresh segment, so an
+				// audit stream's verify walk never sees a sequence gap.
 				if err := s.fs.remove(path); err != nil {
 					return nil, err
 				}
 				sc.torn += int64(len(data))
+				sc.maxSeq = seq - 1
 				break
 			}
 			return nil, fmt.Errorf("serve: WAL segment %s is corrupt (not the last segment — unrecoverable)", filepath.Base(path))
 		}
-		from := int64(walHeaderSize)
+		// The stream's format version must match the configured audit mode:
+		// replaying an audited stream without its chain (or a plain stream
+		// as if chained) would silently change the durability story.
+		_, ver, _, hdrLen, _ := parseSegHeader(data)
+		want := uint32(walVersion)
+		if s.auditOn() {
+			want = walAuditVersion
+		}
+		if ver != want {
+			return nil, fmt.Errorf("serve: WAL segment %s has format version %d but the server is configured with audit %s — open the directory with the audit setting it was written under",
+				filepath.Base(path), ver, map[bool]string{true: "on (version 2)", false: "off (version 1)"}[s.auditOn()])
+		}
+		from := int64(hdrLen)
 		if snapLoaded && seq == pos.seg {
 			from = pos.off
-			if from > int64(goodLen) || !frameBoundary(frames, goodLen, from) {
+			if from > int64(goodLen) || !frameBoundary(frames, goodLen, from, hdrLen) {
 				return nil, fmt.Errorf("serve: snapshot WAL position %d not on a frame boundary of %s", from, filepath.Base(path))
 			}
 		}
@@ -335,11 +369,54 @@ func (s *Server) scanWAL(walDir, prefix string, pos walPos, snapLoaded bool) (*w
 	return sc, nil
 }
 
+// restoreAudit re-walks one shard's surviving audit stream after scanWAL
+// truncated any torn tail, verifying the whole chain (folds, seals,
+// recomputed batch roots, cross-segment links, the loaded snapshot's
+// attested head) and rebuilding the proof index as it goes. A divergence
+// wraps ErrAuditChainBroken and fails the open: torn tails are a crash's
+// honest damage and were already truncated, so whatever the tolerant walk
+// still rejects — a seal that no longer matches its frames, a CRC fixed
+// up over altered bytes, a forged header link — is history the chain
+// contradicts. Returns the appender's audit state (chain head and frame
+// count at the resume point) and the highest batch ID seen.
+func (s *Server) restoreAudit(walDir, prefix string, shardIdx int, pos walPos, head audit.Head, snapLoaded bool, sc *walScan) (*walAudit, uint64, error) {
+	var checks []headCheck
+	if snapLoaded {
+		checks = append(checks, headCheck{pos: pos, head: head, what: "the loaded snapshot"})
+	}
+	maxBatch := uint64(0)
+	end, err := walkAuditStream(walDir, prefix, false, checks, func(rec walRecord, p walPos, pre audit.Head, root audit.Head, leaves []audit.Head) error {
+		if rec.typ == recEventsPart {
+			s.auditIdx[rec.batchID] = append(s.auditIdx[rec.batchID], partAudit{
+				shard: shardIdx, pos: p, root: root, leaves: leaves,
+			})
+			if rec.batchID > maxBatch {
+				maxBatch = rec.batchID
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	if sc.attached {
+		if end.seq != sc.lastSeq || end.goodLen != sc.lastEnd {
+			return nil, 0, fmt.Errorf("%w: audit walk of %s ends at segment %d offset %d, but recovery attached at segment %d offset %d",
+				ErrAuditChainBroken, prefix, end.seq, end.goodLen, sc.lastSeq, sc.lastEnd)
+		}
+		return &walAudit{chain: audit.NewChain(end.head), tree: audit.NewTree(), frames: end.frames}, maxBatch, nil
+	}
+	// A fresh segment opens next (none survived, or a torn-header segment
+	// was dropped): the chain continues from the walked end (zero on a
+	// fresh stream) and the new segment's header links to it.
+	return newWALAudit(end.head), maxBatch, nil
+}
+
 // attachWAL positions one appender at the end of its scanned stream:
 // continue the last surviving segment, or start a new one past everything
-// seen.
-func (s *Server) attachWAL(walDir, prefix string, sc *walScan, pos walPos, stats *obs.ShardStats) (*wal, error) {
-	w := &wal{dir: walDir, prefix: prefix, fs: s.fs, segBytes: s.pcfg.SegmentBytes, policy: s.pcfg.Fsync, stats: stats}
+// seen. aud is the stream's restored audit state (nil when audit is off).
+func (s *Server) attachWAL(walDir, prefix string, sc *walScan, pos walPos, stats *obs.ShardStats, aud *walAudit) (*wal, error) {
+	w := &wal{dir: walDir, prefix: prefix, fs: s.fs, segBytes: s.pcfg.SegmentBytes, policy: s.pcfg.Fsync, stats: stats, aud: aud}
 	if sc.attached {
 		if err := w.resumeSegment(sc.lastSeq, sc.lastEnd); err != nil {
 			return nil, err
@@ -373,6 +450,7 @@ func (s *Server) recover(walDir string) (*RecoverInfo, error) {
 		return nil, err
 	}
 	var pos walPos
+	var baseHead audit.Head
 	loadErrs := make([]error, 0, len(snaps))
 	for i, e := range snaps {
 		if i > 0 {
@@ -387,7 +465,7 @@ func (s *Server) recover(walDir string) (*RecoverInfo, error) {
 			}
 			s.adoptCore(fresh)
 		}
-		day, p, err := s.loadSnapshot(e.path, s.shards[0], s.grp != nil)
+		day, p, head, err := s.loadSnapshot(e.path, s.shards[0], s.grp != nil)
 		if err != nil {
 			loadErrs = append(loadErrs, fmt.Errorf("%s: %w", filepath.Base(e.path), err))
 			continue
@@ -396,6 +474,7 @@ func (s *Server) recover(walDir string) (*RecoverInfo, error) {
 		info.SnapshotDay = day
 		s.closedThrough = day
 		pos = p
+		baseHead = head
 		break
 	}
 	if len(snaps) > 0 && !info.SnapshotLoaded {
@@ -418,15 +497,39 @@ func (s *Server) recover(walDir string) (*RecoverInfo, error) {
 		return nil, err
 	}
 	info.TornBytes = sc.torn
+	maxBatch := uint64(0)
 	for _, rec := range sc.recs {
+		if rec.typ == recSeal || rec.typ == recReceipt {
+			continue // audit bookkeeping, not state
+		}
+		if rec.typ == recEventsPart && rec.batchID > maxBatch {
+			maxBatch = rec.batchID
+		}
 		if err := s.applyRecord(rec, info); err != nil {
 			return nil, err
 		}
 		info.ReplayedRecords++
 	}
 
-	// 3. Attach the appender.
-	s.shards[0].wal, err = s.attachWAL(walDir, walPrefix, sc, pos, s.shards[0].stats)
+	// 3. Verify the audit chain over everything that survived and attach
+	// the appender. The chain walk runs after scanWAL truncated any torn
+	// tail: what it still rejects is tampering, not crash damage, and the
+	// open fails with ErrAuditChainBroken.
+	var aud *walAudit
+	if s.auditOn() {
+		var walked uint64
+		aud, walked, err = s.restoreAudit(walDir, walPrefix, 0, pos, baseHead, info.SnapshotLoaded, sc)
+		if err != nil {
+			return nil, err
+		}
+		// The walk covers retained segments behind the snapshot too, so it
+		// sees every batch ID that could still collide with a fresh one.
+		if walked > maxBatch {
+			maxBatch = walked
+		}
+		s.nextBatch.Store(maxBatch)
+	}
+	s.shards[0].wal, err = s.attachWAL(walDir, walPrefix, sc, pos, s.shards[0].stats, aud)
 	if err != nil {
 		return nil, err
 	}
@@ -462,6 +565,7 @@ func (s *Server) recoverSharded(walDir string) (*RecoverInfo, error) {
 	}
 	base := s.cfg.Start - 1
 	basePos := make([]walPos, len(s.shards))
+	baseHead := make([]audit.Head, len(s.shards))
 	baseHWM := uint64(0)
 	loadErrs := make([]error, 0, len(mans))
 	for i, m := range mans {
@@ -472,25 +576,42 @@ func (s *Server) recoverSharded(walDir string) (*RecoverInfo, error) {
 			}
 			s.adoptCore(fresh)
 		}
-		nshards, day, hwm, err := loadManifest(m.path)
+		mi, err := loadManifestInfo(m.path)
 		if err != nil {
 			loadErrs = append(loadErrs, fmt.Errorf("%s: %w", filepath.Base(m.path), err))
 			continue
 		}
-		if nshards != len(s.shards) {
+		if mi.shards != len(s.shards) {
 			// A config/layout mismatch, not corruption: falling back would
 			// silently recover an older cut of a differently-sharded
 			// directory.
-			return nil, fmt.Errorf("serve: manifest %s pins %d shards, %d configured", filepath.Base(m.path), nshards, len(s.shards))
+			return nil, fmt.Errorf("serve: manifest %s pins %d shards, %d configured", filepath.Base(m.path), mi.shards, len(s.shards))
 		}
-		if day != m.day {
-			loadErrs = append(loadErrs, fmt.Errorf("%s: pinned day %d does not match its name", filepath.Base(m.path), int64(day)))
+		wantVer := uint32(manifestVersion)
+		if s.auditOn() {
+			wantVer = manifestAuditVersion
+		}
+		if mi.version != wantVer {
+			// Same class of mismatch as the WAL format version: the
+			// directory was written under a different audit setting.
+			return nil, fmt.Errorf("serve: manifest %s has format version %d but the server is configured with audit %v — open the directory with the audit setting it was written under",
+				filepath.Base(m.path), mi.version, s.auditOn())
+		}
+		if s.auditOn() && !mi.verifySig(s.auditPub()) {
+			// The CRC passed but the signature does not: the manifest body
+			// was altered and re-checksummed (or signed by another key).
+			// Not a fallback case — attested history is contradicted.
+			return nil, fmt.Errorf("%w: manifest %s signature invalid (key %s)", ErrAuditChainBroken, filepath.Base(m.path), audit.Fingerprint(s.auditPub()))
+		}
+		if mi.day != m.day {
+			loadErrs = append(loadErrs, fmt.Errorf("%s: pinned day %d does not match its name", filepath.Base(m.path), int64(mi.day)))
 			continue
 		}
+		day := mi.day
 		ok := true
 		for k, sh := range s.shards {
 			path := snapPath(s.pcfg.Dir, snapShardPrefix(k), day)
-			d, p, err := s.loadSnapshot(path, sh, k == 0 && s.hasGroups)
+			d, p, head, err := s.loadSnapshot(path, sh, k == 0 && s.hasGroups)
 			if err != nil {
 				loadErrs = append(loadErrs, fmt.Errorf("%s: %w", filepath.Base(path), err))
 				ok = false
@@ -501,7 +622,14 @@ func (s *Server) recoverSharded(walDir string) (*RecoverInfo, error) {
 				ok = false
 				break
 			}
+			if s.auditOn() && head != mi.heads[k] {
+				// Both artifacts verified their own signatures yet disagree
+				// about the chain head at the cut: one of them is a re-signed
+				// forgery or a mixed-generation splice.
+				return nil, fmt.Errorf("%w: %s attests a chain head that does not match manifest %s", ErrAuditChainBroken, filepath.Base(path), filepath.Base(m.path))
+			}
 			basePos[k] = p
+			baseHead[k] = head
 		}
 		if !ok {
 			continue
@@ -509,7 +637,7 @@ func (s *Server) recoverSharded(walDir string) (*RecoverInfo, error) {
 		info.SnapshotLoaded = true
 		info.SnapshotDay = day
 		base = day
-		baseHWM = hwm
+		baseHWM = mi.batchHWM
 		s.closedThrough = day
 		break
 	}
@@ -615,6 +743,8 @@ func (s *Server) recoverSharded(walDir string) (*RecoverInfo, error) {
 				if err := s.shardCloseDays(sh, rec.day); err != nil {
 					return nil, err
 				}
+			case recSeal, recReceipt:
+				continue // audit bookkeeping, not state
 			default:
 				return nil, fmt.Errorf("serve: unknown WAL record type %d", rec.typ)
 			}
@@ -669,16 +799,37 @@ func (s *Server) recoverSharded(walDir string) (*RecoverInfo, error) {
 	pub.closedThrough = cut
 	s.closedThrough = cut
 
-	// 7. Attach the appenders.
+	// 7. Verify each shard's audit chain over everything that survived,
+	// rebuild the proof index, and attach the appenders.
 	for k, sh := range s.shards {
 		pos := walPos{}
 		if info.SnapshotLoaded {
 			pos = basePos[k]
 		}
+		var aud *walAudit
+		if s.auditOn() {
+			var walked uint64
+			var err error
+			aud, walked, err = s.restoreAudit(walDir, walShardPrefix(k), k, pos, baseHead[k], info.SnapshotLoaded, scans[k])
+			if err != nil {
+				return nil, err
+			}
+			if walked > maxBatch {
+				maxBatch = walked
+				s.nextBatch.Store(maxBatch)
+			}
+		}
 		var err error
-		sh.wal, err = s.attachWAL(walDir, walShardPrefix(k), scans[k], pos, sh.stats)
+		sh.wal, err = s.attachWAL(walDir, walShardPrefix(k), scans[k], pos, sh.stats, aud)
 		if err != nil {
 			return nil, err
+		}
+	}
+	if s.auditOn() {
+		// A dropped partial batch was never acknowledged; it must not be
+		// provable either.
+		for id := range dropped {
+			delete(s.auditIdx, id)
 		}
 	}
 
@@ -696,9 +847,10 @@ func (s *Server) recoverSharded(walDir string) (*RecoverInfo, error) {
 }
 
 // frameBoundary reports whether off is a frame start or the end of the
-// valid prefix.
-func frameBoundary(frames []walFrame, goodLen int, off int64) bool {
-	if off == walHeaderSize || off == int64(goodLen) {
+// valid prefix. hdrLen is the segment's header length (format-version
+// dependent).
+func frameBoundary(frames []walFrame, goodLen int, off int64, hdrLen int) bool {
+	if off == int64(hdrLen) || off == int64(goodLen) {
 		return true
 	}
 	for _, fr := range frames {
@@ -746,7 +898,14 @@ func (s *Server) applyRecord(rec walRecord, info *RecoverInfo) error {
 		s.shardApplyEvents(s.shards[0], rec.events, info)
 		return nil
 	case recEventsPart:
-		return errors.New("serve: WAL holds a sharded batch part in an unsharded log — layout mismatch")
+		// An audited unsharded stream logs every batch as a one-part part
+		// record so the batch ID keys the proof index. A multi-part record
+		// here is a sharded directory misread as unsharded.
+		if rec.parts != 1 {
+			return errors.New("serve: WAL holds a sharded batch part in an unsharded log — layout mismatch")
+		}
+		s.shardApplyEvents(s.shards[0], rec.events, info)
+		return nil
 	case recClose:
 		return s.closeDays(rec.day)
 	default:

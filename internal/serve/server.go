@@ -57,12 +57,14 @@ package serve
 
 import (
 	"context"
+	"crypto/ed25519"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"acobe/internal/audit"
 	"acobe/internal/cert"
 	"acobe/internal/deviation"
 	"acobe/internal/features"
@@ -147,7 +149,9 @@ type envelope struct {
 	isClose      bool
 	isSnap       bool
 	isTrainSnap  bool
+	isReceipt    bool
 	train        *trainSnapReq
+	rcpt         *audit.Receipt // isReceipt: filled/signed on the shard goroutine
 	done         chan error
 }
 
@@ -176,6 +180,12 @@ type shard struct {
 	// closedThrough is the shard's own applied close barrier. It equals
 	// the server's closedThrough except transiently inside a close.
 	closedThrough cert.Day
+
+	// snapHead is the chain head this shard's latest snapshot attested
+	// (audit mode). Written on the shard goroutine inside the snapshot
+	// envelope; the coordinator reads it for the manifest only after the
+	// shard acked, so the ack channel orders the accesses.
+	snapHead audit.Head
 
 	// buffered holds events of not-yet-closed days routed to this shard.
 	buffered map[cert.Day][]Event
@@ -290,6 +300,14 @@ type Server struct {
 	persistFail   atomic.Value // errBox
 	daysSinceSnap int
 	recovery      *RecoverInfo
+
+	// Audit layer (PersistConfig.Audit only). auditPriv is the data
+	// directory's ed25519 signing key; auditIdx is the in-memory proof
+	// index (batch ID → logged parts), written by shard goroutines as
+	// parts land and rebuilt from the WAL tail at recovery.
+	auditPriv ed25519.PrivateKey
+	auditMu   sync.RWMutex
+	auditIdx  map[uint64][]partAudit
 
 	// obs mirrors cfg.Observer (nil = instrumentation off); startTime
 	// feeds the status report's uptime.
@@ -581,7 +599,7 @@ func (s *Server) Submit(ctx context.Context, events []Event) error {
 		}
 	}
 	start := s.obs.Clock()
-	if err := s.submit(ctx, events); err != nil {
+	if _, err := s.submit(ctx, events); err != nil {
 		return err
 	}
 	s.obs.ObserveSubmit(start, len(events))
@@ -589,23 +607,31 @@ func (s *Server) Submit(ctx context.Context, events []Event) error {
 }
 
 // submit routes one validated batch: the single-shard direct path, or the
-// cross-shard fan-out.
-func (s *Server) submit(ctx context.Context, events []Event) error {
+// cross-shard fan-out. It returns the batch ID the log assigned (0 when
+// no ID was allocated — an in-memory single-shard server, or an audited
+// batch routed to zero shards).
+func (s *Server) submit(ctx context.Context, events []Event) (uint64, error) {
 	if len(s.shards) == 1 {
 		env := envelope{events: events}
 		sh := s.shards[0]
 		if sh.wal == nil {
-			return s.send(ctx, sh.queue, env, sh.stats)
+			return 0, s.send(ctx, sh.queue, env, sh.stats)
+		}
+		if s.auditOn() {
+			// Audit streams log every batch as a part record (parts=1):
+			// the batch ID keys the proof index.
+			env.batchID = s.nextBatch.Add(1)
+			env.parts = 1
 		}
 		env.done = make(chan error, 1)
 		if err := s.send(ctx, sh.queue, env, sh.stats); err != nil {
-			return err
+			return 0, err
 		}
 		select {
 		case err := <-env.done:
-			return err
+			return env.batchID, err
 		case <-ctx.Done():
-			return ctx.Err()
+			return 0, ctx.Err()
 		}
 	}
 	return s.submitSharded(ctx, events)
@@ -621,7 +647,7 @@ var testHookPartSent func(shard int)
 // shard queues, then (with persistence) waits for every involved shard's
 // WAL ack. The enqueue loop runs under snapMu's read side so a snapshot
 // round can never cut through the middle of a batch's fan-out.
-func (s *Server) submitSharded(ctx context.Context, events []Event) error {
+func (s *Server) submitSharded(ctx context.Context, events []Event) (uint64, error) {
 	if s.persistent() {
 		// Check the whole batch's encoded size up front, on the caller's
 		// goroutine: an oversized batch is rejected before any shard
@@ -629,10 +655,10 @@ func (s *Server) submitSharded(ctx context.Context, events []Event) error {
 		// per-shard slice encodes smaller than the full batch.
 		payload, err := encodeEventsPayload(events)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		if len(payload)+partHeaderSize > maxWALRecord {
-			return fmt.Errorf("%w (%d bytes, cap %d)", ErrBatchTooLarge, len(payload), maxWALRecord)
+			return 0, fmt.Errorf("%w (%d bytes, cap %d)", ErrBatchTooLarge, len(payload), maxWALRecord)
 		}
 	}
 	split := make([][]Event, len(s.shards))
@@ -646,19 +672,20 @@ func (s *Server) submitSharded(ctx context.Context, events []Event) error {
 	}
 
 	if err := s.persistErr(); err != nil {
-		return err
+		return 0, err
 	}
 	var dones []chan error
+	batchID := uint64(0)
 	s.snapMu.RLock()
 	s.qmu.RLock()
 	if s.closed {
 		s.qmu.RUnlock()
 		s.snapMu.RUnlock()
-		return ErrShuttingDown
+		return 0, ErrShuttingDown
 	}
 	if parts > 0 {
 		enq := s.obs.Clock()
-		batchID := s.nextBatch.Add(1)
+		batchID = s.nextBatch.Add(1)
 		for k, evs := range split {
 			if len(evs) == 0 {
 				continue
@@ -679,7 +706,7 @@ func (s *Server) submitSharded(ctx context.Context, events []Event) error {
 			case <-ctx.Done():
 				s.qmu.RUnlock()
 				s.snapMu.RUnlock()
-				return ctx.Err()
+				return 0, ctx.Err()
 			}
 		}
 		s.obs.ObserveEnqueue(enq)
@@ -695,10 +722,10 @@ func (s *Server) submitSharded(ctx context.Context, events []Event) error {
 				firstErr = err
 			}
 		case <-ctx.Done():
-			return ctx.Err()
+			return 0, ctx.Err()
 		}
 	}
-	return firstErr
+	return batchID, firstErr
 }
 
 // CloseDay declares that every day up to and including d is complete,
@@ -801,6 +828,8 @@ func (s *Server) shardDrain(sh *shard) {
 			}
 		case env.isSnap:
 			env.done <- s.shardSnapshot(sh)
+		case env.isReceipt:
+			env.done <- s.shardReceipt(sh, env.rcpt)
 		default:
 			err := s.shardEvents(sh, env)
 			if env.done != nil {
@@ -835,13 +864,19 @@ func (s *Server) shardEvents(sh *shard, env envelope) error {
 	}
 	if sh.wal != nil && (len(fresh) > 0 || env.parts > 0) {
 		var payload []byte
+		var bodies [][]byte
 		var err error
-		if env.parts > 0 {
+		switch {
+		case s.auditOn():
+			// Audit streams always log part records (parts=1 unsharded):
+			// per-event encodings become the batch's Merkle leaves.
+			payload, bodies, err = encodePartPayloadAudit(env.batchID, env.parts, fresh)
+		case env.parts > 0:
 			// A slice of a cross-shard batch logs even when empty: the
 			// batch is durable only when all its parts are on disk, and
 			// every involved shard must be able to account for its part.
 			payload, err = encodePartPayload(env.batchID, env.parts, fresh)
-		} else {
+		default:
 			payload, err = encodeEventsPayload(fresh)
 		}
 		if err != nil {
@@ -850,7 +885,12 @@ func (s *Server) shardEvents(sh *shard, env envelope) error {
 		if len(payload) > maxWALRecord {
 			return fmt.Errorf("%w (%d bytes, cap %d)", ErrBatchTooLarge, len(payload), maxWALRecord)
 		}
-		if err := sh.wal.append(payload); err != nil {
+		if s.auditOn() {
+			if err := sh.wal.appendEvents(payload, bodies); err != nil {
+				return s.failPersist(err)
+			}
+			s.recordBatchAudit(sh, env.batchID)
+		} else if err := sh.wal.append(payload); err != nil {
 			return s.failPersist(err)
 		}
 	}

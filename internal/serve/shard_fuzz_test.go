@@ -74,18 +74,23 @@ func FuzzManifestDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("ACMF"))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		shards, day, hwm, err := decodeManifest(data)
+		m, err := decodeManifest(data)
 		if err != nil {
 			return
 		}
-		if shards < 1 {
-			t.Fatalf("decoder accepted %d shards", shards)
+		if m.shards < 1 {
+			t.Fatalf("decoder accepted %d shards", m.shards)
 		}
-		re := fuzzManifestSeed(shards, day, hwm)
-		s2, d2, h2, err := decodeManifest(re)
-		if err != nil || s2 != shards || d2 != day || h2 != hwm {
+		if m.version != manifestVersion {
+			// Audit manifests carry a signature; round-tripping them needs
+			// the signing key, which the v1 seed encoder does not have.
+			return
+		}
+		re := fuzzManifestSeed(m.shards, m.day, m.batchHWM)
+		m2, err := decodeManifest(re)
+		if err != nil || m2.shards != m.shards || m2.day != m.day || m2.batchHWM != m.batchHWM {
 			t.Fatalf("round trip of accepted manifest (%d, %v, %d) failed: (%d, %v, %d, %v)",
-				shards, day, hwm, s2, d2, h2, err)
+				m.shards, m.day, m.batchHWM, m2.shards, m2.day, m2.batchHWM, err)
 		}
 	})
 }

@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash"
 	"hash/crc32"
 	"io"
 	"os"
@@ -12,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 
+	"acobe/internal/audit"
 	"acobe/internal/cert"
 	"acobe/internal/persist"
 )
@@ -32,12 +35,19 @@ import (
 // snapshot's position.
 
 const (
-	snapMagic      = "ACSN"
-	snapTrailer    = "ACSE"
-	snapVersion    = 1
-	snapRetain     = 2
-	snapSuffix     = ".snap"
-	snapTempSuffix = ".snap.tmp"
+	snapMagic   = "ACSN"
+	snapTrailer = "ACSE"
+	snapVersion = 1
+	// snapAuditVersion marks an audit-attesting snapshot: the header
+	// additionally carries the WAL chain head at the snapshot's position
+	// (so the snapshot attests to the exact log prefix it summarizes),
+	// and the file ends with an ed25519 signature over the SHA-256 of
+	// everything before it (body + CRC). Audit off keeps writing
+	// version 1 byte-identically.
+	snapAuditVersion = 2
+	snapRetain       = 2
+	snapSuffix       = ".snap"
+	snapTempSuffix   = ".snap.tmp"
 
 	// snapPrefix is the unsharded (legacy, Shards=1) snapshot-name prefix.
 	snapPrefix = "snapshot-"
@@ -73,6 +83,31 @@ type crcReader struct {
 func (c *crcReader) Read(p []byte) (int, error) {
 	n, err := c.r.Read(p)
 	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+// digestWriter SHA-256-hashes everything written through it (the
+// message an audit-mode snapshot's trailing signature covers).
+type digestWriter struct {
+	w io.Writer
+	h hash.Hash
+}
+
+func (d *digestWriter) Write(p []byte) (int, error) {
+	n, err := d.w.Write(p)
+	d.h.Write(p[:n])
+	return n, err
+}
+
+// digestReader SHA-256-hashes everything read through it.
+type digestReader struct {
+	r io.Reader
+	h hash.Hash
+}
+
+func (d *digestReader) Read(p []byte) (int, error) {
+	n, err := d.r.Read(p)
+	d.h.Write(p[:n])
 	return n, err
 }
 
@@ -146,7 +181,7 @@ func listSegments(dir, prefix string) ([]uint64, error) {
 // state), so no locks are needed: rank queries and retrain cloning only
 // read the merged view. withGroups says whether this snapshot carries the
 // global group state — true for shard 0 of a grouped server.
-func (s *Server) encodeSnapshot(w io.Writer, sh *shard, withGroups bool, day cert.Day, pos walPos) error {
+func (s *Server) encodeSnapshot(w io.Writer, sh *shard, withGroups bool, day cert.Day, pos walPos, head audit.Head) error {
 	var ing StatefulIngestor
 	if sh.ing != nil {
 		var ok bool
@@ -155,11 +190,17 @@ func (s *Server) encodeSnapshot(w io.Writer, sh *shard, withGroups bool, day cer
 			return fmt.Errorf("serve: ingestor %T cannot snapshot (no SaveState)", sh.ing)
 		}
 	}
+	ver := s.snapVer()
 	pw := persist.NewWriter(w)
-	pw.Magic(snapMagic, snapVersion)
+	pw.Magic(snapMagic, ver)
 	pw.I64(int64(day))
 	pw.U64(pos.seg)
 	pw.I64(pos.off)
+	if ver == snapAuditVersion {
+		// The chain head at pos: this snapshot attests the exact WAL
+		// prefix it summarizes, anchoring proofs past future pruning.
+		pw.Bytes(head[:])
+	}
 	pw.I64(sh.ingested.Load())
 	pw.I64(sh.late.Load())
 	pw.Strings(sh.users)
@@ -203,8 +244,18 @@ func (s *Server) encodeSnapshot(w io.Writer, sh *shard, withGroups bool, day cer
 		}
 		pw.Bytes(body)
 	}
-	pw.Magic(snapTrailer, snapVersion)
+	pw.Magic(snapTrailer, ver)
 	return pw.Err()
+}
+
+// snapVer returns the snapshot format version this server writes (and
+// the only one it accepts — an audit-mode mismatch must be loud, never a
+// silent reinterpretation).
+func (s *Server) snapVer() uint32 {
+	if s.auditOn() {
+		return snapAuditVersion
+	}
+	return snapVersion
 }
 
 // loadSnapshot restores a snapshot file into a freshly constructed
@@ -212,28 +263,44 @@ func (s *Server) encodeSnapshot(w io.Writer, sh *shard, withGroups bool, day cer
 // validation failure leaves the caller free to fall back to an older
 // snapshot (the state is only mutated after the header validates, and the
 // caller rebuilds the core per attempt).
-func (s *Server) loadSnapshot(path string, sh *shard, withGroups bool) (day cert.Day, pos walPos, err error) {
+func (s *Server) loadSnapshot(path string, sh *shard, withGroups bool) (day cert.Day, pos walPos, head audit.Head, err error) {
 	var ing StatefulIngestor
 	if sh.ing != nil {
 		var ok bool
 		ing, ok = sh.ing.(StatefulIngestor)
 		if !ok {
-			return 0, walPos{}, fmt.Errorf("serve: ingestor %T cannot restore (no LoadState)", sh.ing)
+			return 0, walPos{}, head, fmt.Errorf("serve: ingestor %T cannot restore (no LoadState)", sh.ing)
 		}
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		return 0, walPos{}, err
+		return 0, walPos{}, head, err
 	}
 	defer f.Close()
-	cr := &crcReader{r: f}
+	ver := s.snapVer()
+	// In audit mode every byte before the trailing signature (body and
+	// CRC alike) feeds a SHA-256 the signature is checked against.
+	var src io.Reader = f
+	var dg *digestReader
+	if ver == snapAuditVersion {
+		dg = &digestReader{r: f, h: sha256.New()}
+		src = dg
+	}
+	cr := &crcReader{r: src}
 	pr := persist.NewReader(cr)
-	if v := pr.Magic(snapMagic); pr.Err() == nil && v != snapVersion {
-		return 0, walPos{}, fmt.Errorf("serve: snapshot version %d unsupported", v)
+	if v := pr.Magic(snapMagic); pr.Err() == nil && v != ver {
+		return 0, walPos{}, head, fmt.Errorf("serve: snapshot version %d, want %d (audit mode mismatch?)", v, ver)
 	}
 	day = cert.Day(pr.I64())
 	pos.seg = pr.U64()
 	pos.off = pr.I64()
+	if ver == snapAuditVersion {
+		hb := pr.Bytes()
+		if pr.Err() == nil && len(hb) != audit.HeadSize {
+			return 0, walPos{}, head, fmt.Errorf("serve: snapshot chain head is %d bytes, want %d", len(hb), audit.HeadSize)
+		}
+		copy(head[:], hb)
+	}
 	ingested := pr.I64()
 	late := pr.I64()
 	users := pr.Strings()
@@ -241,36 +308,36 @@ func (s *Server) loadSnapshot(path string, sh *shard, withGroups bool) (day cert
 	start := cert.Day(pr.I64())
 	window := pr.Int()
 	if err := pr.Err(); err != nil {
-		return 0, walPos{}, err
+		return 0, walPos{}, head, err
 	}
 	if !equalStrings(users, sh.users) || !equalStrings(groups, s.cfg.Groups) {
-		return 0, walPos{}, fmt.Errorf("serve: snapshot users/groups do not match configuration")
+		return 0, walPos{}, head, fmt.Errorf("serve: snapshot users/groups do not match configuration")
 	}
 	if start != s.cfg.Start || window != s.cfg.Deviation.Window {
-		return 0, walPos{}, fmt.Errorf("serve: snapshot shape (start %v, window %d) does not match configuration (%v, %d)",
+		return 0, walPos{}, head, fmt.Errorf("serve: snapshot shape (start %v, window %d) does not match configuration (%v, %d)",
 			start, window, s.cfg.Start, s.cfg.Deviation.Window)
 	}
 	if ing != nil {
 		if err := ing.LoadState(cr); err != nil {
-			return 0, walPos{}, err
+			return 0, walPos{}, head, err
 		}
 		if err := sh.ind.LoadState(cr); err != nil {
-			return 0, walPos{}, err
+			return 0, walPos{}, head, err
 		}
 	}
 	hasGroups := pr.Bool()
 	if pr.Err() == nil && hasGroups != withGroups {
-		return 0, walPos{}, fmt.Errorf("serve: snapshot group presence does not match configuration")
+		return 0, walPos{}, head, fmt.Errorf("serve: snapshot group presence does not match configuration")
 	}
 	if err := pr.Err(); err != nil {
-		return 0, walPos{}, err
+		return 0, walPos{}, head, err
 	}
 	if hasGroups {
 		if err := s.groupTable().LoadState(cr); err != nil {
-			return 0, walPos{}, err
+			return 0, walPos{}, head, err
 		}
 		if err := s.groupStream().LoadState(cr); err != nil {
-			return 0, walPos{}, err
+			return 0, walPos{}, head, err
 		}
 	}
 	ndays := pr.Len()
@@ -282,30 +349,45 @@ func (s *Server) loadSnapshot(path string, sh *shard, withGroups bool) (day cert
 		}
 		var evs []Event
 		if err := json.Unmarshal(body, &evs); err != nil {
-			return 0, walPos{}, fmt.Errorf("serve: snapshot buffered events: %w", err)
+			return 0, walPos{}, head, fmt.Errorf("serve: snapshot buffered events: %w", err)
 		}
 		sh.buffered[d] = evs
 	}
-	if v := pr.Magic(snapTrailer); pr.Err() == nil && v != snapVersion {
-		return 0, walPos{}, fmt.Errorf("serve: snapshot trailer version %d unsupported", v)
+	if v := pr.Magic(snapTrailer); pr.Err() == nil && v != ver {
+		return 0, walPos{}, head, fmt.Errorf("serve: snapshot trailer version %d unsupported", v)
 	}
 	if err := pr.Err(); err != nil {
-		return 0, walPos{}, err
+		return 0, walPos{}, head, err
 	}
 	// The stored CRC covers everything up to and including the trailer. It
-	// is read directly from f so it does not feed the running checksum.
+	// is read from src — past the CRC accumulator, but (in audit mode)
+	// through the digest, because the signature covers body AND CRC.
 	want := cr.crc
 	var stored [4]byte
-	if _, err := io.ReadFull(f, stored[:]); err != nil {
-		return 0, walPos{}, fmt.Errorf("serve: snapshot checksum missing: %w", err)
+	if _, err := io.ReadFull(src, stored[:]); err != nil {
+		return 0, walPos{}, head, fmt.Errorf("serve: snapshot checksum missing: %w", err)
 	}
 	if got := binary.LittleEndian.Uint32(stored[:]); got != want {
-		return 0, walPos{}, fmt.Errorf("serve: snapshot checksum mismatch (stored %08x, computed %08x)", got, want)
+		return 0, walPos{}, head, fmt.Errorf("serve: snapshot checksum mismatch (stored %08x, computed %08x)", got, want)
+	}
+	if ver == snapAuditVersion {
+		var sig [audit.SigSize]byte
+		if _, err := io.ReadFull(f, sig[:]); err != nil {
+			return 0, walPos{}, head, fmt.Errorf("serve: snapshot signature missing: %w", err)
+		}
+		var d [sha256.Size]byte
+		dg.h.Sum(d[:0])
+		if !audit.VerifyContext(s.auditPub(), sig, audit.ContextSnapshot, d[:]) {
+			return 0, walPos{}, head, fmt.Errorf("serve: snapshot signature invalid (key %s)", audit.Fingerprint(s.auditPub()))
+		}
+		if n, _ := f.Read(stored[:1]); n != 0 {
+			return 0, walPos{}, head, fmt.Errorf("serve: snapshot has trailing bytes after signature")
+		}
 	}
 	sh.closedThrough = day
 	sh.ingested.Store(ingested)
 	sh.late.Store(late)
-	return day, pos, nil
+	return day, pos, head, nil
 }
 
 // readSnapshotPos reads only a snapshot's header, for pruning decisions.
@@ -323,20 +405,32 @@ func readSnapshotPos(path string) (day cert.Day, pos walPos, err error) {
 	return day, pos, pr.Err()
 }
 
-// publishSnapshot writes one snapshot file atomically: tmp + CRC + fsync
-// + rename + directory fsync.
-func (s *Server) publishSnapshot(final string, sh *shard, withGroups bool, day cert.Day, pos walPos) error {
+// publishSnapshot writes one snapshot file atomically: tmp + CRC (+
+// signature, in audit mode) + fsync + rename + directory fsync.
+func (s *Server) publishSnapshot(final string, sh *shard, withGroups bool, day cert.Day, pos walPos, head audit.Head) error {
 	tmp := final + ".tmp"
 	f, err := s.fs.create(tmp)
 	if err != nil {
 		return err
 	}
-	cw := &crcWriter{w: f}
-	err = s.encodeSnapshot(cw, sh, withGroups, day, pos)
+	var out io.Writer = f
+	var dg *digestWriter
+	if s.auditOn() {
+		dg = &digestWriter{w: f, h: sha256.New()}
+		out = dg
+	}
+	cw := &crcWriter{w: out}
+	err = s.encodeSnapshot(cw, sh, withGroups, day, pos, head)
 	if err == nil {
 		var sum [4]byte
 		binary.LittleEndian.PutUint32(sum[:], cw.crc)
-		_, err = f.Write(sum[:])
+		_, err = out.Write(sum[:])
+	}
+	if err == nil && dg != nil {
+		var d [sha256.Size]byte
+		dg.h.Sum(d[:0])
+		sig := audit.SignContext(s.auditPriv, audit.ContextSnapshot, d[:])
+		_, err = f.Write(sig[:])
 	}
 	if err == nil {
 		err = f.Sync()
@@ -367,8 +461,9 @@ func (s *Server) writeSnapshot() error {
 		return err
 	}
 	pos := sh.wal.pos()
+	head := sh.wal.head()
 	day := s.closedThrough
-	if err := s.publishSnapshot(snapPath(s.pcfg.Dir, snapPrefix, day), sh, s.grp != nil, day, pos); err != nil {
+	if err := s.publishSnapshot(snapPath(s.pcfg.Dir, snapPrefix, day), sh, s.grp != nil, day, pos, head); err != nil {
 		return err
 	}
 	return s.pruneAfterSnapshot(day, pos)
@@ -386,9 +481,11 @@ func (s *Server) shardSnapshot(sh *shard) error {
 		return s.failPersist(err)
 	}
 	pos := sh.wal.pos()
+	head := sh.wal.head()
+	sh.snapHead = head
 	day := sh.closedThrough
 	withGroups := sh.idx == 0 && s.hasGroups
-	if err := s.publishSnapshot(snapPath(s.pcfg.Dir, snapShardPrefix(sh.idx), day), sh, withGroups, day, pos); err != nil {
+	if err := s.publishSnapshot(snapPath(s.pcfg.Dir, snapShardPrefix(sh.idx), day), sh, withGroups, day, pos, head); err != nil {
 		return s.failPersist(err)
 	}
 	return nil

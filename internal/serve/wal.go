@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"acobe/internal/audit"
 	"acobe/internal/cert"
 	"acobe/internal/obs"
 )
@@ -31,6 +32,14 @@ const (
 	walMagic      = "ACWL"
 	walVersion    = 1
 	walHeaderSize = 16
+	// walAuditVersion marks an audit-enabled segment stream. Its header
+	// grows a 32-byte chain-link field: the sealed SHA-256 chain head of
+	// the previous segment (zero for the first segment of a stream), so
+	// the hash chain spans segment boundaries. Audit off keeps writing
+	// version-1 segments byte-identically; the two versions never mix in
+	// one stream.
+	walAuditVersion    = 2
+	walAuditHeaderSize = walHeaderSize + audit.HeadSize
 	// maxWALRecord caps a frame's payload length. Nothing legitimate comes
 	// close; a larger length prefix is corruption and must not turn into a
 	// giant allocation.
@@ -47,6 +56,16 @@ const (
 	// shard's slice was entirely late-filtered, so the count is always
 	// reachable for a batch that completed.
 	recEventsPart byte = 3
+	// recSeal is a segment seal (audit streams only): type byte + an
+	// audit.Seal — the chain head over every prior frame of the segment.
+	// Written as the final frame before rotation and at clean shutdown,
+	// and folded into the chain itself so the next segment's header link
+	// covers it. Replay treats it as a no-op.
+	recSeal byte = 4
+	// recReceipt is a signed rank receipt (audit streams only): type byte
+	// + an audit.Receipt. Replay treats it as a no-op; the offline
+	// verifier checks its signature and chain anchoring.
+	recReceipt byte = 5
 
 	// partHeaderSize is recEventsPart's fixed prefix: type + batch ID +
 	// part count.
@@ -56,10 +75,12 @@ const (
 // walRecord is one decoded WAL record.
 type walRecord struct {
 	typ     byte
-	events  []Event  // recEvents, recEventsPart
-	day     cert.Day // recClose
-	batchID uint64   // recEventsPart
-	parts   uint32   // recEventsPart
+	events  []Event       // recEvents, recEventsPart
+	day     cert.Day      // recClose
+	batchID uint64        // recEventsPart
+	parts   uint32        // recEventsPart
+	seal    audit.Seal    // recSeal
+	receipt audit.Receipt // recReceipt
 }
 
 // walFrame is one framing-valid frame located inside a segment image.
@@ -84,13 +105,11 @@ func encodeFrame(payload []byte) []byte {
 // stops at the first short, oversized, or CRC-mismatched frame, which is
 // how a torn tail is found. Frame payloads alias data.
 func parseSegment(data []byte) (seq uint64, frames []walFrame, goodLen int, hdrOK bool) {
-	if len(data) < walHeaderSize ||
-		string(data[:4]) != walMagic ||
-		binary.LittleEndian.Uint32(data[4:8]) != walVersion {
+	seq, _, _, hdrLen, ok := parseSegHeader(data)
+	if !ok {
 		return 0, nil, 0, false
 	}
-	seq = binary.LittleEndian.Uint64(data[8:16])
-	goodLen = walHeaderSize
+	goodLen = hdrLen
 	for {
 		rest := data[goodLen:]
 		if len(rest) < 8 {
@@ -107,6 +126,31 @@ func parseSegment(data []byte) (seq uint64, frames []walFrame, goodLen int, hdrO
 		frames = append(frames, walFrame{off: goodLen, payload: payload})
 		goodLen += 8 + int(n)
 	}
+}
+
+// parseSegHeader validates a segment header, returning the sequence
+// number, format version, previous-segment chain link (version 2 only;
+// zero for version 1), and header length. ok is false for a header of
+// the wrong magic, an unknown version, or one cut short.
+func parseSegHeader(data []byte) (seq uint64, version uint32, prevHead audit.Head, hdrLen int, ok bool) {
+	if len(data) < walHeaderSize || string(data[:4]) != walMagic {
+		return 0, 0, audit.Head{}, 0, false
+	}
+	version = binary.LittleEndian.Uint32(data[4:8])
+	switch version {
+	case walVersion:
+		hdrLen = walHeaderSize
+	case walAuditVersion:
+		if len(data) < walAuditHeaderSize {
+			return 0, 0, audit.Head{}, 0, false
+		}
+		hdrLen = walAuditHeaderSize
+		copy(prevHead[:], data[walHeaderSize:walAuditHeaderSize])
+	default:
+		return 0, 0, audit.Head{}, 0, false
+	}
+	seq = binary.LittleEndian.Uint64(data[8:16])
+	return seq, version, prevHead, hdrLen, true
 }
 
 // decodeRecord decodes a framing-valid payload. A CRC-valid frame whose
@@ -154,6 +198,18 @@ func decodeRecord(payload []byte) (walRecord, error) {
 			return walRecord{}, fmt.Errorf("serve: WAL close record has %d body bytes, want 8", len(payload)-1)
 		}
 		return walRecord{typ: recClose, day: cert.Day(int64(binary.LittleEndian.Uint64(payload[1:])))}, nil
+	case recSeal:
+		s, err := audit.DecodeSeal(payload[1:])
+		if err != nil {
+			return walRecord{}, fmt.Errorf("serve: WAL seal record: %w", err)
+		}
+		return walRecord{typ: recSeal, seal: s}, nil
+	case recReceipt:
+		rc, err := audit.DecodeReceipt(payload[1:])
+		if err != nil {
+			return walRecord{}, fmt.Errorf("serve: WAL receipt record: %w", err)
+		}
+		return walRecord{typ: recReceipt, receipt: rc}, nil
 	default:
 		return walRecord{}, fmt.Errorf("serve: unknown WAL record type %d", payload[0])
 	}
@@ -181,10 +237,52 @@ type wal struct {
 	// stats, when non-nil, is the owning shard's recording cell: append
 	// traffic and fsync latency land there.
 	stats *obs.ShardStats
+	// aud, when non-nil, makes this an audit stream: version-2 segment
+	// headers, every frame folded into the chain, seals at rotation and
+	// clean close. Nil keeps the on-disk format byte-identical to the
+	// pre-audit layout.
+	aud *walAudit
 
 	seq uint64
 	f   WritableFile
 	off int64
+	// lastPos is the start position of the most recently appended frame
+	// (valid after a successful append; the proof index records it).
+	lastPos walPos
+}
+
+// walAudit is the per-stream audit state: the running chain, the Merkle
+// scratch tree for event batches, and the frame count of the open
+// segment (what the next seal will claim).
+type walAudit struct {
+	chain  *audit.Chain
+	tree   *audit.Tree
+	frames uint32
+	// root/haveRoot carry the batch root between appendEvents and the
+	// fold inside appendWith.
+	root     audit.Head
+	haveRoot bool
+}
+
+// newWALAudit starts audit state at prev (zero for a fresh stream).
+func newWALAudit(prev audit.Head) *walAudit {
+	return &walAudit{chain: audit.NewChain(prev), tree: audit.NewTree()}
+}
+
+// head returns the wal's current chain head (zero when audit is off).
+func (w *wal) head() audit.Head {
+	if w.aud == nil {
+		return audit.Head{}
+	}
+	return w.aud.chain.Head()
+}
+
+// hdrSize returns the segment header length this stream writes.
+func (w *wal) hdrSize() int64 {
+	if w.aud != nil {
+		return walAuditHeaderSize
+	}
+	return walHeaderSize
 }
 
 // walPrefix is the unsharded (legacy, Shards=1) segment-name prefix.
@@ -203,11 +301,20 @@ func (w *wal) openSegment(seq uint64) error {
 	if err != nil {
 		return err
 	}
-	var hdr [walHeaderSize]byte
+	var hdr [walAuditHeaderSize]byte
 	copy(hdr[:4], walMagic)
-	binary.LittleEndian.PutUint32(hdr[4:8], walVersion)
 	binary.LittleEndian.PutUint64(hdr[8:16], seq)
-	if _, err := f.Write(hdr[:]); err != nil {
+	hdrLen := walHeaderSize
+	if w.aud != nil {
+		// Chain the previous segment's sealed head into the new header.
+		binary.LittleEndian.PutUint32(hdr[4:8], walAuditVersion)
+		head := w.aud.chain.Head()
+		copy(hdr[walHeaderSize:], head[:])
+		hdrLen = walAuditHeaderSize
+	} else {
+		binary.LittleEndian.PutUint32(hdr[4:8], walVersion)
+	}
+	if _, err := f.Write(hdr[:hdrLen]); err != nil {
 		f.Close()
 		return err
 	}
@@ -218,7 +325,10 @@ func (w *wal) openSegment(seq uint64) error {
 		f.Close()
 		return err
 	}
-	w.f, w.seq, w.off = f, seq, walHeaderSize
+	w.f, w.seq, w.off = f, seq, w.hdrSize()
+	if w.aud != nil {
+		w.aud.frames = 0
+	}
 	return nil
 }
 
@@ -235,24 +345,31 @@ func (w *wal) resumeSegment(seq uint64, size int64) error {
 
 // append frames one payload into the log, rotating to a new segment first
 // when the current one is full. Returns only after the frame is written
-// (and synced, under FsyncAlways).
+// (and synced, under FsyncAlways). On an audit stream the frame folds
+// into the chain, and rotation seals the outgoing segment first.
 func (w *wal) append(payload []byte) error {
 	if len(payload) > maxWALRecord {
 		return fmt.Errorf("serve: WAL record of %d bytes exceeds cap %d", len(payload), maxWALRecord)
 	}
 	frame := encodeFrame(payload)
-	if w.off > walHeaderSize && w.off+int64(len(frame)) > w.segBytes {
-		if err := w.syncFile(); err != nil {
-			return err
-		}
-		if err := w.f.Close(); err != nil {
-			return err
-		}
-		w.f = nil
-		if err := w.openSegment(w.seq + 1); err != nil {
-			return err
-		}
+	if err := w.rotateIfNeeded(len(frame)); err != nil {
+		return err
 	}
+	if w.aud != nil {
+		var start time.Time
+		if w.stats != nil {
+			start = time.Now()
+		}
+		if w.aud.haveRoot {
+			w.aud.chain.FoldWithRoot(frame, w.aud.root)
+			w.aud.haveRoot = false
+		} else {
+			w.aud.chain.Fold(frame)
+		}
+		w.aud.frames++
+		w.stats.ObserveWALHash(start)
+	}
+	w.lastPos = walPos{seg: w.seq, off: w.off}
 	n, err := w.f.Write(frame)
 	w.off += int64(n)
 	if err != nil {
@@ -262,6 +379,77 @@ func (w *wal) append(payload []byte) error {
 	if w.policy == FsyncAlways {
 		return w.syncFile()
 	}
+	return nil
+}
+
+// rotateIfNeeded closes the current segment and opens the next when an
+// incoming frame of frameLen bytes would overflow it, sealing the
+// outgoing segment first on an audit stream.
+func (w *wal) rotateIfNeeded(frameLen int) error {
+	if w.off <= w.hdrSize() || w.off+int64(frameLen) <= w.segBytes {
+		return nil
+	}
+	if w.aud != nil {
+		if err := w.writeSeal(); err != nil {
+			return err
+		}
+	}
+	if err := w.syncFile(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	w.f = nil
+	return w.openSegment(w.seq + 1)
+}
+
+// appendEvents appends an event-batch payload. On an audit stream,
+// bodies (each event's JSON encoding, slicing payload) are hashed into
+// the batch's Merkle leaves and the root is committed into the chain
+// alongside the frame; the caller can then read leaves/root/lastPos for
+// the proof index. Audit off ignores bodies entirely.
+func (w *wal) appendEvents(payload []byte, bodies [][]byte) error {
+	if w.aud == nil {
+		return w.append(payload)
+	}
+	var start time.Time
+	if w.stats != nil {
+		start = time.Now()
+	}
+	a := w.aud
+	a.tree.Reset()
+	for _, b := range bodies {
+		a.tree.AddLeaf(b)
+	}
+	a.root = a.tree.Root()
+	a.haveRoot = true
+	w.stats.ObserveWALHash(start)
+	err := w.append(payload)
+	a.haveRoot = false
+	return err
+}
+
+// writeSeal appends the segment seal: the chain head over every prior
+// frame of the open segment, itself folded into the chain so the next
+// header's link covers it. Called before rotation and at clean close;
+// a crash can legitimately leave the final segment unsealed.
+func (w *wal) writeSeal() error {
+	a := w.aud
+	s := audit.Seal{Head: a.chain.Head(), Seq: w.seq, Frames: a.frames}
+	enc := s.Encode()
+	payload := make([]byte, 1+len(enc))
+	payload[0] = recSeal
+	copy(payload[1:], enc)
+	frame := encodeFrame(payload)
+	a.chain.Fold(frame)
+	a.frames++
+	n, err := w.f.Write(frame)
+	w.off += int64(n)
+	if err != nil {
+		return err
+	}
+	w.stats.AddWALAppend(len(frame))
 	return nil
 }
 
@@ -282,6 +470,86 @@ func encodeEventsPayload(events []Event) ([]byte, error) {
 	return payload, nil
 }
 
+// encodeEventsPayloadAudit is encodeEventsPayload plus leaf boundaries:
+// it builds the JSON array from per-event encodings and returns each
+// event's bytes (aliasing payload) so the audit layer can hash Merkle
+// leaves without re-marshaling. The payload is byte-identical to
+// encodeEventsPayload's for non-empty batches — an encoding/json array
+// is exactly the comma-joined element encodings in brackets.
+func encodeEventsPayloadAudit(events []Event) ([]byte, [][]byte, error) {
+	payload, spans, err := encodeEventArray(events, []byte{recEvents})
+	if err != nil {
+		return nil, nil, err
+	}
+	return payload, spans, nil
+}
+
+// encodePartPayloadAudit is encodePartPayload with leaf boundaries, per
+// encodeEventsPayloadAudit.
+func encodePartPayloadAudit(batchID uint64, parts uint32, events []Event) ([]byte, [][]byte, error) {
+	hdr := make([]byte, partHeaderSize)
+	hdr[0] = recEventsPart
+	binary.LittleEndian.PutUint64(hdr[1:9], batchID)
+	binary.LittleEndian.PutUint32(hdr[9:13], parts)
+	return encodeEventArray(events, hdr)
+}
+
+// encodeEventArray appends a JSON array of events to prefix, recording
+// each element's byte span. The returned spans alias the payload.
+func encodeEventArray(events []Event, prefix []byte) ([]byte, [][]byte, error) {
+	buf := append([]byte(nil), prefix...)
+	buf = append(buf, '[')
+	offs := make([][2]int, len(events))
+	for i := range events {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		enc, err := json.Marshal(&events[i])
+		if err != nil {
+			return nil, nil, fmt.Errorf("serve: encode WAL events: %w", err)
+		}
+		start := len(buf)
+		buf = append(buf, enc...)
+		offs[i] = [2]int{start, len(buf)}
+	}
+	buf = append(buf, ']')
+	spans := make([][]byte, len(events))
+	for i, o := range offs {
+		spans[i] = buf[o[0]:o[1]]
+	}
+	return buf, spans, nil
+}
+
+// batchLeafBodies re-derives the Merkle leaf inputs of a replayed event
+// record: each event re-marshaled individually. Event encoding is
+// deterministic and round-trip stable, so these equal the bytes hashed
+// at append time.
+func batchLeafBodies(events []Event) ([][]byte, error) {
+	bodies := make([][]byte, len(events))
+	for i := range events {
+		enc, err := json.Marshal(&events[i])
+		if err != nil {
+			return nil, fmt.Errorf("serve: re-encode WAL events: %w", err)
+		}
+		bodies[i] = enc
+	}
+	return bodies, nil
+}
+
+// batchRoot recomputes the Merkle root a replayed event record committed.
+func batchRoot(t *audit.Tree, events []Event) (audit.Head, []audit.Head, error) {
+	bodies, err := batchLeafBodies(events)
+	if err != nil {
+		return audit.Head{}, nil, err
+	}
+	t.Reset()
+	for _, b := range bodies {
+		t.AddLeaf(b)
+	}
+	leaves := append([]audit.Head(nil), t.Leaves()...)
+	return t.Root(), leaves, nil
+}
+
 // encodePartPayload encodes one shard's slice of a cross-shard batch as a
 // recEventsPart payload. events may be empty (a slice the late filter
 // consumed entirely): the frame still ships so the batch's part count
@@ -297,6 +565,26 @@ func encodePartPayload(batchID uint64, parts uint32, events []Event) ([]byte, er
 	binary.LittleEndian.PutUint32(payload[9:13], parts)
 	copy(payload[partHeaderSize:], body)
 	return payload, nil
+}
+
+// appendReceipt logs a signed rank receipt. The receipt's chain anchor
+// must be the head immediately before its own frame, so rotation (which
+// folds a seal) happens first, then the caller-supplied sign callback
+// stamps Head and Sig against the settled chain state.
+func (w *wal) appendReceipt(rc *audit.Receipt, sign func(*audit.Receipt)) error {
+	probe := *rc
+	sign(&probe) // receipts are fixed-size; any signed encoding sizes the frame
+	frameLen := 8 + 1 + len(probe.Encode())
+	if err := w.rotateIfNeeded(frameLen); err != nil {
+		return err
+	}
+	rc.Head = w.head()
+	sign(rc)
+	enc := rc.Encode()
+	payload := make([]byte, 1+len(enc))
+	payload[0] = recReceipt
+	copy(payload[1:], enc)
+	return w.append(payload)
 }
 
 // appendClose logs a close-through-day barrier.
@@ -332,12 +620,21 @@ func (w *wal) syncFile() error {
 	return err
 }
 
-// close syncs and closes the current segment.
+// close syncs and closes the current segment, sealing it first on an
+// audit stream: after a clean shutdown every segment (including the
+// last) carries its seal, so the offline verifier can attest the whole
+// log. A crash skips this and leaves an honest unsealed tail.
 func (w *wal) close() error {
 	if w.f == nil {
 		return nil
 	}
-	err := w.syncFile()
+	var err error
+	if w.aud != nil {
+		err = w.writeSeal()
+	}
+	if serr := w.syncFile(); err == nil {
+		err = serr
+	}
 	if cerr := w.f.Close(); err == nil {
 		err = cerr
 	}

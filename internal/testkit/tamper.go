@@ -1,0 +1,117 @@
+package testkit
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Tamper is the post-hoc counterpart of FaultPlan: where a FaultPlan cuts
+// a live operation stream short (a crash), a Tamper mutates bytes already
+// on disk (an adversary, or silent corruption) after the process is gone.
+// Tamper-detection matrices enumerate Tamper values over a pristine
+// directory tree and assert the subject's verifier rejects every one.
+//
+// File selection follows FaultPlan.Name: a base-name substring.
+type Tamper struct {
+	// Name selects the target file by base-name substring. The tamper
+	// applies to the first match found walking the directory tree in
+	// lexical order; zero matches is an error (a matrix entry that
+	// silently touched nothing would assert on pristine data).
+	Name string
+	// Off is the byte offset of the mutation. Negative offsets count back
+	// from the end of the file (-1 is the last byte).
+	Off int64
+	// Mask is XORed into the byte at Off. Zero means "no bit flip" and is
+	// only useful with Put.
+	Mask byte
+	// Put, when non-nil, overwrites the bytes starting at Off (after the
+	// mask is applied at Off) — for tampers that must stay structurally
+	// valid, e.g. re-stamping a checksum after a payload flip.
+	Put []byte
+}
+
+// Apply mutates the first matching file under dir and returns its path.
+func (t Tamper) Apply(dir string) (string, error) {
+	path, err := t.find(dir)
+	if err != nil {
+		return "", err
+	}
+	return path, t.ApplyTo(path)
+}
+
+// ApplyTo mutates one specific file.
+func (t Tamper) ApplyTo(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	off := t.Off
+	if off < 0 {
+		off += int64(len(data))
+	}
+	if off < 0 || off >= int64(len(data)) {
+		return fmt.Errorf("testkit: tamper offset %d outside %s (%d bytes)", t.Off, filepath.Base(path), len(data))
+	}
+	data[off] ^= t.Mask
+	if len(t.Put) > 0 {
+		if off+int64(len(t.Put)) > int64(len(data)) {
+			return fmt.Errorf("testkit: tamper put of %d bytes at %d overruns %s (%d bytes)", len(t.Put), off, filepath.Base(path), len(data))
+		}
+		copy(data[off:], t.Put)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, info.Mode().Perm())
+}
+
+func (t Tamper) find(dir string) (string, error) {
+	var match string
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || match != "" {
+			return err
+		}
+		if strings.Contains(filepath.Base(path), t.Name) {
+			match = path
+		}
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	if match == "" {
+		return "", fmt.Errorf("testkit: tamper target %q not found under %s", t.Name, dir)
+	}
+	return match, nil
+}
+
+// CopyTree duplicates a directory tree (regular files only) so a tamper
+// matrix can mutate a throwaway copy of one pristine fixture per case.
+func CopyTree(src, dst string) error {
+	return filepath.WalkDir(src, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, info.Mode().Perm())
+	})
+}

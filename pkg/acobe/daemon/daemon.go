@@ -23,8 +23,10 @@
 package daemon
 
 import (
+	"crypto/ed25519"
 	"net/http"
 
+	"acobe/internal/audit"
 	"acobe/internal/cert"
 	"acobe/internal/logstore"
 	"acobe/internal/serve"
@@ -105,6 +107,19 @@ const (
 	FsyncAlways = serve.FsyncAlways
 )
 
+// Audit types (WithAudit / PersistConfig.Audit).
+type (
+	// ProofResult is one event inclusion proof: the WAL frame holding the
+	// event, the batch Merkle root the hash chain committed at append
+	// time, and the path from the event's leaf to that root.
+	ProofResult = serve.ProofResult
+	// Receipt is a signed rank receipt binding a ranked list's hash to the
+	// audit chain head at emission.
+	Receipt = audit.Receipt
+	// VerifyReport summarizes one offline VerifyAudit walk.
+	VerifyReport = serve.VerifyReport
+)
+
 // Sentinel errors, matched with errors.Is.
 var (
 	ErrNoModel           = serve.ErrNoModel
@@ -114,6 +129,17 @@ var (
 	// returned the daemon fail-stops (refuses new work) rather than let
 	// memory diverge from its log.
 	ErrPersistenceFailed = serve.ErrPersistenceFailed
+	// ErrAuditChainBroken reports verified tampering: sealed history no
+	// longer matches the hash chain or a signature over it. Open fails
+	// with it rather than serve state the log contradicts.
+	ErrAuditChainBroken = serve.ErrAuditChainBroken
+	// ErrAuditDisabled is returned by proof/receipt calls on a daemon
+	// running without WithAudit.
+	ErrAuditDisabled = serve.ErrAuditDisabled
+	// ErrUnknownBatch / ErrUnknownEvent reject proof requests for batches
+	// or event indexes the retained log does not hold.
+	ErrUnknownBatch = serve.ErrUnknownBatch
+	ErrUnknownEvent = serve.ErrUnknownEvent
 )
 
 // StatusSchemaVersion is the schema_version value stamped into every
@@ -144,6 +170,33 @@ func Open(cfg Config, p PersistConfig) (*Server, *RecoverInfo, error) {
 func WithMetricsEndpoint(enabled bool) HandlerOption { return serve.WithMetrics(enabled) }
 func WithPprofEndpoint(enabled bool) HandlerOption   { return serve.WithPprof(enabled) }
 func WithHealthzEndpoint(enabled bool) HandlerOption { return serve.WithHealthz(enabled) }
+func WithAuditEndpoint(enabled bool) HandlerOption   { return serve.WithAudit(enabled) }
+
+// VerifyAudit walks an audited data directory offline and verifies the
+// full tamper-evidence chain — WAL frame CRCs, chain folds, recomputed
+// batch Merkle roots, segment seals and cross-segment links, snapshot and
+// manifest signatures and attested chain heads, receipt signatures and
+// anchoring. It stops at the first divergence with a segment/offset
+// diagnostic wrapping ErrAuditChainBroken. Run it against a cleanly
+// shut-down directory; pub is the daemon's audit.pub key.
+func VerifyAudit(dir string, pub ed25519.PublicKey) (*VerifyReport, error) {
+	return serve.VerifyAudit(dir, pub)
+}
+
+// LoadAuditPublicKey reads an audit.pub file (hex-encoded ed25519 public
+// key) for VerifyAudit.
+func LoadAuditPublicKey(path string) (ed25519.PublicKey, error) {
+	return audit.LoadPublicKey(path)
+}
+
+// AuditPubFileName is the name of the shareable public-key file an
+// audited daemon writes next to its WAL (the default -pub for
+// `acobed -verify`).
+const AuditPubFileName = audit.PubFileName
+
+// AuditKeyFingerprint renders a public key's pinned fingerprint, the same
+// string an audited daemon reports at startup.
+func AuditKeyFingerprint(pub ed25519.PublicKey) string { return audit.Fingerprint(pub) }
 
 // PprofHandler returns a mux serving only /debug/pprof/*, for deployments
 // that keep profiling on a separate non-public listener instead of

@@ -102,6 +102,21 @@ func WithSegmentBytes(n int64) Option {
 	}
 }
 
+// WithAudit turns on the tamper-evident audit trail: a SHA-256 hash chain
+// over every WAL frame (sealed into segments, chained into snapshots and
+// manifests, ed25519-signed), per-batch Merkle roots for inclusion
+// proofs (Server.Proof, GET /v1/proof), and signed rank receipts
+// (Server.RankReceipt, POST /v1/receipt). Verify offline with
+// daemon.VerifyAudit or `acobed -verify`. A directory must always be
+// opened with the audit setting it was written under. Requires
+// WithDataDir.
+func WithAudit() Option {
+	return func(s *settings) {
+		s.persist.Audit = true
+		s.notePersist("WithAudit")
+	}
+}
+
 func (s *settings) notePersist(name string) {
 	if s.persistOpt == "" {
 		s.persistOpt = name
